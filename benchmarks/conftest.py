@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+One :class:`~repro.sim.experiments.ExperimentRunner` is shared by every
+figure so the master sweep (8 benchmarks x 4 issue-queue sizes x 2 machine
+modes) runs exactly once per session.  Each figure module prints its table
+(visible with ``-s`` / in the benchmark log) and writes it to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.sim.experiments import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The shared, caching experiment runner."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Write a rendered table to benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(name: str, text: str) -> str:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _publish

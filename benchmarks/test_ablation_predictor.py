@@ -1,0 +1,97 @@
+"""Ablation: branch-predictor sensitivity (bimodal vs gshare).
+
+The mechanism replaces dynamic prediction with static replay while a loop
+is reused, so one might expect its savings to be predictor-independent.
+The study finds that is only *mostly* true -- and surfaces a real design
+interaction the paper (which only evaluates bimodal) never hits:
+
+loop **detection** uses the decode-stage *predicted* direction (paper
+Section 2.1).  A history-indexed predictor like gshare spreads a loop
+branch's early iterations across many table entries; one cold or
+cross-trained entry can predict the loop tail not-taken *during
+buffering*, which the controller must treat as "execution exits the loop"
+-- a revoke that registers the loop in the NBLT.  With few distinct loops
+in flight, the NBLT's FIFO never evicts the entry and a perfectly
+bufferable loop stays blacklisted (observed on aps: gating collapses from
+~93 % to ~33 % with >1800 suppressed detections).  Benchmarks whose loops
+re-enter frequently (tsf, wss) are unaffected.
+
+Design implication: detection-by-prediction pairs best with a
+history-free (bimodal) component for loop tails, or exit-at-tail revokes
+should not enter the NBLT.
+"""
+
+from repro.arch.config import MachineConfig
+from repro.sim.results import RunComparison
+from repro.sim.simulator import simulate
+
+BENCHES = ("aps", "tsf", "wss")
+
+
+def _measure(runner, kind):
+    rows = {}
+    for name in BENCHES:
+        program = runner.suite.program(name)
+        config = MachineConfig().replace(bpred_kind=kind)
+        baseline = simulate(program, config)
+        reuse = simulate(program, config.replace(reuse_enabled=True))
+        comparison = RunComparison(baseline, reuse)
+        rows[name] = {
+            "gated": comparison.gated_fraction,
+            "overall": comparison.overall_power_reduction,
+            "baseline_mispredicts": baseline.stats.mispredicts,
+            "reuse_mispredicts": reuse.stats.mispredicts,
+        }
+    return rows
+
+
+def test_predictor_sensitivity(runner, publish, benchmark):
+    """Reuse savings barely move when the predictor changes."""
+    table = benchmark.pedantic(
+        lambda: {kind: _measure(runner, kind)
+                 for kind in ("bimod", "gshare")},
+        rounds=1, iterations=1)
+
+    lines = ["Ablation: predictor sensitivity (bimod vs gshare, IQ 64)",
+             f"{'':8s} {'gated bm':>9s} {'gated gs':>9s} "
+             f"{'power bm':>9s} {'power gs':>9s} {'misp bm':>8s} "
+             f"{'misp gs':>8s}"]
+    lines.append("-" * 62)
+    for name in BENCHES:
+        bm = table["bimod"][name]
+        gs = table["gshare"][name]
+        lines.append(
+            f"{name:8s} {bm['gated']:>8.1%} {gs['gated']:>8.1%} "
+            f"{bm['overall']:>8.1%} {gs['overall']:>8.1%} "
+            f"{bm['baseline_mispredicts']:>8d} "
+            f"{gs['baseline_mispredicts']:>8d}")
+    publish("ablation_predictor", "\n".join(lines))
+
+    # frequently re-entering loops are predictor-insensitive
+    for name in ("tsf", "wss"):
+        bm = table["bimod"][name]
+        gs = table["gshare"][name]
+        assert abs(bm["gated"] - gs["gated"]) < 0.08, name
+        assert abs(bm["overall"] - gs["overall"]) < 0.05, name
+        assert gs["overall"] > 0.1, name
+
+    # the documented interaction: history noise during aps's loop warm-up
+    # triggers a spurious exit revoke whose NBLT entry never ages out
+    aps_bm = table["bimod"]["aps"]
+    aps_gs = table["gshare"]["aps"]
+    assert aps_gs["gated"] < aps_bm["gated"] - 0.2
+    # misprediction behaviour itself is unchanged -- the loss is pure
+    # detection suppression, not worse prediction
+    assert (aps_gs["baseline_mispredicts"]
+            <= aps_bm["baseline_mispredicts"] + 5)
+
+
+def test_gshare_architecturally_exact_on_benchmark(runner, benchmark):
+    """The gshare machine commits the same work in both modes."""
+    program = runner.suite.program("wss")
+    config = MachineConfig().replace(bpred_kind="gshare")
+    baseline = benchmark.pedantic(lambda: simulate(program, config),
+                                  rounds=1, iterations=1)
+    reuse = simulate(program, config.replace(reuse_enabled=True))
+    assert baseline.stats.committed == reuse.stats.committed
+    assert baseline.registers == reuse.registers

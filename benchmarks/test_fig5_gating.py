@@ -1,0 +1,56 @@
+"""Figure 5: percentage of total execution cycles with the pipeline
+front-end gated, per benchmark, for issue queues of 32/64/128/256 entries.
+
+Paper's findings (reproduced as assertions):
+
+* aps, tsf and wss achieve very high gated percentages even with small
+  issue queues (small loop structures),
+* adi, btrix, eflux, tomcat and vpenta only work well with large queues,
+* increasing the queue does **not** always improve gating (tsf, wss): a
+  larger queue unrolls and buffers more iterations, delaying reuse,
+* the average gated fraction rises substantially from IQ 32 to IQ 256
+  (the paper: 42 % -> 82 %).
+"""
+
+from repro.arch.config import SWEEP_IQ_SIZES, MachineConfig
+from repro.sim.report import format_percent_table
+from repro.sim.simulator import simulate
+
+TIGHT = ("aps", "tsf", "wss")
+LARGE = ("adi", "btrix", "eflux", "tomcat", "vpenta")
+
+
+def test_figure5_gated_rate(runner, publish, benchmark):
+    """Regenerate and sanity-check the Figure 5 series."""
+    table = benchmark.pedantic(runner.figure5_gating, rounds=1,
+                               iterations=1)
+    publish("fig5_gating", format_percent_table(
+        "Figure 5: pipeline front-end gated rate (in cycles)",
+        table, list(SWEEP_IQ_SIZES), column_header="benchmark"))
+
+    for name in TIGHT:
+        assert table[name][32] > 0.7, f"{name} should gate well at IQ 32"
+    for name in LARGE:
+        assert table[name][32] < 0.1, \
+            f"{name} cannot be captured by a 32-entry queue"
+        assert table[name][256] > 0.7, \
+            f"{name} should gate well at IQ 256"
+
+    # the paper's non-monotonicity: bigger queues delay reuse for loops
+    # with short trip counts
+    assert table["tsf"][256] < table["tsf"][32]
+    assert table["wss"][256] < table["wss"][32]
+
+    # average trend: large queues gate far more than small ones
+    assert table["average"][256] > table["average"][32] + 0.3
+    assert 0.2 < table["average"][32] < 0.6
+    assert 0.6 < table["average"][256] < 0.95
+
+
+def test_bench_reuse_simulation(runner, benchmark):
+    """Cost of one reuse-enabled benchmark simulation (aps at IQ 64)."""
+    program = runner.suite.program("aps")
+    config = MachineConfig().replace(reuse_enabled=True)
+    result = benchmark.pedantic(
+        lambda: simulate(program, config), rounds=1, iterations=1)
+    assert result.gated_fraction > 0.5

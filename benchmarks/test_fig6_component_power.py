@@ -1,0 +1,63 @@
+"""Figure 6: average power reduction in the instruction cache, branch
+predictor and issue queue, plus the overhead of the reuse hardware, as the
+issue queue grows from 32 to 256 entries.
+
+Paper's findings (reproduced as assertions):
+
+* I-cache power reduction grows from ~35 % to ~72 % (activity stops while
+  gated),
+* branch predictor reduction grows from ~19 % to ~33 % (lookups gate,
+  commit-side updates never do),
+* issue-queue reduction grows from ~12 % to ~21 % (partial updates replace
+  insert+remove pairs),
+* the reuse hardware's own power (LRL, NBLT, detector) stays a fraction of
+  a percent of machine power.
+"""
+
+from repro.arch.config import SWEEP_IQ_SIZES
+from repro.sim.report import format_percent_table
+
+
+def test_figure6_component_power(runner, publish, benchmark):
+    """Regenerate and sanity-check the Figure 6 series."""
+    table = benchmark.pedantic(runner.figure6_component_power,
+                               rounds=1, iterations=1)
+    publish("fig6_component_power", format_percent_table(
+        "Figure 6: power reduction per component (average over Table 2)",
+        table, list(SWEEP_IQ_SIZES), column_header="component"))
+
+    icache, bpred = table["icache"], table["bpred"]
+    issue_queue, overhead = table["issue_queue"], table["overhead"]
+
+    # component ordering at every size: icache > bpred > issue queue
+    for iq in SWEEP_IQ_SIZES:
+        assert icache[iq] > bpred[iq] > issue_queue[iq] > 0
+
+    # paper bands (ours, like the paper's, grow with queue size)
+    assert 0.25 < icache[32] < 0.55
+    assert icache[256] > 0.6
+    assert 0.10 < bpred[32] < 0.30
+    assert 0.25 < bpred[256] < 0.55
+    assert 0.05 < issue_queue[32] < 0.25
+    assert 0.12 < issue_queue[256] < 0.40
+
+    # growth from the smallest to the largest configuration
+    assert icache[256] > icache[32]
+    assert bpred[256] > bpred[32]
+    assert issue_queue[256] > issue_queue[32]
+
+    # overhead stays tiny at every size
+    for iq in SWEEP_IQ_SIZES:
+        assert overhead[iq] < 0.01
+
+
+def test_bench_power_model(runner, benchmark):
+    """Cost of the post-hoc power-model evaluation for one run."""
+    from repro.power.model import PowerModel, collect_activity
+
+    comparison = runner.compare("aps", 64)
+    pipeline_result = comparison.reuse
+    model = PowerModel(pipeline_result.config)
+    energies = benchmark(
+        lambda: model.component_energies(pipeline_result.activity))
+    assert energies["icache"].total_energy > 0

@@ -1,0 +1,62 @@
+"""Figure 8: performance (IPC) degradation of the reuse machine relative to
+the conventional baseline.
+
+Paper's findings (reproduced as assertions):
+
+* the average loss is small (the paper: 0.2 % at IQ 32 up to ~4 % at 256),
+* the loss concentrates where a large loop leaves a large queue
+  under-utilised -- btrix, whose ~90-instruction loop buffers only one or
+  two copies in a 128/256-entry queue, is the paper's standout,
+* tight-loop benchmarks lose essentially nothing.
+"""
+
+from repro.arch.config import SWEEP_IQ_SIZES
+
+
+def test_figure8_performance(runner, publish, benchmark):
+    """Regenerate and sanity-check the Figure 8 series."""
+    from repro.sim.report import format_percent_table
+
+    table = benchmark.pedantic(runner.figure8_performance,
+                               rounds=1, iterations=1)
+    publish("fig8_performance", format_percent_table(
+        "Figure 8: performance (IPC) degradation",
+        table, list(SWEEP_IQ_SIZES), column_header="benchmark"))
+
+    # the average loss stays small everywhere
+    for iq in SWEEP_IQ_SIZES:
+        assert abs(table["average"][iq]) < 0.06
+
+    # btrix is the standout: visible loss once its big loop is captured
+    btrix_peak = max(table["btrix"][128], table["btrix"][256])
+    assert btrix_peak > 0.02
+    for name in ("tsf", "wss"):
+        assert abs(table[name][128]) < 0.02, name
+
+    # no benchmark collapses
+    for name, row in table.items():
+        for iq, value in row.items():
+            assert value < 0.25, (name, iq)
+
+
+def test_committed_work_identical(runner, benchmark):
+    """The mechanism never changes the committed instruction stream."""
+    def compare_all():
+        return [runner.compare(name, iq)
+                for name in ("aps", "btrix") for iq in (32, 256)]
+
+    for comparison in benchmark.pedantic(compare_all, rounds=1,
+                                         iterations=1):
+        assert (comparison.baseline.stats.committed
+                == comparison.reuse.stats.committed)
+
+
+def test_bench_baseline_simulation(runner, benchmark):
+    """Cost of one baseline benchmark simulation (wss at IQ 64)."""
+    from repro.arch.config import MachineConfig
+    from repro.sim.simulator import simulate
+
+    program = runner.suite.program("wss")
+    result = benchmark.pedantic(
+        lambda: simulate(program, MachineConfig()), rounds=1, iterations=1)
+    assert result.stats.committed > 10_000

@@ -1,0 +1,51 @@
+"""Table 1: the baseline machine configuration.
+
+Regenerates the paper's configuration table and benchmarks machine
+construction (the cost of instantiating every modelled structure).
+"""
+
+from repro.arch.config import MachineConfig
+from repro.arch.pipeline import Pipeline
+from repro.isa.assembler import assemble
+
+_PROBE = assemble(".text\nhalt", name="probe")
+
+
+def test_table1_configuration(publish, benchmark):
+    """Render Table 1 and check it carries every row the paper lists."""
+    table = benchmark(MachineConfig().table1)
+    publish("table1_configuration", "Table 1: baseline configuration\n"
+            + table)
+    for fragment in (
+        "64 entries", "32 entries", "4 inst. per cycle",
+        "4 IALU, 1 IMULT, 4 FPALU, 1 FPMULT",
+        "bimod, 2048 entries, RAS 8 entries",
+        "512 set 4 way assoc.",
+        "32KB, 2 way, 1 cycle",
+        "32KB, 4 way, 1 cycle",
+        "256KB, 4 way, 8 cycles",
+        "80 cycles for first chunk",
+    ):
+        assert fragment in table, fragment
+
+
+def test_sweep_rule_matches_paper(benchmark):
+    """ROB = IQ and LSQ = IQ/2 across the swept sizes."""
+    def resize_all():
+        return [MachineConfig().with_iq_size(iq)
+                for iq in (32, 64, 128, 256)]
+
+    for config in benchmark(resize_all):
+        assert config.rob_size == config.iq_size
+        assert config.lsq_size == config.iq_size // 2
+
+
+def test_bench_machine_construction(benchmark):
+    """Cost of building a full Table 1 machine (all structures)."""
+    config = MachineConfig()
+
+    def build():
+        return Pipeline(_PROBE, config)
+
+    pipeline = benchmark(build)
+    assert pipeline.iq.capacity == 64

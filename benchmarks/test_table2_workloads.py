@@ -1,0 +1,67 @@
+"""Table 2: the array-intensive applications.
+
+Regenerates the benchmark table (with our calibrated loop statistics
+appended) and benchmarks kernel compilation (IR -> assembly -> program).
+"""
+
+from repro.compiler.passes import build_program
+from repro.isa.interpreter import run_program
+from repro.workloads.characterize import (
+    characterization_table,
+    format_characterization,
+)
+from repro.workloads.kernels import build_kernel
+from repro.workloads.suite import BENCHMARK_NAMES, BENCHMARK_SOURCES
+
+
+def test_table2_workloads(runner, publish, benchmark):
+    """Render Table 2 plus per-kernel loop statistics."""
+    benchmark.pedantic(lambda: [runner.suite.program(n)
+                                for n in BENCHMARK_NAMES],
+                       rounds=1, iterations=1)
+    lines = ["Table 2: array-intensive applications",
+             f"{'Name':8s} {'Source':14s} {'static':>7s} {'dynamic':>9s} "
+             f"{'innermost loops (insts)'}"]
+    lines.append("-" * 72)
+    for name in BENCHMARK_NAMES:
+        program = runner.suite.program(name)
+        machine = run_program(program)
+        sizes = sorted(set(program.static_loop_sizes()))
+        lines.append(
+            f"{name:8s} {BENCHMARK_SOURCES[name]:14s} "
+            f"{len(program):>7d} {machine.instructions_executed:>9d} "
+            f"{sizes}")
+    publish("table2_workloads", "\n".join(lines))
+    assert len(BENCHMARK_NAMES) == 8
+
+
+def test_workload_characterization(runner, publish, benchmark):
+    """Dynamic loop coverage per benchmark -- the property Figure 5 tracks.
+
+    A benchmark can only gate at issue-queue size S to the extent its
+    dynamic execution sits inside static loops of size <= S; this table is
+    the mechanical explanation of the Figure 5 shapes.
+    """
+    table = benchmark.pedantic(
+        lambda: characterization_table(
+            {name: runner.suite.program(name)
+             for name in BENCHMARK_NAMES}),
+        rounds=1, iterations=1)
+    publish("table2_characterization", format_characterization(table))
+
+    # tight-loop benchmarks live almost entirely in <=32-instruction loops
+    for name in ("aps", "tsf", "wss"):
+        assert table[name]["coverage"][32] > 0.8, name
+    # the large-bodied benchmarks have nothing capturable at 32...
+    for name in ("adi", "btrix", "eflux", "tomcat", "vpenta"):
+        assert table[name]["coverage"][32] < 0.1, name
+        # ...but are nearly fully covered at 128
+        assert table[name]["coverage"][128] > 0.6, name
+    # btrix's dominant loop is the paper's ~90-instruction one
+    assert 70 <= table["btrix"]["dominant_size"] <= 100
+
+
+def test_bench_kernel_compilation(benchmark):
+    """Cost of compiling one large kernel end to end."""
+    program = benchmark(lambda: build_program(build_kernel("adi")))
+    assert len(program) > 100

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Gearing code to the issue queue with the loop-nest compiler.
+
+Scenario (the paper's Section 4): an embedded part ships with a 64-entry
+issue queue, and your hot loop is too large to be captured.  This example
+builds a kernel with the compiler IR, shows that its single big loop never
+gates the front-end, then applies **loop distribution** and shows the
+distributed loops each fit the queue -- turning the reuse mechanism on and
+cutting whole-processor power.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro import MachineConfig, RunComparison, simulate
+from repro.compiler import Assign, BinOp, Kernel, Ref, build_program, idx
+
+
+def build_big_loop_kernel():
+    """A 7-statement sweep over disjoint arrays: ~90-instruction body."""
+    kernel = Kernel("bigloop")
+    size = 256
+    kernel.array("src1", size, init=[0.5 * i for i in range(64)])
+    kernel.array("src2", size, init=[1.0 + 0.25 * i for i in range(64)])
+    for name in ("out1", "out2", "out3", "out4", "out5", "out6",
+                 "out7"):
+        kernel.array(name, size)
+    coeff = kernel.const("coeff", 0.8)
+
+    def sweep(dst):
+        return Assign(
+            Ref(dst, idx("i")),
+            BinOp("+", BinOp("*", coeff, Ref("src1", idx("i"))),
+                  Ref("src2", idx("i"))))
+
+    kernel.loop("i", 0, size, [sweep(f"out{n}") for n in range(1, 8)])
+    return kernel
+
+
+def measure(program, label):
+    """Simulate baseline vs reuse on the Table 1 machine; print one row."""
+    config = MachineConfig()                      # 64-entry issue queue
+    baseline = simulate(program, config)
+    reuse = simulate(program, config.replace(reuse_enabled=True))
+    comparison = RunComparison(baseline, reuse)
+    loops = sorted(set(program.static_loop_sizes()))
+    print(f"{label:12s} loops={str(loops):22s} "
+          f"gated={comparison.gated_fraction:6.1%}  "
+          f"power saved={comparison.overall_power_reduction:6.1%}  "
+          f"dIPC={comparison.ipc_degradation:+6.2%}")
+    return comparison
+
+
+def main():
+    kernel = build_big_loop_kernel()
+
+    print("Table 1 machine, 64-entry issue queue")
+    print()
+    original = build_program(kernel, optimize=False)
+    before = measure(original, "original")
+
+    distributed = build_program(kernel, optimize=True)
+    after = measure(distributed, "distributed")
+
+    print()
+    gain = (after.overall_power_reduction
+            - before.overall_power_reduction)
+    print(f"loop distribution unlocked {gain:+.1%} additional "
+          f"whole-processor power savings by making every loop body fit "
+          f"the 64-entry issue queue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the complete experiment matrix -- Table 1, Table 2, Figures 5-9 and
+the two ablations -- and prints each in the rows/series the paper reports.
+Expect a few minutes of wall time (the full matrix is roughly 130 cycle-
+accurate simulations).
+
+Run:  python examples/reproduce_paper.py
+      python examples/reproduce_paper.py fig5 fig8     # a subset
+"""
+
+import sys
+
+from repro.sim.reproduce import reproduce
+
+
+def main():
+    names = sys.argv[1:] or None
+    reproduce(names)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Run every experiment and print every table/figure.
+
+Thin wrapper over :func:`repro.sim.reproduce.reproduce_all`; kept for
+backward compatibility -- prefer ``python -m repro reproduce`` or
+``examples/reproduce_paper.py``.
+"""
+
+from repro.sim.reproduce import reproduce_all
+
+
+def main():
+    reproduce_all()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` works in offline environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

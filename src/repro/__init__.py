@@ -1,0 +1,60 @@
+"""repro -- reproduction of *Scheduling Reusable Instructions for Power
+Reduction* (Hu, Vijaykrishnan, Kim, Kandemir, Irwin; DATE 2004).
+
+The paper proposes an issue queue that detects tight loops, keeps their
+instructions resident after issue, and re-dispatches them in program order
+from a *reuse pointer* -- letting the whole pipeline front-end (I-cache,
+branch predictor, decoder) be clock-gated while the loop runs.
+
+Package layout
+--------------
+
+=====================  ===================================================
+:mod:`repro.isa`       MIPS-like ISA: assembler, encoding, functional
+                       interpreter (the correctness oracle)
+:mod:`repro.arch`      cycle-level out-of-order superscalar substrate
+                       (SimpleScalar-equivalent baseline)
+:mod:`repro.core`      the paper's contribution: loop detector, NBLT,
+                       LRL, reuse controller and state machine
+:mod:`repro.power`     Wattch-style activity-based power model
+:mod:`repro.compiler`  loop-nest IR, code generator and the Section 4
+                       loop-distribution pass
+:mod:`repro.workloads` the eight Table 2 array-intensive kernels
+:mod:`repro.sim`       simulation driver, experiment sweeps, reports
+=====================  ===================================================
+
+Quickstart
+----------
+
+>>> from repro import MachineConfig, simulate
+>>> from repro.workloads import WorkloadSuite
+>>> program = WorkloadSuite().program("aps")
+>>> config = MachineConfig()                         # paper's Table 1
+>>> baseline = simulate(program, config)
+>>> reuse = simulate(program, config.replace(reuse_enabled=True))
+>>> reuse.gated_fraction > 0.5
+True
+"""
+
+from repro.arch.config import SWEEP_IQ_SIZES, MachineConfig
+from repro.arch.pipeline import Pipeline, SimulationTimeout
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import Interpreter, run_program
+from repro.sim.results import RunComparison, SimulationResult
+from repro.sim.simulator import simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "SWEEP_IQ_SIZES",
+    "Pipeline",
+    "SimulationTimeout",
+    "assemble",
+    "Interpreter",
+    "run_program",
+    "RunComparison",
+    "SimulationResult",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Out-of-order superscalar microarchitecture substrate.
+
+This package is the reproduction's stand-in for SimpleScalar 3.0's
+``sim-outorder``: a cycle-level model of a MIPS-R10000-style datapath with a
+*separate* issue queue and reorder buffer (the paper's baseline), consisting
+of
+
+* :mod:`repro.arch.config` -- machine configuration (the paper's Table 1),
+* :mod:`repro.arch.branch` -- bimodal predictor + BTB + return-address stack,
+* :mod:`repro.arch.mem` -- caches, TLBs and DRAM timing,
+* :mod:`repro.arch.fetch` -- the fetch unit and fetch queue,
+* :mod:`repro.arch.rename` -- the register rename map with branch snapshots,
+* :mod:`repro.arch.issue_queue` -- the collapsing issue queue (with the
+  augmentation hooks the reuse mechanism needs),
+* :mod:`repro.arch.rob`, :mod:`repro.arch.lsq`, :mod:`repro.arch.regfile`,
+  :mod:`repro.arch.functional_units` -- the remaining backend structures,
+* :mod:`repro.arch.pipeline` -- the per-cycle engine tying it all together.
+"""
+
+from repro.arch.config import CacheConfig, MachineConfig, TlbConfig
+from repro.arch.pipeline import Pipeline
+from repro.arch.stats import PipelineStats
+
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "TlbConfig",
+    "Pipeline",
+    "PipelineStats",
+]

@@ -1,0 +1,19 @@
+"""Branch prediction substrate: bimodal predictor, BTB and RAS.
+
+The composite :class:`~repro.arch.branch.predictor.BranchPredictor` is what
+the fetch unit talks to; the individual structures are exposed for unit
+tests and for the power model's activity counters.
+"""
+
+from repro.arch.branch.bimodal import BimodalPredictor
+from repro.arch.branch.btb import BranchTargetBuffer
+from repro.arch.branch.predictor import BranchPredictor, Prediction
+from repro.arch.branch.ras import ReturnAddressStack
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "BranchPredictor",
+    "Prediction",
+    "ReturnAddressStack",
+]

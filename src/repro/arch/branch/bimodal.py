@@ -1,0 +1,54 @@
+"""Bimodal (2-bit saturating counter) direction predictor.
+
+This is SimpleScalar's ``bimod`` predictor: a table of 2-bit counters
+indexed by the branch PC.  The paper's baseline uses 2048 entries.
+"""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """Table of 2-bit saturating counters indexed by word-aligned PC."""
+
+    #: Counter value at which a branch is predicted taken (2 or 3).
+    TAKEN_THRESHOLD = 2
+
+    #: Initial counter value: weakly taken, as in SimpleScalar.
+    INITIAL_COUNTER = 2
+
+    def __init__(self, size: int = 2048):
+        if size < 1 or size & (size - 1):
+            raise ValueError("bimodal table size must be a power of two")
+        self.size = size
+        self._mask = size - 1
+        self.table = [self.INITIAL_COUNTER] * size
+        self.lookups = 0
+        self.updates = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        self.lookups += 1
+        return self.table[self._index(pc)] >= self.TAKEN_THRESHOLD
+
+    def peek(self, pc: int) -> bool:
+        """Direction prediction without charging a lookup (tests only)."""
+        return self.table[self._index(pc)] >= self.TAKEN_THRESHOLD
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter with the resolved direction."""
+        self.update_at_index(self._index(pc), taken)
+
+    def update_at_index(self, index: int, taken: bool) -> None:
+        """Train a specific counter (bimodal indexing is history-free, so
+        this always equals :meth:`update` for the same branch)."""
+        self.updates += 1
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        else:
+            if counter > 0:
+                self.table[index] = counter - 1

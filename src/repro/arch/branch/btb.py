@@ -1,0 +1,63 @@
+"""Branch target buffer.
+
+A set-associative tag/target store with true-LRU replacement.  The paper's
+baseline is 512 sets x 4 ways.  The fetch unit uses it to obtain targets for
+taken control flow; misses on predicted-taken branches cost a one-cycle
+fetch bubble (the target is produced at decode).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement."""
+
+    def __init__(self, num_sets: int = 512, assoc: int = 4):
+        if num_sets < 1 or num_sets & (num_sets - 1):
+            raise ValueError("BTB set count must be a power of two")
+        if assoc < 1:
+            raise ValueError("BTB associativity must be >= 1")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self._mask = num_sets - 1
+        # each set is a list of [tag, target] in MRU..LRU order
+        self._sets = [[] for _ in range(num_sets)]
+        self.lookups = 0
+        self.hits = 0
+        self.updates = 0
+
+    def _set_index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Return the stored target for ``pc``, or None on a miss."""
+        self.lookups += 1
+        ways = self._sets[self._set_index(pc)]
+        for position, way in enumerate(ways):
+            if way[0] == pc:
+                self.hits += 1
+                if position:
+                    ways.insert(0, ways.pop(position))
+                return way[1]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or refresh the target for a taken control instruction."""
+        self.updates += 1
+        ways = self._sets[self._set_index(pc)]
+        for position, way in enumerate(ways):
+            if way[0] == pc:
+                way[1] = target
+                if position:
+                    ways.insert(0, ways.pop(position))
+                return
+        if len(ways) >= self.assoc:
+            ways.pop()
+        ways.insert(0, [pc, target])
+
+    @property
+    def misses(self) -> int:
+        """Lookup misses."""
+        return self.lookups - self.hits

@@ -1,0 +1,159 @@
+"""Composite fetch-stage branch predictor.
+
+Combines the bimodal direction predictor, the BTB and the return-address
+stack into the single object the fetch unit consults.  The policy mirrors
+SimpleScalar's ``bpred_lookup``:
+
+* conditional branches take their direction from the bimodal table and
+  their target from the BTB (a predicted-taken branch that misses in the
+  BTB gets its target at decode, costing a one-cycle fetch bubble),
+* direct jumps and calls are always taken,
+* ``jr $ra`` pops the RAS; other indirect jumps use the BTB and fall back
+  to a (surely wrong) fall-through prediction on a miss,
+* calls push their return address at fetch time.
+
+Updates happen at commit (direction training + BTB install for taken
+non-return control flow).  During the paper's **Code Reuse** state none of
+this logic runs -- reused branches are statically predicted with the outcome
+recorded during Loop Buffering, which is the source of the branch-predictor
+power saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.branch.bimodal import BimodalPredictor
+from repro.arch.branch.btb import BranchTargetBuffer
+from repro.arch.branch.gshare import GsharePredictor
+from repro.arch.branch.ras import ReturnAddressStack
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import INSTRUCTION_BYTES
+
+
+@dataclass
+class Prediction:
+    """Fetch-stage prediction for one control instruction."""
+
+    taken: bool
+    target: int
+    #: True when a predicted-taken instruction missed in the BTB, costing a
+    #: one-cycle fetch bubble while decode produces the target.
+    btb_bubble: bool = False
+    #: Direction-table index used at fetch (carried to commit so training
+    #: hits the same entry even after the global history has moved on).
+    direction_index: int = -1
+
+
+class BranchPredictor:
+    """Direction predictor (bimodal or gshare) + BTB + RAS composite."""
+
+    def __init__(self, bimod_size: int = 2048, btb_sets: int = 512,
+                 btb_assoc: int = 4, ras_size: int = 8,
+                 kind: str = "bimod", history_bits: int = 8):
+        if kind == "bimod":
+            self.direction = BimodalPredictor(bimod_size)
+            #: Alias kept for the paper's default configuration.
+            self.bimod = self.direction
+        elif kind == "gshare":
+            self.direction = GsharePredictor(bimod_size, history_bits)
+            self.gshare = self.direction
+        else:
+            raise ValueError(f"unknown predictor kind {kind!r}")
+        self.kind = kind
+        self.btb = BranchTargetBuffer(btb_sets, btb_assoc)
+        self.ras = ReturnAddressStack(ras_size)
+        #: Number of fetch-stage predictions performed (gated in reuse mode).
+        self.lookups = 0
+        #: Number of commit-stage trainings (never gated).
+        self.updates = 0
+
+    def snapshot_state(self) -> tuple:
+        """Capture all speculatively-updated predictor state (RAS, and the
+        gshare history register when configured).  Taken at fetch, right
+        after a control instruction's own prediction, so misprediction
+        recovery restores exactly the post-prediction state."""
+        if self.kind == "gshare":
+            return (self.ras.snapshot(), self.direction.snapshot())
+        return (self.ras.snapshot(), None)
+
+    def restore_state(self, snap: tuple, actual_taken=None) -> None:
+        """Restore a :meth:`snapshot_state` capture after recovery.
+
+        For a mispredicted *conditional branch*, pass its resolved
+        direction as ``actual_taken``: the snapshot's youngest history bit
+        is the wrong speculated one and must be repaired, or a gshare
+        predictor can never learn history-correlated patterns.
+        """
+        ras_snap, direction_snap = snap
+        self.ras.restore(ras_snap)
+        if direction_snap is not None:
+            if actual_taken is not None:
+                direction_snap = ((direction_snap >> 1) << 1)                     | int(actual_taken)
+            self.direction.restore(direction_snap)
+
+    def predict(self, inst: Instruction, pc: int) -> Prediction:
+        """Predict one control instruction at fetch time.
+
+        Applies speculative RAS effects (push for calls, pop for returns).
+        """
+        self.lookups += 1
+        icls = inst.op.icls
+        fall_through = pc + INSTRUCTION_BYTES
+
+        if icls is InstrClass.BRANCH:
+            direction_index = self.direction._index(pc)
+            taken = self.direction.predict(pc)
+            btb_target = self.btb.lookup(pc)
+            if not taken:
+                return Prediction(False, fall_through,
+                                  direction_index=direction_index)
+            if btb_target is None:
+                return Prediction(True, inst.target, btb_bubble=True,
+                                  direction_index=direction_index)
+            return Prediction(True, btb_target,
+                              direction_index=direction_index)
+
+        if icls is InstrClass.JUMP or icls is InstrClass.CALL:
+            if icls is InstrClass.CALL:
+                self.ras.push(fall_through)
+            btb_target = self.btb.lookup(pc)
+            if btb_target is None:
+                return Prediction(True, inst.target, btb_bubble=True)
+            return Prediction(True, btb_target)
+
+        if icls is InstrClass.IJUMP:
+            if inst.is_return:
+                return Prediction(True, self.ras.pop())
+            btb_target = self.btb.lookup(pc)
+            if btb_target is None:
+                return Prediction(True, fall_through, btb_bubble=True)
+            return Prediction(True, btb_target)
+
+        if icls is InstrClass.ICALL:
+            self.ras.push(fall_through)
+            btb_target = self.btb.lookup(pc)
+            if btb_target is None:
+                return Prediction(True, fall_through, btb_bubble=True)
+            return Prediction(True, btb_target)
+
+        raise ValueError(f"not a control instruction: {inst}")
+
+    def update(self, inst: Instruction, pc: int, taken: bool,
+               target: int, direction_index: int = -1) -> None:
+        """Train the predictor with a committed control instruction.
+
+        ``direction_index`` is the fetch-time table index; commits of
+        reuse-supplied branch instances (which never passed through fetch)
+        pass -1 and fall back to a current-state index.
+        """
+        self.updates += 1
+        icls = inst.op.icls
+        if icls is InstrClass.BRANCH:
+            if direction_index >= 0:
+                self.direction.update_at_index(direction_index, taken)
+            else:
+                self.direction.update(pc, taken)
+        if taken and not inst.is_return:
+            self.btb.update(pc, target)

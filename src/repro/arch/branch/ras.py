@@ -1,0 +1,59 @@
+"""Return-address stack.
+
+A small circular stack (8 entries in the paper's baseline) updated
+speculatively at fetch: calls push their return address, returns pop their
+predicted target.  Because updates are speculative, every in-flight control
+instruction snapshots the stack (it is tiny) so misprediction recovery can
+restore it exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class ReturnAddressStack:
+    """Circular return-address stack with full snapshot/restore."""
+
+    def __init__(self, size: int = 8):
+        if size < 1:
+            raise ValueError("RAS size must be >= 1")
+        self.size = size
+        self._stack: List[int] = [0] * size
+        self._top = 0          # index of the next free slot
+        self._depth = 0        # number of valid entries (<= size)
+        self.pushes = 0
+        self.pops = 0
+
+    def push(self, return_address: int) -> None:
+        """Push a call's return address (overwrites oldest when full)."""
+        self.pushes += 1
+        self._stack[self._top] = return_address
+        self._top = (self._top + 1) % self.size
+        if self._depth < self.size:
+            self._depth += 1
+
+    def pop(self) -> int:
+        """Pop the predicted return target (0 when empty)."""
+        self.pops += 1
+        if self._depth == 0:
+            return 0
+        self._top = (self._top - 1) % self.size
+        self._depth -= 1
+        return self._stack[self._top]
+
+    @property
+    def depth(self) -> int:
+        """Number of valid entries."""
+        return self._depth
+
+    def snapshot(self) -> Tuple[List[int], int, int]:
+        """Capture the full stack state."""
+        return (list(self._stack), self._top, self._depth)
+
+    def restore(self, snap: Tuple[List[int], int, int]) -> None:
+        """Restore a previously captured state."""
+        stack, top, depth = snap
+        self._stack = list(stack)
+        self._top = top
+        self._depth = depth

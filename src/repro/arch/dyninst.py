@@ -1,0 +1,100 @@
+"""Dynamic instruction records.
+
+A :class:`DynInst` is one dynamic instance of a static
+:class:`~repro.isa.instruction.Instruction` flowing through the pipeline.
+It doubles as the ROB entry (the ROB is an ordered container of these) and
+carries everything renaming, issue, execution and commit need.  In the
+paper's Code Reuse state, each pass of the reuse pointer over a buffered
+issue-queue entry mints a *new* DynInst (new sequence number, new ROB slot)
+while recycling the same issue-queue entry -- exactly the paper's "only
+register information and ROB pointer are updated".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+
+
+class DynInst:
+    """One in-flight dynamic instruction (also the ROB entry)."""
+
+    __slots__ = (
+        "seq", "inst", "pc",
+        # prediction state (control instructions)
+        "pred_taken", "pred_target", "actual_taken", "actual_target",
+        # pipeline status
+        "dispatched", "issued", "done", "committed", "squashed",
+        # result and operands
+        "value", "sources", "waiters",
+        # memory state (loads/stores)
+        "mem_addr", "mem_size", "store_value", "mem_state",
+        # recovery state (control instructions)
+        "rename_snapshot", "ras_snapshot",
+        # reuse bookkeeping
+        "from_reuse", "buffer_session", "iq_entry", "predecoded",
+        "bpred_index",
+    )
+
+    def __init__(self, seq: int, inst: Instruction, pc: int):
+        self.seq = seq
+        self.inst = inst
+        self.pc = pc
+        self.pred_taken: Optional[bool] = None
+        self.pred_target: Optional[int] = None
+        self.actual_taken: Optional[bool] = None
+        self.actual_target: Optional[int] = None
+        self.dispatched = False
+        self.issued = False
+        self.done = False
+        self.committed = False
+        self.squashed = False
+        self.value = None
+        #: Renamed sources: list of (producer DynInst or None, logical reg).
+        self.sources: List[Tuple[Optional["DynInst"], int]] = []
+        #: Issue-queue entries waiting on this instruction's result.
+        self.waiters: Optional[list] = None
+        self.mem_addr: Optional[int] = None
+        self.mem_size: int = 0
+        self.store_value = None
+        #: Load progress: 0 = waiting for agen, 1 = addr ready, 2 = accessing.
+        self.mem_state: int = 0
+        self.rename_snapshot = None
+        self.ras_snapshot = None
+        #: True when this instance was supplied by the reuse pointer.
+        self.from_reuse = False
+        #: Buffering-session id assigned at decode when this instance is to
+        #: be buffered (None = not a candidate).  The session id guards
+        #: against a stale candidate from a revoked session leaking into a
+        #: session that started while the instance sat in the decode queue.
+        self.buffer_session = None
+        #: The issue-queue entry currently holding this instance.
+        self.iq_entry = None
+        #: True when supplied pre-decoded by a decode filter cache.
+        self.predecoded = False
+        #: Fetch-time direction-table index (-1 when not fetched/predicted).
+        self.bpred_index = -1
+
+    @property
+    def is_control(self) -> bool:
+        """True for control-flow instructions."""
+        return self.inst.is_control
+
+    def mispredicted(self) -> bool:
+        """True when the resolved outcome differs from the prediction."""
+        if self.actual_taken != self.pred_taken:
+            return True
+        if self.actual_taken and self.actual_target != self.pred_target:
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            ch for ch, cond in (
+                ("D", self.dispatched), ("I", self.issued), ("X", self.done),
+                ("C", self.committed), ("S", self.squashed),
+                ("R", self.from_reuse),
+            ) if cond
+        )
+        return f"<DynInst #{self.seq} {self.inst.disassemble()} [{flags}]>"

@@ -1,0 +1,148 @@
+"""Instruction fetch unit.
+
+Per (non-gated) cycle the fetch unit:
+
+* performs one I-cache/ITLB access for the current fetch line (a miss
+  stalls fetch until the fill completes),
+* pulls up to ``fetch_width`` instructions into the fetch queue, following
+  predicted-taken branches within the cycle (SimpleScalar's idealised fetch
+  model, which the paper's baseline uses),
+* consults the branch predictor for every control instruction it fetches
+  (direction, target, speculative RAS effects); a predicted-taken
+  instruction that misses in the BTB costs a one-cycle bubble while decode
+  produces the target.
+
+During the paper's Code Reuse state the pipeline simply does not call
+:meth:`FetchUnit.cycle` -- that *is* the front-end gating, and it is why the
+I-cache, ITLB and predictor activity counters stop advancing while reuse
+supplies instructions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from repro.arch.branch.predictor import BranchPredictor
+from repro.arch.config import MachineConfig
+from repro.arch.dyninst import DynInst
+from repro.arch.loopcache import LoopCacheController
+from repro.arch.mem.hierarchy import MemoryHierarchy
+from repro.arch.stats import PipelineStats
+from repro.isa.program import INSTRUCTION_BYTES, Program
+
+
+class FetchUnit:
+    """Fetch stage with fetch queue, I-cache timing and fetch-time prediction."""
+
+    def __init__(self, program: Program, config: MachineConfig,
+                 hierarchy: MemoryHierarchy, predictor: BranchPredictor,
+                 seq_allocator: Callable[[], int], stats: PipelineStats,
+                 tracer=None):
+        self.tracer = tracer
+        self.program = program
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.next_seq = seq_allocator
+        self.stats = stats
+        self.pc = program.entry_point
+        self.queue: Deque[DynInst] = deque()
+        self.stall_until = 0
+        self._line_mask = ~(config.il1.line_bytes - 1)
+        #: Optional related-work loop cache (None unless configured).
+        self.loop_cache = (LoopCacheController(config.loop_cache_size)
+                           if config.loop_cache_size else None)
+        self._loop_cache_decoded = config.loop_cache_decoded
+
+    @property
+    def queue_full(self) -> bool:
+        """True when the fetch queue cannot accept more instructions."""
+        return len(self.queue) >= self.config.fetch_queue_size
+
+    def cycle(self, now: int) -> None:
+        """Fetch up to ``fetch_width`` instructions in cycle ``now``."""
+        if self.stall_until > now:
+            self.stats.fetch_stall_cycles += 1
+            return
+        if self.queue_full:
+            return
+        inst = self.program.inst_at(self.pc)
+        if inst is None:
+            # off the text segment (deep wrong path); wait for a redirect
+            self.stats.fetch_stall_cycles += 1
+            return
+
+        # a warm loop cache serves in-range fetch cycles without touching
+        # the I-cache or ITLB (the related-work baseline's entire saving)
+        loop_cache = self.loop_cache
+        supplying = (loop_cache is not None
+                     and loop_cache.can_supply(self.pc))
+        if not supplying:
+            # one I-cache access covers this cycle's fetch line
+            latency = self.hierarchy.ifetch(self.pc)
+            self.stats.icache_fetch_cycles += 1
+            if latency > self.config.il1.hit_latency:
+                # miss: deliver nothing now; the line is present on resume
+                self.stall_until = now + latency
+                return
+
+        # SimpleScalar-style idealised fetch: up to fetch_width instructions
+        # per cycle, following predicted-taken branches within the cycle
+        # (one I-cache access is charged per fetch cycle).  A predicted-
+        # taken instruction that misses in the BTB still costs a bubble.
+        fetched = 0
+        while fetched < self.config.fetch_width and not self.queue_full:
+            if supplying and not loop_cache.can_supply(self.pc):
+                break                    # left the cached loop mid-cycle
+            inst = self.program.inst_at(self.pc)
+            if inst is None:
+                break
+            if loop_cache is not None and not supplying:
+                loop_cache.capture(self.pc)
+            dyn = DynInst(self.next_seq(), inst, self.pc)
+            if supplying and self._loop_cache_decoded:
+                dyn.predecoded = True
+            if self.tracer is not None:
+                self.tracer.record("fetch", dyn, now)
+            self.stats.fetched += 1
+            fetched += 1
+            if inst.is_control:
+                prediction = self.predictor.predict(inst, self.pc)
+                dyn.pred_taken = prediction.taken
+                dyn.pred_target = prediction.target
+                dyn.bpred_index = prediction.direction_index
+                # capture speculative predictor state (RAS, gshare
+                # history) right after this prediction for exact recovery
+                dyn.ras_snapshot = self.predictor.snapshot_state()
+                self.queue.append(dyn)
+                if prediction.taken:
+                    if (loop_cache is not None
+                            and inst.is_direct_control
+                            and not inst.is_call
+                            and inst.target is not None
+                            and inst.target <= self.pc):
+                        loop_cache.on_backward_branch(self.pc,
+                                                      inst.target)
+                    self.pc = prediction.target
+                else:
+                    self.pc += INSTRUCTION_BYTES
+                if prediction.btb_bubble:
+                    self.stats.btb_bubbles += 1
+                    self.stall_until = now + 2   # one bubble cycle
+                    break
+            else:
+                self.queue.append(dyn)
+                self.pc += INSTRUCTION_BYTES
+        if supplying and fetched:
+            loop_cache.note_supply(fetched)
+
+    def redirect(self, target: int, now: int) -> None:
+        """Squash the fetch queue and restart at ``target`` next cycle."""
+        self.queue.clear()
+        self.pc = target
+        self.stall_until = now + 1
+
+    def flush_queue(self) -> None:
+        """Drop queued instructions (used when the front-end gate goes up)."""
+        self.queue.clear()

@@ -1,0 +1,57 @@
+"""Functional-unit pools.
+
+The paper's Table 1 machine: 4 integer ALUs, 1 integer multiplier/divider,
+4 FP ALUs and 1 FP multiplier/divider.  ALU-class operations are fully
+pipelined (a unit accepts a new operation every cycle); divides and square
+roots occupy their unit for the whole latency, as in SimpleScalar.
+
+Each unit tracks the next cycle at which it can accept an operation, which
+uniformly models both behaviours: a pipelined issue advances the unit's
+availability by one cycle, a non-pipelined issue by the full latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.config import MachineConfig
+from repro.isa.opcodes import FuClass, Opcode
+
+#: Opcodes that occupy their functional unit for the full latency.
+NON_PIPELINED_OPS = frozenset(
+    {Opcode.DIV, Opcode.DIV_D, Opcode.SQRT_D}
+)
+
+
+class FunctionalUnitPool:
+    """All functional units, grouped by :class:`~repro.isa.opcodes.FuClass`."""
+
+    def __init__(self, config: MachineConfig):
+        self._next_free: Dict[FuClass, List[int]] = {
+            FuClass.IALU: [0] * config.num_ialu,
+            FuClass.IMULT: [0] * config.num_imult,
+            FuClass.FPALU: [0] * config.num_fpalu,
+            FuClass.FPMULT: [0] * config.num_fpmult,
+        }
+        self.issues: Dict[FuClass, int] = {cls: 0 for cls in self._next_free}
+
+    def try_issue(self, op: Opcode, now: int) -> bool:
+        """Claim a unit for ``op`` at cycle ``now``; False if none is free."""
+        fu_class = op.fu
+        if fu_class is FuClass.NONE:
+            return True
+        units = self._next_free[fu_class]
+        for index, free_at in enumerate(units):
+            if free_at <= now:
+                if op in NON_PIPELINED_OPS:
+                    units[index] = now + op.latency
+                else:
+                    units[index] = now + 1
+                self.issues[fu_class] += 1
+                return True
+        return False
+
+    def busy_units(self, fu_class: FuClass, now: int) -> int:
+        """Units of a class not yet able to accept an operation."""
+        return sum(1 for free_at in self._next_free[fu_class]
+                   if free_at > now)

@@ -1,0 +1,97 @@
+"""Load/store queue.
+
+Program-ordered queue of in-flight memory instructions with conservative
+memory disambiguation and store-to-load forwarding:
+
+* a load may not access the data cache while any *older* store's address is
+  still unknown,
+* if the youngest older store with a known address overlaps the load, the
+  load forwards from it only on an exact address/size match with the store
+  data already computed; any other overlap stalls the load until the store
+  commits (and its value reaches memory),
+* stores compute address and data at issue time, then write the data cache
+  and functional memory at commit.
+
+This is the policy of SimpleScalar's ``sim-outorder`` LSQ, which the paper's
+baseline models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.arch.dyninst import DynInst
+
+#: Load disambiguation outcomes.
+LOAD_BLOCKED = 0
+LOAD_FORWARD = 1
+LOAD_ACCESS_CACHE = 2
+
+
+class LoadStoreQueue:
+    """In-order queue of in-flight loads and stores."""
+
+    __slots__ = ("capacity", "entries")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: Deque[DynInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no further memory instruction can dispatch."""
+        return len(self.entries) >= self.capacity
+
+    def allocate(self, dyn: DynInst) -> None:
+        """Append a newly dispatched load or store (must not be full)."""
+        if self.full:
+            raise RuntimeError("LSQ overflow")
+        self.entries.append(dyn)
+
+    def release(self, dyn: DynInst) -> None:
+        """Remove a committing memory instruction (must be the oldest)."""
+        if not self.entries or self.entries[0] is not dyn:
+            raise RuntimeError("LSQ release out of order")
+        self.entries.popleft()
+
+    def squash_younger_than(self, seq: int) -> int:
+        """Drop entries with sequence number > ``seq``; returns the count."""
+        count = 0
+        entries = self.entries
+        while entries and entries[-1].seq > seq:
+            entries.pop()
+            count += 1
+        return count
+
+    def disambiguate(self, load: DynInst) -> Tuple[int, Optional[DynInst]]:
+        """Decide whether a load with a known address may proceed.
+
+        Returns ``(LOAD_BLOCKED, None)``, ``(LOAD_FORWARD, store)`` or
+        ``(LOAD_ACCESS_CACHE, None)``.
+        """
+        load_start = load.mem_addr
+        load_end = load_start + load.mem_size
+        forwarding_store: Optional[DynInst] = None
+        for entry in self.entries:
+            if entry.seq >= load.seq:
+                break
+            if not entry.inst.is_store:
+                continue
+            if entry.mem_addr is None:
+                # conservative: unknown older store address blocks the load
+                return LOAD_BLOCKED, None
+            store_start = entry.mem_addr
+            store_end = store_start + entry.mem_size
+            if store_start < load_end and load_start < store_end:
+                forwarding_store = entry       # youngest older overlap wins
+        if forwarding_store is None:
+            return LOAD_ACCESS_CACHE, None
+        exact = (forwarding_store.mem_addr == load_start
+                 and forwarding_store.mem_size == load.mem_size)
+        if exact and forwarding_store.done:
+            return LOAD_FORWARD, forwarding_store
+        return LOAD_BLOCKED, None

@@ -1,0 +1,13 @@
+"""Memory-hierarchy timing models: caches, TLBs and DRAM.
+
+These structures model *timing and activity only*; data values live in the
+functional :class:`~repro.isa.memory.SparseMemory` image.  This split (the
+same one SimpleScalar uses) keeps the caches cheap while still producing the
+hit/miss behaviour and access counts the power model consumes.
+"""
+
+from repro.arch.mem.cache import Cache
+from repro.arch.mem.hierarchy import MemoryHierarchy
+from repro.arch.mem.tlb import Tlb
+
+__all__ = ["Cache", "MemoryHierarchy", "Tlb"]

@@ -1,0 +1,115 @@
+"""Set-associative cache timing model.
+
+Tags only -- no data array (values come from the functional memory image).
+Write-back, write-allocate, true LRU.  ``access`` returns the latency of the
+access including any time spent in the next level, which makes composing
+levels trivial: the L1 is constructed with the L2 as its ``next_level``, and
+the L2 with a DRAM model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.config import CacheConfig
+
+
+class DramModel:
+    """Flat DRAM latency: first chunk + per-remaining-chunk cost.
+
+    The paper's Table 1: 80 cycles for the first chunk, 8 cycles for each
+    remaining chunk of the line being filled.
+    """
+
+    def __init__(self, first_chunk: int = 80, next_chunk: int = 8,
+                 chunk_bytes: int = 8):
+        self.first_chunk = first_chunk
+        self.next_chunk = next_chunk
+        self.chunk_bytes = chunk_bytes
+        self.accesses = 0
+
+    def access(self, addr: int, size: int, is_write: bool) -> int:
+        """Latency to move ``size`` bytes to/from DRAM."""
+        self.accesses += 1
+        chunks = max(1, (size + self.chunk_bytes - 1) // self.chunk_bytes)
+        return self.first_chunk + (chunks - 1) * self.next_chunk
+
+
+class Cache:
+    """One level of set-associative cache (timing/activity only)."""
+
+    def __init__(self, config: CacheConfig, next_level=None):
+        self.config = config
+        self.name = config.name
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.line_bytes = config.line_bytes
+        self.hit_latency = config.hit_latency
+        self.next_level = next_level
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        if 1 << self._offset_bits != config.line_bytes:
+            raise ValueError(f"{self.name}: line size must be a power of two")
+        self._set_mask = self.num_sets - 1
+        if self.num_sets & self._set_mask:
+            raise ValueError(f"{self.name}: set count must be a power of two")
+        # each set: list of [tag, dirty] in MRU..LRU order
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _locate(self, addr: int):
+        line = addr >> self._offset_bits
+        return line >> (self.num_sets.bit_length() - 1), line & self._set_mask
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Access one address; returns total latency in cycles."""
+        self.accesses += 1
+        tag, set_index = self._locate(addr)
+        ways = self._sets[set_index]
+        for position, way in enumerate(ways):
+            if way[0] == tag:
+                self.hits += 1
+                if is_write:
+                    way[1] = True
+                if position:
+                    ways.insert(0, ways.pop(position))
+                return self.hit_latency
+        # miss: fill from the next level (write-allocate)
+        self.misses += 1
+        latency = self.hit_latency
+        if self.next_level is not None:
+            if isinstance(self.next_level, Cache):
+                latency += self.next_level.access(addr, is_write=False)
+            else:
+                latency += self.next_level.access(
+                    addr, self.line_bytes, is_write=False)
+        if len(ways) >= self.assoc:
+            victim = ways.pop()
+            if victim[1]:
+                self.writebacks += 1
+        ways.insert(0, [tag, bool(is_write)])
+        return latency
+
+    def probe(self, addr: int) -> bool:
+        """True if the address currently hits (no state change, no counters)."""
+        tag, set_index = self._locate(addr)
+        return any(way[0] == tag for way in self._sets[set_index])
+
+    def flush(self) -> None:
+        """Invalidate every line (dirty lines count as writebacks)."""
+        for ways in self._sets:
+            for way in ways:
+                if way[1]:
+                    self.writebacks += 1
+            ways.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def line_address(self, addr: int) -> int:
+        """The line-aligned base address containing ``addr``."""
+        return addr & ~(self.line_bytes - 1)

@@ -1,0 +1,43 @@
+"""The composed memory hierarchy.
+
+Wires up L1 I-cache, L1 D-cache, a shared unified L2 and DRAM, plus the two
+TLBs, and exposes the two operations the pipeline needs:
+
+* :meth:`MemoryHierarchy.ifetch` -- one instruction-fetch access (charged
+  once per fetch cycle; an I-cache line feeds multiple instructions),
+* :meth:`MemoryHierarchy.daccess` -- one data access from the LSQ.
+
+Both return total latency in cycles.  All hit/miss/access counters needed by
+the power model live on the member structures.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import MachineConfig
+from repro.arch.mem.cache import Cache, DramModel
+from repro.arch.mem.tlb import Tlb
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + DRAM, with ITLB and DTLB."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.dram = DramModel(config.mem_first_chunk, config.mem_next_chunk)
+        self.l2 = Cache(config.l2, next_level=self.dram)
+        self.il1 = Cache(config.il1, next_level=self.l2)
+        self.dl1 = Cache(config.dl1, next_level=self.l2)
+        self.itlb = Tlb(config.itlb)
+        self.dtlb = Tlb(config.dtlb)
+
+    def ifetch(self, pc: int) -> int:
+        """Fetch-side access for the line containing ``pc``; returns latency."""
+        latency = self.itlb.access(pc)
+        latency += self.il1.access(pc, is_write=False)
+        return latency
+
+    def daccess(self, addr: int, is_write: bool) -> int:
+        """Data-side access; returns latency."""
+        latency = self.dtlb.access(addr)
+        latency += self.dl1.access(addr, is_write=is_write)
+        return latency

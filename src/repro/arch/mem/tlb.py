@@ -1,0 +1,56 @@
+"""TLB timing model.
+
+Set-associative, LRU, page-granular.  Misses charge a fixed penalty (the
+paper's Table 1 configuration: ITLB 16 sets x 4-way, DTLB 32 sets x 4-way,
+4 KB pages, 30-cycle miss penalty) and install the translation -- the page
+tables themselves are not modelled, matching SimpleScalar.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import TlbConfig
+
+
+class Tlb:
+    """Set-associative TLB (timing/activity only)."""
+
+    def __init__(self, config: TlbConfig):
+        self.config = config
+        self.name = config.name
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.miss_penalty = config.miss_penalty
+        self._page_bits = config.page_bytes.bit_length() - 1
+        if 1 << self._page_bits != config.page_bytes:
+            raise ValueError(f"{self.name}: page size must be a power of two")
+        self._set_mask = self.num_sets - 1
+        if self.num_sets & self._set_mask:
+            raise ValueError(f"{self.name}: set count must be a power of two")
+        self._sets = [[] for _ in range(self.num_sets)]  # tags, MRU..LRU
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> int:
+        """Translate one address; returns the added latency (0 on a hit)."""
+        self.accesses += 1
+        page = addr >> self._page_bits
+        set_index = page & self._set_mask
+        tag = page >> (self.num_sets.bit_length() - 1)
+        ways = self._sets[set_index]
+        for position, way_tag in enumerate(ways):
+            if way_tag == tag:
+                self.hits += 1
+                if position:
+                    ways.insert(0, ways.pop(position))
+                return 0
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop()
+        ways.insert(0, tag)
+        return self.miss_penalty
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0

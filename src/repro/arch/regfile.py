@@ -1,0 +1,38 @@
+"""Architectural register file.
+
+Holds the committed (non-speculative) values of the 64 unified logical
+registers.  Speculative values live in ROB entries until commit; the rename
+map decides which of the two an operand read should target.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.program import STACK_TOP
+from repro.isa.registers import FP_BASE, NUM_LOGICAL_REGS, REG_SP, REG_ZERO
+
+
+class RegisterFile:
+    """Committed architectural state of the unified register space."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: List = [0] * NUM_LOGICAL_REGS
+        for index in range(FP_BASE, NUM_LOGICAL_REGS):
+            self.values[index] = 0.0
+        self.values[REG_SP] = STACK_TOP
+
+    def read(self, reg: int):
+        """Read one register ($zero always reads 0)."""
+        return self.values[reg]
+
+    def write(self, reg: int, value) -> None:
+        """Write one register (writes to $zero are discarded)."""
+        if reg != REG_ZERO:
+            self.values[reg] = value
+
+    def as_list(self) -> List:
+        """Copy of all 64 values (for oracle comparison in tests)."""
+        return list(self.values)

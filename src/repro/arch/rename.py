@@ -1,0 +1,59 @@
+"""Register renaming.
+
+The rename map takes each logical register to the youngest in-flight
+:class:`~repro.arch.dyninst.DynInst` that writes it, or ``None`` when the
+committed value in the architectural register file is current.  Tags are the
+producers themselves (sequence numbers break ties), which sidesteps the
+classic ROB-slot-reuse aliasing problem: an operand captured as a producer
+reference stays valid no matter when that producer commits, because in-order
+commit guarantees no younger writer of the same register can have committed
+before the consumer issues.
+
+Every in-flight control instruction snapshots the whole map (64 references)
+so misprediction recovery is an O(1) restore.  The same snapshot/restore
+path serves the paper's reuse mechanism: leaving Code Reuse through a
+mispredicted (statically predicted) branch is an ordinary recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.dyninst import DynInst
+from repro.isa.registers import NUM_LOGICAL_REGS, REG_ZERO
+
+
+class RenameMap:
+    """Logical register -> youngest in-flight producer (or None)."""
+
+    __slots__ = ("table",)
+
+    def __init__(self):
+        self.table: List[Optional[DynInst]] = [None] * NUM_LOGICAL_REGS
+
+    def lookup(self, reg: int) -> Optional[DynInst]:
+        """Current producer for a logical register (None = committed value)."""
+        return self.table[reg]
+
+    def set_producer(self, reg: int, producer: DynInst) -> None:
+        """Point a logical register at a new producer ($zero is immutable)."""
+        if reg != REG_ZERO:
+            self.table[reg] = producer
+
+    def clear_producer(self, reg: int, producer: DynInst) -> None:
+        """At commit: release the mapping if ``producer`` still owns it."""
+        if self.table[reg] is producer:
+            self.table[reg] = None
+
+    def snapshot(self) -> List[Optional[DynInst]]:
+        """Capture the full map (cheap shallow copy)."""
+        return list(self.table)
+
+    def restore(self, snap: List[Optional[DynInst]]) -> None:
+        """Restore a previously captured map."""
+        self.table = list(snap)
+
+    def reset(self) -> None:
+        """Clear every mapping (used between simulation runs in tests)."""
+        for index in range(NUM_LOGICAL_REGS):
+            self.table[index] = None

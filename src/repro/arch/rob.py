@@ -1,0 +1,67 @@
+"""Reorder buffer.
+
+An in-order container of :class:`~repro.arch.dyninst.DynInst` records.  The
+paper's baseline keeps the ROB *separate* from the issue queue (unlike
+SimpleScalar's merged RUU), which is what allows the reuse mechanism to keep
+instructions resident in the issue queue after issue while their dynamic
+instances retire through the ROB normally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.arch.dyninst import DynInst
+
+
+class ReorderBuffer:
+    """FIFO of in-flight dynamic instructions in program order."""
+
+    __slots__ = ("capacity", "entries")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: Deque[DynInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no further instruction can dispatch."""
+        return len(self.entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is in flight."""
+        return not self.entries
+
+    def allocate(self, dyn: DynInst) -> None:
+        """Append a newly dispatched instruction (must not be full)."""
+        if self.full:
+            raise RuntimeError("ROB overflow")
+        self.entries.append(dyn)
+
+    def head(self) -> Optional[DynInst]:
+        """Oldest in-flight instruction, or None."""
+        return self.entries[0] if self.entries else None
+
+    def retire_head(self) -> DynInst:
+        """Remove and return the oldest instruction (at commit)."""
+        return self.entries.popleft()
+
+    def squash_younger_than(self, seq: int) -> List[DynInst]:
+        """Remove every instruction with sequence number > ``seq``.
+
+        Returns the squashed instructions (youngest first), each flagged
+        ``squashed`` so lazily-kept references (ready heap, FU completion
+        events) can discard them.
+        """
+        squashed: List[DynInst] = []
+        entries = self.entries
+        while entries and entries[-1].seq > seq:
+            dyn = entries.pop()
+            dyn.squashed = True
+            squashed.append(dyn)
+        return squashed

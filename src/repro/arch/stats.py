@@ -1,0 +1,79 @@
+"""Activity counters collected by the pipeline.
+
+Every counter here is either reported directly (cycles, committed
+instructions, gated cycles, ...) or consumed by the power model in
+:mod:`repro.power` to compute per-component energy.  Keeping them as plain
+integer attributes keeps the simulator's hot loop cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class PipelineStats:
+    """Counters for one simulation run."""
+
+    __slots__ = (
+        # -- global ---------------------------------------------------------
+        "cycles", "committed", "fetched", "decoded", "dispatched", "issued",
+        "squashed",
+        # -- control flow ---------------------------------------------------
+        "branches_committed", "cond_branches_committed", "mispredicts",
+        "reuse_mispredicts",
+        # -- front end --------------------------------------------------------
+        "icache_fetch_cycles", "btb_bubbles", "fetch_stall_cycles",
+        "predecoded_supplied",
+        # -- reuse mechanism ---------------------------------------------------
+        "gated_cycles", "cycles_normal", "cycles_buffering", "cycles_reuse",
+        "loop_detections", "buffering_started", "promotions", "revokes",
+        "buffering_revokes",
+        "revokes_inner_loop", "revokes_exit", "revokes_iq_full",
+        "revokes_mispredict", "nblt_lookups", "nblt_hits", "nblt_inserts",
+        "reuse_supplied", "buffered_instructions", "buffered_iterations",
+        # -- issue queue events ------------------------------------------------
+        "iq_inserts", "iq_removes", "iq_wakeups", "iq_partial_updates",
+        "lrl_writes", "lrl_reads",
+        # -- backend events ------------------------------------------------------
+        "rob_writes", "rob_reads", "lsq_inserts", "lsq_searches",
+        "lsq_forwards", "regfile_reads", "regfile_writes", "fu_int_ops",
+        "fu_mult_ops", "fu_fp_ops", "fu_fpmult_ops", "resultbus_writes",
+        "rename_lookups", "rename_writes", "dcache_load_accesses",
+        "dcache_store_accesses", "load_blocked_cycles",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def gated_fraction(self) -> float:
+        """Fraction of total cycles with the front-end gated (Figure 5)."""
+        return self.gated_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def revoke_rate(self) -> float:
+        """Buffering attempts revoked *during buffering* (the NBLT metric).
+
+        Normal reuse exits (the loop simply ended) also pass through the
+        revoke path but are not buffering failures and are excluded here --
+        this is the rate the paper reports the NBLT cutting from ~40 % to
+        below 10 %.
+        """
+        attempts = self.buffering_started
+        return self.buffering_revokes / attempts if attempts else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters as a plain dict (for reports and tests)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"<PipelineStats cycles={self.cycles} committed={self.committed} "
+            f"ipc={self.ipc:.3f} gated={self.gated_fraction:.1%}>"
+        )

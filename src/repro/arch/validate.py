@@ -1,0 +1,175 @@
+"""Microarchitectural invariant checking.
+
+:func:`validate` inspects a live :class:`~repro.arch.pipeline.Pipeline`
+mid-run and raises :class:`InvariantViolation` if any structural invariant
+is broken.  The test suite drives pipelines cycle by cycle with validation
+enabled (`run_validated`), which turns subtle state-corruption bugs into
+immediate, diagnosable failures instead of wrong results thousands of
+cycles later.
+
+Checked invariants:
+
+* ROB entries are in strictly increasing sequence order, dispatched, not
+  squashed, within capacity; only the non-halt head may be committed
+  mid-cycle,
+* the LSQ is an ordered subsequence of the ROB containing exactly its
+  memory instructions,
+* issue-queue occupancy respects capacity; resident entries are live
+  (a non-buffered entry's instance must be un-issued and un-squashed; a
+  buffered entry's issue-state bit must equal its instance's issued flag),
+* every rename-map producer is an in-flight ROB instruction whose
+  destination is the mapped register,
+* the controller's gate is only up while buffering has promoted or reuse
+  is active, the reuse pointer is in range, and buffered entries never
+  exceed the queue,
+* state-cycle counters add up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.states import IQState
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the machine was broken."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def validate(pipeline) -> None:
+    """Check every structural invariant of a live pipeline."""
+    _validate_rob(pipeline)
+    _validate_lsq(pipeline)
+    _validate_issue_queue(pipeline)
+    _validate_rename(pipeline)
+    _validate_controller(pipeline)
+    _validate_stats(pipeline)
+
+
+def _validate_rob(pipeline) -> None:
+    rob = pipeline.rob
+    _check(len(rob) <= rob.capacity, "ROB over capacity")
+    previous_seq = 0
+    for position, dyn in enumerate(rob.entries):
+        _check(dyn.seq > previous_seq,
+               f"ROB order violated at position {position}")
+        previous_seq = dyn.seq
+        _check(dyn.dispatched, f"undispatched instruction in ROB: {dyn!r}")
+        _check(not dyn.squashed, f"squashed instruction in ROB: {dyn!r}")
+        _check(not dyn.committed,
+               f"committed instruction still in ROB: {dyn!r}")
+        if dyn.done and dyn.inst.dest is None and not dyn.inst.is_store:
+            _check(dyn.inst.is_control or dyn.value is None
+                   or dyn.inst.op.icls.name in ("NOP", "HALT"),
+                   f"valueless instruction carries a value: {dyn!r}")
+
+
+def _validate_lsq(pipeline) -> None:
+    lsq = pipeline.lsq
+    _check(len(lsq) <= lsq.capacity, "LSQ over capacity")
+    rob_mem = [d for d in pipeline.rob.entries if d.inst.is_mem]
+    lsq_entries = list(lsq.entries)
+    _check(lsq_entries == rob_mem,
+           "LSQ is not the ROB's memory-instruction subsequence")
+
+
+def _validate_issue_queue(pipeline) -> None:
+    iq = pipeline.iq
+    _check(iq.occupancy <= iq.capacity, "issue queue over capacity")
+    buffered = set(pipeline.controller.buffered)
+    for entry in iq.entries:
+        _check(entry.in_queue, "entry in queue set with in_queue clear")
+        dyn = entry.dyn
+        _check(dyn is not None, "queue entry without an instance")
+        if entry.classification:
+            _check(entry in buffered,
+                   "classification bit set on an untracked entry")
+            _check(entry.issue_state == dyn.issued,
+                   f"issue-state bit out of sync: {entry!r}")
+        else:
+            _check(not dyn.issued,
+                   f"issued non-buffered entry still resident: {entry!r}")
+            _check(not dyn.squashed,
+                   f"squashed entry still resident: {entry!r}")
+        _check(entry.pending >= 0, f"negative pending count: {entry!r}")
+
+
+def _validate_rename(pipeline) -> None:
+    in_flight = {d.seq: d for d in pipeline.rob.entries}
+    for lreg, producer in enumerate(pipeline.rename.table):
+        if producer is None:
+            continue
+        _check(not producer.squashed,
+               f"rename map points at squashed producer for r{lreg}")
+        # a committed producer is legal: misprediction recovery restores
+        # snapshots whose older producers may have committed meanwhile (a
+        # consumer then simply reads the architectural register file)
+        if not producer.committed:
+            _check(producer.seq in in_flight,
+                   f"rename map points outside the ROB for r{lreg}")
+        _check(producer.inst.dest == lreg,
+               f"rename map register mismatch for r{lreg}")
+
+
+def _validate_controller(pipeline) -> None:
+    controller = pipeline.controller
+    iq = pipeline.iq
+    state = controller.state
+    if not controller.enabled:
+        _check(state is IQState.NORMAL,
+               "reuse disabled but state not Normal")
+        _check(not controller.gated, "reuse disabled but gate is up")
+        return
+    _check(len(controller.buffered) <= iq.capacity,
+           "more buffered entries than queue capacity")
+    if controller.gated:
+        _check(state is IQState.REUSE
+               or (state is IQState.BUFFERING
+                   and controller.pending_promote),
+               f"gate up in state {state} without pending promote")
+    if state is IQState.REUSE:
+        _check(controller.gated, "Code Reuse without the gate up")
+        _check(controller.buffered, "Code Reuse with nothing buffered")
+        _check(0 <= controller.reuse_pointer < len(controller.buffered),
+               "reuse pointer out of range")
+    if state is IQState.NORMAL:
+        _check(not controller.buffered,
+               "Normal state with buffered entries")
+        for entry in iq.entries:
+            _check(not entry.classification,
+                   "classification bit survives in Normal state")
+    _check(controller.call_depth >= 0, "negative call depth")
+
+
+def _validate_stats(pipeline) -> None:
+    stats = pipeline.stats
+    _check(stats.cycles_normal + stats.cycles_buffering
+           + stats.cycles_reuse == stats.cycles,
+           "state cycle counters do not add up")
+    _check(stats.gated_cycles <= stats.cycles, "gated cycles > cycles")
+    _check(stats.committed <= stats.dispatched,
+           "more commits than dispatches")
+
+
+def run_validated(pipeline, max_cycles: Optional[int] = None,
+                  every: int = 1):
+    """Run a pipeline to completion, validating every ``every`` cycles.
+
+    Returns the pipeline's statistics, like ``Pipeline.run``.
+    """
+    limit = max_cycles if max_cycles is not None \
+        else pipeline.config.max_cycles
+    while not pipeline.halted:
+        if pipeline.cycle >= limit:
+            raise InvariantViolation(
+                f"no halt after {pipeline.cycle} validated cycles")
+        pipeline.step()
+        if pipeline.cycle % every == 0:
+            validate(pipeline)
+    validate(pipeline)
+    return pipeline.stats

@@ -1,0 +1,208 @@
+"""Command-line interface (``python -m repro``).
+
+Subcommands
+-----------
+
+``run FILE.s``
+    Assemble and simulate one program; print timing, gating, power and
+    (with ``--stats``) the full counter dump.  ``--compare`` runs both
+    machine modes and prints the paper's comparison metrics.
+
+``reproduce [EXPERIMENT ...]``
+    Regenerate the paper's tables/figures (default: all of
+    table1 table2 fig5 fig6 fig7 fig8 fig9 nblt strategy).
+
+``bench NAME``
+    Simulate one Table 2 benchmark in both modes at a chosen issue-queue
+    size.
+
+``disasm FILE.s``
+    Assemble a file and print the disassembly listing with labels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch.config import MachineConfig
+from repro.isa.assembler import AssemblerError, assemble
+from repro.sim.export import to_json
+from repro.sim.reproduce import EXPERIMENT_NAMES, reproduce
+from repro.sim.results import RunComparison
+from repro.sim.simulator import simulate
+from repro.sim.statsdump import render_stats
+from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
+
+
+def _machine_config(args) -> MachineConfig:
+    config = MachineConfig().with_iq_size(args.iq)
+    return config.replace(
+        reuse_enabled=args.reuse,
+        buffering_strategy=args.strategy,
+        nblt_size=args.nblt,
+    )
+
+
+def _add_machine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--iq", type=int, default=64,
+                        help="issue-queue entries (ROB=IQ, LSQ=IQ/2); "
+                             "default 64")
+    parser.add_argument("--reuse", action="store_true",
+                        help="enable the reuse-capable issue queue")
+    parser.add_argument("--strategy", choices=("single", "multi"),
+                        default="multi",
+                        help="buffering strategy (default: multi)")
+    parser.add_argument("--nblt", type=int, default=8,
+                        help="non-bufferable loop table entries "
+                             "(0 disables); default 8")
+
+
+def _load_program(path: str):
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    try:
+        return assemble(source, name=path)
+    except AssemblerError as exc:
+        raise SystemExit(f"{path}: {exc}")
+
+
+def _print_result(result, label: str) -> None:
+    stats = result.stats
+    print(f"[{label}] cycles={stats.cycles}  committed={stats.committed}  "
+          f"ipc={stats.ipc:.3f}  gated={stats.gated_fraction:.1%}  "
+          f"avg power={result.avg_power:.1f}/cycle")
+
+
+def _cmd_run(args) -> int:
+    program = _load_program(args.file)
+    config = _machine_config(args)
+    if args.compare:
+        baseline = simulate(program, config.replace(reuse_enabled=False))
+        reuse = simulate(program, config.replace(reuse_enabled=True))
+        comparison = RunComparison(baseline, reuse)
+        if args.json:
+            print(to_json(comparison))
+            return 0
+        _print_result(baseline, "baseline")
+        _print_result(reuse, "reuse")
+        print()
+        for key, value in comparison.summary().items():
+            print(f"{key:28s} {value:8.2%}")
+        if args.stats:
+            print()
+            print(render_stats(reuse))
+    else:
+        result = simulate(program, config)
+        if args.json:
+            print(to_json(result))
+            return 0
+        _print_result(result, "reuse" if config.reuse_enabled
+                      else "baseline")
+        if args.stats:
+            print()
+            print(render_stats(result))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    names = args.experiments or None
+    try:
+        reproduce(names)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.name not in BENCHMARK_NAMES:
+        raise SystemExit(f"error: unknown benchmark {args.name!r}; "
+                         f"choose from {', '.join(BENCHMARK_NAMES)}")
+    suite = WorkloadSuite()
+    program = suite.program(args.name, optimize=args.optimize)
+    config = _machine_config(args)
+    baseline = simulate(program, config.replace(reuse_enabled=False))
+    reuse = simulate(program, config.replace(reuse_enabled=True))
+    comparison = RunComparison(baseline, reuse)
+    if args.json:
+        print(to_json(comparison))
+        return 0
+    _print_result(baseline, "baseline")
+    _print_result(reuse, "reuse")
+    print()
+    for key, value in comparison.summary().items():
+        print(f"{key:28s} {value:8.2%}")
+    if args.stats:
+        print()
+        print(render_stats(reuse))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    program = _load_program(args.file)
+    print(program.listing())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scheduling Reusable Instructions "
+                    "for Power Reduction' (DATE 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="assemble and simulate a program")
+    run.add_argument("file", help="assembly source file")
+    run.add_argument("--compare", action="store_true",
+                     help="run baseline and reuse machines and compare")
+    run.add_argument("--stats", action="store_true",
+                     help="print the full statistics dump")
+    run.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON instead of text")
+    _add_machine_options(run)
+    run.set_defaults(func=_cmd_run)
+
+    rep = sub.add_parser("reproduce",
+                         help="regenerate the paper's tables and figures")
+    rep.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                     help=f"subset to run (default: all of "
+                          f"{' '.join(EXPERIMENT_NAMES)})")
+    rep.set_defaults(func=_cmd_reproduce)
+
+    bench = sub.add_parser("bench",
+                           help="run one Table 2 benchmark in both modes")
+    bench.add_argument("name", help="benchmark name (e.g. aps, btrix)")
+    bench.add_argument("--optimize", action="store_true",
+                       help="use the loop-distributed variant (Section 4)")
+    bench.add_argument("--stats", action="store_true",
+                       help="print the full statistics dump")
+    bench.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+    _add_machine_options(bench)
+    bench.set_defaults(func=_cmd_bench)
+
+    dis = sub.add_parser("disasm", help="assemble and list a program")
+    dis.add_argument("file", help="assembly source file")
+    dis.set_defaults(func=_cmd_disasm)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""A small loop-nest compiler.
+
+The paper's workloads are array-intensive Fortran kernels; its Section 4
+studies how *loop distribution* (Kennedy/McKinley) shrinks loop bodies to
+fit the issue queue.  This package provides exactly enough compiler to
+reproduce that:
+
+* :mod:`repro.compiler.ir` -- a loop-nest IR (arrays, affine references,
+  expression trees, loops, procedure calls),
+* :mod:`repro.compiler.codegen` -- IR -> assembly text for
+  :func:`repro.isa.assemble`,
+* :mod:`repro.compiler.loop_distribution` -- the distribution pass with
+  SCC-based legality (statements in a dependence cycle stay together),
+* :mod:`repro.compiler.unroll` / :mod:`repro.compiler.fusion` -- software
+  unrolling and loop fusion, the controls for the ablation studies
+  (software unrolling inflates static loop bodies; fusion is
+  distribution's inverse),
+* :mod:`repro.compiler.passes` -- a tiny pass manager plus the
+  ``original`` / ``optimized`` kernel build entry points.
+"""
+
+from repro.compiler.codegen import CodegenError, generate_assembly
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    IVar,
+    Kernel,
+    Loop,
+    Ref,
+    idx,
+)
+from repro.compiler.fusion import can_fuse, fuse_kernel
+from repro.compiler.loop_distribution import distribute_kernel, distribute_loop
+from repro.compiler.passes import build_program
+from repro.compiler.unroll import unroll_kernel, unroll_loop
+
+__all__ = [
+    "CodegenError",
+    "generate_assembly",
+    "Assign",
+    "BinOp",
+    "Call",
+    "Const",
+    "IVar",
+    "Kernel",
+    "Loop",
+    "Ref",
+    "idx",
+    "distribute_kernel",
+    "distribute_loop",
+    "build_program",
+    "can_fuse",
+    "fuse_kernel",
+    "unroll_kernel",
+    "unroll_loop",
+]

@@ -1,0 +1,280 @@
+"""IR -> assembly code generation.
+
+The generator targets the :mod:`repro.isa` assembler with a fixed register
+convention (no spilling -- kernels that exceed the register budget are
+rejected, which keeps generated loop bodies predictable for the paper's
+loop-size calibration):
+
+=============  ==========================================================
+``$s0-$s3``    loop variables (one per distinct variable name)
+``$s4-$s7``,
+``$a0-$a3``,
+``$v0-$v1``    array base addresses (loaded once in the prologue)
+``$t0-$t7``    address temporaries (rotating, reset per statement)
+``$t8``        non-power-of-two index scale constants
+``$t9``        loop-bound comparisons
+``$f16-$f30``  named floating-point constants (even registers)
+``$f2-$f14``   expression evaluation stack (even registers, 7 deep)
+=============  ==========================================================
+
+A counted loop compiles to::
+
+        addiu $sK, $zero, lower
+    L:  <body>
+        addiu $sK, $sK, step
+        slti  $t9, $sK, upper
+        bne   $t9, $zero, L
+
+so a loop body of B instructions yields a static loop of B + 3
+instructions ending in a backward conditional branch -- exactly the pattern
+the paper's decode-stage loop detector watches for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IndexExpr,
+    IVar,
+    Kernel,
+    Loop,
+    Ref,
+    expr_depth,
+)
+
+_LOOP_VAR_REGS = ("$s0", "$s1", "$s2", "$s3")
+_BASE_REGS = ("$s4", "$s5", "$s6", "$s7", "$a0", "$a1", "$a2", "$a3",
+              "$v0", "$v1")
+_ADDR_TEMPS = ("$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7")
+_SCALE_REG = "$t8"
+_BOUND_REG = "$t9"
+_CONST_REGS = ("$f16", "$f18", "$f20", "$f22", "$f24", "$f26", "$f28",
+               "$f30")
+_STACK_REGS = ("$f2", "$f4", "$f6", "$f8", "$f10", "$f12", "$f14")
+
+_MAX_IMMEDIATE = 32767
+
+
+class CodegenError(Exception):
+    """Raised when a kernel exceeds the generator's register budget."""
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+class _Codegen:
+    """Stateful single-kernel code generator."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.lines: List[str] = []
+        self.label_counter = 0
+        self.var_regs: Dict[str, str] = {}
+        self.base_regs: Dict[str, str] = {}
+        self.const_regs: Dict[str, str] = {}
+        self.temp_cursor = 0
+
+    # -- resource allocation ----------------------------------------------
+
+    def _alloc_var(self, var: str) -> str:
+        if var not in self.var_regs:
+            if len(self.var_regs) >= len(_LOOP_VAR_REGS):
+                raise CodegenError(
+                    f"{self.kernel.name}: more than "
+                    f"{len(_LOOP_VAR_REGS)} distinct loop variables")
+            self.var_regs[var] = _LOOP_VAR_REGS[len(self.var_regs)]
+        return self.var_regs[var]
+
+    def _var_reg(self, var: str) -> str:
+        if var not in self.var_regs:
+            raise CodegenError(
+                f"{self.kernel.name}: loop variable {var!r} used before "
+                f"its loop")
+        return self.var_regs[var]
+
+    def _new_label(self, prefix: str) -> str:
+        self.label_counter += 1
+        return f"{prefix}{self.label_counter}"
+
+    def _next_temp(self) -> str:
+        reg = _ADDR_TEMPS[self.temp_cursor % len(_ADDR_TEMPS)]
+        self.temp_cursor += 1
+        return reg
+
+    def emit(self, text: str) -> None:
+        """Append one line of assembly."""
+        self.lines.append(text)
+
+    # -- top level -------------------------------------------------------------
+
+    def run(self) -> str:
+        """Generate the complete assembly listing."""
+        kernel = self.kernel
+        if len(kernel.arrays) > len(_BASE_REGS):
+            raise CodegenError(
+                f"{kernel.name}: more than {len(_BASE_REGS)} arrays")
+        if len(kernel.consts) > len(_CONST_REGS):
+            raise CodegenError(
+                f"{kernel.name}: more than {len(_CONST_REGS)} constants")
+
+        self._emit_data()
+        self.emit(".text")
+        self.emit("main:")
+        self._emit_prologue()
+        for stmt in kernel.body:
+            self._emit_stmt(stmt)
+        self.emit("    halt")
+        for name, body in kernel.procedures.items():
+            self.emit(f"{self._proc_label(name)}:")
+            for stmt in body:
+                self._emit_stmt(stmt)
+            self.emit("    jr $ra")
+        return "\n".join(self.lines) + "\n"
+
+    @staticmethod
+    def _proc_label(name: str) -> str:
+        return f"proc_{name}"
+
+    def _emit_data(self) -> None:
+        kernel = self.kernel
+        self.emit(".data")
+        for decl in kernel.arrays.values():
+            self.emit(f"arr_{decl.name}:")
+            if decl.init is not None:
+                values = list(decl.init)
+                if len(values) > decl.size:
+                    raise CodegenError(
+                        f"{kernel.name}: init longer than array "
+                        f"{decl.name!r}")
+                literals = ", ".join(repr(float(v)) for v in values)
+                self.emit(f"    .double {literals}")
+                remaining = decl.size - len(values)
+                if remaining:
+                    self.emit(f"    .space {8 * remaining}")
+            else:
+                self.emit(f"    .space {8 * decl.size}")
+        if kernel.consts:
+            self.emit("const_pool:")
+            literals = ", ".join(repr(v) for v in kernel.consts.values())
+            self.emit(f"    .double {literals}")
+
+    def _emit_prologue(self) -> None:
+        kernel = self.kernel
+        for position, name in enumerate(kernel.arrays):
+            reg = _BASE_REGS[position]
+            self.base_regs[name] = reg
+            self.emit(f"    la {reg}, arr_{name}")
+        if kernel.consts:
+            self.emit("    la $t0, const_pool")
+            for position, name in enumerate(kernel.consts):
+                reg = _CONST_REGS[position]
+                self.const_regs[name] = reg
+                self.emit(f"    l.d {reg}, {8 * position}($t0)")
+
+    # -- statements ---------------------------------------------------------------
+
+    def _emit_stmt(self, stmt) -> None:
+        if isinstance(stmt, Loop):
+            self._emit_loop(stmt)
+        elif isinstance(stmt, Assign):
+            self._emit_assign(stmt)
+        elif isinstance(stmt, Call):
+            if stmt.name not in self.kernel.procedures:
+                raise CodegenError(
+                    f"{self.kernel.name}: call to unknown procedure "
+                    f"{stmt.name!r}")
+            self.emit(f"    jal {self._proc_label(stmt.name)}")
+        else:
+            raise CodegenError(f"unknown statement {stmt!r}")
+
+    def _emit_loop(self, loop: Loop) -> None:
+        if not (0 <= loop.upper <= _MAX_IMMEDIATE
+                and -_MAX_IMMEDIATE <= loop.lower <= _MAX_IMMEDIATE):
+            raise CodegenError(
+                f"{self.kernel.name}: loop bounds out of immediate range")
+        reg = self._alloc_var(loop.var)
+        label = self._new_label("L")
+        self.emit(f"    addiu {reg}, $zero, {loop.lower}")
+        self.emit(f"{label}:")
+        for stmt in loop.body:
+            self._emit_stmt(stmt)
+        self.emit(f"    addiu {reg}, {reg}, {loop.step}")
+        self.emit(f"    slti {_BOUND_REG}, {reg}, {loop.upper}")
+        self.emit(f"    bne {_BOUND_REG}, $zero, {label}")
+
+    def _emit_assign(self, stmt: Assign) -> None:
+        depth = expr_depth(stmt.expr)
+        if depth > len(_STACK_REGS):
+            raise CodegenError(
+                f"{self.kernel.name}: expression too deep ({depth})")
+        self.temp_cursor = 0
+        self._eval(stmt.expr, 0)
+        addr_reg, offset = self._ref_address(stmt.target)
+        self.emit(f"    s.d {_STACK_REGS[0]}, {offset}({addr_reg})")
+
+    # -- expressions --------------------------------------------------------------
+
+    def _eval(self, expr: Expr, level: int) -> None:
+        dst = _STACK_REGS[level]
+        if isinstance(expr, Const):
+            if expr.name not in self.const_regs:
+                raise CodegenError(
+                    f"{self.kernel.name}: unknown constant {expr.name!r}")
+            self.emit(f"    mov.d {dst}, {self.const_regs[expr.name]}")
+        elif isinstance(expr, IVar):
+            self.emit(f"    itof {dst}, {self._var_reg(expr.var)}")
+        elif isinstance(expr, Ref):
+            addr_reg, offset = self._ref_address(expr)
+            self.emit(f"    l.d {dst}, {offset}({addr_reg})")
+        elif isinstance(expr, BinOp):
+            self._eval(expr.left, level)
+            self._eval(expr.right, level + 1)
+            mnemonic = {"+": "add.d", "-": "sub.d",
+                        "*": "mul.d", "/": "div.d"}[expr.op]
+            src = _STACK_REGS[level + 1]
+            self.emit(f"    {mnemonic} {dst}, {dst}, {src}")
+        else:
+            raise CodegenError(f"unknown expression {expr!r}")
+
+    def _ref_address(self, ref: Ref):
+        """Emit index arithmetic; returns (register, byte offset)."""
+        if ref.array not in self.base_regs:
+            raise CodegenError(
+                f"{self.kernel.name}: unknown array {ref.array!r}")
+        base = self.base_regs[ref.array]
+        index = ref.index
+        byte_offset = 8 * index.offset
+        if not -_MAX_IMMEDIATE <= byte_offset <= _MAX_IMMEDIATE:
+            raise CodegenError(
+                f"{self.kernel.name}: index offset out of range")
+        if not index.terms:
+            return base, byte_offset
+        acc = None
+        for var, scale in index.terms:
+            var_reg = self._var_reg(var)
+            byte_scale = 8 * scale
+            term_reg = self._next_temp()
+            if _is_power_of_two(byte_scale):
+                shift = byte_scale.bit_length() - 1
+                self.emit(f"    sll {term_reg}, {var_reg}, {shift}")
+            else:
+                self.emit(f"    addiu {_SCALE_REG}, $zero, {byte_scale}")
+                self.emit(f"    mult {term_reg}, {var_reg}, {_SCALE_REG}")
+            if acc is None:
+                self.emit(f"    addu {term_reg}, {term_reg}, {base}")
+                acc = term_reg
+            else:
+                self.emit(f"    addu {acc}, {acc}, {term_reg}")
+        return acc, byte_offset
+
+
+def generate_assembly(kernel: Kernel) -> str:
+    """Compile a kernel into assembly text."""
+    return _Codegen(kernel).run()

@@ -1,0 +1,90 @@
+"""Loop fusion (the inverse of loop distribution).
+
+Merges adjacent compatible loops into one.  Exists for two reasons:
+
+* it completes the classic distribution/fusion pass pair (fusing the
+  output of :mod:`repro.compiler.loop_distribution` must reproduce a loop
+  with the original body statements, which the test suite checks), and
+* it provides the *negative* control for the paper's Section 4 study --
+  fusing small loops into one big body destroys capturability the same
+  way distribution creates it.
+
+Legality is conservative: two adjacent loops fuse only when they share
+variable, bounds and step, contain only assignments, and every pair of
+cross-loop statements that touch a common array (with at least one write)
+uses the *identical index expression* for it -- which keeps every formerly
+loop-independent dependence loop-independent after fusion (no
+fusion-preventing dependence can arise).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.ir import Assign, Kernel, Loop, Ref, Stmt, expr_refs
+
+
+def _compatible_headers(first: Loop, second: Loop) -> bool:
+    return (first.var == second.var
+            and first.lower == second.lower
+            and first.upper == second.upper
+            and first.step == second.step)
+
+
+def _array_refs(stmt: Assign):
+    """(array, index, is_write) triples for one statement."""
+    refs = [(stmt.target.array, stmt.target.index, True)]
+    refs += [(ref.array, ref.index, False)
+             for ref in expr_refs(stmt.expr)]
+    return refs
+
+
+def can_fuse(first: Loop, second: Loop) -> bool:
+    """True when fusing ``first`` and ``second`` is (conservatively) legal."""
+    if not _compatible_headers(first, second):
+        return False
+    if not (first.is_innermost() and second.is_innermost()):
+        return False
+    if not all(isinstance(s, Assign) for s in first.body + second.body):
+        return False
+    for stmt_a in first.body:
+        for stmt_b in second.body:
+            for array_a, index_a, write_a in _array_refs(stmt_a):
+                for array_b, index_b, write_b in _array_refs(stmt_b):
+                    if array_a != array_b:
+                        continue
+                    if not (write_a or write_b):
+                        continue                    # read-read is free
+                    if index_a != index_b:
+                        return False                # could reverse a dep
+    return True
+
+
+def fuse_adjacent(stmts: List[Stmt]) -> List[Stmt]:
+    """Greedily fuse runs of adjacent fusible loops in a statement list."""
+    out: List[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Loop) and not stmt.is_innermost():
+            stmt = Loop(stmt.var, stmt.lower, stmt.upper,
+                        fuse_adjacent(stmt.body), step=stmt.step)
+        if (out and isinstance(stmt, Loop) and isinstance(out[-1], Loop)
+                and can_fuse(out[-1], stmt)):
+            previous = out.pop()
+            out.append(Loop(previous.var, previous.lower, previous.upper,
+                            list(previous.body) + list(stmt.body),
+                            step=previous.step))
+        else:
+            out.append(stmt)
+    return out
+
+
+def fuse_kernel(kernel: Kernel) -> Kernel:
+    """Fuse adjacent compatible loops throughout a kernel."""
+    return Kernel(
+        name=kernel.name + "_fused",
+        arrays=dict(kernel.arrays),
+        consts=dict(kernel.consts),
+        procedures={name: fuse_adjacent(body)
+                    for name, body in kernel.procedures.items()},
+        body=fuse_adjacent(kernel.body),
+    )

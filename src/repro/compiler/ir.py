@@ -1,0 +1,244 @@
+"""Loop-nest intermediate representation.
+
+The IR models the shape of array-intensive kernels: perfect or imperfect
+loop nests over 1-D arrays of doubles, with affine index expressions,
+floating-point expression trees, and (parameterless) procedure calls --
+the features the paper's detection, buffering and loop-distribution
+machinery is sensitive to.
+
+Example::
+
+    k = Kernel("axpy")
+    k.array("x", 256)
+    k.array("y", 256)
+    k.const("alpha", 2.5)
+    k.loop("i", 0, 256, [
+        Assign(Ref("y", idx("i")),
+               BinOp("+", BinOp("*", Const("alpha"), Ref("x", idx("i"))),
+                     Ref("y", idx("i")))),
+    ])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class IndexExpr:
+    """Affine index: sum of ``scale * var`` terms plus a constant offset."""
+
+    terms: Tuple[Tuple[str, int], ...] = ()
+    offset: int = 0
+
+    def variables(self) -> Tuple[str, ...]:
+        """Loop variables the index depends on."""
+        return tuple(var for var, _ in self.terms)
+
+    def shifted(self, delta: int) -> "IndexExpr":
+        """The same index with the constant offset moved by ``delta``."""
+        return IndexExpr(self.terms, self.offset + delta)
+
+
+def idx(*terms: Union[str, Tuple[str, int], int], offset: int = 0) -> IndexExpr:
+    """Convenience index builder.
+
+    ``idx("i")`` -> ``i``; ``idx(("i", 4), "j", offset=1)`` -> ``4*i+j+1``;
+    ``idx("i", 2)`` -> ``i + 2`` (a trailing int is an offset).
+    """
+    parsed: List[Tuple[str, int]] = []
+    total_offset = offset
+    for term in terms:
+        if isinstance(term, str):
+            parsed.append((term, 1))
+        elif isinstance(term, int):
+            total_offset += term
+        else:
+            var, scale = term
+            parsed.append((var, scale))
+    return IndexExpr(tuple(parsed), total_offset)
+
+
+# --------------------------------------------------------------------------
+# expressions
+
+
+@dataclass(frozen=True)
+class Const:
+    """A named floating-point constant (declared with :meth:`Kernel.const`)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IVar:
+    """A loop variable converted to floating point (``itof``)."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Ref:
+    """An array element reference ``array[index]``."""
+
+    array: str
+    index: IndexExpr
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary floating-point operation (``+``, ``-``, ``*``, ``/``)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self):
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+
+Expr = Union[Const, IVar, Ref, BinOp]
+
+
+def expr_refs(expr: Expr) -> List[Ref]:
+    """All array references read by an expression (left-to-right)."""
+    if isinstance(expr, Ref):
+        return [expr]
+    if isinstance(expr, BinOp):
+        return expr_refs(expr.left) + expr_refs(expr.right)
+    return []
+
+
+def expr_depth(expr: Expr) -> int:
+    """Maximum operand-stack depth needed to evaluate the expression."""
+    if isinstance(expr, BinOp):
+        left = expr_depth(expr.left)
+        right = expr_depth(expr.right)
+        return max(left, right + 1)
+    return 1
+
+
+# --------------------------------------------------------------------------
+# statements
+
+
+@dataclass
+class Assign:
+    """``target = expr`` (target is an array element)."""
+
+    target: Ref
+    expr: Expr
+
+    def arrays_read(self) -> List[str]:
+        """Arrays read by the right-hand side."""
+        return [ref.array for ref in expr_refs(self.expr)]
+
+    def array_written(self) -> str:
+        """Array written by the left-hand side."""
+        return self.target.array
+
+
+@dataclass
+class Call:
+    """A parameterless procedure call (``jal proc``)."""
+
+    name: str
+
+
+@dataclass
+class Loop:
+    """A counted loop ``for var in [lower, upper)`` with step ``step``."""
+
+    var: str
+    lower: int
+    upper: int
+    body: List["Stmt"] = field(default_factory=list)
+    step: int = 1
+
+    def __post_init__(self):
+        if self.step < 1:
+            raise ValueError("loop step must be >= 1")
+
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations."""
+        if self.upper <= self.lower:
+            return 0
+        return (self.upper - self.lower + self.step - 1) // self.step
+
+    def is_innermost(self) -> bool:
+        """True when the body contains no nested loop."""
+        return not any(isinstance(stmt, Loop) for stmt in self.body)
+
+
+Stmt = Union[Assign, Call, Loop]
+
+
+# --------------------------------------------------------------------------
+# kernels
+
+
+@dataclass
+class ArrayDecl:
+    """A 1-D array of doubles with an optional initial ramp of values."""
+
+    name: str
+    size: int
+    init: Optional[Sequence[float]] = None
+
+
+@dataclass
+class Kernel:
+    """One workload: arrays, constants, procedures and top-level loops."""
+
+    name: str
+    arrays: Dict[str, ArrayDecl] = field(default_factory=dict)
+    consts: Dict[str, float] = field(default_factory=dict)
+    procedures: Dict[str, List[Stmt]] = field(default_factory=dict)
+    body: List[Stmt] = field(default_factory=list)
+
+    def array(self, name: str, size: int,
+              init: Optional[Sequence[float]] = None) -> str:
+        """Declare an array; returns its name for convenience."""
+        if name in self.arrays:
+            raise ValueError(f"duplicate array {name!r}")
+        self.arrays[name] = ArrayDecl(name, size, init)
+        return name
+
+    def const(self, name: str, value: float) -> Const:
+        """Declare a named floating-point constant."""
+        if name in self.consts:
+            raise ValueError(f"duplicate const {name!r}")
+        self.consts[name] = float(value)
+        return Const(name)
+
+    def procedure(self, name: str, body: List[Stmt]) -> str:
+        """Declare a procedure callable with :class:`Call`."""
+        if name in self.procedures:
+            raise ValueError(f"duplicate procedure {name!r}")
+        self.procedures[name] = body
+        return name
+
+    def loop(self, var: str, lower: int, upper: int,
+             body: List[Stmt]) -> Loop:
+        """Append a top-level loop; returns it for nesting convenience."""
+        loop = Loop(var, lower, upper, body)
+        self.body.append(loop)
+        return loop
+
+    def all_loops(self) -> List[Loop]:
+        """Every loop in the kernel, outermost first (procedures included)."""
+        found: List[Loop] = []
+
+        def walk(stmts):
+            for stmt in stmts:
+                if isinstance(stmt, Loop):
+                    found.append(stmt)
+                    walk(stmt.body)
+
+        walk(self.body)
+        for proc_body in self.procedures.values():
+            walk(proc_body)
+        return found

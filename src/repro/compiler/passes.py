@@ -1,0 +1,57 @@
+"""Pass management and kernel build entry points.
+
+``build_program(kernel, optimize=...)`` is the one-stop path from IR to an
+executable :class:`~repro.isa.program.Program`:
+
+* ``optimize=False`` -- the *original* code of the paper's Figure 9,
+* ``optimize=True`` -- the *optimized* code (loop distribution applied).
+
+Additional passes can be chained through :class:`PassPipeline` (the test
+suite uses this to verify pass composition and idempotence).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.compiler.codegen import generate_assembly
+from repro.compiler.ir import Kernel
+from repro.compiler.loop_distribution import distribute_kernel
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+KernelPass = Callable[[Kernel], Kernel]
+
+
+class PassPipeline:
+    """An ordered list of kernel-to-kernel passes."""
+
+    def __init__(self, passes: Sequence[KernelPass] = ()):
+        self.passes: List[KernelPass] = list(passes)
+
+    def add(self, kernel_pass: KernelPass) -> "PassPipeline":
+        """Append a pass; returns self for chaining."""
+        self.passes.append(kernel_pass)
+        return self
+
+    def run(self, kernel: Kernel) -> Kernel:
+        """Apply all passes in order."""
+        for kernel_pass in self.passes:
+            kernel = kernel_pass(kernel)
+        return kernel
+
+
+#: The paper's Section 4 optimisation pipeline.
+OPTIMIZE_PIPELINE = PassPipeline([distribute_kernel])
+
+
+def build_program(kernel: Kernel, optimize: bool = False) -> Program:
+    """Compile a kernel to an executable program.
+
+    With ``optimize=True`` the Section 4 loop-distribution pipeline runs
+    first.
+    """
+    if optimize:
+        kernel = OPTIMIZE_PIPELINE.run(kernel)
+    assembly = generate_assembly(kernel)
+    return assemble(assembly, name=kernel.name)

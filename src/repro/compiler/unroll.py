@@ -1,0 +1,128 @@
+"""Software loop unrolling.
+
+The paper's mechanism *automatically* unrolls loops inside the issue queue
+(multi-iteration buffering).  This pass is the software alternative a
+compiler would apply -- replicating the body ``factor`` times and striding
+the loop -- and exists so the ablation in
+``benchmarks/test_ablation_unrolling.py`` can compare the two: software
+unrolling inflates the static loop body, *reducing* capturability at small
+issue-queue sizes, whereas the issue queue's own unrolling costs no static
+size at all.
+
+Legality here is conservative: only innermost, call-free loops whose index
+expressions are affine in the loop variable and whose bodies do not read
+the loop variable as a value (``IVar``) are transformed; everything else is
+returned unchanged.  A remainder loop handles trip counts not divisible by
+the factor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IndexExpr,
+    IVar,
+    Kernel,
+    Loop,
+    Ref,
+    Stmt,
+)
+
+
+def _shift_index(index: IndexExpr, var: str, amount: int) -> IndexExpr:
+    """Shift an affine index as if ``var`` were ``var + amount``."""
+    delta = sum(scale for v, scale in index.terms if v == var) * amount
+    return index.shifted(delta)
+
+
+def _shift_expr(expr: Expr, var: str, amount: int) -> Expr:
+    if isinstance(expr, Ref):
+        return Ref(expr.array, _shift_index(expr.index, var, amount))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _shift_expr(expr.left, var, amount),
+                     _shift_expr(expr.right, var, amount))
+    return expr                                   # Const (IVar excluded)
+
+
+def _uses_ivar(expr: Expr, var: str) -> bool:
+    if isinstance(expr, IVar):
+        return expr.var == var
+    if isinstance(expr, BinOp):
+        return _uses_ivar(expr.left, var) or _uses_ivar(expr.right, var)
+    return False
+
+
+def _unrollable(loop: Loop, factor: int) -> bool:
+    if factor < 2 or not loop.is_innermost() or loop.step != 1:
+        return False
+    if loop.trip_count < factor:
+        return False
+    for stmt in loop.body:
+        if not isinstance(stmt, Assign):
+            return False                          # calls are opaque
+        if _uses_ivar(stmt.expr, loop.var):
+            return False                          # would need i+k as value
+    return True
+
+
+def unroll_loop(loop: Loop, factor: int) -> List[Union[Loop, Stmt]]:
+    """Unroll one innermost loop by ``factor``.
+
+    Returns the replacement statement list: the strided main loop plus, if
+    the trip count is not divisible, a unit-step remainder loop.  Returns
+    ``[loop]`` unchanged when the transformation is not legal.
+    """
+    if not _unrollable(loop, factor):
+        return [loop]
+    trips = loop.trip_count
+    main_trips = (trips // factor) * factor
+    main_upper = loop.lower + main_trips
+    body: List[Stmt] = []
+    for copy in range(factor):
+        for stmt in loop.body:
+            body.append(Assign(
+                Ref(stmt.target.array,
+                    _shift_index(stmt.target.index, loop.var, copy)),
+                _shift_expr(stmt.expr, loop.var, copy)))
+    out: List[Union[Loop, Stmt]] = [
+        Loop(loop.var, loop.lower, main_upper, body, step=factor)
+    ]
+    if main_trips != trips:
+        out.append(Loop(loop.var, main_upper, loop.upper,
+                        list(loop.body), step=1))
+    return out
+
+
+def _unroll_stmts(stmts: List[Stmt], factor: int) -> List[Stmt]:
+    out: List[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Loop):
+            if stmt.is_innermost():
+                out.extend(unroll_loop(stmt, factor))
+            else:
+                out.append(Loop(stmt.var, stmt.lower, stmt.upper,
+                                _unroll_stmts(stmt.body, factor),
+                                step=stmt.step))
+        else:
+            out.append(stmt)
+    return out
+
+
+def unroll_kernel(kernel: Kernel, factor: int = 4,
+                  name_suffix: Optional[str] = None) -> Kernel:
+    """Unroll every legal innermost loop of a kernel by ``factor``."""
+    suffix = name_suffix if name_suffix is not None else f"_u{factor}"
+    return Kernel(
+        name=kernel.name + suffix,
+        arrays=dict(kernel.arrays),
+        consts=dict(kernel.consts),
+        procedures={name: _unroll_stmts(body, factor)
+                    for name, body in kernel.procedures.items()},
+        body=_unroll_stmts(kernel.body, factor),
+    )

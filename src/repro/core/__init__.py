@@ -1,0 +1,30 @@
+"""The paper's contribution: scheduling reusable instructions.
+
+This package implements Section 2 of the paper on top of the
+:mod:`repro.arch` substrate:
+
+* :mod:`repro.core.states` -- the issue-queue state machine
+  (Normal / Loop Buffering / Code Reuse, Figure 2),
+* :mod:`repro.core.loop_detector` -- decode-stage detection of capturable
+  loops (Section 2.1),
+* :mod:`repro.core.nblt` -- the non-bufferable loop table (Section 2.2.3),
+* :mod:`repro.core.lrl` -- the logical register list,
+* :mod:`repro.core.controller` -- the :class:`ReuseController` that owns
+  buffering strategy, procedure-call handling, the reuse pointer, the gate
+  signal and every revoke/recovery rule (Sections 2.2-2.5).
+"""
+
+from repro.core.controller import ReuseController
+from repro.core.loop_detector import LoopCandidate, LoopDetector
+from repro.core.lrl import LogicalRegisterList
+from repro.core.nblt import NonBufferableLoopTable
+from repro.core.states import IQState
+
+__all__ = [
+    "ReuseController",
+    "LoopCandidate",
+    "LoopDetector",
+    "LogicalRegisterList",
+    "NonBufferableLoopTable",
+    "IQState",
+]

@@ -1,0 +1,289 @@
+"""The reuse controller (the paper's Sections 2.2-2.5).
+
+:class:`ReuseController` owns everything the paper adds around the issue
+queue:
+
+* the state machine (``R_iqstate``) and the ``R_loophead`` /
+  ``R_looptail`` registers,
+* the buffering strategy (single-iteration vs. the multi-iteration
+  strategy the paper selects, Section 2.2.1),
+* procedure-call handling via a call-depth counter (Section 2.2.2),
+* the non-bufferable loop table (Section 2.2.3),
+* the reuse pointer scan that re-dispatches buffered instructions in
+  program order (Section 2.4),
+* every revoke/recovery rule back to Normal (Section 2.5), and
+* the front-end gate signal.
+
+The pipeline calls into the controller at decode (``on_decode``), at
+dispatch (``on_dispatch`` / ``on_dispatch_iq_full``), during misprediction
+recovery (``on_mispredict``) and when dispatching in Code Reuse state
+(``peek_reuse`` / ``advance_reuse``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.config import MachineConfig
+from repro.arch.dyninst import DynInst
+from repro.arch.issue_queue import IQEntry, IssueQueue
+from repro.arch.stats import PipelineStats
+from repro.core.loop_detector import LoopCandidate, LoopDetector
+from repro.core.lrl import LogicalRegisterList
+from repro.core.nblt import NonBufferableLoopTable
+from repro.core.states import IQState, check_transition
+
+
+class ReuseController:
+    """State machine and bookkeeping for the reuse-capable issue queue."""
+
+    def __init__(self, config: MachineConfig, iq: IssueQueue,
+                 stats: PipelineStats):
+        self.config = config
+        self.iq = iq
+        self.stats = stats
+        self.enabled = config.reuse_enabled
+        self.detector = LoopDetector(config.iq_size)
+        self.nblt = NonBufferableLoopTable(config.nblt_size)
+        self.lrl = LogicalRegisterList(config.iq_size)
+        self.state = IQState.NORMAL
+        #: Front-end gate signal (fetch, branch predictor, decoder).
+        self.gated = False
+        # R_loophead / R_looptail
+        self.loop_head_pc: Optional[int] = None
+        self.loop_tail_pc: Optional[int] = None
+        # buffering bookkeeping
+        self.buffered: List[IQEntry] = []
+        self.call_depth = 0
+        self.iteration_counter = 0          # instructions in current iteration
+        self.last_iteration_size = 0
+        self.iterations_buffered = 0
+        self.pending_promote = False
+        self._promote_waiting_for: Optional[DynInst] = None
+        # reuse pointer
+        self.reuse_pointer = 0
+        self._next_entry_id = 0
+        #: Monotonic buffering-session id (guards stale candidates).
+        self.session_id = 0
+        # candidates marked at decode but not yet dispatched into the queue
+        # (decode runs ahead of dispatch; the buffering-continuation check
+        # must count them against the free entries)
+        self._undispatched_candidates = 0
+        #: (old, new, cycle-agnostic reason) transition log for tests.
+        self.transitions: List = []
+
+    # -- state transitions ---------------------------------------------------
+
+    def _transition(self, new_state: IQState, reason: str) -> None:
+        check_transition(self.state, new_state)
+        self.transitions.append((self.state, new_state, reason))
+        self.state = new_state
+
+    # -- decode-stage hook ------------------------------------------------------
+
+    def on_decode(self, dyn: DynInst) -> None:
+        """Observe one decoded instruction (loop detection + buffering)."""
+        if not self.enabled:
+            return
+        if self.state is IQState.NORMAL:
+            self._try_start_buffering(dyn)
+        elif self.state is IQState.BUFFERING:
+            self._buffering_decode(dyn)
+        # REUSE: decode is gated; nothing should arrive here.
+
+    def _try_start_buffering(self, dyn: DynInst) -> None:
+        candidate = self.detector.detect(dyn)
+        if candidate is None:
+            return
+        self.stats.loop_detections += 1
+        if self.nblt.lookup(candidate.tail_pc):
+            self.stats.nblt_lookups += 1
+            self.stats.nblt_hits += 1
+            return
+        self.stats.nblt_lookups += 1
+        self._start_buffering(candidate)
+
+    def _start_buffering(self, candidate: LoopCandidate) -> None:
+        self._transition(IQState.BUFFERING, "capturable loop detected")
+        self.stats.buffering_started += 1
+        self.session_id += 1
+        self._undispatched_candidates = 0
+        self.loop_head_pc = candidate.head_pc
+        self.loop_tail_pc = candidate.tail_pc
+        self.buffered = []
+        self.call_depth = 0
+        self.iteration_counter = 0
+        self.last_iteration_size = 0
+        self.iterations_buffered = 0
+        self.pending_promote = False
+        self._promote_waiting_for = None
+
+    def _buffering_decode(self, dyn: DynInst) -> None:
+        if self.pending_promote:
+            # the gate signal is already up; nothing new should be decoded,
+            # but an instruction already in flight through decode this cycle
+            # is simply left alone (it will be flushed by the pipeline)
+            return
+        pc = dyn.pc
+        if pc == self.loop_tail_pc and self.call_depth == 0:
+            self._iteration_boundary(dyn)
+            return
+        in_loop = self.loop_head_pc <= pc <= self.loop_tail_pc
+        if self.call_depth == 0 and not in_loop:
+            self._revoke("exit", register_nblt=True)
+            self.stats.revokes_exit += 1
+            return
+        if self.detector.is_loop_ending(dyn):
+            # an inner loop inside the loop being buffered: the current
+            # loop is non-bufferable; re-run detection on the inner loop
+            self._revoke("inner loop", register_nblt=True)
+            self.stats.revokes_inner_loop += 1
+            self._try_start_buffering(dyn)
+            return
+        dyn.buffer_session = self.session_id
+        self._undispatched_candidates += 1
+        self.iteration_counter += 1
+        if dyn.inst.is_call:
+            self.call_depth += 1
+        elif dyn.inst.is_return and self.call_depth > 0:
+            self.call_depth -= 1
+
+    def _iteration_boundary(self, dyn: DynInst) -> None:
+        dyn.buffer_session = self.session_id
+        self._undispatched_candidates += 1
+        self.iteration_counter += 1
+        if not dyn.pred_taken:
+            # the loop ends here: execution exits during buffering
+            self._revoke("exit at tail", register_nblt=True)
+            self.stats.revokes_exit += 1
+            return
+        self.last_iteration_size = self.iteration_counter
+        self.iteration_counter = 0
+        self.iterations_buffered += 1
+        if self.config.buffering_strategy == "single":
+            self._promote(dyn)
+            return
+        # multi-iteration strategy: keep buffering while the free entries
+        # can hold another iteration of the just-observed size; entries
+        # already claimed by decoded-but-undispatched candidates count as
+        # occupied
+        effective_free = self.iq.free_entries - self._undispatched_candidates
+        if effective_free >= self.last_iteration_size:
+            return
+        self._promote(dyn)
+
+    def _promote(self, tail_dyn: DynInst) -> None:
+        """Raise the gate; Code Reuse begins once the tail is dispatched."""
+        self.pending_promote = True
+        self._promote_waiting_for = tail_dyn
+        self.gated = True
+
+    # -- dispatch-stage hooks ----------------------------------------------------
+
+    def on_dispatch(self, dyn: DynInst, entry: Optional[IQEntry]) -> None:
+        """Observe one normally dispatched instruction."""
+        if not self.enabled or self.state is not IQState.BUFFERING:
+            return
+        if dyn.buffer_session == self.session_id and entry is not None:
+            self._undispatched_candidates -= 1
+            entry.classification = True
+            entry.issue_state = False
+            entry_id = self._next_entry_id
+            self._next_entry_id += 1
+            self.lrl.record(entry_id, dyn.inst.dest, dyn.inst.srcs)
+            self.stats.lrl_writes += 1
+            if dyn.is_control:
+                entry.recorded_taken = dyn.pred_taken
+                entry.recorded_target = dyn.pred_target
+            self.buffered.append(entry)
+            self.stats.buffered_instructions += 1
+        if self.pending_promote and dyn is self._promote_waiting_for:
+            self._enter_reuse()
+
+    def _enter_reuse(self) -> None:
+        self._transition(IQState.REUSE, "buffering finished")
+        self.stats.promotions += 1
+        self.stats.buffered_iterations += self.iterations_buffered
+        self.pending_promote = False
+        self._promote_waiting_for = None
+        self.reuse_pointer = 0
+
+    def on_dispatch_iq_full(self, dyn: DynInst) -> None:
+        """Dispatch stalled on a full issue queue.
+
+        During buffering, a full queue only proves the loop does not fit
+        when every occupied entry is a *buffered* entry -- buffered entries
+        never leave, so no space can ever free up (the paper's "issue queue
+        is used up before the loop-ending instruction is met", typically a
+        procedure call blowing the iteration size).  A queue still holding
+        conventional entries merely stalls dispatch until they issue.
+        """
+        if not self.enabled or self.state is not IQState.BUFFERING:
+            return
+        if dyn.buffer_session != self.session_id:
+            return
+        resident = sum(1 for entry in self.buffered if entry.in_queue)
+        if resident >= self.iq.occupancy:
+            self._revoke("issue queue full", register_nblt=True)
+            self.stats.revokes_iq_full += 1
+
+    # -- reuse pointer (Code Reuse dispatch source) -------------------------------
+
+    def peek_reuse(self) -> Optional[IQEntry]:
+        """Next buffered entry to re-dispatch, if its issue state bit is set."""
+        if self.state is not IQState.REUSE or not self.buffered:
+            return None
+        entry = self.buffered[self.reuse_pointer]
+        if entry.issue_state:
+            return entry
+        return None
+
+    def advance_reuse(self) -> None:
+        """Advance the reuse pointer (wraps at the last buffered entry)."""
+        self.reuse_pointer += 1
+        if self.reuse_pointer >= len(self.buffered):
+            self.reuse_pointer = 0
+
+    # -- recovery -------------------------------------------------------------------
+
+    def on_mispredict(self, dyn: DynInst) -> None:
+        """Misprediction recovery hook (called after the pipeline squash)."""
+        if not self.enabled:
+            return
+        if self.state is IQState.BUFFERING:
+            self._revoke("mispredict during buffering", register_nblt=False)
+            self.stats.revokes_mispredict += 1
+        elif self.state is IQState.REUSE:
+            self.stats.reuse_mispredicts += 1
+            self._revoke("reuse exit", register_nblt=False)
+
+    def _revoke(self, reason: str, register_nblt: bool) -> None:
+        """Return to Normal state (the paper's Section 2.5 rules).
+
+        Buffered-and-issued entries leave the queue immediately; buffered
+        but not-yet-issued entries merely lose their classification bit (the
+        instruction itself must still execute; it is removed at issue like
+        any conventional entry).
+        """
+        if register_nblt and self.loop_tail_pc is not None:
+            self.nblt.insert(self.loop_tail_pc)
+            self.stats.nblt_inserts += 1
+        for entry in self.buffered:
+            if not entry.in_queue:
+                continue                      # squashed by the recovery
+            if entry.issue_state:
+                self.iq.remove(entry)
+                self.stats.iq_removes += 1
+            else:
+                entry.classification = False
+        if self.state is IQState.BUFFERING:
+            self.stats.buffering_revokes += 1
+        self.buffered = []
+        self.lrl.clear()
+        self.stats.revokes += 1
+        self.pending_promote = False
+        self._promote_waiting_for = None
+        self.gated = False
+        self.loop_head_pc = None
+        self.loop_tail_pc = None
+        self._transition(IQState.NORMAL, reason)

@@ -1,0 +1,66 @@
+"""Logical register list (LRL).
+
+The paper augments every issue-queue entry with storage for the logical
+register numbers of the instruction's operands (up to three: two sources and
+one destination).  During Code Reuse the rename stage reads these numbers
+back instead of receiving them from the (gated) decoder.
+
+Functionally the same information lives in the static
+:class:`~repro.isa.instruction.Instruction`, so this class exists to model
+the *hardware structure*: its capacity matches the issue queue, writes
+happen when a loop instruction is buffered, reads happen at every pass of
+the reuse pointer, and the read/write counts feed the power model's
+overhead term.  The stored values are checked against the static
+instruction by the test suite (they must always agree -- that is the
+correctness claim behind reusing rename this way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class LogicalRegisterList:
+    """Per-issue-queue-entry storage of logical register numbers."""
+
+    #: Bits per logical register number (64 unified registers).
+    BITS_PER_REGISTER = 6
+
+    #: Register slots per entry: two sources plus one destination.
+    SLOTS_PER_ENTRY = 3
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._table: Dict[int, Tuple[Optional[int], Tuple[int, ...]]] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def record(self, entry_id: int, dest: Optional[int],
+               srcs: Tuple[int, ...]) -> None:
+        """Write one entry's logical register numbers (at buffering time)."""
+        if len(self._table) >= self.capacity and entry_id not in self._table:
+            raise RuntimeError("LRL overflow")
+        self._table[entry_id] = (dest, tuple(srcs))
+        self.writes += 1
+
+    def read(self, entry_id: int) -> Tuple[Optional[int], Tuple[int, ...]]:
+        """Read one entry's logical register numbers (at reuse time)."""
+        self.reads += 1
+        return self._table[entry_id]
+
+    def clear(self) -> None:
+        """Drop all recorded entries (buffering revoked or reuse exited)."""
+        self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage the structure implies, in bits.
+
+        The paper's estimate for a 64-entry queue is ~136 bytes including
+        the classification and issue-state bits; this property covers the
+        register-number portion.
+        """
+        return self.capacity * self.SLOTS_PER_ENTRY * self.BITS_PER_REGISTER

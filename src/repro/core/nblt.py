@@ -1,0 +1,61 @@
+"""Non-bufferable loop table (NBLT).
+
+A small CAM maintained as a FIFO queue (8 entries in the paper) holding the
+loop-ending instruction addresses of recently seen *non-bufferable* loops:
+loops whose buffering was revoked because an inner loop was detected, the
+execution exited during buffering, or a procedure call made the iteration
+overflow the issue queue.  A detected loop that hits in the NBLT is not
+buffered at all, which the paper reports cuts the buffering revoke rate
+from around 40 % to below 10 %.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class NonBufferableLoopTable:
+    """FIFO CAM of loop-ending-instruction addresses."""
+
+    def __init__(self, size: int = 8):
+        if size < 0:
+            raise ValueError("NBLT size must be >= 0")
+        self.size = size
+        self._entries = deque(maxlen=size if size else None)
+        self.lookups = 0
+        self.hits = 0
+        self.inserts = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False when sized 0 (the NBLT ablation)."""
+        return self.size > 0
+
+    def __len__(self) -> int:
+        return len(self._entries) if self.enabled else 0
+
+    def __contains__(self, tail_pc: int) -> bool:
+        return self.enabled and tail_pc in self._entries
+
+    def lookup(self, tail_pc: int) -> bool:
+        """CAM search for a loop's ending-instruction address."""
+        if not self.enabled:
+            return False
+        self.lookups += 1
+        if tail_pc in self._entries:
+            self.hits += 1
+            return True
+        return False
+
+    def insert(self, tail_pc: int) -> None:
+        """Register a non-bufferable loop (FIFO replacement, no duplicates)."""
+        if not self.enabled:
+            return
+        self.inserts += 1
+        if tail_pc in self._entries:
+            return
+        self._entries.append(tail_pc)
+
+    def entries(self):
+        """Current contents, oldest first (for tests)."""
+        return tuple(self._entries)

@@ -1,0 +1,58 @@
+"""Issue-queue state machine (the paper's Figure 2).
+
+The two-bit ``R_iqstate`` register encodes three states:
+
+* ``NORMAL`` (00) -- conventional issue-queue operation,
+* ``BUFFERING`` (01) -- a capturable loop was detected; dispatched loop
+  instructions get their classification bit set and stay resident after
+  issue,
+* ``REUSE`` (11) -- buffering finished; the front-end is gated and the
+  reuse pointer supplies instructions from the queue itself.
+
+Transitions:
+
+* ``NORMAL -> BUFFERING`` on *capturable loop detected* (and not in the
+  NBLT),
+* ``BUFFERING -> REUSE`` on *buffering finished* (the chosen strategy's
+  stopping rule),
+* ``BUFFERING -> NORMAL`` on *misprediction recovery* or *buffering
+  revoke* (inner loop, loop exit, issue queue full),
+* ``REUSE -> NORMAL`` on *misprediction recovery* (static prediction
+  verified wrong: loop exit or divergent path).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IQState(enum.Enum):
+    """Operating state of the issue queue."""
+
+    NORMAL = 0b00
+    BUFFERING = 0b01
+    REUSE = 0b11
+
+    @property
+    def encoding(self) -> int:
+        """The two-bit ``R_iqstate`` encoding from the paper."""
+        return self.value
+
+
+#: Legal transitions, as (from, to) pairs (used by assertions and tests).
+LEGAL_TRANSITIONS = frozenset(
+    {
+        (IQState.NORMAL, IQState.BUFFERING),
+        (IQState.BUFFERING, IQState.REUSE),
+        (IQState.BUFFERING, IQState.NORMAL),
+        (IQState.REUSE, IQState.NORMAL),
+    }
+)
+
+
+def check_transition(old: IQState, new: IQState) -> None:
+    """Raise if a transition is not one of the paper's legal edges."""
+    if old is new:
+        return
+    if (old, new) not in LEGAL_TRANSITIONS:
+        raise RuntimeError(f"illegal issue-queue transition {old} -> {new}")

@@ -1,0 +1,60 @@
+"""MIPS-like instruction-set substrate.
+
+This package provides everything the out-of-order core and the reuse-capable
+issue queue need from an ISA:
+
+* :mod:`repro.isa.registers` -- the unified logical register space (32
+  integer + 32 floating-point registers) and name/alias handling,
+* :mod:`repro.isa.opcodes` -- opcode definitions with operand formats,
+  functional-unit classes and latencies,
+* :mod:`repro.isa.instruction` -- the static :class:`Instruction` record,
+* :mod:`repro.isa.semantics` -- pure evaluation functions shared by the
+  functional interpreter and the pipeline's execute stage,
+* :mod:`repro.isa.encoding` -- a 32-bit binary encoding (round-trippable),
+* :mod:`repro.isa.assembler` -- a two-pass text assembler with data
+  directives and pseudo-instructions,
+* :mod:`repro.isa.program` -- the assembled :class:`Program` image,
+* :mod:`repro.isa.memory` -- sparse byte-addressable memory storage,
+* :mod:`repro.isa.interpreter` -- an in-order functional reference
+  simulator used as the correctness oracle in tests.
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instruction import Instruction
+from repro.isa.interpreter import Interpreter, run_program
+from repro.isa.memory import SparseMemory
+from repro.isa.opcodes import FuClass, InstrClass, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import (
+    FP_BASE,
+    NUM_LOGICAL_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    fpreg,
+    intreg,
+    is_fp_reg,
+    reg_name,
+)
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "Instruction",
+    "Interpreter",
+    "run_program",
+    "SparseMemory",
+    "FuClass",
+    "InstrClass",
+    "Opcode",
+    "Program",
+    "FP_BASE",
+    "NUM_LOGICAL_REGS",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "fpreg",
+    "intreg",
+    "is_fp_reg",
+    "reg_name",
+]

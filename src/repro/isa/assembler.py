@@ -1,0 +1,442 @@
+"""Two-pass assembler for the MIPS-like ISA.
+
+The assembler turns assembly text into a :class:`~repro.isa.program.Program`.
+It supports:
+
+* labels (``name:``), ``#`` comments, one instruction per line,
+* the data directives ``.data``, ``.text``, ``.word``, ``.double``,
+  ``.space`` and ``.align`` (``.globl`` is accepted and ignored),
+* register names in alias (``$t0``), numeric (``$5``/``r5``) and
+  floating-point (``$f3``) form,
+* the common pseudo-instructions ``nop``, ``move``, ``li``, ``la``, ``b``,
+  ``blt``, ``bgt``, ``ble`` and ``bge`` (the comparisons expand through
+  ``$at``, as a real MIPS assembler would).
+
+Pass 1 parses and expands pseudo-instructions (so every label has a fixed
+address); pass 2 resolves label operands into absolute byte addresses.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, MNEMONIC_TO_OPCODE, Opcode
+from repro.isa.program import DATA_BASE, INSTRUCTION_BYTES, Program, TEXT_BASE
+from repro.isa.registers import REG_ZERO, intreg, parse_reg
+
+_REG_AT = intreg(1)  # assembler temporary, used by expanded pseudo-branches
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_MEM_OPERAND_RE = re.compile(r"^(-?[\w.$+x]*)\((\$?\w+)\)$")
+
+
+class AssemblerError(Exception):
+    """Raised for any syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    """Parse a decimal or hexadecimal integer literal."""
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"invalid integer literal {token!r}", line_no)
+
+
+class _PendingInstruction:
+    """An instruction parsed in pass 1, possibly with an unresolved label."""
+
+    __slots__ = ("op", "rd", "rs", "rt", "imm", "target", "target_label",
+                 "line_no")
+
+    def __init__(self, op, rd=None, rs=None, rt=None, imm=0, target=None,
+                 target_label=None, line_no=0):
+        self.op = op
+        self.rd = rd
+        self.rs = rs
+        self.rt = rt
+        self.imm = imm
+        self.target = target
+        self.target_label = target_label
+        self.line_no = line_no
+
+
+class _Assembler:
+    """Stateful two-pass assembler (one instance per :func:`assemble` call)."""
+
+    def __init__(self, source: str, name: str):
+        self.source = source
+        self.name = name
+        self.labels: Dict[str, int] = {}
+        self.pending: List[_PendingInstruction] = []
+        self.data = bytearray()
+        self.data_base = DATA_BASE
+        self.in_data = False
+        # (pending-instruction index, "hi"/"lo"/None) pairs that need a label
+        # value split into lui/ori halves after label resolution
+        self.split_fixups: List[Tuple[int, str, str, int, int]] = []
+
+    # -- pass 1: parse ---------------------------------------------------------
+
+    def run(self) -> Program:
+        """Assemble the source and return the finished Program."""
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            self._parse_line(raw, line_no)
+        return self._resolve()
+
+    def _parse_line(self, raw: str, line_no: int) -> None:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            return
+        # labels (possibly several, possibly followed by an instruction)
+        while ":" in line:
+            label, rest = line.split(":", 1)
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblerError(f"bad label {label!r}", line_no)
+            if label in self.labels:
+                raise AssemblerError(f"duplicate label {label!r}", line_no)
+            self.labels[label] = self._current_address()
+            line = rest.strip()
+        if not line:
+            return
+        if line.startswith("."):
+            self._parse_directive(line, line_no)
+        else:
+            self._parse_instruction(line, line_no)
+
+    def _current_address(self) -> int:
+        if self.in_data:
+            return self.data_base + len(self.data)
+        return TEXT_BASE + len(self.pending) * INSTRUCTION_BYTES
+
+    def _parse_directive(self, line: str, line_no: int) -> None:
+        parts = line.split(None, 1)
+        directive = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if directive == ".data":
+            self.in_data = True
+        elif directive == ".text":
+            self.in_data = False
+        elif directive == ".globl":
+            pass
+        elif directive == ".word":
+            self._require_data(directive, line_no)
+            for token in self._split_operands(rest):
+                value = _parse_int(token, line_no)
+                self.data += (value & 0xFFFFFFFF).to_bytes(4, "little")
+        elif directive == ".double":
+            self._require_data(directive, line_no)
+            for token in self._split_operands(rest):
+                try:
+                    value = float(token)
+                except ValueError:
+                    raise AssemblerError(
+                        f"invalid double literal {token!r}", line_no)
+                self.data += struct.pack("<d", value)
+        elif directive == ".space":
+            self._require_data(directive, line_no)
+            count = _parse_int(rest.strip(), line_no)
+            if count < 0:
+                raise AssemblerError(".space size must be >= 0", line_no)
+            self.data += bytes(count)
+        elif directive == ".align":
+            self._require_data(directive, line_no)
+            power = _parse_int(rest.strip(), line_no)
+            alignment = 1 << power
+            while len(self.data) % alignment:
+                self.data.append(0)
+        else:
+            raise AssemblerError(f"unknown directive {directive!r}", line_no)
+
+    def _require_data(self, directive: str, line_no: int) -> None:
+        if not self.in_data:
+            raise AssemblerError(
+                f"{directive} is only valid in the .data segment", line_no)
+
+    @staticmethod
+    def _split_operands(text: str) -> List[str]:
+        return [tok.strip() for tok in text.split(",") if tok.strip()]
+
+    # -- instruction parsing -------------------------------------------------
+
+    def _parse_instruction(self, line: str, line_no: int) -> None:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = self._split_operands(parts[1]) if len(parts) > 1 else []
+        if self.in_data:
+            raise AssemblerError(
+                "instruction outside the .text segment", line_no)
+        if mnemonic in _PSEUDO_HANDLERS:
+            _PSEUDO_HANDLERS[mnemonic](self, operands, line_no)
+            return
+        op = MNEMONIC_TO_OPCODE.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no)
+        self._emit_concrete(op, operands, line_no)
+
+    def _reg(self, token: str, line_no: int) -> int:
+        try:
+            return parse_reg(token)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no)
+
+    def _emit(self, pending: _PendingInstruction) -> None:
+        self.pending.append(pending)
+
+    def _emit_concrete(self, op: Opcode, operands: List[str],
+                       line_no: int) -> None:
+        fmt = op.fmt
+        n = len(operands)
+
+        def need(count: int) -> None:
+            if n != count:
+                raise AssemblerError(
+                    f"{op.mnemonic} expects {count} operands "
+                    f"({fmt.value}), got {n}", line_no)
+
+        if fmt in (Format.R3, Format.FR3, Format.FCMP):
+            need(3)
+            self._emit(_PendingInstruction(
+                op,
+                rd=self._reg(operands[0], line_no),
+                rs=self._reg(operands[1], line_no),
+                rt=self._reg(operands[2], line_no),
+                line_no=line_no))
+        elif fmt is Format.R2I:
+            need(3)
+            self._emit(_PendingInstruction(
+                op,
+                rt=self._reg(operands[0], line_no),
+                rs=self._reg(operands[1], line_no),
+                imm=_parse_int(operands[2], line_no),
+                line_no=line_no))
+        elif fmt is Format.SHIFT:
+            need(3)
+            self._emit(_PendingInstruction(
+                op,
+                rd=self._reg(operands[0], line_no),
+                rt=self._reg(operands[1], line_no),
+                imm=_parse_int(operands[2], line_no),
+                line_no=line_no))
+        elif fmt is Format.LUI:
+            need(2)
+            self._emit(_PendingInstruction(
+                op,
+                rt=self._reg(operands[0], line_no),
+                imm=_parse_int(operands[1], line_no),
+                line_no=line_no))
+        elif fmt in (Format.LOAD, Format.STORE, Format.FLOAD, Format.FSTORE):
+            need(2)
+            offset, base = self._parse_mem_operand(operands[1], line_no)
+            self._emit(_PendingInstruction(
+                op,
+                rt=self._reg(operands[0], line_no),
+                rs=base,
+                imm=offset,
+                line_no=line_no))
+        elif fmt is Format.BR2:
+            need(3)
+            self._emit(_PendingInstruction(
+                op,
+                rs=self._reg(operands[0], line_no),
+                rt=self._reg(operands[1], line_no),
+                target_label=operands[2],
+                line_no=line_no))
+        elif fmt is Format.BR1:
+            need(2)
+            self._emit(_PendingInstruction(
+                op,
+                rs=self._reg(operands[0], line_no),
+                target_label=operands[1],
+                line_no=line_no))
+        elif fmt is Format.J:
+            need(1)
+            self._emit(_PendingInstruction(
+                op, target_label=operands[0], line_no=line_no))
+        elif fmt is Format.JR:
+            need(1)
+            self._emit(_PendingInstruction(
+                op, rs=self._reg(operands[0], line_no), line_no=line_no))
+        elif fmt is Format.FR2:
+            need(2)
+            self._emit(_PendingInstruction(
+                op,
+                rd=self._reg(operands[0], line_no),
+                rs=self._reg(operands[1], line_no),
+                line_no=line_no))
+        elif fmt is Format.NONE:
+            need(0)
+            self._emit(_PendingInstruction(op, line_no=line_no))
+        else:
+            raise AssemblerError(f"unhandled format {fmt}", line_no)
+
+    def _parse_mem_operand(self, token: str, line_no: int) -> Tuple[int, int]:
+        """Parse ``offset(base)`` into ``(offset, base_register)``."""
+        match = _MEM_OPERAND_RE.match(token.replace(" ", ""))
+        if not match:
+            raise AssemblerError(
+                f"bad memory operand {token!r}, expected offset(base)",
+                line_no)
+        offset_text = match.group(1) or "0"
+        offset = _parse_int(offset_text, line_no)
+        base = self._reg(match.group(2), line_no)
+        return offset, base
+
+    # -- pseudo-instructions -----------------------------------------------------
+
+    def _pseudo_nop(self, operands, line_no):
+        if operands:
+            raise AssemblerError("nop takes no operands", line_no)
+        self._emit(_PendingInstruction(Opcode.NOP, line_no=line_no))
+
+    def _pseudo_move(self, operands, line_no):
+        if len(operands) != 2:
+            raise AssemblerError("move expects 2 operands", line_no)
+        self._emit(_PendingInstruction(
+            Opcode.ADDU,
+            rd=self._reg(operands[0], line_no),
+            rs=self._reg(operands[1], line_no),
+            rt=REG_ZERO,
+            line_no=line_no))
+
+    def _pseudo_li(self, operands, line_no):
+        if len(operands) != 2:
+            raise AssemblerError("li expects 2 operands", line_no)
+        reg = self._reg(operands[0], line_no)
+        value = _parse_int(operands[1], line_no)
+        if -32768 <= value <= 32767:
+            self._emit(_PendingInstruction(
+                Opcode.ADDIU, rt=reg, rs=REG_ZERO, imm=value,
+                line_no=line_no))
+        elif 0 <= value <= 0xFFFF:
+            self._emit(_PendingInstruction(
+                Opcode.ORI, rt=reg, rs=REG_ZERO, imm=value, line_no=line_no))
+        else:
+            value &= 0xFFFFFFFF
+            self._emit(_PendingInstruction(
+                Opcode.LUI, rt=reg, imm=(value >> 16) & 0xFFFF,
+                line_no=line_no))
+            self._emit(_PendingInstruction(
+                Opcode.ORI, rt=reg, rs=reg, imm=value & 0xFFFF,
+                line_no=line_no))
+
+    def _pseudo_la(self, operands, line_no):
+        if len(operands) != 2:
+            raise AssemblerError("la expects 2 operands", line_no)
+        reg = self._reg(operands[0], line_no)
+        label, extra = _split_label_offset(operands[1], line_no)
+        hi_index = len(self.pending)
+        self._emit(_PendingInstruction(
+            Opcode.LUI, rt=reg, imm=0, line_no=line_no))
+        self._emit(_PendingInstruction(
+            Opcode.ORI, rt=reg, rs=reg, imm=0, line_no=line_no))
+        self.split_fixups.append((hi_index, "la", label, extra, line_no))
+
+    def _pseudo_b(self, operands, line_no):
+        if len(operands) != 1:
+            raise AssemblerError("b expects 1 operand", line_no)
+        self._emit(_PendingInstruction(
+            Opcode.BEQ, rs=REG_ZERO, rt=REG_ZERO,
+            target_label=operands[0], line_no=line_no))
+
+    def _pseudo_compare_branch(self, operands, line_no, swap, opcode):
+        if len(operands) != 3:
+            raise AssemblerError("comparison branch expects 3 operands",
+                                 line_no)
+        a = self._reg(operands[0], line_no)
+        b = self._reg(operands[1], line_no)
+        if swap:
+            a, b = b, a
+        self._emit(_PendingInstruction(
+            Opcode.SLT, rd=_REG_AT, rs=a, rt=b, line_no=line_no))
+        self._emit(_PendingInstruction(
+            opcode, rs=_REG_AT, rt=REG_ZERO,
+            target_label=operands[2], line_no=line_no))
+
+    def _pseudo_blt(self, operands, line_no):
+        self._pseudo_compare_branch(operands, line_no, False, Opcode.BNE)
+
+    def _pseudo_bge(self, operands, line_no):
+        self._pseudo_compare_branch(operands, line_no, False, Opcode.BEQ)
+
+    def _pseudo_bgt(self, operands, line_no):
+        self._pseudo_compare_branch(operands, line_no, True, Opcode.BNE)
+
+    def _pseudo_ble(self, operands, line_no):
+        self._pseudo_compare_branch(operands, line_no, True, Opcode.BEQ)
+
+    # -- pass 2: resolve labels ---------------------------------------------------
+
+    def _resolve(self) -> Program:
+        for index, pend, in enumerate(self.pending):
+            if pend.target_label is None:
+                continue
+            label, extra = _split_label_offset(pend.target_label,
+                                               pend.line_no)
+            if label in self.labels:
+                pend.target = self.labels[label] + extra
+            else:
+                try:
+                    pend.target = _parse_int(pend.target_label, pend.line_no)
+                except AssemblerError:
+                    raise AssemblerError(
+                        f"undefined label {pend.target_label!r}",
+                        pend.line_no)
+        for hi_index, kind, label, extra, line_no in self.split_fixups:
+            if label not in self.labels:
+                raise AssemblerError(f"undefined label {label!r}", line_no)
+            address = (self.labels[label] + extra) & 0xFFFFFFFF
+            self.pending[hi_index].imm = (address >> 16) & 0xFFFF
+            self.pending[hi_index + 1].imm = address & 0xFFFF
+        instructions = [
+            Instruction(p.op, rd=p.rd, rs=p.rs, rt=p.rt, imm=p.imm,
+                        target=p.target)
+            for p in self.pending
+        ]
+        data_segments = []
+        if self.data:
+            data_segments.append((self.data_base, bytes(self.data)))
+        return Program(instructions, data_segments=data_segments,
+                       labels=dict(self.labels), name=self.name)
+
+
+def _split_label_offset(token: str, line_no: int) -> Tuple[str, int]:
+    """Split ``label+off`` / ``label-off`` into ``(label, offset)``."""
+    token = token.strip()
+    for sep in ("+", "-"):
+        # skip a leading minus that would indicate a pure number
+        pos = token.find(sep, 1)
+        if pos > 0 and _LABEL_RE.match(token[:pos]):
+            offset = _parse_int(token[pos:], line_no)
+            return token[:pos], offset
+    return token, 0
+
+
+_PSEUDO_HANDLERS = {
+    "nop": _Assembler._pseudo_nop,
+    "move": _Assembler._pseudo_move,
+    "li": _Assembler._pseudo_li,
+    "la": _Assembler._pseudo_la,
+    "b": _Assembler._pseudo_b,
+    "blt": _Assembler._pseudo_blt,
+    "bge": _Assembler._pseudo_bge,
+    "bgt": _Assembler._pseudo_bgt,
+    "ble": _Assembler._pseudo_ble,
+}
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` text into a :class:`~repro.isa.program.Program`.
+
+    Raises :class:`AssemblerError` with a line number on any parse error.
+    """
+    return _Assembler(source, name).run()

@@ -1,0 +1,88 @@
+"""Fixed-width binary encoding of instructions.
+
+The simulator executes :class:`~repro.isa.instruction.Instruction` objects
+directly, so this encoding exists for two purposes:
+
+* round-trip testing (every instruction must survive encode/decode), and
+* giving programs a serialisable on-disk form (``encode_program`` /
+  ``decode_program``).
+
+Each instruction packs into 10 bytes::
+
+    opcode:u8  rd:u8  rs:u8  rt:u8  imm:i16  target:u32
+
+Register fields use 255 for "unused"; ``target`` uses 0xFFFFFFFF for "no
+target".  The architectural *fetch* granularity remains 4 bytes per
+instruction (see :data:`repro.isa.program.INSTRUCTION_BYTES`); this container
+format is not what the modelled instruction cache stores.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+_STRUCT = struct.Struct("<BBBBhI")
+
+#: Encoded size of one instruction, in bytes.
+ENCODED_SIZE = _STRUCT.size
+
+_NO_REG = 255
+_NO_TARGET = 0xFFFFFFFF
+
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+
+
+class EncodingError(Exception):
+    """Raised when a byte string cannot be decoded."""
+
+
+def encode_instruction(inst: Instruction) -> bytes:
+    """Encode one instruction into its 10-byte form."""
+    return _STRUCT.pack(
+        _OPCODE_INDEX[inst.op],
+        _NO_REG if inst.rd is None else inst.rd,
+        _NO_REG if inst.rs is None else inst.rs,
+        _NO_REG if inst.rt is None else inst.rt,
+        inst.imm,
+        _NO_TARGET if inst.target is None else inst.target,
+    )
+
+
+def decode_instruction(data: bytes) -> Instruction:
+    """Decode a 10-byte instruction record."""
+    if len(data) != ENCODED_SIZE:
+        raise EncodingError(
+            f"expected {ENCODED_SIZE} bytes, got {len(data)}")
+    op_index, rd, rs, rt, imm, target = _STRUCT.unpack(data)
+    if op_index >= len(_OPCODES):
+        raise EncodingError(f"invalid opcode index {op_index}")
+    return Instruction(
+        _OPCODES[op_index],
+        rd=None if rd == _NO_REG else rd,
+        rs=None if rs == _NO_REG else rs,
+        rt=None if rt == _NO_REG else rt,
+        imm=imm,
+        target=None if target == _NO_TARGET else target,
+    )
+
+
+def encode_program_text(instructions: List[Instruction]) -> bytes:
+    """Encode a text segment into a flat byte string."""
+    return b"".join(encode_instruction(inst) for inst in instructions)
+
+
+def decode_program_text(data: bytes) -> List[Instruction]:
+    """Decode a flat byte string back into instructions."""
+    if len(data) % ENCODED_SIZE:
+        raise EncodingError(
+            f"byte string length {len(data)} is not a multiple of "
+            f"{ENCODED_SIZE}")
+    return [
+        decode_instruction(data[i:i + ENCODED_SIZE])
+        for i in range(0, len(data), ENCODED_SIZE)
+    ]

@@ -1,0 +1,200 @@
+"""Static instruction records.
+
+An :class:`Instruction` is the *static* form of one machine instruction: the
+opcode plus its operands, with register operands already translated into the
+unified logical register space (see :mod:`repro.isa.registers`).  The
+pipeline creates lightweight *dynamic* records (ROB entries, issue-queue
+entries) that point back at these static objects, so a tight loop that is
+reused thousands of times shares a single static record per instruction.
+
+Source and destination registers are pre-computed at construction time
+(``srcs`` / ``dest``), because the rename stage and the paper's logical
+register list both consume exactly that view: at most two sources and one
+destination per instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import Format, InstrClass, Opcode
+from repro.isa.registers import REG_RA, REG_ZERO, reg_name
+
+
+def _operand_roles(op, rd, rs, rt):
+    """Return ``(dest, srcs)`` for an instruction, in unified indices."""
+    fmt = op.fmt
+    if fmt is Format.R3:
+        return rd, (rs, rt)
+    if fmt is Format.R2I:
+        return rt, (rs,)
+    if fmt is Format.SHIFT:
+        return rd, (rt,)
+    if fmt is Format.LUI:
+        return rt, ()
+    if fmt in (Format.LOAD, Format.FLOAD):
+        return rt, (rs,)
+    if fmt in (Format.STORE, Format.FSTORE):
+        return None, (rs, rt)          # base address, then store data
+    if fmt is Format.BR2:
+        return None, (rs, rt)
+    if fmt is Format.BR1:
+        return None, (rs,)
+    if fmt is Format.J:
+        if op.icls is InstrClass.CALL:
+            return REG_RA, ()
+        return None, ()
+    if fmt is Format.JR:
+        if op.icls is InstrClass.ICALL:
+            return REG_RA, (rs,)
+        return None, (rs,)
+    if fmt is Format.FR3:
+        return rd, (rs, rt)
+    if fmt is Format.FR2:
+        return rd, (rs,)
+    if fmt is Format.FCMP:
+        return rd, (rs, rt)
+    if fmt is Format.NONE:
+        return None, ()
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+class Instruction:
+    """One static instruction.
+
+    Parameters
+    ----------
+    op:
+        The :class:`~repro.isa.opcodes.Opcode`.
+    rd, rs, rt:
+        Register operands in the unified logical space (``None`` when a slot
+        is unused by the format).  For floating-point formats these already
+        hold unified (``32 + n``) indices.
+    imm:
+        Immediate operand / shift amount (sign-extended where the semantics
+        require it).
+    target:
+        Absolute byte address of the control-flow target for direct branches
+        and jumps (resolved by the assembler).
+    """
+
+    __slots__ = ("op", "rd", "rs", "rt", "imm", "target", "pc", "index",
+                 "dest", "srcs")
+
+    def __init__(
+        self,
+        op: Opcode,
+        rd: Optional[int] = None,
+        rs: Optional[int] = None,
+        rt: Optional[int] = None,
+        imm: int = 0,
+        target: Optional[int] = None,
+    ):
+        self.op = op
+        self.rd = rd
+        self.rs = rs
+        self.rt = rt
+        self.imm = imm
+        self.target = target
+        #: Byte address of this instruction; assigned when placed in a Program.
+        self.pc: Optional[int] = None
+        #: Index within the program's text segment; assigned with ``pc``.
+        self.index: Optional[int] = None
+        dest, srcs = _operand_roles(op, rd, rs, rt)
+        if dest == REG_ZERO:
+            dest = None                      # writes to $zero are discarded
+        #: Destination logical register, or ``None``.
+        self.dest: Optional[int] = dest
+        #: Source logical registers (tuple of 0-2 unified indices).
+        self.srcs: Tuple[int, ...] = srcs
+
+    # -- classification helpers (delegate to the opcode) -------------------
+
+    @property
+    def is_control(self) -> bool:
+        """True for any control-flow instruction."""
+        return self.op.is_control
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for conditional direct branches."""
+        return self.op.is_conditional_branch
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self.op.icls is InstrClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return self.op.icls is InstrClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return self.op.is_mem
+
+    @property
+    def is_halt(self) -> bool:
+        """True for the simulator-terminating ``halt`` instruction."""
+        return self.op.icls is InstrClass.HALT
+
+    @property
+    def is_direct_control(self) -> bool:
+        """True for control flow whose target is known statically."""
+        return self.op.icls in (
+            InstrClass.BRANCH, InstrClass.JUMP, InstrClass.CALL
+        )
+
+    @property
+    def is_indirect_control(self) -> bool:
+        """True for register-indirect jumps and calls."""
+        return self.op.icls in (InstrClass.IJUMP, InstrClass.ICALL)
+
+    @property
+    def is_call(self) -> bool:
+        """True for direct and indirect calls."""
+        return self.op.icls in (InstrClass.CALL, InstrClass.ICALL)
+
+    @property
+    def is_return(self) -> bool:
+        """True for ``jr $ra`` -- the conventional procedure return."""
+        return self.op.icls is InstrClass.IJUMP and self.rs == REG_RA
+
+    # -- pretty printing -----------------------------------------------------
+
+    def disassemble(self) -> str:
+        """Return a readable assembly form of this instruction."""
+        op = self.op
+        fmt = op.fmt
+        m = op.mnemonic
+        if fmt is Format.R3:
+            return f"{m} {reg_name(self.rd)}, {reg_name(self.rs)}, {reg_name(self.rt)}"
+        if fmt is Format.R2I:
+            return f"{m} {reg_name(self.rt)}, {reg_name(self.rs)}, {self.imm}"
+        if fmt is Format.SHIFT:
+            return f"{m} {reg_name(self.rd)}, {reg_name(self.rt)}, {self.imm}"
+        if fmt is Format.LUI:
+            return f"{m} {reg_name(self.rt)}, {self.imm}"
+        if fmt in (Format.LOAD, Format.STORE, Format.FLOAD, Format.FSTORE):
+            return f"{m} {reg_name(self.rt)}, {self.imm}({reg_name(self.rs)})"
+        if fmt is Format.BR2:
+            return f"{m} {reg_name(self.rs)}, {reg_name(self.rt)}, {self.target:#x}"
+        if fmt is Format.BR1:
+            return f"{m} {reg_name(self.rs)}, {self.target:#x}"
+        if fmt is Format.J:
+            return f"{m} {self.target:#x}"
+        if fmt is Format.JR:
+            return f"{m} {reg_name(self.rs)}"
+        if fmt is Format.FR3:
+            return f"{m} {reg_name(self.rd)}, {reg_name(self.rs)}, {reg_name(self.rt)}"
+        if fmt is Format.FR2:
+            return f"{m} {reg_name(self.rd)}, {reg_name(self.rs)}"
+        if fmt is Format.FCMP:
+            return f"{m} {reg_name(self.rd)}, {reg_name(self.rs)}, {reg_name(self.rt)}"
+        return m
+
+    def __repr__(self) -> str:
+        loc = f"{self.pc:#x}: " if self.pc is not None else ""
+        return f"<Instruction {loc}{self.disassemble()}>"

@@ -1,0 +1,127 @@
+"""In-order functional reference simulator.
+
+The interpreter executes a :class:`~repro.isa.program.Program` one
+instruction at a time with no timing model.  It serves as the *oracle* for
+the out-of-order pipeline: any program must leave the interpreter and the
+pipeline with identical architectural register files and memory images,
+whether or not the reuse-capable issue queue is enabled.  The property-based
+tests in ``tests/`` rely on this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.memory import SparseMemory
+from repro.isa.opcodes import InstrClass, Opcode
+from repro.isa.program import INSTRUCTION_BYTES, Program, STACK_TOP
+from repro.isa.registers import NUM_LOGICAL_REGS, REG_RA, REG_SP
+from repro.isa.semantics import (
+    branch_taken,
+    effective_address,
+    evaluate,
+    load_from_memory,
+    store_to_memory,
+)
+
+
+class InterpreterError(Exception):
+    """Raised when execution leaves the program or exceeds its budget."""
+
+
+class Interpreter:
+    """Architectural-state machine executing one instruction per step."""
+
+    def __init__(self, program: Program,
+                 memory: Optional[SparseMemory] = None):
+        self.program = program
+        self.memory = memory if memory is not None else program.initial_memory()
+        #: Unified register file: ints in 0..31, floats in 32..63.
+        self.regs: List = [0] * NUM_LOGICAL_REGS
+        for i in range(32, NUM_LOGICAL_REGS):
+            self.regs[i] = 0.0
+        self.regs[REG_SP] = STACK_TOP
+        self.pc = program.entry_point
+        self.halted = False
+        self.instructions_executed = 0
+        #: Dynamic count of taken conditional branches (used by tests).
+        self.taken_branches = 0
+        self.dynamic_class_counts = {cls: 0 for cls in InstrClass}
+
+    def _read(self, reg: Optional[int]):
+        return self.regs[reg] if reg is not None else 0
+
+    def _write(self, reg: Optional[int], value) -> None:
+        if reg is not None:
+            self.regs[reg] = value
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns the instruction executed."""
+        if self.halted:
+            raise InterpreterError("machine is halted")
+        inst = self.program.inst_at(self.pc)
+        if inst is None:
+            raise InterpreterError(
+                f"execution left the text segment at pc={self.pc:#x}")
+        self.instructions_executed += 1
+        self.dynamic_class_counts[inst.op.icls] += 1
+        next_pc = self.pc + INSTRUCTION_BYTES
+        icls = inst.op.icls
+
+        if icls is InstrClass.HALT:
+            self.halted = True
+        elif icls is InstrClass.NOP:
+            pass
+        elif icls is InstrClass.LOAD:
+            addr = effective_address(self._read(inst.rs), inst.imm)
+            self._write(inst.dest,
+                        load_from_memory(self.memory, inst.op, addr))
+        elif icls is InstrClass.STORE:
+            addr = effective_address(self._read(inst.rs), inst.imm)
+            store_to_memory(self.memory, inst.op, addr,
+                            self._read(inst.rt))
+        elif icls is InstrClass.BRANCH:
+            if branch_taken(inst.op, self._read(inst.rs),
+                            self._read(inst.rt)):
+                next_pc = inst.target
+                self.taken_branches += 1
+        elif icls is InstrClass.JUMP:
+            next_pc = inst.target
+        elif icls is InstrClass.CALL:
+            self._write(REG_RA, self.pc + INSTRUCTION_BYTES)
+            next_pc = inst.target
+        elif icls is InstrClass.IJUMP:
+            next_pc = self._read(inst.rs)
+        elif icls is InstrClass.ICALL:
+            target = self._read(inst.rs)
+            self._write(REG_RA, self.pc + INSTRUCTION_BYTES)
+            next_pc = target
+        else:
+            srcs = inst.srcs
+            a = self._read(srcs[0]) if len(srcs) > 0 else 0
+            b = self._read(srcs[1]) if len(srcs) > 1 else 0
+            self._write(inst.dest, evaluate(inst.op, a, b, inst.imm))
+
+        self.pc = next_pc
+        return inst
+
+    def run(self, max_instructions: int = 50_000_000) -> int:
+        """Run until ``halt``; returns the dynamic instruction count.
+
+        Raises :class:`InterpreterError` if the budget is exhausted first.
+        """
+        while not self.halted:
+            if self.instructions_executed >= max_instructions:
+                raise InterpreterError(
+                    f"exceeded {max_instructions} instructions without halt")
+            self.step()
+        return self.instructions_executed
+
+
+def run_program(program: Program,
+                max_instructions: int = 50_000_000) -> Interpreter:
+    """Convenience helper: run ``program`` to completion, return the machine."""
+    machine = Interpreter(program)
+    machine.run(max_instructions=max_instructions)
+    return machine

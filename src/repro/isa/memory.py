@@ -1,0 +1,126 @@
+"""Sparse byte-addressable memory storage.
+
+This is the *functional* memory image: a paged, lazily-allocated byte store.
+Timing (cache hits/misses, DRAM latency) is modelled separately in
+:mod:`repro.arch.mem`; the pipeline and the functional interpreter both read
+and write values through this class.
+
+Reads from unmapped addresses return zero, which matches how the synthetic
+kernels initialise their arrays and keeps speculative wrong-path loads
+harmless.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, Tuple
+
+from repro.isa.semantics import to_s32
+
+_PAGE_SHIFT = 12
+_PAGE_SIZE = 1 << _PAGE_SHIFT
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
+class SparseMemory:
+    """Paged sparse memory with word (4-byte) and double (8-byte) accessors.
+
+    Words are stored little-endian; integer loads return signed 32-bit
+    values.  Doubles use IEEE-754 binary64.
+    """
+
+    __slots__ = ("_pages",)
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page_for_write(self, addr: int) -> bytearray:
+        page_addr = addr >> _PAGE_SHIFT
+        page = self._pages.get(page_addr)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_addr] = page
+        return page
+
+    # -- raw byte access -----------------------------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``addr`` (unmapped bytes are 0)."""
+        out = bytearray(size)
+        offset = 0
+        while offset < size:
+            a = addr + offset
+            page = self._pages.get(a >> _PAGE_SHIFT)
+            in_page = a & _PAGE_MASK
+            chunk = min(size - offset, _PAGE_SIZE - in_page)
+            if page is not None:
+                out[offset:offset + chunk] = page[in_page:in_page + chunk]
+            offset += chunk
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Write raw bytes starting at ``addr``."""
+        offset = 0
+        size = len(data)
+        while offset < size:
+            a = addr + offset
+            page = self._page_for_write(a)
+            in_page = a & _PAGE_MASK
+            chunk = min(size - offset, _PAGE_SIZE - in_page)
+            page[in_page:in_page + chunk] = data[offset:offset + chunk]
+            offset += chunk
+
+    # -- typed access ----------------------------------------------------------
+
+    def load_word(self, addr: int) -> int:
+        """Load a signed 32-bit word."""
+        raw = self.read_bytes(addr, 4)
+        return to_s32(int.from_bytes(raw, "little"))
+
+    def store_word(self, addr: int, value: int) -> None:
+        """Store a 32-bit word (value truncated to 32 bits)."""
+        self.write_bytes(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def load_double(self, addr: int) -> float:
+        """Load an IEEE-754 binary64 value."""
+        return struct.unpack("<d", self.read_bytes(addr, 8))[0]
+
+    def store_double(self, addr: int, value: float) -> None:
+        """Store an IEEE-754 binary64 value."""
+        self.write_bytes(addr, struct.pack("<d", float(value)))
+
+    # -- generic accessors keyed by access size -------------------------------
+
+    def load(self, addr: int, size: int):
+        """Load a value of ``size`` bytes (4 = int word, 8 = double)."""
+        if size == 4:
+            return self.load_word(addr)
+        if size == 8:
+            return self.load_double(addr)
+        raise ValueError(f"unsupported access size {size}")
+
+    def store(self, addr: int, value, size: int) -> None:
+        """Store a value of ``size`` bytes (4 = int word, 8 = double)."""
+        if size == 4:
+            self.store_word(addr, int(value))
+        elif size == 8:
+            self.store_double(addr, value)
+        else:
+            raise ValueError(f"unsupported access size {size}")
+
+    # -- bulk helpers -----------------------------------------------------------
+
+    def copy(self) -> "SparseMemory":
+        """Deep copy of the memory image."""
+        clone = SparseMemory()
+        clone._pages = {k: bytearray(v) for k, v in self._pages.items()}
+        return clone
+
+    def load_image(self, segments: Iterable[Tuple[int, bytes]]) -> None:
+        """Write a list of ``(address, bytes)`` segments into memory."""
+        for addr, data in segments:
+            self.write_bytes(addr, data)
+
+    def mapped_pages(self) -> int:
+        """Number of 4 KiB pages currently allocated (for tests/stats)."""
+        return len(self._pages)

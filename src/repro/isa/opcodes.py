@@ -1,0 +1,247 @@
+"""Opcode definitions for the MIPS-like ISA.
+
+Every opcode carries an :class:`OpSpec` describing
+
+* its **operand format** (:class:`Format`) -- how the assembler parses it and
+  how :class:`~repro.isa.instruction.Instruction` extracts sources and
+  destination,
+* its **instruction class** (:class:`InstrClass`) -- the coarse category the
+  pipeline dispatch logic cares about (ALU / load / store / control flow),
+* its **functional-unit class** (:class:`FuClass`) and execution **latency**
+  in cycles, mirroring SimpleScalar's default functional-unit timings.
+
+The opcode set is deliberately close to MIPS-I plus double-precision
+floating point; it is rich enough to express the array-intensive kernels the
+paper evaluates while staying simple to rename (at most two register sources
+and one register destination per instruction -- the property the paper's
+logical register list relies on).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Format(enum.Enum):
+    """Operand layout of an instruction, as written in assembly."""
+
+    # NOTE: enum values must be unique or Python silently aliases members.
+    R3 = "r3"          # rd, rs, rt        integer three-register ALU
+    R2I = "r2i"        # rt, rs, imm       integer register-immediate ALU
+    SHIFT = "shift"    # rd, rt, shamt     shift by immediate amount
+    LUI = "lui"        # rt, imm           load upper immediate
+    LOAD = "load"      # rt, off(rs)       integer load
+    STORE = "store"    # rt, off(rs)       integer store
+    FLOAD = "fload"    # ft, off(rs)       floating-point load
+    FSTORE = "fstore"  # ft, off(rs)       floating-point store
+    BR2 = "br2"        # rs, rt, label     compare-two-registers branch
+    BR1 = "br1"        # rs, label         compare-against-zero branch
+    J = "j"            # target            direct jump
+    JR = "jr"          # rs                indirect jump through a register
+    FR3 = "fr3"        # fd, fs, ft        floating-point three-register op
+    FR2 = "fr2"        # fd, fs            floating-point two-register op
+    FCMP = "fcmp"      # rd, fs, ft        FP compare writing an int reg
+    NONE = "none"      # no operands (nop / halt)
+
+
+class InstrClass(enum.Enum):
+    """Coarse instruction category used by dispatch, the LSQ and statistics."""
+
+    IALU = enum.auto()
+    IMUL = enum.auto()
+    IDIV = enum.auto()
+    FPALU = enum.auto()
+    FPMUL = enum.auto()
+    FPDIV = enum.auto()
+    LOAD = enum.auto()
+    STORE = enum.auto()
+    BRANCH = enum.auto()   # conditional direct branch
+    JUMP = enum.auto()     # unconditional direct jump
+    CALL = enum.auto()     # direct call (writes $ra)
+    IJUMP = enum.auto()    # indirect jump (jr)
+    ICALL = enum.auto()    # indirect call (jalr, writes $ra)
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+
+#: Instruction classes that change control flow.
+CONTROL_CLASSES = frozenset(
+    {
+        InstrClass.BRANCH,
+        InstrClass.JUMP,
+        InstrClass.CALL,
+        InstrClass.IJUMP,
+        InstrClass.ICALL,
+    }
+)
+
+#: Control-flow classes that are *unconditional*.
+UNCONDITIONAL_CLASSES = frozenset(
+    {InstrClass.JUMP, InstrClass.CALL, InstrClass.IJUMP, InstrClass.ICALL}
+)
+
+
+class FuClass(enum.Enum):
+    """Functional-unit pool an instruction executes on.
+
+    Matches the paper's Table 1: 4 IALU, 1 IMULT (integer multiply/divide),
+    4 FPALU, 1 FPMULT (floating multiply/divide).  Loads and stores use an
+    IALU slot for address generation; memory timing is owned by the LSQ and
+    the cache hierarchy.
+    """
+
+    IALU = enum.auto()
+    IMULT = enum.auto()
+    FPALU = enum.auto()
+    FPMULT = enum.auto()
+    NONE = enum.auto()
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    fmt: Format
+    icls: InstrClass
+    fu: FuClass
+    latency: int
+
+
+def _spec(mnemonic, fmt, icls, fu, latency):
+    return OpSpec(mnemonic, fmt, icls, fu, latency)
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the ISA; each value is its :class:`OpSpec`."""
+
+    # --- integer ALU, register-register --------------------------------
+    ADDU = _spec("addu", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    SUBU = _spec("subu", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    AND = _spec("and", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    OR = _spec("or", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    XOR = _spec("xor", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    NOR = _spec("nor", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    SLT = _spec("slt", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    SLTU = _spec("sltu", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    SLLV = _spec("sllv", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    SRLV = _spec("srlv", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+    SRAV = _spec("srav", Format.R3, InstrClass.IALU, FuClass.IALU, 1)
+
+    # --- integer multiply / divide --------------------------------------
+    MULT = _spec("mult", Format.R3, InstrClass.IMUL, FuClass.IMULT, 3)
+    DIV = _spec("div", Format.R3, InstrClass.IDIV, FuClass.IMULT, 20)
+
+    # --- integer ALU, register-immediate --------------------------------
+    ADDIU = _spec("addiu", Format.R2I, InstrClass.IALU, FuClass.IALU, 1)
+    ANDI = _spec("andi", Format.R2I, InstrClass.IALU, FuClass.IALU, 1)
+    ORI = _spec("ori", Format.R2I, InstrClass.IALU, FuClass.IALU, 1)
+    XORI = _spec("xori", Format.R2I, InstrClass.IALU, FuClass.IALU, 1)
+    SLTI = _spec("slti", Format.R2I, InstrClass.IALU, FuClass.IALU, 1)
+    SLTIU = _spec("sltiu", Format.R2I, InstrClass.IALU, FuClass.IALU, 1)
+    LUI = _spec("lui", Format.LUI, InstrClass.IALU, FuClass.IALU, 1)
+    SLL = _spec("sll", Format.SHIFT, InstrClass.IALU, FuClass.IALU, 1)
+    SRL = _spec("srl", Format.SHIFT, InstrClass.IALU, FuClass.IALU, 1)
+    SRA = _spec("sra", Format.SHIFT, InstrClass.IALU, FuClass.IALU, 1)
+
+    # --- floating point --------------------------------------------------
+    ADD_D = _spec("add.d", Format.FR3, InstrClass.FPALU, FuClass.FPALU, 2)
+    SUB_D = _spec("sub.d", Format.FR3, InstrClass.FPALU, FuClass.FPALU, 2)
+    MUL_D = _spec("mul.d", Format.FR3, InstrClass.FPMUL, FuClass.FPMULT, 4)
+    DIV_D = _spec("div.d", Format.FR3, InstrClass.FPDIV, FuClass.FPMULT, 12)
+    MOV_D = _spec("mov.d", Format.FR2, InstrClass.FPALU, FuClass.FPALU, 1)
+    NEG_D = _spec("neg.d", Format.FR2, InstrClass.FPALU, FuClass.FPALU, 1)
+    ABS_D = _spec("abs.d", Format.FR2, InstrClass.FPALU, FuClass.FPALU, 1)
+    SQRT_D = _spec("sqrt.d", Format.FR2, InstrClass.FPDIV, FuClass.FPMULT, 24)
+    # cross-file conversions: itof reads an integer register into an FP
+    # register, ftoi truncates an FP register into an integer register
+    ITOF = _spec("itof", Format.FR2, InstrClass.FPALU, FuClass.FPALU, 2)
+    FTOI = _spec("ftoi", Format.FR2, InstrClass.FPALU, FuClass.FPALU, 2)
+
+    # --- floating-point compares (write an integer register) ------------
+    SLT_D = _spec("slt.d", Format.FCMP, InstrClass.FPALU, FuClass.FPALU, 2)
+    SLE_D = _spec("sle.d", Format.FCMP, InstrClass.FPALU, FuClass.FPALU, 2)
+    SEQ_D = _spec("seq.d", Format.FCMP, InstrClass.FPALU, FuClass.FPALU, 2)
+
+    # --- memory ----------------------------------------------------------
+    LW = _spec("lw", Format.LOAD, InstrClass.LOAD, FuClass.IALU, 1)
+    LH = _spec("lh", Format.LOAD, InstrClass.LOAD, FuClass.IALU, 1)
+    LHU = _spec("lhu", Format.LOAD, InstrClass.LOAD, FuClass.IALU, 1)
+    LB = _spec("lb", Format.LOAD, InstrClass.LOAD, FuClass.IALU, 1)
+    LBU = _spec("lbu", Format.LOAD, InstrClass.LOAD, FuClass.IALU, 1)
+    SW = _spec("sw", Format.STORE, InstrClass.STORE, FuClass.IALU, 1)
+    SH = _spec("sh", Format.STORE, InstrClass.STORE, FuClass.IALU, 1)
+    SB = _spec("sb", Format.STORE, InstrClass.STORE, FuClass.IALU, 1)
+    L_D = _spec("l.d", Format.FLOAD, InstrClass.LOAD, FuClass.IALU, 1)
+    S_D = _spec("s.d", Format.FSTORE, InstrClass.STORE, FuClass.IALU, 1)
+
+    # --- control flow -----------------------------------------------------
+    BEQ = _spec("beq", Format.BR2, InstrClass.BRANCH, FuClass.IALU, 1)
+    BNE = _spec("bne", Format.BR2, InstrClass.BRANCH, FuClass.IALU, 1)
+    BLEZ = _spec("blez", Format.BR1, InstrClass.BRANCH, FuClass.IALU, 1)
+    BGTZ = _spec("bgtz", Format.BR1, InstrClass.BRANCH, FuClass.IALU, 1)
+    BLTZ = _spec("bltz", Format.BR1, InstrClass.BRANCH, FuClass.IALU, 1)
+    BGEZ = _spec("bgez", Format.BR1, InstrClass.BRANCH, FuClass.IALU, 1)
+    J = _spec("j", Format.J, InstrClass.JUMP, FuClass.IALU, 1)
+    JAL = _spec("jal", Format.J, InstrClass.CALL, FuClass.IALU, 1)
+    JR = _spec("jr", Format.JR, InstrClass.IJUMP, FuClass.IALU, 1)
+    JALR = _spec("jalr", Format.JR, InstrClass.ICALL, FuClass.IALU, 1)
+
+    # --- misc --------------------------------------------------------------
+    NOP = _spec("nop", Format.NONE, InstrClass.NOP, FuClass.NONE, 1)
+    HALT = _spec("halt", Format.NONE, InstrClass.HALT, FuClass.NONE, 1)
+
+    @property
+    def spec(self) -> OpSpec:
+        """The :class:`OpSpec` metadata for this opcode."""
+        return self.value
+
+    @property
+    def mnemonic(self) -> str:
+        """Assembly mnemonic (lower case)."""
+        return self.value.mnemonic
+
+    @property
+    def fmt(self) -> Format:
+        """Operand :class:`Format`."""
+        return self.value.fmt
+
+    @property
+    def icls(self) -> InstrClass:
+        """Instruction class."""
+        return self.value.icls
+
+    @property
+    def fu(self) -> FuClass:
+        """Functional-unit class."""
+        return self.value.fu
+
+    @property
+    def latency(self) -> int:
+        """Execution latency in cycles (excluding memory access time)."""
+        return self.value.latency
+
+    @property
+    def is_control(self) -> bool:
+        """True for any control-flow instruction."""
+        return self.value.icls in CONTROL_CLASSES
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for conditional direct branches."""
+        return self.value.icls is InstrClass.BRANCH
+
+    @property
+    def is_unconditional(self) -> bool:
+        """True for unconditional control flow (jumps and calls)."""
+        return self.value.icls in UNCONDITIONAL_CLASSES
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return self.value.icls in (InstrClass.LOAD, InstrClass.STORE)
+
+
+#: Mnemonic -> Opcode lookup used by the assembler.
+MNEMONIC_TO_OPCODE = {op.mnemonic: op for op in Opcode}

@@ -1,0 +1,134 @@
+"""Assembled program images.
+
+A :class:`Program` is the output of the assembler: a text segment of static
+:class:`~repro.isa.instruction.Instruction` objects laid out at 4-byte
+granularity from :data:`TEXT_BASE`, plus a data image (address/bytes
+segments) and the label table.  Both the functional interpreter and the
+out-of-order pipeline execute a Program directly -- there is no separate
+"binary" step, although :mod:`repro.isa.encoding` can round-trip the text
+segment through a 32-bit encoding for testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.memory import SparseMemory
+
+#: Base address of the text segment (MIPS convention).
+TEXT_BASE = 0x00400000
+
+#: Base address of the data segment (MIPS convention).
+DATA_BASE = 0x10000000
+
+#: Initial stack pointer.
+STACK_TOP = 0x7FFF0000
+
+#: Bytes per instruction.
+INSTRUCTION_BYTES = 4
+
+
+class Program:
+    """An assembled program: text segment, data image and labels."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        data_segments: Optional[Sequence[Tuple[int, bytes]]] = None,
+        labels: Optional[Dict[str, int]] = None,
+        text_base: int = TEXT_BASE,
+        name: str = "program",
+    ):
+        self.name = name
+        self.text_base = text_base
+        self.instructions: List[Instruction] = list(instructions)
+        self.data_segments: List[Tuple[int, bytes]] = list(data_segments or [])
+        self.labels: Dict[str, int] = dict(labels or {})
+        for index, inst in enumerate(self.instructions):
+            inst.pc = text_base + index * INSTRUCTION_BYTES
+            inst.index = index
+
+    # -- address arithmetic ---------------------------------------------------
+
+    @property
+    def entry_point(self) -> int:
+        """Byte address of the first instruction."""
+        return self.text_base
+
+    @property
+    def text_end(self) -> int:
+        """One past the last text byte."""
+        return self.text_base + len(self.instructions) * INSTRUCTION_BYTES
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def index_of(self, pc: int) -> Optional[int]:
+        """Text-segment index for a byte address, or None if outside text."""
+        offset = pc - self.text_base
+        if offset < 0 or offset % INSTRUCTION_BYTES:
+            return None
+        index = offset // INSTRUCTION_BYTES
+        if index >= len(self.instructions):
+            return None
+        return index
+
+    def inst_at(self, pc: int) -> Optional[Instruction]:
+        """The instruction at byte address ``pc``, or None if outside text.
+
+        Wrong-path fetches may run past the end of the program; the fetch
+        unit treats a ``None`` here as an invalid instruction bubble.
+        """
+        index = self.index_of(pc)
+        if index is None:
+            return None
+        return self.instructions[index]
+
+    def label_address(self, label: str) -> int:
+        """Resolve a label to its byte address."""
+        return self.labels[label]
+
+    # -- memory image -----------------------------------------------------------
+
+    def initial_memory(self) -> SparseMemory:
+        """A fresh memory image with the data segments loaded."""
+        mem = SparseMemory()
+        mem.load_image(self.data_segments)
+        return mem
+
+    # -- introspection ----------------------------------------------------------
+
+    def listing(self) -> str:
+        """A human-readable disassembly listing with labels."""
+        by_addr: Dict[int, List[str]] = {}
+        for label, addr in self.labels.items():
+            by_addr.setdefault(addr, []).append(label)
+        lines = []
+        for inst in self.instructions:
+            for label in sorted(by_addr.get(inst.pc, ())):
+                lines.append(f"{label}:")
+            lines.append(f"    {inst.pc:#010x}  {inst.disassemble()}")
+        return "\n".join(lines)
+
+    def static_loop_sizes(self) -> List[int]:
+        """Sizes (in instructions) of all static backward-branch loops.
+
+        A loop is any conditional branch or direct jump whose target is at or
+        before its own address; the size counts the target through the branch
+        inclusive.  Used by workload calibration tests and reports.
+        """
+        sizes = []
+        for inst in self.instructions:
+            if inst.is_direct_control and inst.target is not None:
+                if inst.target <= inst.pc:
+                    sizes.append(
+                        (inst.pc - inst.target) // INSTRUCTION_BYTES + 1
+                    )
+        return sizes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Program {self.name!r}: {len(self.instructions)} insts, "
+            f"{len(self.data_segments)} data segments>"
+        )

@@ -1,0 +1,114 @@
+"""Logical register space for the MIPS-like ISA.
+
+The machine has 32 integer registers and 32 floating-point registers.  For
+renaming purposes the two files are folded into a single *unified logical
+register space* of 64 names:
+
+* indices ``0..31``  -- integer registers ``$0``/``$zero`` .. ``$31``/``$ra``
+* indices ``32..63`` -- floating-point registers ``$f0`` .. ``$f31``
+
+The paper's logical register list (LRL) stores up to three logical register
+numbers per issue-queue entry; with the unified space each number is 6 bits
+wide (the paper assumed 5 bits; the one extra bit per operand does not change
+any conclusion and is accounted for in the power model's overhead term).
+
+Integer register ``$0`` is hard-wired to zero: writes to it are discarded and
+it never participates in renaming.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: First index of the floating-point registers inside the unified space.
+FP_BASE = NUM_INT_REGS
+
+#: Total number of logical registers in the unified space.
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: The hard-wired zero register.
+REG_ZERO = 0
+
+#: Stack pointer ($29).
+REG_SP = 29
+
+#: Frame pointer ($30).
+REG_FP = 30
+
+#: Return-address register ($31), written by ``jal``/``jalr``.
+REG_RA = 31
+
+#: Conventional MIPS integer register aliases, by index.
+INT_REG_ALIASES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+_ALIAS_TO_INDEX = {name: idx for idx, name in enumerate(INT_REG_ALIASES)}
+
+
+def intreg(index: int) -> int:
+    """Return the unified logical index of integer register ``index``.
+
+    >>> intreg(8)
+    8
+    """
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fpreg(index: int) -> int:
+    """Return the unified logical index of floating-point register ``index``.
+
+    >>> fpreg(2)
+    34
+    """
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def is_fp_reg(logical: int) -> bool:
+    """True if the unified logical index names a floating-point register."""
+    return FP_BASE <= logical < NUM_LOGICAL_REGS
+
+
+def reg_name(logical: int) -> str:
+    """Human-readable name for a unified logical register index.
+
+    Integer registers use their conventional MIPS alias (``$t0``-style);
+    floating-point registers use ``$fN``.
+    """
+    if not 0 <= logical < NUM_LOGICAL_REGS:
+        raise ValueError(f"logical register index out of range: {logical}")
+    if logical < FP_BASE:
+        return "$" + INT_REG_ALIASES[logical]
+    return f"$f{logical - FP_BASE}"
+
+
+def parse_reg(token: str) -> int:
+    """Parse a register token into a unified logical index.
+
+    Accepts ``$t0`` / ``t0`` aliases, ``$5`` / ``r5`` numeric integer names,
+    and ``$f3`` / ``f3`` floating-point names.
+
+    Raises :class:`ValueError` for anything else.
+    """
+    tok = token.strip().lower()
+    if tok.startswith("$"):
+        tok = tok[1:]
+    if not tok:
+        raise ValueError(f"empty register token: {token!r}")
+    if tok in _ALIAS_TO_INDEX:
+        return _ALIAS_TO_INDEX[tok]
+    if tok[0] == "f" and tok[1:].isdigit():
+        return fpreg(int(tok[1:]))
+    if tok[0] == "r" and tok[1:].isdigit():
+        return intreg(int(tok[1:]))
+    if tok.isdigit():
+        return intreg(int(tok))
+    raise ValueError(f"unknown register name: {token!r}")

@@ -1,0 +1,258 @@
+"""Pure evaluation semantics for the ISA.
+
+These functions are shared by two consumers:
+
+* the in-order functional :class:`~repro.isa.interpreter.Interpreter`
+  (the correctness oracle used by the test suite), and
+* the out-of-order pipeline's execute stage in
+  :mod:`repro.arch.pipeline`.
+
+Keeping a single implementation guarantees the two agree instruction by
+instruction, which is what makes "pipeline final state == interpreter final
+state" a meaningful property test.
+
+Integer values are Python ints constrained to signed 32-bit two's-complement
+range; floating-point values are Python floats (IEEE-754 double precision,
+matching the ``.d`` opcodes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.opcodes import Opcode
+
+_U32_MASK = 0xFFFFFFFF
+
+
+def to_u32(value: int) -> int:
+    """Truncate an int to its unsigned 32-bit representation."""
+    return value & _U32_MASK
+
+
+def to_s32(value: int) -> int:
+    """Truncate an int to signed 32-bit two's-complement range."""
+    value &= _U32_MASK
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def sign_extend_16(value: int) -> int:
+    """Sign-extend a 16-bit immediate."""
+    value &= 0xFFFF
+    return value - 0x10000 if value >= 0x8000 else value
+
+
+def zero_extend_16(value: int) -> int:
+    """Zero-extend a 16-bit immediate."""
+    return value & 0xFFFF
+
+
+def _sdiv(a: int, b: int) -> int:
+    """Signed 32-bit division truncating toward zero; x/0 is defined as 0."""
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return to_s32(q)
+
+
+def _fdiv(a: float, b: float) -> float:
+    """IEEE-style float division (0/0 -> nan, x/0 -> signed inf)."""
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    return a / b
+
+
+def _fsqrt(a: float) -> float:
+    """IEEE-style square root (negative input -> nan)."""
+    if a < 0.0 or math.isnan(a):
+        return math.nan
+    return math.sqrt(a)
+
+
+# Two-operand integer ALU kernels: (a, b) -> result.
+_INT_R3 = {
+    Opcode.ADDU: lambda a, b: to_s32(a + b),
+    Opcode.SUBU: lambda a, b: to_s32(a - b),
+    Opcode.AND: lambda a, b: to_s32(to_u32(a) & to_u32(b)),
+    Opcode.OR: lambda a, b: to_s32(to_u32(a) | to_u32(b)),
+    Opcode.XOR: lambda a, b: to_s32(to_u32(a) ^ to_u32(b)),
+    Opcode.NOR: lambda a, b: to_s32(~(to_u32(a) | to_u32(b))),
+    Opcode.SLT: lambda a, b: int(a < b),
+    Opcode.SLTU: lambda a, b: int(to_u32(a) < to_u32(b)),
+    Opcode.SLLV: lambda a, b: to_s32(to_u32(a) << (to_u32(b) & 31)),
+    Opcode.SRLV: lambda a, b: to_s32(to_u32(a) >> (to_u32(b) & 31)),
+    Opcode.SRAV: lambda a, b: to_s32(a >> (to_u32(b) & 31)),
+    Opcode.MULT: lambda a, b: to_s32(a * b),
+    Opcode.DIV: _sdiv,
+}
+
+# Register-immediate integer ALU kernels: (a, imm) -> result.
+_INT_R2I = {
+    Opcode.ADDIU: lambda a, imm: to_s32(a + sign_extend_16(imm)),
+    Opcode.ANDI: lambda a, imm: to_s32(to_u32(a) & zero_extend_16(imm)),
+    Opcode.ORI: lambda a, imm: to_s32(to_u32(a) | zero_extend_16(imm)),
+    Opcode.XORI: lambda a, imm: to_s32(to_u32(a) ^ zero_extend_16(imm)),
+    Opcode.SLTI: lambda a, imm: int(a < sign_extend_16(imm)),
+    Opcode.SLTIU: lambda a, imm: int(to_u32(a) < to_u32(sign_extend_16(imm))),
+}
+
+# Shift-by-immediate kernels: (a, shamt) -> result.
+_INT_SHIFT = {
+    Opcode.SLL: lambda a, sh: to_s32(to_u32(a) << (sh & 31)),
+    Opcode.SRL: lambda a, sh: to_s32(to_u32(a) >> (sh & 31)),
+    Opcode.SRA: lambda a, sh: to_s32(a >> (sh & 31)),
+}
+
+# Floating-point three-register kernels.
+_FP_R3 = {
+    Opcode.ADD_D: lambda a, b: a + b,
+    Opcode.SUB_D: lambda a, b: a - b,
+    Opcode.MUL_D: lambda a, b: a * b,
+    Opcode.DIV_D: _fdiv,
+}
+
+# Floating-point two-register kernels.
+_FP_R2 = {
+    Opcode.MOV_D: lambda a: a,
+    Opcode.NEG_D: lambda a: -a,
+    Opcode.ABS_D: lambda a: abs(a),
+    Opcode.SQRT_D: _fsqrt,
+    Opcode.ITOF: lambda a: float(a),
+    Opcode.FTOI: lambda a: to_s32(int(a)) if not math.isnan(a) else 0,
+}
+
+# Floating-point compare kernels (write 0/1 to an integer register).
+_FP_CMP = {
+    Opcode.SLT_D: lambda a, b: int(a < b),
+    Opcode.SLE_D: lambda a, b: int(a <= b),
+    Opcode.SEQ_D: lambda a, b: int(a == b),
+}
+
+
+def evaluate(op: Opcode, a, b, imm: int):
+    """Compute the result value of a non-memory, non-control instruction.
+
+    ``a`` and ``b`` are the values of the first and second source operands
+    (as given by ``Instruction.srcs``); ``imm`` is the immediate field.
+    Memory instructions are excluded because their result depends on memory;
+    the address they access is computed by :func:`effective_address`.
+    """
+    fn = _INT_R3.get(op)
+    if fn is not None:
+        return fn(a, b)
+    fn = _INT_R2I.get(op)
+    if fn is not None:
+        return fn(a, imm)
+    fn = _INT_SHIFT.get(op)
+    if fn is not None:
+        return fn(a, imm)
+    if op is Opcode.LUI:
+        return to_s32(zero_extend_16(imm) << 16)
+    fn = _FP_R3.get(op)
+    if fn is not None:
+        return fn(a, b)
+    fn = _FP_R2.get(op)
+    if fn is not None:
+        return fn(a)
+    fn = _FP_CMP.get(op)
+    if fn is not None:
+        return fn(a, b)
+    raise ValueError(f"evaluate() does not handle opcode {op}")
+
+
+def effective_address(base: int, imm: int) -> int:
+    """Effective address of a load or store: base + sign-extended offset."""
+    return to_u32(base + sign_extend_16(imm))
+
+
+def branch_taken(op: Opcode, a, b) -> bool:
+    """Resolve the direction of a conditional branch.
+
+    ``a``/``b`` are the branch's source operand values (``b`` unused for the
+    compare-against-zero forms).
+    """
+    if op is Opcode.BEQ:
+        return a == b
+    if op is Opcode.BNE:
+        return a != b
+    if op is Opcode.BLEZ:
+        return a <= 0
+    if op is Opcode.BGTZ:
+        return a > 0
+    if op is Opcode.BLTZ:
+        return a < 0
+    if op is Opcode.BGEZ:
+        return a >= 0
+    raise ValueError(f"not a conditional branch: {op}")
+
+
+#: (size in bytes, sign-extend?) for every integer memory opcode.
+_INT_MEM_SPECS = {
+    Opcode.LW: (4, True),
+    Opcode.LH: (2, True),
+    Opcode.LHU: (2, False),
+    Opcode.LB: (1, True),
+    Opcode.LBU: (1, False),
+    Opcode.SW: (4, True),
+    Opcode.SH: (2, True),
+    Opcode.SB: (1, True),
+}
+
+#: Floating-point memory opcodes (IEEE-754 binary64).
+_FP_MEM_OPS = frozenset({Opcode.L_D, Opcode.S_D})
+
+
+def access_size(op: Opcode) -> int:
+    """Number of bytes moved by a load or store opcode."""
+    if op in _FP_MEM_OPS:
+        return 8
+    spec = _INT_MEM_SPECS.get(op)
+    if spec is None:
+        raise ValueError(f"not a memory opcode: {op}")
+    return spec[0]
+
+
+def _extend(raw: int, size: int, signed: bool) -> int:
+    """Sign- or zero-extend a raw little-endian integer of ``size`` bytes."""
+    if signed:
+        sign_bit = 1 << (size * 8 - 1)
+        if raw & sign_bit:
+            raw -= 1 << (size * 8)
+    return to_s32(raw) if size == 4 else raw
+
+
+def load_from_memory(memory, op: Opcode, addr: int):
+    """Perform a load's memory read with the opcode's width/extension."""
+    if op in _FP_MEM_OPS:
+        return memory.load_double(addr)
+    size, signed = _INT_MEM_SPECS[op]
+    raw = int.from_bytes(memory.read_bytes(addr, size), "little")
+    return _extend(raw, size, signed)
+
+
+def store_to_memory(memory, op: Opcode, addr: int, value) -> None:
+    """Perform a store's memory write with the opcode's width."""
+    if op in _FP_MEM_OPS:
+        memory.store_double(addr, value)
+        return
+    size, _ = _INT_MEM_SPECS[op]
+    mask = (1 << (size * 8)) - 1
+    memory.write_bytes(addr, (int(value) & mask).to_bytes(size, "little"))
+
+
+def forwarded_value(load_op: Opcode, stored_value):
+    """Value a load receives when forwarding from a same-size store.
+
+    Store data is held in register form; the load must still apply its own
+    truncation and extension (e.g. ``sb`` of -1 forwarded into ``lbu``
+    yields 255, into ``lb`` yields -1).
+    """
+    if load_op in _FP_MEM_OPS:
+        return stored_value
+    size, signed = _INT_MEM_SPECS[load_op]
+    raw = int(stored_value) & ((1 << (size * 8)) - 1)
+    return _extend(raw, size, signed)

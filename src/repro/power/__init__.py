@@ -1,0 +1,31 @@
+"""Wattch-style activity-based power model.
+
+The paper develops its power model on Wattch; this package reproduces that
+methodology at the granularity the paper reports:
+
+* every microarchitectural structure has a **per-access energy** scaled by
+  its configured size (:mod:`repro.power.params`),
+* per-cycle **base (idle) power** models conditional clocking: a gated or
+  idle structure still burns ``idle_fraction`` (10 %, Wattch's cc3 mode) of
+  its nominal active power,
+* the front-end structures (I-cache, ITLB, the predictor's lookup side, the
+  decoder, and the front-end share of the clock tree) stop their *active*
+  energy and drop to idle power during the paper's Code Reuse state,
+* the reuse hardware itself (logical register list, NBLT, state machine)
+  is charged as the paper's *overhead* component.
+
+Energies are in arbitrary units; as in the paper, only relative (per-cycle
+power) comparisons between runs are meaningful.
+"""
+
+from repro.power.components import ComponentEnergy
+from repro.power.model import PowerModel, collect_activity
+from repro.power.params import DEFAULT_PARAMS, PowerParams
+
+__all__ = [
+    "ComponentEnergy",
+    "PowerModel",
+    "collect_activity",
+    "DEFAULT_PARAMS",
+    "PowerParams",
+]

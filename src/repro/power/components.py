@@ -1,0 +1,69 @@
+"""Per-component energy records.
+
+A :class:`ComponentEnergy` is the power model's output for one structure:
+its activity (switching) energy, its accumulated base (idle/conditional-
+clocking) energy, and the run length, from which per-cycle average power
+follows.  Comparisons between a baseline run and a reuse run -- the paper's
+Figures 6 and 7 -- are ratios of these per-cycle powers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ComponentEnergy:
+    """Energy of one microarchitectural structure over a run."""
+
+    name: str
+    active_energy: float
+    base_energy: float
+    cycles: int
+
+    @property
+    def total_energy(self) -> float:
+        """Active plus base energy."""
+        return self.active_energy + self.base_energy
+
+    @property
+    def avg_power(self) -> float:
+        """Average per-cycle power (the quantity the paper compares)."""
+        return self.total_energy / self.cycles if self.cycles else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<ComponentEnergy {self.name}: total={self.total_energy:.0f}"
+                f" avg={self.avg_power:.2f}/cycle>")
+
+
+#: The component grouping used for Figure 6/7 reporting.
+REPORT_COMPONENTS = (
+    "icache", "itlb", "bpred", "decode", "rename", "issue_queue", "rob",
+    "lsq", "regfile", "fu", "dcache", "dtlb", "l2", "resultbus", "clock",
+    "overhead",
+)
+
+
+def power_reduction(baseline: ComponentEnergy,
+                    variant: ComponentEnergy) -> float:
+    """Relative per-cycle power saving of ``variant`` vs ``baseline``.
+
+    Positive = the variant consumes less power per cycle (the paper's
+    convention); negative = it consumes more.
+    """
+    if baseline.avg_power == 0.0:
+        return 0.0
+    return 1.0 - variant.avg_power / baseline.avg_power
+
+
+def total_power_reduction(baseline: Dict[str, ComponentEnergy],
+                          variant: Dict[str, ComponentEnergy]) -> float:
+    """Overall per-cycle power saving across all components (Figure 7)."""
+    base_total = sum(c.total_energy for c in baseline.values())
+    base_cycles = next(iter(baseline.values())).cycles
+    var_total = sum(c.total_energy for c in variant.values())
+    var_cycles = next(iter(variant.values())).cycles
+    if base_total == 0 or base_cycles == 0 or var_cycles == 0:
+        return 0.0
+    return 1.0 - (var_total / var_cycles) / (base_total / base_cycles)

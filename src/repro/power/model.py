@@ -1,0 +1,191 @@
+"""The power model proper.
+
+:func:`collect_activity` harvests every activity counter from a finished
+pipeline; :class:`PowerModel` turns those counts into per-component
+:class:`~repro.power.components.ComponentEnergy` records.
+
+Keeping the model *post-hoc* (counters in the hot loop, arithmetic at the
+end) is both faster and faithful to how Wattch sits on top of SimpleScalar.
+
+Gating semantics (the paper's mechanism):
+
+* during gated cycles the I-cache, ITLB, predictor lookup side and decoder
+  have no activity (their counters simply did not advance) and their base
+  power falls to ``idle_fraction``,
+* the clock tree sheds its front-end share during gated cycles,
+* predictor *updates* (commit side), the issue queue, rename and the whole
+  backend keep running,
+* the issue queue's reuse-mode dispatches appear as cheap partial updates
+  instead of insert+remove pairs,
+* the LRL, NBLT and detector are charged to the ``overhead`` component
+  whenever the mechanism is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.config import MachineConfig
+from repro.power.components import ComponentEnergy
+from repro.power.params import DEFAULT_PARAMS, PowerParams
+
+
+def collect_activity(pipeline) -> Dict[str, float]:
+    """Harvest all activity counters from a finished pipeline run."""
+    stats = pipeline.stats
+    hierarchy = pipeline.hierarchy
+    predictor = pipeline.predictor
+    activity = stats.as_dict()
+    activity.update(
+        icache_accesses=hierarchy.il1.accesses,
+        icache_misses=hierarchy.il1.misses,
+        itlb_accesses=hierarchy.itlb.accesses,
+        bpred_lookups=predictor.lookups,
+        bpred_updates=predictor.updates,
+        dcache_accesses=hierarchy.dl1.accesses,
+        dcache_misses=hierarchy.dl1.misses,
+        dtlb_accesses=hierarchy.dtlb.accesses,
+        l2_accesses=hierarchy.l2.accesses,
+        dram_accesses=hierarchy.dram.accesses,
+        reuse_enabled=1 if pipeline.config.reuse_enabled else 0,
+        loop_cache_enabled=1 if pipeline.config.loop_cache_size else 0,
+        loopcache_supplied_cycles=(
+            pipeline.fetch_unit.loop_cache.supplied_cycles
+            if pipeline.fetch_unit.loop_cache is not None else 0),
+    )
+    return activity
+
+
+class PowerModel:
+    """Activity counts + configuration -> per-component energies."""
+
+    def __init__(self, config: MachineConfig,
+                 params: PowerParams = DEFAULT_PARAMS):
+        self.config = config
+        self.params = params
+
+    def component_energies(
+            self, activity: Dict[str, float]) -> Dict[str, ComponentEnergy]:
+        """Compute the energy of every component for one run."""
+        p = self.params
+        cfg = self.config
+        cycles = int(activity["cycles"])
+        gated = int(activity["gated_cycles"])
+        # effective base-power cycle count for a gated structure: full power
+        # while ungated, idle_fraction while gated
+        gated_base_cycles = (cycles - gated) + p.idle_fraction * gated
+
+        iq_scale = p.iq_scale(cfg)
+        rob_scale = p.rob_scale(cfg)
+        lsq_scale = p.lsq_scale(cfg)
+        il1_scale = p.cache_scale(cfg.il1.size_bytes, cfg.il1.assoc,
+                                  32 * 1024, 2)
+        dl1_scale = p.cache_scale(cfg.dl1.size_bytes, cfg.dl1.assoc,
+                                  32 * 1024, 4)
+        l2_scale = p.cache_scale(cfg.l2.size_bytes, cfg.l2.assoc,
+                                 256 * 1024, 4)
+
+        out: Dict[str, ComponentEnergy] = {}
+
+        def add(name, active, base):
+            out[name] = ComponentEnergy(name, active, base, cycles)
+
+        # loop-cache-served fetch cycles replace I-cache reads with a
+        # small buffer read; the buffer's energy is charged to the icache
+        # component so the comparison against the reuse queue stays fair
+        loopcache_active = (activity.get("loopcache_supplied_cycles", 0)
+                            * p.e_loopcache_read)
+        loopcache_base = (p.p_loopcache_base * cycles
+                          if activity.get("loop_cache_enabled") else 0.0)
+        add("icache",
+            il1_scale * (activity["icache_accesses"] * p.e_icache_access
+                         + activity["icache_misses"] * p.e_icache_miss)
+            + loopcache_active,
+            il1_scale * p.p_icache_base * gated_base_cycles
+            + loopcache_base)
+        add("itlb",
+            activity["itlb_accesses"] * p.e_itlb,
+            p.p_itlb_base * gated_base_cycles)
+        add("bpred",
+            activity["bpred_lookups"] * p.e_bpred_lookup
+            + activity["bpred_updates"] * p.e_bpred_update,
+            p.p_bpred_lookup_base * gated_base_cycles
+            + p.p_bpred_update_base * cycles)
+        # instructions supplied pre-decoded by a decode filter cache skip
+        # the decoder; they cost a cheap buffer read instead
+        predecoded = activity.get("predecoded_supplied", 0)
+        add("decode",
+            (activity["decoded"] - predecoded) * p.e_decode
+            + predecoded * p.e_dfc_read,
+            p.p_decode_base * gated_base_cycles)
+        add("rename",
+            activity["rename_lookups"] * p.e_rename_lookup
+            + activity["rename_writes"] * p.e_rename_write,
+            p.p_rename_base * cycles)
+        add("issue_queue",
+            iq_scale * (activity["iq_inserts"] * p.e_iq_insert
+                        + activity["iq_removes"] * p.e_iq_remove
+                        + activity["iq_wakeups"] * p.e_iq_wakeup
+                        + activity["issued"] * p.e_iq_select
+                        + activity["iq_partial_updates"]
+                        * p.e_iq_partial_update),
+            iq_scale * p.p_iq_base * cycles)
+        add("rob",
+            rob_scale * (activity["rob_writes"] * p.e_rob_write
+                         + activity["rob_reads"] * p.e_rob_read),
+            rob_scale * p.p_rob_base * cycles)
+        add("lsq",
+            lsq_scale * (activity["lsq_inserts"] * p.e_lsq_insert
+                         + activity["lsq_searches"] * p.e_lsq_search
+                         + activity["lsq_forwards"] * p.e_lsq_forward),
+            lsq_scale * p.p_lsq_base * cycles)
+        add("regfile",
+            activity["regfile_reads"] * p.e_regfile_read
+            + activity["regfile_writes"] * p.e_regfile_write,
+            p.p_regfile_base * cycles)
+        add("fu",
+            activity["fu_int_ops"] * p.e_fu_int
+            + activity["fu_mult_ops"] * p.e_fu_mult
+            + activity["fu_fp_ops"] * p.e_fu_fp
+            + activity["fu_fpmult_ops"] * p.e_fu_fpmult,
+            p.p_fu_base * cycles)
+        add("dcache",
+            dl1_scale * activity["dcache_accesses"] * p.e_dcache,
+            dl1_scale * p.p_dcache_base * cycles)
+        add("dtlb",
+            activity["dtlb_accesses"] * p.e_dtlb,
+            0.0)
+        add("l2",
+            l2_scale * activity["l2_accesses"] * p.e_l2
+            + activity["dram_accesses"] * p.e_dram,
+            l2_scale * p.p_l2_base * cycles)
+        add("resultbus",
+            activity["resultbus_writes"] * p.e_resultbus,
+            0.0)
+
+        clock_power = p.p_clock * p.clock_scale(cfg)
+        frontend_clock = clock_power * p.clock_frontend_share
+        backend_clock = clock_power - frontend_clock
+        add("clock",
+            0.0,
+            backend_clock * cycles + frontend_clock * gated_base_cycles)
+
+        if activity.get("reuse_enabled"):
+            overhead_active = (
+                activity["lrl_writes"] * p.e_lrl_write
+                + activity["lrl_reads"] * p.e_lrl_read
+                + activity["nblt_lookups"] * p.e_nblt_lookup
+                + activity["nblt_inserts"] * p.e_nblt_insert
+                + activity["decoded"] * p.e_detector)
+            overhead_base = p.p_overhead_base * cycles
+        else:
+            overhead_active = 0.0
+            overhead_base = 0.0
+        add("overhead", overhead_active, overhead_base)
+
+        return out
+
+    def total_energy(self, activity: Dict[str, float]) -> float:
+        """Total energy across all components for one run."""
+        return sum(c.total_energy
+                   for c in self.component_energies(activity).values())

@@ -1,0 +1,171 @@
+"""Power-model parameters.
+
+Per-event energies in arbitrary units, chosen so that the per-component
+share of total core power matches typical Wattch breakdowns for a 4-wide
+out-of-order core (clock tree ~30 %, issue window 12-18 %, I-cache 8-12 %,
+register file ~6 %, ...).  Absolute values are meaningless on purpose -- the
+paper, like us, reports only relative per-cycle savings.
+
+Size scaling: structures swept by the paper scale their per-event energy
+with capacity relative to the Table 1 baseline --
+
+* issue-queue events scale as ``(iq_size / 64) ** 0.7`` (CAM/selection
+  wires grow with entry count; sub-linear because banking amortises),
+* cache energies scale as ``sqrt(size * assoc)`` relative to the baseline
+  geometry,
+* the ROB/LSQ scale like the issue queue.
+
+Calibration targets (verified by ``tests/test_power_calibration.py``):
+with the front-end gated a fraction ``g`` of cycles, I-cache power drops by
+roughly ``0.9 * g`` (active fetch energy plus 90 % of its idle power),
+branch-predictor power by roughly ``0.45 * g`` (its commit-side update
+energy never stops), and issue-queue power by the insert/remove share that
+partial updates displace -- the shapes of the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """All per-event energies and per-cycle base powers (arbitrary units)."""
+
+    # -- front end (gated during Code Reuse) --------------------------------
+    e_icache_access: float = 260.0
+    e_icache_miss: float = 150.0       # extra fill/tag energy per miss
+    e_itlb: float = 20.0
+    e_bpred_lookup: float = 130.0      # bimod + BTB + RAS read at fetch
+    e_bpred_update: float = 155.0      # bimod train + BTB install at commit
+    e_decode: float = 42.0
+
+    # -- rename / window -----------------------------------------------------
+    e_rename_lookup: float = 14.0
+    e_rename_write: float = 16.0
+    e_iq_insert: float = 64.0
+    e_iq_remove: float = 42.0
+    e_iq_wakeup: float = 85.0          # one completion broadcast
+    e_iq_select: float = 55.0          # per issued instruction
+    e_iq_partial_update: float = 26.0  # reuse-mode re-rename of an entry
+    e_rob_write: float = 30.0
+    e_rob_read: float = 26.0
+    e_lsq_insert: float = 28.0
+    e_lsq_search: float = 36.0
+    e_lsq_forward: float = 30.0
+
+    # -- execution ---------------------------------------------------------------
+    e_regfile_read: float = 24.0
+    e_regfile_write: float = 30.0
+    e_fu_int: float = 110.0
+    e_fu_mult: float = 310.0
+    e_fu_fp: float = 220.0
+    e_fu_fpmult: float = 420.0
+    e_resultbus: float = 55.0
+
+    # -- data memory -----------------------------------------------------------
+    e_dcache: float = 290.0
+    e_dtlb: float = 22.0
+    e_l2: float = 640.0
+    e_dram: float = 2200.0
+
+    # -- related-work loop cache ----------------------------------------------
+    #: Energy per fetch cycle served from the loop-cache buffer (a small
+    #: SRAM read, far cheaper than the 32 KB I-cache).
+    e_loopcache_read: float = 30.0
+    #: Loop-cache leakage per cycle while configured.
+    p_loopcache_base: float = 2.5
+    #: Energy per instruction read pre-decoded from a decode filter cache
+    #: (replaces the decoder's per-instruction energy).
+    e_dfc_read: float = 12.0
+
+    # -- reuse-hardware overhead (the paper's "Overhead" bar) -----------------
+    e_lrl_write: float = 9.0
+    e_lrl_read: float = 7.0
+    e_nblt_lookup: float = 11.0
+    e_nblt_insert: float = 11.0
+    e_detector: float = 3.0            # per decoded instruction while enabled
+    p_overhead_base: float = 1.2       # LRL/NBLT leakage per cycle
+
+    # -- clock tree -----------------------------------------------------------------
+    #: Clock power per cycle at the baseline configuration.
+    p_clock: float = 1150.0
+    #: Fraction of the clock tree feeding the gated front-end stages.
+    clock_frontend_share: float = 0.22
+
+    # -- base (idle) powers per cycle, at baseline sizes -------------------------
+    p_icache_base: float = 26.0
+    p_itlb_base: float = 2.0
+    p_bpred_lookup_base: float = 6.0   # lookup-side arrays (gated)
+    p_bpred_update_base: float = 5.0   # update port (never gated)
+    p_decode_base: float = 10.0
+    p_rename_base: float = 8.0
+    p_iq_base: float = 42.0
+    p_rob_base: float = 18.0
+    p_lsq_base: float = 10.0
+    p_regfile_base: float = 16.0
+    p_fu_base: float = 55.0
+    p_dcache_base: float = 28.0
+    p_l2_base: float = 30.0
+
+    #: Idle (gated) structures retain this fraction of their base power.
+    #: This is Wattch's conditional-clocking knob -- see
+    #: :meth:`for_clocking_style`.
+    idle_fraction: float = 0.1
+
+    # -- reference geometry the energies above were calibrated at ----------------
+    ref_iq_size: int = 64
+    ref_rob_size: int = 64
+    ref_lsq_size: int = 32
+
+    # -- scaling helpers ---------------------------------------------------------
+
+    def iq_scale(self, config: MachineConfig) -> float:
+        """Energy scale factor of the issue queue for ``config``."""
+        return (config.iq_size / self.ref_iq_size) ** 0.7
+
+    def rob_scale(self, config: MachineConfig) -> float:
+        """Energy scale factor of the ROB."""
+        return (config.rob_size / self.ref_rob_size) ** 0.7
+
+    def lsq_scale(self, config: MachineConfig) -> float:
+        """Energy scale factor of the LSQ."""
+        return (config.lsq_size / self.ref_lsq_size) ** 0.7
+
+    def cache_scale(self, size_bytes: int, assoc: int,
+                    ref_size: int, ref_assoc: int) -> float:
+        """Energy scale factor of a cache relative to a reference geometry."""
+        return math.sqrt((size_bytes * assoc) / (ref_size * ref_assoc))
+
+    def clock_scale(self, config: MachineConfig) -> float:
+        """Clock-tree load grows mildly with the scheduling window."""
+        return (config.iq_size / self.ref_iq_size) ** 0.15
+
+    def for_clocking_style(self, style: str) -> "PowerParams":
+        """Wattch's conditional-clocking styles as parameter variants.
+
+        * ``cc0`` -- unconditional clocking: idle structures burn full
+          base power (gating saves only switching energy),
+        * ``cc1`` -- ideal conditional clocking: idle structures burn
+          nothing,
+        * ``cc3`` -- realistic conditional clocking: idle structures
+          retain 10 % of their power (the paper's assumption and our
+          default).
+        """
+        fractions = {"cc0": 1.0, "cc1": 0.0, "cc3": 0.1}
+        if style not in fractions:
+            raise ValueError(
+                f"unknown clocking style {style!r}; choose from "
+                f"{sorted(fractions)}")
+        import dataclasses
+        return dataclasses.replace(self, idle_fraction=fractions[style])
+
+
+#: The default, calibrated parameter set (Wattch cc3 clocking).
+DEFAULT_PARAMS = PowerParams()
+
+#: The conditional-clocking styles accepted by ``for_clocking_style``.
+CLOCKING_STYLES = ("cc0", "cc1", "cc3")

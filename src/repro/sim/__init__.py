@@ -1,0 +1,16 @@
+"""Simulation driver and experiment harness.
+
+* :mod:`repro.sim.simulator` -- run one program on one configuration and
+  collect timing + power into a :class:`SimulationResult`,
+* :mod:`repro.sim.results` -- result records and baseline-vs-reuse
+  comparisons,
+* :mod:`repro.sim.experiments` -- the parameter sweeps behind every table
+  and figure in the paper's evaluation,
+* :mod:`repro.sim.report` -- plain-text table rendering used by the
+  benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.sim.results import RunComparison, SimulationResult
+from repro.sim.simulator import simulate
+
+__all__ = ["RunComparison", "SimulationResult", "simulate"]

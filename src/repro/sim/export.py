@@ -1,0 +1,77 @@
+"""Machine-readable export of simulation results.
+
+Turns :class:`~repro.sim.results.SimulationResult` and
+:class:`~repro.sim.results.RunComparison` objects into plain dicts / JSON
+for downstream tooling (plotting scripts, regression dashboards).  The CLI
+exposes this through ``--json``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.sim.results import RunComparison, SimulationResult
+
+
+def config_to_dict(config) -> Dict[str, Any]:
+    """The interesting knobs of a machine configuration."""
+    return {
+        "iq_size": config.iq_size,
+        "rob_size": config.rob_size,
+        "lsq_size": config.lsq_size,
+        "fetch_width": config.fetch_width,
+        "issue_width": config.issue_width,
+        "reuse_enabled": config.reuse_enabled,
+        "buffering_strategy": config.buffering_strategy,
+        "nblt_size": config.nblt_size,
+        "loop_cache_size": config.loop_cache_size,
+    }
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Full export of one run: config, headline metrics, counters, power."""
+    return {
+        "program": result.program_name,
+        "config": config_to_dict(result.config),
+        "metrics": {
+            "cycles": result.cycles,
+            "committed": result.stats.committed,
+            "ipc": result.ipc,
+            "gated_fraction": result.gated_fraction,
+            "total_energy": result.total_energy,
+            "avg_power": result.avg_power,
+        },
+        "counters": {key: int(value)
+                     for key, value in result.activity.items()},
+        "power": {
+            name: {
+                "active_energy": component.active_energy,
+                "base_energy": component.base_energy,
+                "avg_power": component.avg_power,
+            }
+            for name, component in result.energies.items()
+        },
+    }
+
+
+def comparison_to_dict(comparison: RunComparison) -> Dict[str, Any]:
+    """Export a baseline-vs-reuse comparison with both runs embedded."""
+    return {
+        "summary": comparison.summary(),
+        "baseline": result_to_dict(comparison.baseline),
+        "reuse": result_to_dict(comparison.reuse),
+    }
+
+
+def to_json(obj, indent: int = 2) -> str:
+    """Serialise a result or comparison to JSON text."""
+    if isinstance(obj, SimulationResult):
+        payload = result_to_dict(obj)
+    elif isinstance(obj, RunComparison):
+        payload = comparison_to_dict(obj)
+    elif isinstance(obj, dict):
+        payload = obj
+    else:
+        raise TypeError(f"cannot export {type(obj).__name__}")
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment tables.
+
+Used by the ``benchmarks/`` harness to print each figure's data in the same
+rows/series the paper plots, and by ``examples/reproduce_paper.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+
+def format_percent_table(title: str,
+                         table: Dict[str, Dict],
+                         columns: Sequence,
+                         row_order: Optional[Iterable[str]] = None,
+                         column_header: str = "") -> str:
+    """Render a nested dict as an aligned percentage table.
+
+    ``table[row][column]`` holds fractions; rendered as percentages with
+    one decimal.  Rows appear in ``row_order`` (default: insertion order).
+    """
+    rows = list(row_order) if row_order is not None else list(table)
+    name_width = max(len(str(r)) for r in rows + [column_header])
+    col_width = max(8, *(len(str(c)) for c in columns))
+    lines = [title]
+    header = f"{column_header:<{name_width}}" + "".join(
+        f"{str(c):>{col_width + 2}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = "".join(
+            f"{table[row][col] * 100:>{col_width + 1}.1f}%"
+            for col in columns)
+        lines.append(f"{str(row):<{name_width}}" + cells)
+    return "\n".join(lines)
+
+
+def format_comparison_rows(title: str,
+                           table: Dict[str, Dict[str, float]],
+                           keys: Sequence[str],
+                           headers: Optional[Sequence[str]] = None) -> str:
+    """Render per-benchmark dicts with chosen metric keys as columns."""
+    names = list(table)
+    headers = list(headers) if headers else list(keys)
+    name_width = max(len(n) for n in names)
+    widths = [max(10, len(h)) for h in headers]
+    lines = [title]
+    header = f"{'':<{name_width}}" + "".join(
+        f"{h:>{w + 2}}" for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in names:
+        cells = "".join(
+            f"{table[name][k] * 100:>{w + 1}.1f}%"
+            for k, w in zip(keys, widths))
+        lines.append(f"{name:<{name_width}}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""One-call reproduction of the paper's full evaluation.
+
+:func:`reproduce_all` runs every experiment and returns the rendered
+report; the ``examples/reproduce_paper.py`` script and the
+``python -m repro reproduce`` CLI both delegate here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.arch.config import SWEEP_IQ_SIZES, MachineConfig
+from repro.sim.experiments import ExperimentRunner
+from repro.sim.report import format_comparison_rows, format_percent_table
+from repro.workloads.suite import WorkloadSuite
+
+#: Experiment identifiers accepted by :func:`reproduce`.
+EXPERIMENT_NAMES = ("table1", "table2", "fig5", "fig6", "fig7", "fig8",
+                    "fig9", "nblt", "strategy")
+
+
+def _table1(runner: ExperimentRunner) -> str:
+    return ("Table 1: baseline configuration\n"
+            + MachineConfig().table1())
+
+
+def _table2(runner: ExperimentRunner) -> str:
+    return "Table 2: benchmarks\n" + WorkloadSuite().table2()
+
+
+def _fig5(runner: ExperimentRunner) -> str:
+    return format_percent_table(
+        "Figure 5: pipeline front-end gated rate (in cycles)",
+        runner.figure5_gating(), list(SWEEP_IQ_SIZES),
+        column_header="benchmark")
+
+
+def _fig6(runner: ExperimentRunner) -> str:
+    return format_percent_table(
+        "Figure 6: component power reduction (average)",
+        runner.figure6_component_power(), list(SWEEP_IQ_SIZES),
+        column_header="component")
+
+
+def _fig7(runner: ExperimentRunner) -> str:
+    return format_percent_table(
+        "Figure 7: overall power reduction",
+        runner.figure7_overall_power(), list(SWEEP_IQ_SIZES),
+        column_header="benchmark")
+
+
+def _fig8(runner: ExperimentRunner) -> str:
+    return format_percent_table(
+        "Figure 8: performance (IPC) degradation",
+        runner.figure8_performance(), list(SWEEP_IQ_SIZES),
+        column_header="benchmark")
+
+
+def _fig9(runner: ExperimentRunner) -> str:
+    return format_comparison_rows(
+        "Figure 9: impact of compiler optimizations (IQ 64)",
+        runner.figure9_compiler_optimization(),
+        ["original", "optimized", "original_gated", "optimized_gated",
+         "original_ipc_degradation", "optimized_ipc_degradation"],
+        ["orig pwr", "opt pwr", "orig gate", "opt gate", "orig dIPC",
+         "opt dIPC"])
+
+
+def _nblt(runner: ExperimentRunner) -> str:
+    return format_comparison_rows(
+        "Ablation: NBLT effect on buffering revoke rate (IQ 64)",
+        runner.nblt_ablation(),
+        ["revoke_rate_with_nblt", "revoke_rate_without_nblt",
+         "gated_with_nblt", "gated_without_nblt"],
+        ["rev w/", "rev w/o", "gate w/", "gate w/o"])
+
+
+def _strategy(runner: ExperimentRunner) -> str:
+    return format_comparison_rows(
+        "Ablation: buffering strategy single vs multi (IQ 64)",
+        runner.strategy_ablation(),
+        ["gated_multi", "gated_single", "ipc_degradation_multi",
+         "ipc_degradation_single"],
+        ["gate multi", "gate single", "dIPC multi", "dIPC single"])
+
+
+_BUILDERS = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "nblt": _nblt,
+    "strategy": _strategy,
+}
+
+
+def reproduce(names: Optional[List[str]] = None,
+              runner: Optional[ExperimentRunner] = None,
+              echo: Optional[Callable[[str], None]] = print) -> str:
+    """Run the selected experiments (default: all); returns the report.
+
+    ``echo`` is called with each experiment's table as it completes (pass
+    None to stay silent until the end).
+    """
+    names = list(names) if names else list(EXPERIMENT_NAMES)
+    unknown = [n for n in names if n not in _BUILDERS]
+    if unknown:
+        raise ValueError(
+            f"unknown experiments {unknown}; choose from "
+            f"{EXPERIMENT_NAMES}")
+    runner = runner or ExperimentRunner()
+    start = time.time()
+    sections = []
+    for name in names:
+        section = _BUILDERS[name](runner)
+        sections.append(section)
+        if echo is not None:
+            echo(section)
+            echo("")
+    footer = f"total wall time: {time.time() - start:.0f}s"
+    if echo is not None:
+        echo(footer)
+    return "\n\n".join(sections) + "\n\n" + footer
+
+
+def reproduce_all(echo: Optional[Callable[[str], None]] = print) -> str:
+    """Run the complete evaluation (all tables, figures and ablations)."""
+    return reproduce(echo=echo)

@@ -1,0 +1,160 @@
+"""Simulation result records and baseline-vs-reuse comparisons.
+
+The paper's evaluation metrics are all *relative*:
+
+* Figure 5: fraction of total cycles with the front-end gated,
+* Figure 6: per-component per-cycle power reduction (icache / bpred /
+  issue queue) plus the overhead component's share,
+* Figure 7: overall per-cycle power reduction,
+* Figure 8: IPC degradation.
+
+:class:`RunComparison` computes all of them from a baseline
+:class:`SimulationResult` and a reuse-enabled one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.config import MachineConfig
+from repro.arch.stats import PipelineStats
+from repro.power.components import (
+    ComponentEnergy,
+    power_reduction,
+    total_power_reduction,
+)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produced."""
+
+    program_name: str
+    config: MachineConfig
+    stats: PipelineStats
+    activity: Dict[str, float]
+    energies: Dict[str, ComponentEnergy]
+    registers: List
+    pipeline: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def cycles(self) -> int:
+        """Total execution cycles."""
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.stats.ipc
+
+    @property
+    def gated_fraction(self) -> float:
+        """Fraction of cycles with the pipeline front-end gated."""
+        return self.stats.gated_fraction
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy over the run (all components)."""
+        return sum(c.total_energy for c in self.energies.values())
+
+    @property
+    def avg_power(self) -> float:
+        """Average per-cycle power (the paper's comparison quantity)."""
+        return self.total_energy / self.cycles if self.cycles else 0.0
+
+    def component_power(self, name: str) -> float:
+        """Per-cycle average power of one component."""
+        return self.energies[name].avg_power
+
+    def __repr__(self) -> str:
+        return (f"<SimulationResult {self.program_name}: "
+                f"{self.cycles} cycles, ipc={self.ipc:.3f}, "
+                f"gated={self.gated_fraction:.1%}>")
+
+
+@dataclass
+class RunComparison:
+    """Baseline vs reuse-enabled comparison for one workload/configuration."""
+
+    baseline: SimulationResult
+    reuse: SimulationResult
+
+    def __post_init__(self):
+        if self.baseline.stats.committed != self.reuse.stats.committed:
+            # The mechanism never changes the committed instruction stream;
+            # a mismatch means a simulator bug, so fail loudly.
+            raise ValueError(
+                f"committed-instruction mismatch for "
+                f"{self.baseline.program_name}: "
+                f"{self.baseline.stats.committed} vs "
+                f"{self.reuse.stats.committed}")
+
+    @property
+    def gated_fraction(self) -> float:
+        """Figure 5 metric: gated fraction of the reuse run."""
+        return self.reuse.gated_fraction
+
+    def component_power_reduction(self, name: str) -> float:
+        """Figure 6 metric: per-cycle power reduction of one component."""
+        return power_reduction(self.baseline.energies[name],
+                               self.reuse.energies[name])
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Figure 6 overhead bar: reuse hardware power as a fraction of
+        the baseline machine's total per-cycle power."""
+        if self.baseline.avg_power == 0.0:
+            return 0.0
+        return self.reuse.component_power("overhead") / self.baseline.avg_power
+
+    @property
+    def overall_power_reduction(self) -> float:
+        """Figure 7 metric: overall per-cycle power reduction."""
+        return total_power_reduction(self.baseline.energies,
+                                     self.reuse.energies)
+
+    @property
+    def ipc_degradation(self) -> float:
+        """Figure 8 metric: relative IPC loss (positive = slower)."""
+        if self.baseline.ipc == 0.0:
+            return 0.0
+        return 1.0 - self.reuse.ipc / self.baseline.ipc
+
+    @property
+    def energy_reduction(self) -> float:
+        """Total-energy saving (not per-cycle power) of the reuse run."""
+        if self.baseline.total_energy == 0.0:
+            return 0.0
+        return 1.0 - self.reuse.total_energy / self.baseline.total_energy
+
+    @property
+    def edp_improvement(self) -> float:
+        """Energy-delay-product improvement (positive = better).
+
+        EDP = total energy x execution cycles; the standard figure of
+        merit for trading a little performance for power, which is
+        exactly the bargain the paper's mechanism strikes.
+        """
+        baseline_edp = self.baseline.total_energy * self.baseline.cycles
+        reuse_edp = self.reuse.total_energy * self.reuse.cycles
+        if baseline_edp == 0.0:
+            return 0.0
+        return 1.0 - reuse_edp / baseline_edp
+
+    def summary(self) -> Dict[str, float]:
+        """All headline metrics as a dict (used by reports and tests)."""
+        return {
+            "gated_fraction": self.gated_fraction,
+            "icache_power_reduction":
+                self.component_power_reduction("icache"),
+            "bpred_power_reduction":
+                self.component_power_reduction("bpred"),
+            "iq_power_reduction":
+                self.component_power_reduction("issue_queue"),
+            "overhead_fraction": self.overhead_fraction,
+            "overall_power_reduction": self.overall_power_reduction,
+            "ipc_degradation": self.ipc_degradation,
+            "energy_reduction": self.energy_reduction,
+            "edp_improvement": self.edp_improvement,
+        }

@@ -1,0 +1,56 @@
+"""Top-level simulation entry point.
+
+:func:`simulate` is the one call the examples, tests and benchmark harness
+use: program + configuration in, :class:`~repro.sim.results.SimulationResult`
+out (cycles, IPC, gating, per-component energy, final architectural state).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.config import MachineConfig
+from repro.arch.pipeline import Pipeline
+from repro.isa.program import Program
+from repro.power.model import PowerModel, collect_activity
+from repro.power.params import DEFAULT_PARAMS, PowerParams
+from repro.sim.results import SimulationResult
+
+
+def simulate(program: Program, config: MachineConfig,
+             params: PowerParams = DEFAULT_PARAMS,
+             max_cycles: Optional[int] = None,
+             keep_pipeline: bool = False) -> SimulationResult:
+    """Run ``program`` to its committed ``halt`` on ``config``.
+
+    Parameters
+    ----------
+    program:
+        An assembled :class:`~repro.isa.program.Program`.
+    config:
+        The machine configuration (set ``reuse_enabled=True`` for the
+        paper's mechanism).
+    params:
+        Power-model parameters (the calibrated defaults reproduce the
+        paper's component weights).
+    max_cycles:
+        Optional cycle budget override.
+    keep_pipeline:
+        Attach the finished :class:`~repro.arch.pipeline.Pipeline` to the
+        result (for tests that inspect microarchitectural state).
+    """
+    pipeline = Pipeline(program, config)
+    stats = pipeline.run(max_cycles=max_cycles)
+    activity = collect_activity(pipeline)
+    energies = PowerModel(config, params).component_energies(activity)
+    result = SimulationResult(
+        program_name=program.name,
+        config=config,
+        stats=stats,
+        activity=activity,
+        energies=energies,
+        registers=pipeline.architectural_registers(),
+    )
+    if keep_pipeline:
+        result.pipeline = pipeline
+    return result

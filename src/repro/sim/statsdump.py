@@ -1,0 +1,134 @@
+"""Full statistics dump (sim-outorder style).
+
+:func:`render_stats` renders everything a finished
+:class:`~repro.sim.results.SimulationResult` knows -- pipeline counters
+with derived rates, memory-hierarchy behaviour, branch prediction accuracy,
+reuse-mechanism activity and the per-component power breakdown -- in the
+sectioned key/value format SimpleScalar users expect.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.results import SimulationResult
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    """A small ASCII bar for the power breakdown."""
+    fraction = max(0.0, min(1.0, fraction))
+    filled = round(fraction * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def _section(title: str) -> List[str]:
+    return ["", f"## {title}", ""]
+
+
+def _row(key: str, value, note: str = "") -> str:
+    if isinstance(value, float):
+        rendered = f"{value:12.4f}"
+    else:
+        rendered = f"{value:12d}"
+    line = f"{key:32s} {rendered}"
+    if note:
+        line += f"   # {note}"
+    return line
+
+
+def render_stats(result: SimulationResult) -> str:
+    """Render the complete statistics report for one run."""
+    stats = result.stats
+    activity = result.activity
+    lines: List[str] = [
+        f"sim: program '{result.program_name}' on IQ="
+        f"{result.config.iq_size}, reuse="
+        f"{'on' if result.config.reuse_enabled else 'off'}"
+    ]
+
+    lines += _section("pipeline")
+    lines.append(_row("sim_cycle", stats.cycles, "total cycles"))
+    lines.append(_row("sim_num_insn", stats.committed,
+                      "committed instructions"))
+    lines.append(_row("sim_IPC", stats.ipc))
+    lines.append(_row("insn_fetched", stats.fetched,
+                      "includes wrong path"))
+    lines.append(_row("insn_decoded", stats.decoded))
+    lines.append(_row("insn_dispatched", stats.dispatched))
+    lines.append(_row("insn_issued", stats.issued))
+    lines.append(_row("insn_squashed", stats.squashed,
+                      "mispredict recoveries"))
+    speculation = (stats.fetched / stats.committed
+                   if stats.committed else 0.0)
+    lines.append(_row("fetch_per_commit", speculation,
+                      "speculation factor"))
+
+    lines += _section("control flow")
+    lines.append(_row("branches_committed", stats.branches_committed))
+    lines.append(_row("cond_branches", stats.cond_branches_committed))
+    lines.append(_row("mispredictions", stats.mispredicts))
+    if stats.branches_committed:
+        accuracy = 1 - stats.mispredicts / stats.branches_committed
+        lines.append(_row("bpred_addr_rate", accuracy,
+                          "committed-branch accuracy"))
+    lines.append(_row("btb_bubbles", stats.btb_bubbles))
+
+    lines += _section("memory hierarchy")
+    for key, label in (
+        ("icache_accesses", "il1 accesses"),
+        ("icache_misses", "il1 misses"),
+        ("dcache_accesses", "dl1 accesses"),
+        ("dcache_misses", "dl1 misses"),
+        ("l2_accesses", "l2 accesses"),
+        ("dram_accesses", "dram accesses"),
+        ("itlb_accesses", "itlb accesses"),
+        ("dtlb_accesses", "dtlb accesses"),
+    ):
+        lines.append(_row(key, int(activity[key]), label))
+    if activity["dcache_accesses"]:
+        lines.append(_row("dl1_miss_rate",
+                          activity["dcache_misses"]
+                          / activity["dcache_accesses"]))
+    lines.append(_row("lsq_forwards", stats.lsq_forwards,
+                      "store-to-load forwards"))
+    lines.append(_row("load_blocked_cycles", stats.load_blocked_cycles,
+                      "disambiguation stalls"))
+
+    if result.config.reuse_enabled:
+        lines += _section("reuse mechanism")
+        lines.append(_row("gated_cycles", stats.gated_cycles,
+                          f"{stats.gated_fraction:.1%} of cycles"))
+        lines.append(_row("cycles_normal", stats.cycles_normal))
+        lines.append(_row("cycles_buffering", stats.cycles_buffering))
+        lines.append(_row("cycles_reuse", stats.cycles_reuse))
+        lines.append(_row("loop_detections", stats.loop_detections))
+        lines.append(_row("buffering_started", stats.buffering_started))
+        lines.append(_row("promotions", stats.promotions))
+        lines.append(_row("buffered_instructions",
+                          stats.buffered_instructions))
+        lines.append(_row("buffered_iterations",
+                          stats.buffered_iterations))
+        lines.append(_row("reuse_supplied", stats.reuse_supplied,
+                          "instructions from the reuse pointer"))
+        lines.append(_row("buffering_revokes", stats.buffering_revokes,
+                          f"rate {stats.revoke_rate:.1%}"))
+        lines.append(_row("revokes_inner_loop", stats.revokes_inner_loop))
+        lines.append(_row("revokes_exit", stats.revokes_exit))
+        lines.append(_row("revokes_iq_full", stats.revokes_iq_full))
+        lines.append(_row("reuse_mispredicts", stats.reuse_mispredicts,
+                          "static prediction failed / loop exit"))
+        lines.append(_row("nblt_hits", stats.nblt_hits,
+                          f"of {stats.nblt_lookups} lookups"))
+
+    lines += _section("power breakdown (per-cycle average)")
+    total_power = result.avg_power
+    ordered = sorted(result.energies.values(),
+                     key=lambda c: c.total_energy, reverse=True)
+    for component in ordered:
+        share = (component.avg_power / total_power) if total_power else 0.0
+        lines.append(
+            f"{component.name:12s} {component.avg_power:10.1f}  "
+            f"{share:6.1%}  {_bar(share)}")
+    lines.append(f"{'total':12s} {total_power:10.1f}")
+
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""The paper's workloads (Table 2) and a synthetic loop generator.
+
+The original benchmarks are Fortran array kernels from Livermore, SPEC 92/95
+and the Perfect Club suite.  Their binaries (and compilers for them) are not
+available, so :mod:`repro.workloads.kernels` rebuilds each one as a
+loop-nest IR whose *loop structure* -- body size, trip counts, nesting and
+call structure -- is calibrated to the per-benchmark behaviour the paper
+reports.  See DESIGN.md section 2 for the substitution argument.
+
+:mod:`repro.workloads.generator` produces parameterised synthetic loops for
+unit tests and ablation studies.
+"""
+
+from repro.workloads.characterize import (
+    characterization_table,
+    dynamic_loop_coverage,
+    format_characterization,
+    innermost_loop_sizes,
+)
+from repro.workloads.generator import synthetic_loop_kernel
+from repro.workloads.kernels import KERNEL_BUILDERS, build_kernel
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    BENCHMARK_SOURCES,
+    WorkloadSuite,
+)
+
+__all__ = [
+    "characterization_table",
+    "dynamic_loop_coverage",
+    "format_characterization",
+    "innermost_loop_sizes",
+    "synthetic_loop_kernel",
+    "KERNEL_BUILDERS",
+    "build_kernel",
+    "BENCHMARK_NAMES",
+    "BENCHMARK_SOURCES",
+    "WorkloadSuite",
+]

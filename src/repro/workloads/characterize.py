@@ -1,0 +1,122 @@
+"""Workload characterization: dynamic loop coverage.
+
+For the paper's mechanism, the only workload property that matters is *how
+much dynamic execution lives inside capturable loops*.  This module
+measures it directly: run a program on the functional interpreter, map
+every executed PC to its innermost static loop (the smallest backward-
+branch span containing it), and report the fraction of dynamic
+instructions inside loops of size <= S for the paper's issue-queue sweep
+sizes.
+
+The resulting table explains Figure 5 mechanically: a benchmark gates at
+issue-queue size S roughly to the extent its execution sits in loops that
+fit S (minus detection/buffering overhead and trip-count effects).
+
+Static containment only: instructions of a procedure *called from* a loop
+are attributed to the procedure's own loops, not the caller's (the
+mechanism buffers them, but statically they sit outside the loop span).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.isa.interpreter import Interpreter
+from repro.isa.program import INSTRUCTION_BYTES, Program
+
+
+def innermost_loop_sizes(program: Program) -> Dict[int, Optional[int]]:
+    """Map every instruction PC to its innermost static loop size.
+
+    A static loop is any backward conditional branch / direct jump span
+    ``[target, branch]``; the innermost loop for a PC is the smallest such
+    span containing it.  PCs outside every loop map to ``None``.
+    """
+    spans = []
+    for inst in program.instructions:
+        if inst.is_direct_control and not inst.is_call \
+                and inst.target is not None and inst.target <= inst.pc:
+            size = (inst.pc - inst.target) // INSTRUCTION_BYTES + 1
+            spans.append((inst.target, inst.pc, size))
+    mapping: Dict[int, Optional[int]] = {}
+    for inst in program.instructions:
+        best: Optional[int] = None
+        for head, tail, size in spans:
+            if head <= inst.pc <= tail and (best is None or size < best):
+                best = size
+        mapping[inst.pc] = best
+    return mapping
+
+
+def dynamic_loop_coverage(
+        program: Program,
+        thresholds: Sequence[int] = (32, 64, 128, 256),
+        max_instructions: int = 2_000_000) -> Dict:
+    """Execute a program and measure dynamic loop-residency.
+
+    Returns a dict with
+
+    * ``total``: dynamic instruction count,
+    * ``in_loop``: fraction of instructions inside any static loop,
+    * ``coverage``: {threshold: fraction inside loops of size <= threshold},
+    * ``dominant_size``: innermost-loop size covering the most dynamic
+      instructions (None if execution is loop-free).
+    """
+    sizes = innermost_loop_sizes(program)
+    machine = Interpreter(program)
+    counts: Dict[Optional[int], int] = {}
+    total = 0
+    while not machine.halted:
+        if total >= max_instructions:
+            raise RuntimeError("characterization budget exceeded")
+        pc = machine.pc
+        machine.step()
+        total += 1
+        size = sizes.get(pc)
+        counts[size] = counts.get(size, 0) + 1
+    in_loop = sum(count for size, count in counts.items()
+                  if size is not None)
+    coverage = {}
+    for threshold in thresholds:
+        covered = sum(count for size, count in counts.items()
+                      if size is not None and size <= threshold)
+        coverage[threshold] = covered / total if total else 0.0
+    loop_counts = {size: count for size, count in counts.items()
+                   if size is not None}
+    dominant = max(loop_counts, key=loop_counts.get) \
+        if loop_counts else None
+    return {
+        "total": total,
+        "in_loop": in_loop / total if total else 0.0,
+        "coverage": coverage,
+        "dominant_size": dominant,
+    }
+
+
+def characterization_table(
+        programs: Dict[str, Program],
+        thresholds: Sequence[int] = (32, 64, 128, 256)
+) -> Dict[str, Dict]:
+    """Loop-coverage rows for a set of named programs."""
+    return {name: dynamic_loop_coverage(program, thresholds)
+            for name, program in programs.items()}
+
+
+def format_characterization(table: Dict[str, Dict],
+                            thresholds: Sequence[int] = (32, 64, 128, 256)
+                            ) -> str:
+    """Render the characterization table."""
+    lines = ["Workload characterization: dynamic instructions inside "
+             "static loops of size <= S",
+             f"{'benchmark':10s} {'dyn insts':>10s} {'in loop':>8s} "
+             + "".join(f"{'<=' + str(t):>8s}" for t in thresholds)
+             + f" {'dominant':>9s}"]
+    lines.append("-" * len(lines[-1]))
+    for name, row in table.items():
+        cells = "".join(f"{row['coverage'][t] * 100:>7.1f}%"
+                        for t in thresholds)
+        dominant = row["dominant_size"]
+        lines.append(
+            f"{name:10s} {row['total']:>10d} {row['in_loop'] * 100:>7.1f}%"
+            f"{cells} {str(dominant):>9s}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Parameterised synthetic loop workloads.
+
+Used by unit tests, property tests and the ablation benches to produce
+loops of a *chosen* body size, trip count and nesting depth, independent of
+the calibrated Table 2 kernels.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Assign, BinOp, Kernel, Loop, Ref, idx
+
+
+def synthetic_loop_kernel(name: str = "synthetic",
+                          statements: int = 2,
+                          trip_count: int = 50,
+                          outer_trips: int = 1,
+                          array_size: int = 0) -> Kernel:
+    """Build a kernel with a configurable innermost loop.
+
+    Parameters
+    ----------
+    statements:
+        Number of independent ``dst_k[i] = src[i] + dst_k[i]`` statements in
+        the innermost body (each is ~13 instructions; they distribute).
+    trip_count:
+        Innermost trip count.
+    outer_trips:
+        If > 1, wrap the loop in an outer loop that re-enters it this many
+        times.
+    array_size:
+        Array length (defaults to ``trip_count + 2``).
+    """
+    if statements < 1:
+        raise ValueError("statements must be >= 1")
+    if trip_count < 1:
+        raise ValueError("trip_count must be >= 1")
+    size = array_size if array_size else trip_count + 2
+    kernel = Kernel(name)
+    kernel.array("src", size, init=[1.0 + 0.5 * i
+                                    for i in range(min(size, 32))])
+    for index in range(statements):
+        kernel.array(f"dst{index}", size)
+    body = [
+        Assign(Ref(f"dst{index}", idx("i")),
+               BinOp("+", Ref("src", idx("i")),
+                     Ref(f"dst{index}", idx("i"))))
+        for index in range(statements)
+    ]
+    inner = Loop("i", 0, trip_count, body)
+    if outer_trips > 1:
+        kernel.loop("t", 0, outer_trips, [inner])
+    else:
+        kernel.body.append(inner)
+    return kernel

@@ -1,0 +1,61 @@
+"""Workload suite registry (the paper's Table 2).
+
+:class:`WorkloadSuite` builds, compiles and caches the benchmark programs in
+both their *original* and *optimized* (loop-distributed, Section 4) forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.compiler.passes import build_program
+from repro.isa.program import Program
+from repro.workloads.kernels import KERNEL_BUILDERS, build_kernel
+
+#: Table 2 benchmark names, alphabetical as in the paper.
+BENCHMARK_NAMES = ("adi", "aps", "btrix", "eflux", "tomcat", "tsf",
+                   "vpenta", "wss")
+
+#: Table 2 "Source" column.
+BENCHMARK_SOURCES: Dict[str, str] = {
+    "adi": "Livermore",
+    "aps": "Perfect Club",
+    "btrix": "Spec92/NASA",
+    "eflux": "Perfect Club",
+    "tomcat": "Spec95",
+    "tsf": "Perfect Club",
+    "vpenta": "Spec92/NASA",
+    "wss": "Perfect Club",
+}
+
+
+class WorkloadSuite:
+    """Compiles and caches the Table 2 programs."""
+
+    def __init__(self, names: Iterable[str] = BENCHMARK_NAMES):
+        self.names: List[str] = list(names)
+        unknown = [n for n in self.names if n not in KERNEL_BUILDERS]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {unknown}")
+        self._cache: Dict[tuple, Program] = {}
+
+    def program(self, name: str, optimize: bool = False) -> Program:
+        """The compiled program for one benchmark (cached)."""
+        key = (name, optimize)
+        if key not in self._cache:
+            self._cache[key] = build_program(build_kernel(name),
+                                             optimize=optimize)
+        return self._cache[key]
+
+    def programs(self, optimize: bool = False) -> Dict[str, Program]:
+        """All programs, keyed by benchmark name."""
+        return {name: self.program(name, optimize) for name in self.names}
+
+    def table2(self) -> str:
+        """Render Table 2 (name / source)."""
+        rows = [(name, BENCHMARK_SOURCES[name]) for name in self.names]
+        width = max(len(name) for name, _ in rows)
+        header = f"{'Name':<{width}}  Source"
+        lines = [header, "-" * len(header)]
+        lines += [f"{name:<{width}}  {source}" for name, source in rows]
+        return "\n".join(lines)

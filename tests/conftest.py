@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite.
+
+The heavyweight pieces (compiled Table 2 programs, oracle runs) are
+session-scoped so the many tests that touch them pay once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+from repro.workloads.suite import WorkloadSuite
+
+#: A small configuration that keeps pipeline tests fast while preserving
+#: every structural feature of the Table 1 machine.
+SMALL_CONFIG = MachineConfig().with_iq_size(32)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """Compiled Table 2 benchmark programs (cached for the session)."""
+    return WorkloadSuite()
+
+
+@pytest.fixture
+def config():
+    """A fresh copy of the paper's Table 1 baseline configuration."""
+    return MachineConfig()
+
+
+@pytest.fixture
+def small_config():
+    """32-entry-issue-queue configuration for fast pipeline tests."""
+    return SMALL_CONFIG
+
+
+TIGHT_LOOP_ASM = """
+.data
+arr: .double 1.5, 2.5, 3.5, 4.5
+out: .space 64
+.text
+main:
+    la   $t0, arr
+    la   $t4, out
+    li   $t1, 40
+    li   $t2, 0
+    sub.d $f2, $f2, $f2
+loop:
+    andi $t6, $t2, 3
+    sll  $t6, $t6, 3
+    addu $t7, $t0, $t6
+    l.d  $f4, 0($t7)
+    add.d $f2, $f2, $f4
+    mul.d $f6, $f4, $f4
+    s.d  $f6, 0($t4)
+    addiu $t2, $t2, 1
+    slt  $t3, $t2, $t1
+    bne  $t3, $zero, loop
+    s.d  $f2, 8($t4)
+    halt
+"""
+
+
+@pytest.fixture(scope="session")
+def tight_loop_program():
+    """A hand-written 10-instruction loop, trip count 40."""
+    return assemble(TIGHT_LOOP_ASM, name="tight_loop")
+
+
+@pytest.fixture(scope="session")
+def tight_loop_oracle(tight_loop_program):
+    """Interpreter run of the tight loop (final architectural state)."""
+    return run_program(tight_loop_program)

@@ -1,0 +1,20 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+
+def assert_matches_oracle(pipeline, oracle):
+    """Assert a finished pipeline's architectural state equals the oracle's.
+
+    Checks committed instruction count, all 64 registers, and every memory
+    page the oracle touched.
+    """
+    assert pipeline.stats.committed == oracle.instructions_executed, (
+        f"committed {pipeline.stats.committed} vs oracle "
+        f"{oracle.instructions_executed}")
+    pipe_regs = pipeline.architectural_registers()
+    for index, (got, want) in enumerate(zip(pipe_regs, oracle.regs)):
+        assert got == want, f"register {index}: {got!r} != {want!r}"
+    for page_addr, page in oracle.memory._pages.items():
+        got = pipeline.mem_image.read_bytes(page_addr << 12, len(page))
+        assert got == bytes(page), f"memory page {page_addr:#x} differs"

@@ -1,0 +1,284 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.opcodes import Opcode
+from repro.isa.program import DATA_BASE, TEXT_BASE
+from repro.isa.registers import fpreg, intreg
+
+
+def one(source):
+    """Assemble a single-instruction program and return the instruction."""
+    program = assemble(".text\n" + source)
+    assert len(program) == 1
+    return program.instructions[0]
+
+
+class TestBasicInstructions:
+    def test_r3(self):
+        inst = one("addu $t0, $t1, $t2")
+        assert inst.op is Opcode.ADDU
+        assert (inst.rd, inst.rs, inst.rt) == (8, 9, 10)
+        assert inst.dest == 8
+        assert inst.srcs == (9, 10)
+
+    def test_r2i(self):
+        inst = one("addiu $t0, $t1, -5")
+        assert inst.op is Opcode.ADDIU
+        assert inst.imm == -5
+        assert inst.dest == 8
+        assert inst.srcs == (9,)
+
+    def test_shift(self):
+        inst = one("sll $t0, $t1, 3")
+        assert inst.imm == 3
+        assert inst.srcs == (9,)
+
+    def test_lui(self):
+        inst = one("lui $t0, 0x1234")
+        assert inst.imm == 0x1234
+        assert inst.srcs == ()
+
+    def test_load(self):
+        inst = one("lw $t0, 8($sp)")
+        assert inst.op is Opcode.LW
+        assert inst.imm == 8
+        assert inst.dest == 8
+        assert inst.srcs == (29,)
+
+    def test_store_has_no_dest(self):
+        inst = one("sw $t0, -4($sp)")
+        assert inst.dest is None
+        assert inst.srcs == (29, 8)      # base first, then data
+
+    def test_fp_load_store(self):
+        load = one("l.d $f2, 0($t0)")
+        assert load.dest == fpreg(2)
+        store = one("s.d $f2, 0($t0)")
+        assert store.dest is None
+        assert store.srcs == (intreg(8), fpreg(2))
+
+    def test_fr3(self):
+        inst = one("add.d $f2, $f4, $f6")
+        assert inst.dest == fpreg(2)
+        assert inst.srcs == (fpreg(4), fpreg(6))
+
+    def test_fcmp_writes_int_reg(self):
+        inst = one("slt.d $t0, $f2, $f4")
+        assert inst.dest == intreg(8)
+        assert inst.srcs == (fpreg(2), fpreg(4))
+
+    def test_write_to_zero_discards_dest(self):
+        inst = one("addu $zero, $t1, $t2")
+        assert inst.dest is None
+
+    def test_jr(self):
+        inst = one("jr $ra")
+        assert inst.op is Opcode.JR
+        assert inst.is_return
+
+    def test_nop_and_halt(self):
+        assert one("nop").op is Opcode.NOP
+        assert one("halt").op is Opcode.HALT
+
+
+class TestLabelsAndTargets:
+    def test_backward_branch_target(self):
+        program = assemble("""
+        .text
+        top: addiu $t0, $t0, 1
+             bne $t0, $t1, top
+             halt
+        """)
+        branch = program.instructions[1]
+        assert branch.target == TEXT_BASE
+        assert branch.target < branch.pc
+
+    def test_forward_jump_target(self):
+        program = assemble("""
+        .text
+            j end
+            nop
+        end: halt
+        """)
+        assert program.instructions[0].target == TEXT_BASE + 8
+
+    def test_jal_writes_ra(self):
+        program = assemble("""
+        .text
+            jal fn
+            halt
+        fn: jr $ra
+        """)
+        call = program.instructions[0]
+        assert call.dest == 31
+        assert call.target == TEXT_BASE + 8
+
+    def test_numeric_target(self):
+        inst = one("j 0x400010")
+        assert inst.target == 0x400010
+
+    def test_label_on_own_line(self):
+        program = assemble("""
+        .text
+        lab:
+            halt
+        """)
+        assert program.labels["lab"] == TEXT_BASE
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\na: nop\na: nop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError) as err:
+            assemble(".text\nj nowhere")
+        assert "nowhere" in str(err.value)
+
+
+class TestDataDirectives:
+    def test_word(self):
+        program = assemble("""
+        .data
+        vals: .word 1, 2, -3
+        .text
+        halt
+        """)
+        memory = program.initial_memory()
+        assert memory.load_word(DATA_BASE) == 1
+        assert memory.load_word(DATA_BASE + 4) == 2
+        assert memory.load_word(DATA_BASE + 8) == -3
+
+    def test_double(self):
+        program = assemble("""
+        .data
+        vals: .double 1.5, -2.25
+        .text
+        halt
+        """)
+        memory = program.initial_memory()
+        assert memory.load_double(DATA_BASE) == 1.5
+        assert memory.load_double(DATA_BASE + 8) == -2.25
+
+    def test_space_and_align(self):
+        program = assemble("""
+        .data
+        pad: .space 3
+        .align 3
+        val: .double 7.0
+        .text
+        halt
+        """)
+        assert program.labels["val"] == DATA_BASE + 8
+        assert program.initial_memory().load_double(DATA_BASE + 8) == 7.0
+
+    def test_data_directive_outside_data_segment(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.word 5")
+
+    def test_instruction_in_data_segment(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\naddu $t0, $t0, $t0")
+
+    def test_comments_ignored(self):
+        program = assemble("""
+        # full-line comment
+        .text
+        nop   # trailing comment
+        halt
+        """)
+        assert len(program) == 2
+
+
+class TestPseudoInstructions:
+    def test_move(self):
+        inst = one("move $t0, $t1")
+        assert inst.op is Opcode.ADDU
+        assert inst.srcs == (9, 0)
+
+    def test_li_small(self):
+        inst = one("li $t0, 100")
+        assert inst.op is Opcode.ADDIU
+        assert inst.imm == 100
+
+    def test_li_negative(self):
+        inst = one("li $t0, -100")
+        assert inst.op is Opcode.ADDIU
+
+    def test_li_16bit_unsigned(self):
+        inst = one("li $t0, 0xF000")
+        assert inst.op is Opcode.ORI
+
+    def test_li_32bit_expands_to_two(self):
+        program = assemble(".text\nli $t0, 0x12345678")
+        assert [i.op for i in program.instructions] == [Opcode.LUI,
+                                                        Opcode.ORI]
+        assert program.instructions[0].imm == 0x1234
+        assert program.instructions[1].imm == 0x5678
+
+    def test_la_resolves_data_label(self):
+        program = assemble("""
+        .data
+        x: .word 1
+        .text
+        la $t0, x
+        halt
+        """)
+        lui, ori = program.instructions[0], program.instructions[1]
+        assert (lui.imm << 16) | ori.imm == DATA_BASE
+
+    def test_la_with_offset(self):
+        program = assemble("""
+        .data
+        x: .word 1, 2, 3
+        .text
+        la $t0, x+8
+        halt
+        """)
+        lui, ori = program.instructions[0], program.instructions[1]
+        assert (lui.imm << 16) | ori.imm == DATA_BASE + 8
+
+    def test_b_unconditional(self):
+        program = assemble("""
+        .text
+        top: b top
+        """)
+        inst = program.instructions[0]
+        assert inst.op is Opcode.BEQ
+        assert inst.srcs == (0, 0)
+
+    def test_blt_expands_through_at(self):
+        program = assemble("""
+        .text
+        top: blt $t0, $t1, top
+        halt
+        """)
+        slt, branch = program.instructions[0], program.instructions[1]
+        assert slt.op is Opcode.SLT
+        assert slt.dest == 1                # $at
+        assert branch.op is Opcode.BNE
+        assert branch.target == TEXT_BASE
+
+    def test_pseudo_expansion_keeps_labels_consistent(self):
+        program = assemble("""
+        .text
+            li $t0, 0x12345678
+        after:
+            halt
+        """)
+        assert program.labels["after"] == TEXT_BASE + 8
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "frobnicate $t0",
+        "addu $t0, $t1",
+        "lw $t0, t1",
+        "addiu $t0, $t1, banana",
+        ".bogus 3",
+    ])
+    def test_rejected_with_line_number(self, source):
+        with pytest.raises(AssemblerError) as err:
+            assemble(".text\n" + source)
+        assert "line 2" in str(err.value)

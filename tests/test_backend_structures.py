@@ -1,0 +1,324 @@
+"""Unit tests for rename map, ROB, LSQ, issue queue and functional units."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.dyninst import DynInst
+from repro.arch.functional_units import FunctionalUnitPool
+from repro.arch.issue_queue import IQEntry, IssueQueue
+from repro.arch.lsq import (
+    LOAD_ACCESS_CACHE,
+    LOAD_BLOCKED,
+    LOAD_FORWARD,
+    LoadStoreQueue,
+)
+from repro.arch.regfile import RegisterFile
+from repro.arch.rename import RenameMap
+from repro.arch.rob import ReorderBuffer
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import STACK_TOP
+from repro.isa.registers import REG_SP, REG_ZERO
+
+
+def dyn(seq, op=Opcode.ADDU, **kwargs):
+    inst = Instruction(op, **kwargs)
+    inst.pc = 0x400000 + 4 * seq
+    return DynInst(seq, inst, inst.pc)
+
+
+def mem_dyn(seq, op, addr=None, size=8):
+    d = dyn(seq, op, rt=34, rs=8)
+    d.mem_addr = addr
+    d.mem_size = size
+    return d
+
+
+class TestRegisterFile:
+    def test_initial_values(self):
+        regfile = RegisterFile()
+        assert regfile.read(REG_ZERO) == 0
+        assert regfile.read(REG_SP) == STACK_TOP
+        assert regfile.read(40) == 0.0
+
+    def test_zero_write_discarded(self):
+        regfile = RegisterFile()
+        regfile.write(REG_ZERO, 99)
+        assert regfile.read(REG_ZERO) == 0
+
+    def test_write_read(self):
+        regfile = RegisterFile()
+        regfile.write(8, 42)
+        assert regfile.read(8) == 42
+
+
+class TestRenameMap:
+    def test_lookup_default_none(self):
+        rename = RenameMap()
+        assert rename.lookup(8) is None
+
+    def test_set_and_clear_producer(self):
+        rename = RenameMap()
+        producer = dyn(1, rd=8, rs=9, rt=10)
+        rename.set_producer(8, producer)
+        assert rename.lookup(8) is producer
+        rename.clear_producer(8, producer)
+        assert rename.lookup(8) is None
+
+    def test_clear_only_if_still_owner(self):
+        rename = RenameMap()
+        old, new = dyn(1, rd=8, rs=9, rt=10), dyn(2, rd=8, rs=9, rt=10)
+        rename.set_producer(8, old)
+        rename.set_producer(8, new)
+        rename.clear_producer(8, old)        # old no longer owns the mapping
+        assert rename.lookup(8) is new
+
+    def test_zero_register_never_renamed(self):
+        rename = RenameMap()
+        rename.set_producer(REG_ZERO, dyn(1, rd=0, rs=9, rt=10))
+        assert rename.lookup(REG_ZERO) is None
+
+    def test_snapshot_restore(self):
+        rename = RenameMap()
+        producer = dyn(1, rd=8, rs=9, rt=10)
+        rename.set_producer(8, producer)
+        snap = rename.snapshot()
+        rename.set_producer(8, dyn(2, rd=8, rs=9, rt=10))
+        rename.set_producer(9, dyn(3, rd=9, rs=9, rt=10))
+        rename.restore(snap)
+        assert rename.lookup(8) is producer
+        assert rename.lookup(9) is None
+
+
+class TestReorderBuffer:
+    def test_fifo_order(self):
+        rob = ReorderBuffer(4)
+        first, second = dyn(1), dyn(2)
+        rob.allocate(first)
+        rob.allocate(second)
+        assert rob.head() is first
+        assert rob.retire_head() is first
+        assert rob.head() is second
+
+    def test_capacity(self):
+        rob = ReorderBuffer(2)
+        rob.allocate(dyn(1))
+        rob.allocate(dyn(2))
+        assert rob.full
+        with pytest.raises(RuntimeError):
+            rob.allocate(dyn(3))
+
+    def test_squash_younger(self):
+        rob = ReorderBuffer(8)
+        dyns = [dyn(i) for i in range(1, 6)]
+        for d in dyns:
+            rob.allocate(d)
+        squashed = rob.squash_younger_than(3)
+        assert [d.seq for d in squashed] == [5, 4]
+        assert all(d.squashed for d in squashed)
+        assert len(rob) == 3
+        assert not dyns[0].squashed
+
+
+class TestLoadStoreQueue:
+    def test_release_in_order_only(self):
+        lsq = LoadStoreQueue(4)
+        first, second = mem_dyn(1, Opcode.L_D), mem_dyn(2, Opcode.S_D)
+        lsq.allocate(first)
+        lsq.allocate(second)
+        with pytest.raises(RuntimeError):
+            lsq.release(second)
+        lsq.release(first)
+        lsq.release(second)
+
+    def test_unknown_older_store_blocks_load(self):
+        lsq = LoadStoreQueue(4)
+        store = mem_dyn(1, Opcode.S_D, addr=None)
+        load = mem_dyn(2, Opcode.L_D, addr=0x1000)
+        lsq.allocate(store)
+        lsq.allocate(load)
+        verdict, _ = lsq.disambiguate(load)
+        assert verdict == LOAD_BLOCKED
+
+    def test_exact_match_forwards_when_data_ready(self):
+        lsq = LoadStoreQueue(4)
+        store = mem_dyn(1, Opcode.S_D, addr=0x1000)
+        store.done = True
+        store.store_value = 7.5
+        load = mem_dyn(2, Opcode.L_D, addr=0x1000)
+        lsq.allocate(store)
+        lsq.allocate(load)
+        verdict, source = lsq.disambiguate(load)
+        assert verdict == LOAD_FORWARD
+        assert source is store
+
+    def test_exact_match_without_data_blocks(self):
+        lsq = LoadStoreQueue(4)
+        store = mem_dyn(1, Opcode.S_D, addr=0x1000)   # data not done
+        load = mem_dyn(2, Opcode.L_D, addr=0x1000)
+        lsq.allocate(store)
+        lsq.allocate(load)
+        assert lsq.disambiguate(load)[0] == LOAD_BLOCKED
+
+    def test_partial_overlap_blocks(self):
+        lsq = LoadStoreQueue(4)
+        store = mem_dyn(1, Opcode.SW, addr=0x1004, size=4)
+        store.done = True
+        load = mem_dyn(2, Opcode.L_D, addr=0x1000, size=8)
+        lsq.allocate(store)
+        lsq.allocate(load)
+        assert lsq.disambiguate(load)[0] == LOAD_BLOCKED
+
+    def test_disjoint_store_allows_cache_access(self):
+        lsq = LoadStoreQueue(4)
+        store = mem_dyn(1, Opcode.S_D, addr=0x2000)
+        load = mem_dyn(2, Opcode.L_D, addr=0x1000)
+        lsq.allocate(store)
+        lsq.allocate(load)
+        assert lsq.disambiguate(load)[0] == LOAD_ACCESS_CACHE
+
+    def test_youngest_older_overlap_wins(self):
+        lsq = LoadStoreQueue(8)
+        old = mem_dyn(1, Opcode.S_D, addr=0x1000)
+        old.done = True
+        old.store_value = 1.0
+        newer = mem_dyn(2, Opcode.S_D, addr=0x1000)
+        newer.done = True
+        newer.store_value = 2.0
+        load = mem_dyn(3, Opcode.L_D, addr=0x1000)
+        for d in (old, newer, load):
+            lsq.allocate(d)
+        verdict, source = lsq.disambiguate(load)
+        assert verdict == LOAD_FORWARD
+        assert source is newer
+
+    def test_younger_stores_ignored(self):
+        lsq = LoadStoreQueue(4)
+        load = mem_dyn(1, Opcode.L_D, addr=0x1000)
+        store = mem_dyn(2, Opcode.S_D, addr=0x1000)   # younger
+        lsq.allocate(load)
+        lsq.allocate(store)
+        assert lsq.disambiguate(load)[0] == LOAD_ACCESS_CACHE
+
+    def test_squash(self):
+        lsq = LoadStoreQueue(4)
+        lsq.allocate(mem_dyn(1, Opcode.L_D))
+        lsq.allocate(mem_dyn(2, Opcode.S_D))
+        assert lsq.squash_younger_than(1) == 1
+        assert len(lsq) == 1
+
+
+class TestIssueQueue:
+    def entry(self, seq, pending=0):
+        d = dyn(seq, rd=8, rs=9, rt=10)
+        e = IQEntry(d.inst, d)
+        e.pending = pending
+        return e
+
+    def test_insert_ready_immediately(self):
+        iq = IssueQueue(4)
+        entry = self.entry(1)
+        iq.insert(entry)
+        assert iq.pop_ready() is entry
+        assert iq.pop_ready() is None          # popped entries leave ready set
+
+    def test_wakeup_makes_ready(self):
+        iq = IssueQueue(4)
+        entry = self.entry(1, pending=2)
+        iq.insert(entry)
+        assert iq.pop_ready() is None
+        iq.wakeup(entry)
+        assert iq.pop_ready() is None
+        iq.wakeup(entry)
+        assert iq.pop_ready() is entry
+
+    def test_oldest_first_selection(self):
+        iq = IssueQueue(4)
+        young, old = self.entry(5), self.entry(2)
+        iq.insert(young)
+        iq.insert(old)
+        assert iq.pop_ready() is old
+        assert iq.pop_ready() is young
+
+    def test_requeue_after_structural_hazard(self):
+        iq = IssueQueue(4)
+        entry = self.entry(1)
+        iq.insert(entry)
+        popped = iq.pop_ready()
+        iq.requeue(popped)
+        assert iq.pop_ready() is entry
+
+    def test_capacity_and_occupancy(self):
+        iq = IssueQueue(2)
+        iq.insert(self.entry(1))
+        assert iq.free_entries == 1
+        iq.insert(self.entry(2))
+        assert iq.full
+        with pytest.raises(RuntimeError):
+            iq.insert(self.entry(3))
+
+    def test_stale_heap_entry_skipped_after_squash(self):
+        iq = IssueQueue(4)
+        entry = self.entry(3)
+        iq.insert(entry)
+        entry.dyn.squashed = True
+        iq.remove(entry)
+        assert iq.pop_ready() is None
+
+    def test_stale_heap_entry_skipped_after_rerename(self):
+        # a buffered entry re-pointed at a new instance must not be issued
+        # off a heap record of the old instance
+        iq = IssueQueue(4)
+        entry = self.entry(3)
+        iq.insert(entry)
+        new = dyn(9, rd=8, rs=9, rt=10)
+        entry.dyn = new                      # re-rename (as dispatch does)
+        entry.ready = False
+        assert iq.pop_ready() is None        # seq mismatch, record discarded
+        iq.mark_ready(entry)
+        assert iq.pop_ready() is entry
+
+    def test_squash_younger(self):
+        iq = IssueQueue(4)
+        old, young = self.entry(1), self.entry(7)
+        iq.insert(old)
+        iq.insert(young)
+        assert iq.squash_younger_than(3) == 1
+        assert old.in_queue and not young.in_queue
+
+
+class TestFunctionalUnits:
+    def test_pipelined_unit_accepts_every_cycle(self):
+        pool = FunctionalUnitPool(MachineConfig(num_ialu=1))
+        assert pool.try_issue(Opcode.ADDU, now=1)
+        assert not pool.try_issue(Opcode.ADDU, now=1)   # 1 unit, same cycle
+        assert pool.try_issue(Opcode.ADDU, now=2)
+
+    def test_width_limit_per_cycle(self):
+        pool = FunctionalUnitPool(MachineConfig())      # 4 IALU
+        assert all(pool.try_issue(Opcode.ADDU, now=1) for _ in range(4))
+        assert not pool.try_issue(Opcode.ADDU, now=1)
+
+    def test_divide_blocks_unit_for_full_latency(self):
+        pool = FunctionalUnitPool(MachineConfig())      # 1 IMULT
+        assert pool.try_issue(Opcode.DIV, now=1)
+        assert not pool.try_issue(Opcode.MULT, now=2)
+        assert not pool.try_issue(Opcode.MULT, now=1 + Opcode.DIV.latency - 1)
+        assert pool.try_issue(Opcode.MULT, now=1 + Opcode.DIV.latency)
+
+    def test_multiply_is_pipelined(self):
+        pool = FunctionalUnitPool(MachineConfig())
+        assert pool.try_issue(Opcode.MULT, now=1)
+        assert pool.try_issue(Opcode.MULT, now=2)
+
+    def test_nop_needs_no_unit(self):
+        pool = FunctionalUnitPool(MachineConfig(num_ialu=1))
+        pool.try_issue(Opcode.ADDU, now=1)
+        assert pool.try_issue(Opcode.NOP, now=1)
+
+    def test_fp_pools_independent(self):
+        pool = FunctionalUnitPool(MachineConfig())
+        for _ in range(4):
+            assert pool.try_issue(Opcode.ADD_D, now=1)
+        assert not pool.try_issue(Opcode.ADD_D, now=1)
+        assert pool.try_issue(Opcode.MUL_D, now=1)      # FPMULT separate

@@ -1,0 +1,168 @@
+"""Unit tests for the bimodal predictor, BTB, RAS and the composite."""
+
+from repro.arch.branch.bimodal import BimodalPredictor
+from repro.arch.branch.btb import BranchTargetBuffer
+from repro.arch.branch.predictor import BranchPredictor
+from repro.arch.branch.ras import ReturnAddressStack
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import REG_RA
+
+
+class TestBimodal:
+    def test_initially_weakly_taken(self):
+        predictor = BimodalPredictor(16)
+        assert predictor.predict(0x400000) is True
+
+    def test_saturating_down(self):
+        predictor = BimodalPredictor(16)
+        pc = 0x400000
+        predictor.update(pc, False)
+        assert predictor.peek(pc) is False          # 2 -> 1
+        predictor.update(pc, False)
+        predictor.update(pc, False)                 # saturates at 0
+        predictor.update(pc, True)
+        assert predictor.peek(pc) is False          # 0 -> 1, still not taken
+        predictor.update(pc, True)
+        assert predictor.peek(pc) is True           # 1 -> 2
+
+    def test_hysteresis_survives_one_flip(self):
+        predictor = BimodalPredictor(16)
+        pc = 0x400000
+        predictor.update(pc, True)                   # 2 -> 3 strongly taken
+        predictor.update(pc, False)                  # 3 -> 2
+        assert predictor.peek(pc) is True
+
+    def test_aliasing_by_size(self):
+        predictor = BimodalPredictor(16)
+        a, b = 0x400000, 0x400000 + 16 * 4          # same index
+        predictor.update(a, False)
+        predictor.update(a, False)
+        assert predictor.peek(b) is False            # aliased
+
+    def test_counts(self):
+        predictor = BimodalPredictor(16)
+        predictor.predict(0)
+        predictor.update(0, True)
+        assert predictor.lookups == 1
+        assert predictor.updates == 1
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(16, 2)
+        assert btb.lookup(0x400000) is None
+        btb.update(0x400000, 0x400100)
+        assert btb.lookup(0x400000) == 0x400100
+        assert btb.misses == 1
+        assert btb.hits == 1
+
+    def test_update_refreshes_target(self):
+        btb = BranchTargetBuffer(16, 2)
+        btb.update(0x400000, 0x400100)
+        btb.update(0x400000, 0x400200)
+        assert btb.lookup(0x400000) == 0x400200
+
+    def test_lru_replacement_in_set(self):
+        btb = BranchTargetBuffer(1, 2)
+        btb.update(0x0, 1)
+        btb.update(0x4, 2)
+        btb.lookup(0x0)                  # 0x0 becomes MRU
+        btb.update(0x8, 3)               # evicts 0x4
+        assert btb.lookup(0x0) == 1
+        assert btb.lookup(0x4) is None
+
+
+class TestRas:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() == 0           # empty
+
+    def test_overflow_wraps(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)                     # overwrites 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.depth == 0
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        snap = ras.snapshot()
+        ras.push(0x200)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.depth == 1
+        assert ras.pop() == 0x100
+
+
+class TestComposite:
+    def _branch(self, pc=0x400020, target=0x400000):
+        inst = Instruction(Opcode.BNE, rs=8, rt=0, target=target)
+        inst.pc = pc
+        return inst
+
+    def test_conditional_uses_bimod_and_btb(self):
+        predictor = BranchPredictor()
+        inst = self._branch()
+        prediction = predictor.predict(inst, inst.pc)
+        assert prediction.taken is True              # weakly-taken init
+        assert prediction.btb_bubble is True         # cold BTB
+        assert prediction.target == inst.target      # decode supplies it
+        predictor.update(inst, inst.pc, True, inst.target)
+        prediction = predictor.predict(inst, inst.pc)
+        assert prediction.btb_bubble is False
+
+    def test_not_taken_branch_falls_through(self):
+        predictor = BranchPredictor()
+        inst = self._branch()
+        predictor.update(inst, inst.pc, False, 0)
+        predictor.update(inst, inst.pc, False, 0)
+        prediction = predictor.predict(inst, inst.pc)
+        assert prediction.taken is False
+        assert prediction.target == inst.pc + 4
+
+    def test_call_pushes_ras_and_return_pops(self):
+        predictor = BranchPredictor()
+        call = Instruction(Opcode.JAL, target=0x400100)
+        call.pc = 0x400010
+        predictor.predict(call, call.pc)
+        assert predictor.ras.depth == 1
+        ret = Instruction(Opcode.JR, rs=REG_RA)
+        ret.pc = 0x400100
+        prediction = predictor.predict(ret, ret.pc)
+        assert prediction.taken
+        assert prediction.target == 0x400014          # after the call
+
+    def test_indirect_jump_uses_btb(self):
+        predictor = BranchPredictor()
+        jump = Instruction(Opcode.JR, rs=8)           # not $ra
+        jump.pc = 0x400000
+        prediction = predictor.predict(jump, jump.pc)
+        assert prediction.btb_bubble                  # cold: no target
+        predictor.update(jump, jump.pc, True, 0x400400)
+        prediction = predictor.predict(jump, jump.pc)
+        assert prediction.target == 0x400400
+
+    def test_returns_never_update_btb(self):
+        predictor = BranchPredictor()
+        ret = Instruction(Opcode.JR, rs=REG_RA)
+        ret.pc = 0x400100
+        predictor.update(ret, ret.pc, True, 0x400014)
+        assert predictor.btb.lookups == 0
+        assert predictor.btb.updates == 0
+
+    def test_lookup_and_update_counters(self):
+        predictor = BranchPredictor()
+        inst = self._branch()
+        predictor.predict(inst, inst.pc)
+        predictor.update(inst, inst.pc, True, inst.target)
+        assert predictor.lookups == 1
+        assert predictor.updates == 1

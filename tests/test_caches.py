@@ -1,0 +1,136 @@
+"""Unit tests for the cache, TLB and memory-hierarchy timing models."""
+
+import pytest
+
+from repro.arch.config import CacheConfig, MachineConfig, TlbConfig
+from repro.arch.mem.cache import Cache, DramModel
+from repro.arch.mem.hierarchy import MemoryHierarchy
+from repro.arch.mem.tlb import Tlb
+
+
+def small_cache(size=1024, assoc=2, line=32, hit=1, next_level=None):
+    return Cache(CacheConfig("test", size, assoc, line, hit), next_level)
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x100) == 1          # miss (no next level)
+        assert cache.misses == 1
+        assert cache.access(0x100) == 1
+        assert cache.hits == 1
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=32)
+        cache.access(0x100)
+        assert cache.access(0x11F) == 1           # same 32-byte line
+        assert cache.hits == 1
+        cache.access(0x120)                       # next line: miss
+        assert cache.misses == 2
+
+    def test_miss_adds_next_level_latency(self):
+        l2 = small_cache(size=4096, assoc=4, hit=8)
+        l1 = small_cache(next_level=l2)
+        assert l1.access(0x100) == 1 + 8           # L1 miss, L2 miss (no L3)
+        assert l1.access(0x100) == 1
+        l1_second = small_cache(next_level=l2)
+        assert l1_second.access(0x100) == 1 + 8    # hits in shared L2
+
+    def test_dram_latency(self):
+        dram = DramModel(first_chunk=80, next_chunk=8, chunk_bytes=8)
+        assert dram.access(0, 8, False) == 80
+        assert dram.access(0, 32, False) == 80 + 3 * 8
+
+    def test_lru_eviction(self):
+        # 2-way, map three lines to the same set
+        cache = small_cache(size=128, assoc=2, line=32)   # 2 sets
+        set_stride = 2 * 32                                # same-set stride
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)              # a is MRU
+        cache.access(c)              # evicts b (LRU)
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_writeback_counted_on_dirty_eviction(self):
+        cache = small_cache(size=64, assoc=1, line=32)    # 2 sets direct
+        cache.access(0, is_write=True)
+        cache.access(128)            # same set, evicts dirty line
+        assert cache.writebacks == 1
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access(0, is_write=True)
+        cache.flush()
+        assert not cache.probe(0)
+        assert cache.writebacks == 1
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        assert cache.miss_rate == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.5
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(CacheConfig("bad", 96, 2, 24, 1))       # non-pow2 line
+
+    def test_table1_geometries(self):
+        config = MachineConfig()
+        assert config.il1.num_sets == 512                 # 32K/2/32
+        assert config.dl1.num_sets == 256                 # 32K/4/32
+        assert config.l2.num_sets == 1024                 # 256K/4/64
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(TlbConfig("t", num_sets=16, assoc=4))
+        assert tlb.access(0x1000) == 30
+        assert tlb.access(0x1FFF) == 0                    # same 4K page
+        assert tlb.access(0x2000) == 30                   # next page
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(TlbConfig("t", num_sets=1, assoc=2))
+        page = 4096
+        tlb.access(0 * page)
+        tlb.access(1 * page)
+        tlb.access(2 * page)          # evicts page 0
+        assert tlb.access(0 * page) == 30
+        assert tlb.miss_rate == 1.0
+
+    def test_lru_within_set(self):
+        tlb = Tlb(TlbConfig("t", num_sets=1, assoc=2))
+        page = 4096
+        tlb.access(0)
+        tlb.access(page)
+        tlb.access(0)                 # page 0 MRU
+        tlb.access(2 * page)          # evicts page 1
+        assert tlb.access(0) == 0
+
+
+class TestHierarchy:
+    def test_ifetch_includes_itlb(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        first = hierarchy.ifetch(0x400000)
+        # cold: ITLB miss (30) + IL1 miss -> L2 miss -> DRAM
+        assert first > 100
+        assert hierarchy.ifetch(0x400000) == 1            # all warm
+
+    def test_daccess_read_write_share_l2(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.daccess(0x1000, is_write=False)
+        warm = hierarchy.daccess(0x1000, is_write=True)
+        assert warm == 1
+        assert hierarchy.dl1.accesses == 2
+        assert hierarchy.l2.accesses == 1
+
+    def test_l1_split_but_l2_unified(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.ifetch(0x8000)
+        # data access to the same line: IL1 does not help, L2 does
+        latency = hierarchy.daccess(0x8000, is_write=False)
+        # DTLB miss (30) + DL1 miss (1) + L2 hit (8)
+        assert latency == 30 + 1 + 8

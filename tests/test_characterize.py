@@ -1,0 +1,122 @@
+"""Tests for the workload-characterization module."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.workloads.characterize import (
+    characterization_table,
+    dynamic_loop_coverage,
+    format_characterization,
+    innermost_loop_sizes,
+)
+
+SIMPLE = """
+.text
+    li $t0, 0
+    li $t1, 20
+top:
+    addiu $t2, $t0, 5
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, top
+    halt
+"""
+
+NESTED = """
+.text
+    li $s0, 0
+    li $s1, 4
+outer:
+    li $t0, 0
+    li $t1, 10
+inner:
+    addiu $t0, $t0, 1
+    slt $t2, $t0, $t1
+    bne $t2, $zero, inner
+    addiu $s0, $s0, 1
+    slt $t3, $s0, $s1
+    bne $t3, $zero, outer
+    halt
+"""
+
+
+class TestStaticMapping:
+    def test_loop_body_mapped(self):
+        program = assemble(SIMPLE, name="s")
+        sizes = innermost_loop_sizes(program)
+        top = program.label_address("top")
+        assert sizes[top] == 4
+        assert sizes[top + 12] == 4                 # the bne itself
+        assert sizes[program.entry_point] is None    # before the loop
+        assert sizes[top + 16] is None               # the halt
+
+    def test_innermost_wins_in_nest(self):
+        program = assemble(NESTED, name="n")
+        sizes = innermost_loop_sizes(program)
+        inner = program.label_address("inner")
+        outer = program.label_address("outer")
+        assert sizes[inner] == 3                     # inner loop size
+        assert sizes[outer] == 8                     # outer-only region
+        assert sizes[outer] > sizes[inner]
+
+    def test_calls_are_not_loops(self):
+        program = assemble("""
+        .text
+            jal fn
+            halt
+        fn:
+            jr $ra
+        """, name="c")
+        sizes = innermost_loop_sizes(program)
+        assert all(size is None for size in sizes.values())
+
+
+class TestDynamicCoverage:
+    def test_simple_loop_dominates(self):
+        program = assemble(SIMPLE, name="s")
+        row = dynamic_loop_coverage(program)
+        # 20 iterations x 4 inside vs 3 outside
+        assert row["total"] == 3 + 20 * 4
+        assert row["in_loop"] == pytest.approx(80 / 83)
+        assert row["dominant_size"] == 4
+        assert row["coverage"][32] == row["in_loop"]
+
+    def test_thresholds_monotone(self):
+        program = assemble(NESTED, name="n")
+        row = dynamic_loop_coverage(program, thresholds=(2, 3, 9, 64))
+        coverage = row["coverage"]
+        assert coverage[2] <= coverage[3] <= coverage[9] <= coverage[64]
+        assert coverage[2] == 0.0                    # nothing fits 2
+        assert coverage[64] == row["in_loop"]
+
+    def test_loop_free_program(self):
+        program = assemble(".text\nli $t0, 1\nhalt", name="f")
+        row = dynamic_loop_coverage(program)
+        assert row["in_loop"] == 0.0
+        assert row["dominant_size"] is None
+
+    def test_budget_guard(self):
+        program = assemble(SIMPLE, name="s")
+        with pytest.raises(RuntimeError):
+            dynamic_loop_coverage(program, max_instructions=10)
+
+
+class TestTableRendering:
+    def test_format(self):
+        programs = {"simple": assemble(SIMPLE, name="s")}
+        table = characterization_table(programs)
+        text = format_characterization(table)
+        assert "simple" in text
+        assert "dominant" in text
+        assert "%" in text
+
+    def test_tight_benchmarks_covered_at_32(self, suite):
+        table = characterization_table(
+            {name: suite.program(name) for name in ("tsf", "wss")})
+        for name, row in table.items():
+            assert row["coverage"][32] > 0.8, name
+
+    def test_large_benchmarks_need_big_queues(self, suite):
+        row = dynamic_loop_coverage(suite.program("btrix"))
+        assert row["coverage"][64] < 0.1
+        assert row["coverage"][128] > 0.8

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+LOOP_SOURCE = """
+.text
+    li $t0, 0
+    li $t1, 40
+top:
+    addiu $t2, $t0, 5
+    addiu $t0, $t0, 1
+    slt $t4, $t0, $t1
+    bne $t4, $zero, top
+    halt
+"""
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.s"
+    path.write_text(LOOP_SOURCE)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "x.s"])
+        assert args.iq == 64
+        assert not args.reuse
+        assert args.strategy == "multi"
+        assert args.nblt == 8
+
+    def test_machine_options(self):
+        args = build_parser().parse_args(
+            ["run", "x.s", "--iq", "128", "--reuse",
+             "--strategy", "single", "--nblt", "0"])
+        assert args.iq == 128
+        assert args.reuse
+        assert args.strategy == "single"
+        assert args.nblt == 0
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x.s", "--strategy", "bogus"])
+
+
+class TestRunCommand:
+    def test_baseline_run(self, loop_file, capsys):
+        assert main(["run", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "[baseline]" in out
+        assert "ipc=" in out
+        assert "gated=0.0%" in out
+
+    def test_reuse_run(self, loop_file, capsys):
+        assert main(["run", loop_file, "--reuse"]) == 0
+        out = capsys.readouterr().out
+        assert "[reuse]" in out
+        assert "gated=0.0%" not in out
+
+    def test_compare(self, loop_file, capsys):
+        assert main(["run", loop_file, "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "[baseline]" in out and "[reuse]" in out
+        assert "overall_power_reduction" in out
+
+    def test_stats_dump(self, loop_file, capsys):
+        assert main(["run", loop_file, "--reuse", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "sim_cycle" in out
+        assert "## reuse mechanism" in out
+        assert "power breakdown" in out
+
+    def test_missing_file(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "/nonexistent/file.s"])
+
+    def test_assembler_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.s"
+        bad.write_text(".text\nfrobnicate $t0\n")
+        with pytest.raises(SystemExit) as err:
+            main(["run", str(bad)])
+        assert "frobnicate" in str(err.value)
+
+
+class TestBenchCommand:
+    def test_bench_runs(self, capsys):
+        assert main(["bench", "tsf", "--iq", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "gated_fraction" in out
+
+    def test_bench_unknown_name(self):
+        with pytest.raises(SystemExit) as err:
+            main(["bench", "nonesuch"])
+        assert "nonesuch" in str(err.value)
+
+
+class TestDisasmCommand:
+    def test_disasm(self, loop_file, capsys):
+        assert main(["disasm", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "top:" in out
+        assert "bne $t4, $zero" in out
+
+
+class TestReproduceCommand:
+    def test_small_subset(self, capsys):
+        # table1/table2 are cheap; the figures are covered in benchmarks/
+        assert main(["reproduce", "table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "wall time" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])

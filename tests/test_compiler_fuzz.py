@@ -1,0 +1,122 @@
+"""Property-based fuzzing of the compiler transform pipeline.
+
+Hypothesis generates random kernels (random arrays, affine references with
+offsets, expression trees) and random sequences of transformation passes
+(distribute / unroll / fuse); the transformed program's final memory image
+must equal the original's under the functional interpreter.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.fusion import fuse_kernel
+from repro.compiler.ir import Assign, BinOp, Const, Kernel, Loop, Ref, idx
+from repro.compiler.loop_distribution import distribute_kernel
+from repro.compiler.passes import build_program
+from repro.compiler.unroll import unroll_kernel
+from repro.isa.interpreter import run_program
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+_ARRAYS = ("a0", "a1", "a2", "a3")
+_OPS = ("+", "-", "*")
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random expression tree over array refs and one constant."""
+    if depth >= 2 or draw(st.booleans()):
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            return Const("c")
+        array = draw(st.sampled_from(_ARRAYS))
+        offset = draw(st.integers(min_value=0, max_value=2))
+        return Ref(array, idx("i", offset))
+    op = draw(st.sampled_from(_OPS))
+    return BinOp(op, draw(expressions(depth=depth + 1)),
+                 draw(expressions(depth=depth + 1)))
+
+
+@st.composite
+def kernels(draw):
+    """A random kernel: one loop of 1-5 random assignments."""
+    kernel = Kernel("fuzz")
+    for name in _ARRAYS:
+        kernel.array(name, 24,
+                     init=[draw(st.integers(min_value=-4, max_value=4))
+                           * 0.5 for _ in range(8)])
+    kernel.const("c", draw(st.integers(min_value=-3,
+                                       max_value=3)) * 0.25)
+    statements = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        target = draw(st.sampled_from(_ARRAYS))
+        statements.append(Assign(Ref(target, idx("i")),
+                                 draw(expressions())))
+    trips = draw(st.integers(min_value=1, max_value=16))
+    kernel.body = [Loop("i", 0, trips, statements)]
+    return kernel
+
+
+PASSES = {
+    "distribute": distribute_kernel,
+    "unroll2": lambda k: unroll_kernel(k, 2, name_suffix=""),
+    "unroll3": lambda k: unroll_kernel(k, 3, name_suffix=""),
+    "fuse": fuse_kernel,
+}
+
+
+def _memory_image(kernel):
+    machine = run_program(build_program(kernel), max_instructions=500_000)
+    pages = {}
+    for page_addr, page in machine.memory._pages.items():
+        pages[page_addr] = bytes(page)
+    return pages
+
+
+class TestTransformSemanticPreservation:
+    @_SETTINGS
+    @given(kernels(),
+           st.lists(st.sampled_from(sorted(PASSES)), min_size=1,
+                    max_size=3))
+    def test_random_pass_sequences(self, kernel, pass_names):
+        reference = _memory_image(kernel)
+        transformed = kernel
+        for name in pass_names:
+            transformed = PASSES[name](transformed)
+        result = _memory_image(transformed)
+        for page_addr, page in reference.items():
+            assert result.get(page_addr, bytes(len(page))) == page, \
+                (pass_names, hex(page_addr << 12))
+
+    @_SETTINGS
+    @given(kernels())
+    def test_distribute_then_fuse_roundtrip(self, kernel):
+        reference = _memory_image(kernel)
+        roundtrip = fuse_kernel(distribute_kernel(kernel))
+        result = _memory_image(roundtrip)
+        for page_addr, page in reference.items():
+            assert result.get(page_addr, bytes(len(page))) == page
+
+    @_SETTINGS
+    @given(kernels())
+    def test_transforms_never_grow_trip_work(self, kernel):
+        # the total number of statement executions is invariant
+        def work(k):
+            total = 0
+
+            def walk(stmts, factor):
+                nonlocal total
+                for stmt in stmts:
+                    if isinstance(stmt, Loop):
+                        walk(stmt.body, factor * stmt.trip_count)
+                    elif isinstance(stmt, Assign):
+                        total += factor
+
+            walk(k.body, 1)
+            return total
+
+        original = work(kernel)
+        assert work(distribute_kernel(kernel)) == original
+        assert work(unroll_kernel(kernel, 2, name_suffix="")) == original
+        assert work(fuse_kernel(kernel)) == original

@@ -1,0 +1,192 @@
+"""Tests for loop unrolling and loop fusion."""
+
+import pytest
+
+from repro.compiler.fusion import can_fuse, fuse_adjacent, fuse_kernel
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    IVar,
+    Kernel,
+    Loop,
+    Ref,
+    idx,
+)
+from repro.compiler.loop_distribution import distribute_kernel
+from repro.compiler.passes import build_program
+from repro.compiler.unroll import unroll_kernel, unroll_loop
+from repro.isa.interpreter import run_program
+from repro.isa.program import DATA_BASE
+from repro.workloads.generator import synthetic_loop_kernel
+
+
+def copy_kernel(n=16, trips=None):
+    """b[i] = a[i] + a[i+1] over [0, n)."""
+    kernel = Kernel("copyk")
+    kernel.array("a", n + 2, init=[float(i) for i in range(n + 2)])
+    kernel.array("b", n + 2)
+    kernel.loop("i", 0, trips if trips else n, [
+        Assign(Ref("b", idx("i")),
+               BinOp("+", Ref("a", idx("i")), Ref("a", idx("i", 1)))),
+    ])
+    return kernel
+
+
+def memory_equal(first, second):
+    for page_addr, page in first.memory._pages.items():
+        if second.memory.read_bytes(page_addr << 12,
+                                    len(page)) != bytes(page):
+            return False
+    return True
+
+
+class TestUnrollMechanics:
+    def test_divisible_trip_count(self):
+        kernel = copy_kernel(16)
+        unrolled = unroll_kernel(kernel, factor=4)
+        loops = unrolled.all_loops()
+        assert len(loops) == 1
+        assert loops[0].step == 4
+        assert len(loops[0].body) == 4
+
+    def test_remainder_loop_generated(self):
+        kernel = copy_kernel(18, trips=18)
+        unrolled = unroll_kernel(kernel, factor=4)
+        loops = unrolled.all_loops()
+        assert len(loops) == 2
+        assert loops[0].step == 4
+        assert loops[0].upper == 16
+        assert loops[1].step == 1
+        assert (loops[1].lower, loops[1].upper) == (16, 18)
+
+    def test_index_shifting(self):
+        kernel = copy_kernel(8)
+        unrolled = unroll_kernel(kernel, factor=2)
+        body = unrolled.all_loops()[0].body
+        # second copy reads a[i+1], a[i+2] and writes b[i+1]
+        assert body[1].target.index.offset == 1
+        read_offsets = sorted(r.index.offset
+                              for r in [body[1].expr.left,
+                                        body[1].expr.right])
+        assert read_offsets == [1, 2]
+
+    def test_semantics_preserved(self):
+        kernel = copy_kernel(19, trips=19)
+        original = run_program(build_program(kernel))
+        unrolled = run_program(build_program(unroll_kernel(kernel, 4)))
+        assert memory_equal(original, unrolled)
+
+    def test_semantics_preserved_on_2d(self):
+        kernel = Kernel("k2d")
+        kernel.array("m", 8 * 8, init=[0.25 * i for i in range(64)])
+        kernel.array("o", 8 * 8)
+        inner = Loop("j", 0, 8, [
+            Assign(Ref("o", idx(("i", 8), "j")),
+                   Ref("m", idx(("i", 8), "j"))),
+        ])
+        kernel.loop("i", 0, 8, [inner])
+        original = run_program(build_program(kernel))
+        unrolled = run_program(build_program(unroll_kernel(kernel, 2)))
+        assert memory_equal(original, unrolled)
+
+    def test_static_body_grows(self):
+        kernel = copy_kernel(16)
+        original = build_program(kernel)
+        unrolled = build_program(unroll_kernel(kernel, 4))
+        assert max(unrolled.static_loop_sizes()) > \
+            2.5 * max(original.static_loop_sizes())
+
+
+class TestUnrollLegality:
+    def test_call_blocks_unrolling(self):
+        loop = Loop("i", 0, 8, [Call("p")])
+        assert unroll_loop(loop, 4) == [loop]
+
+    def test_ivar_blocks_unrolling(self):
+        loop = Loop("i", 0, 8, [
+            Assign(Ref("a", idx("i")), IVar("i")),
+        ])
+        assert unroll_loop(loop, 4) == [loop]
+
+    def test_tiny_trip_count_unchanged(self):
+        kernel = copy_kernel(2, trips=2)
+        loop = kernel.all_loops()[0]
+        assert unroll_loop(loop, 4) == [loop]
+
+    def test_factor_one_unchanged(self):
+        loop = copy_kernel(8).all_loops()[0]
+        assert unroll_loop(loop, 1) == [loop]
+
+    def test_non_unit_step_unchanged(self):
+        loop = Loop("i", 0, 8, [
+            Assign(Ref("a", idx("i")), Const("c"))], step=2)
+        assert unroll_loop(loop, 2) == [loop]
+
+
+def two_distributable_loops():
+    kernel = Kernel("fuse_me")
+    kernel.array("s", 16, init=[float(i) for i in range(16)])
+    kernel.array("d0", 16)
+    kernel.array("d1", 16)
+    kernel.body = [
+        Loop("i", 0, 16, [Assign(Ref("d0", idx("i")),
+                                 Ref("s", idx("i")))]),
+        Loop("i", 0, 16, [Assign(Ref("d1", idx("i")),
+                                 Ref("s", idx("i")))]),
+    ]
+    return kernel
+
+
+class TestFusion:
+    def test_fuses_compatible_loops(self):
+        kernel = two_distributable_loops()
+        fused = fuse_kernel(kernel)
+        assert len(fused.body) == 1
+        assert len(fused.body[0].body) == 2
+
+    def test_fusion_preserves_semantics(self):
+        kernel = two_distributable_loops()
+        original = run_program(build_program(kernel))
+        fused = run_program(build_program(fuse_kernel(kernel)))
+        assert memory_equal(original, fused)
+
+    def test_mismatched_bounds_not_fused(self):
+        first = Loop("i", 0, 16, [Assign(Ref("d0", idx("i")),
+                                         Ref("s", idx("i")))])
+        second = Loop("i", 0, 8, [Assign(Ref("d1", idx("i")),
+                                         Ref("s", idx("i")))])
+        assert not can_fuse(first, second)
+        assert len(fuse_adjacent([first, second])) == 2
+
+    def test_offset_dependence_blocks_fusion(self):
+        # second loop reads d0[i+1], which the first loop writes at [i]:
+        # fusing would turn a forward dep into a backward one
+        first = Loop("i", 0, 16, [Assign(Ref("d0", idx("i")),
+                                         Ref("s", idx("i")))])
+        second = Loop("i", 0, 16, [Assign(Ref("d1", idx("i")),
+                                          Ref("d0", idx("i", 1)))])
+        assert not can_fuse(first, second)
+
+    def test_same_index_flow_dep_fuses(self):
+        first = Loop("i", 0, 16, [Assign(Ref("d0", idx("i")),
+                                         Ref("s", idx("i")))])
+        second = Loop("i", 0, 16, [Assign(Ref("d1", idx("i")),
+                                          Ref("d0", idx("i")))])
+        assert can_fuse(first, second)
+
+    def test_fusion_inverts_distribution(self):
+        kernel = synthetic_loop_kernel("inv", statements=3, trip_count=12)
+        distributed = distribute_kernel(kernel)
+        assert len(distributed.body) == 3
+        refused = fuse_kernel(distributed)
+        assert len(refused.body) == 1
+        original = run_program(build_program(kernel))
+        roundtrip = run_program(build_program(refused))
+        assert memory_equal(original, roundtrip)
+
+    def test_calls_block_fusion(self):
+        first = Loop("i", 0, 8, [Call("p")])
+        second = Loop("i", 0, 8, [Call("p")])
+        assert not can_fuse(first, second)

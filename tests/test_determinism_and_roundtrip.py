@@ -1,0 +1,107 @@
+"""Determinism and round-trip properties.
+
+* The simulator must be perfectly deterministic: identical program +
+  configuration gives bit-identical statistics, energies and final state.
+* A program's disassembly listing must re-assemble to an equivalent
+  program (labels degrade to absolute targets, which the assembler
+  accepts).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import MachineConfig
+from repro.isa.assembler import assemble
+from repro.sim.simulator import simulate
+from repro.workloads.generator import synthetic_loop_kernel
+from repro.workloads.suite import WorkloadSuite
+from repro.compiler.passes import build_program
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("reuse", [False, True])
+    def test_identical_runs(self, reuse):
+        program = build_program(synthetic_loop_kernel(
+            "det", statements=2, trip_count=50, outer_trips=3))
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=reuse)
+        first = simulate(program, config)
+        second = simulate(program, config)
+        assert first.stats.as_dict() == second.stats.as_dict()
+        assert first.activity == second.activity
+        assert first.registers == second.registers
+        assert first.total_energy == second.total_energy
+
+    def test_benchmark_determinism(self, suite):
+        program = suite.program("wss")
+        config = MachineConfig().replace(reuse_enabled=True)
+        first = simulate(program, config)
+        second = simulate(program, config)
+        assert first.stats.as_dict() == second.stats.as_dict()
+
+    def test_program_rebuild_is_equivalent(self):
+        kernel_a = synthetic_loop_kernel("same", statements=2,
+                                         trip_count=30)
+        kernel_b = synthetic_loop_kernel("same", statements=2,
+                                         trip_count=30)
+        program_a = build_program(kernel_a)
+        program_b = build_program(kernel_b)
+        assert len(program_a) == len(program_b)
+        for one, two in zip(program_a.instructions,
+                            program_b.instructions):
+            assert one.op is two.op
+            assert (one.rd, one.rs, one.rt, one.imm, one.target) == \
+                (two.rd, two.rs, two.rt, two.imm, two.target)
+
+
+def _programs_equivalent(first, second):
+    assert len(first) == len(second)
+    for one, two in zip(first.instructions, second.instructions):
+        assert one.op is two.op, (one, two)
+        assert one.dest == two.dest
+        assert one.srcs == two.srcs
+        assert one.imm == two.imm
+        assert one.target == two.target
+
+
+class TestListingRoundTrip:
+    @pytest.mark.parametrize("name", ["tsf", "wss", "eflux"])
+    def test_benchmark_listing_reassembles(self, suite, name):
+        program = suite.program(name)
+        # strip address prefixes from the listing to get plain assembly
+        lines = [".text"]
+        for line in program.listing().splitlines():
+            stripped = line.strip()
+            if stripped.endswith(":"):
+                lines.append(stripped)
+            else:
+                lines.append(stripped.split("  ", 1)[1])
+        rebuilt = assemble("\n".join(lines), name=name + "_rt")
+        _programs_equivalent(program, rebuilt)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.sampled_from([
+        "addu $t0, $t1, $t2",
+        "addiu $t3, $t4, -17",
+        "sll $t5, $t6, 7",
+        "mult $t7, $t0, $t1",
+        "add.d $f2, $f4, $f6",
+        "itof $f8, $t2",
+        "lw $t0, 12($sp)",
+        "sw $t1, -8($sp)",
+        "l.d $f2, 0($t0)",
+        "sb $t2, 3($t0)",
+        "lhu $t3, 2($t0)",
+        "nop",
+    ]), min_size=1, max_size=40))
+    def test_random_straightline_roundtrip(self, body):
+        source = ".text\n" + "\n".join(body) + "\nhalt\n"
+        program = assemble(source)
+        relisted = []
+        for line in program.listing().splitlines():
+            stripped = line.strip()
+            if not stripped.endswith(":"):
+                relisted.append(stripped.split("  ", 1)[1])
+        rebuilt = assemble(".text\n" + "\n".join(relisted))
+        _programs_equivalent(program, rebuilt)

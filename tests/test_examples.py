@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run to completion.
+
+The heavyweight ``reproduce_paper.py`` is exercised through its library
+entry point with a cheap subset; the others run in full.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, argv=()):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES_DIR / f"{name}.py"), *argv]
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "power reduction vs baseline:" in out
+        assert "instruction cache" in out
+
+    def test_pipeline_trace(self, capsys):
+        run_example("pipeline_trace")
+        out = capsys.readouterr().out
+        assert "conventional issue queue" in out
+        assert "reuse-capable issue queue" in out
+        # reused rows visible and front-end-event-free
+        assert "r addiu" in out or " r " in out
+
+    def test_custom_kernel(self, capsys):
+        run_example("custom_kernel")
+        out = capsys.readouterr().out
+        assert "original" in out and "distributed" in out
+        assert "loop distribution unlocked" in out
+
+    def test_issue_queue_sizing(self, capsys):
+        run_example("issue_queue_sizing", argv=["tsf"])
+        out = capsys.readouterr().out
+        assert "benchmark: tsf" in out
+        for iq in ("32", "64", "128", "256"):
+            assert f"\n {iq:>3s}" in out or f" {iq} " in out
+
+    def test_issue_queue_sizing_rejects_nothing(self, capsys):
+        # default benchmark when no argument given
+        run_example("issue_queue_sizing")
+        assert "benchmark:" in capsys.readouterr().out
+
+    def test_reproduce_paper_subset(self, capsys):
+        run_example("reproduce_paper", argv=["table1", "table2"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out

@@ -1,0 +1,102 @@
+"""Tests for the experiment runner (on a reduced benchmark set).
+
+The full Table 2 sweep lives in ``benchmarks/``; here the runner's
+mechanics -- caching, metric extraction, table shapes -- are exercised on
+the two cheapest benchmarks and two issue-queue sizes.
+"""
+
+import pytest
+
+from repro.sim.experiments import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(benchmarks=("tsf", "wss"), iq_sizes=(32, 64))
+
+
+class TestRunnerMechanics:
+    def test_compare_caches_runs(self, runner):
+        first = runner.compare("tsf", 32)
+        second = runner.compare("tsf", 32)
+        assert first.baseline is second.baseline
+        assert first.reuse is second.reuse
+
+    def test_sweep_covers_grid(self, runner):
+        cells = runner.sweep()
+        assert len(cells) == 4
+        assert {(c.benchmark, c.iq_size) for c in cells} == {
+            ("tsf", 32), ("tsf", 64), ("wss", 32), ("wss", 64)}
+
+    def test_commit_counts_always_match(self, runner):
+        for cell in runner.sweep():
+            base = cell.comparison.baseline.stats.committed
+            reuse = cell.comparison.reuse.stats.committed
+            assert base == reuse
+
+
+class TestFigureTables:
+    def test_figure5_shape(self, runner):
+        table = runner.figure5_gating()
+        assert set(table) == {"tsf", "wss", "average"}
+        assert set(table["tsf"]) == {32, 64}
+        for benchmark in ("tsf", "wss"):
+            for iq in (32, 64):
+                assert 0.0 <= table[benchmark][iq] <= 1.0
+
+    def test_figure5_average_is_mean(self, runner):
+        table = runner.figure5_gating()
+        for iq in (32, 64):
+            expected = (table["tsf"][iq] + table["wss"][iq]) / 2
+            assert table["average"][iq] == pytest.approx(expected)
+
+    def test_tight_loops_gate_at_32(self, runner):
+        table = runner.figure5_gating()
+        assert table["tsf"][32] > 0.5
+        assert table["wss"][32] > 0.5
+
+    def test_figure6_rows(self, runner):
+        table = runner.figure6_component_power()
+        assert set(table) == {"icache", "bpred", "issue_queue", "overhead"}
+        assert table["icache"][32] > table["bpred"][32]
+        assert table["overhead"][32] < 0.05
+
+    def test_figure7_positive_for_gating_benchmarks(self, runner):
+        table = runner.figure7_overall_power()
+        assert table["tsf"][32] > 0.05
+        assert table["wss"][32] > 0.05
+
+    def test_figure8_small_for_tight_loops(self, runner):
+        table = runner.figure8_performance()
+        for benchmark in ("tsf", "wss"):
+            for iq in (32, 64):
+                assert abs(table[benchmark][iq]) < 0.1
+
+    def test_figure9_keys(self, runner):
+        table = runner.figure9_compiler_optimization(iq_size=32)
+        for name in ("tsf", "wss", "average"):
+            row = table[name]
+            assert set(row) == {
+                "original", "optimized", "original_gated",
+                "optimized_gated", "original_ipc_degradation",
+                "optimized_ipc_degradation"}
+
+
+class TestAblations:
+    def test_nblt_ablation_keys(self, runner):
+        table = runner.nblt_ablation(iq_size=32, benchmarks=("tsf",))
+        row = table["tsf"]
+        assert 0.0 <= row["revoke_rate_with_nblt"] <= 1.0
+        assert 0.0 <= row["revoke_rate_without_nblt"] <= 1.0
+
+    def test_nblt_reduces_or_keeps_revoke_rate(self, runner):
+        table = runner.nblt_ablation(iq_size=32, benchmarks=("tsf", "wss"))
+        for row in table.values():
+            assert row["revoke_rate_with_nblt"] <= \
+                row["revoke_rate_without_nblt"] + 1e-9
+
+    def test_strategy_ablation(self, runner):
+        table = runner.strategy_ablation(iq_size=32, benchmarks=("tsf",))
+        row = table["tsf"]
+        assert row["gated_multi"] > 0.0
+        assert row["gated_single"] > 0.0

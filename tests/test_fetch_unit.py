@@ -1,0 +1,131 @@
+"""Unit tests for the fetch unit (driven standalone, without the backend)."""
+
+from repro.arch.branch.predictor import BranchPredictor
+from repro.arch.config import MachineConfig
+from repro.arch.fetch import FetchUnit
+from repro.arch.mem.hierarchy import MemoryHierarchy
+from repro.arch.stats import PipelineStats
+from repro.isa.assembler import assemble
+
+
+def make_fetch_unit(source, config=None):
+    config = config or MachineConfig()
+    program = assemble(source, name="fetch_test")
+    stats = PipelineStats()
+    hierarchy = MemoryHierarchy(config)
+    predictor = BranchPredictor(config.bimod_size, config.btb_sets,
+                                config.btb_assoc, config.ras_size)
+    counter = iter(range(1, 100000))
+    unit = FetchUnit(program, config, hierarchy, predictor,
+                     lambda: next(counter), stats)
+    return unit, stats, program
+
+
+STRAIGHT = ".text\n" + "nop\n" * 20 + "halt\n"
+
+
+class TestBasicFetch:
+    def test_cold_icache_miss_stalls(self):
+        unit, stats, _ = make_fetch_unit(STRAIGHT)
+        unit.cycle(1)
+        assert len(unit.queue) == 0              # miss: nothing delivered
+        assert unit.stall_until > 1
+
+    def test_warm_fetch_fills_width(self):
+        unit, stats, _ = make_fetch_unit(STRAIGHT)
+        unit.cycle(1)                            # cold miss
+        unit.cycle(unit.stall_until)             # line now present
+        assert len(unit.queue) == 4              # fetch queue size
+
+    def test_queue_capacity_respected(self):
+        unit, _, _ = make_fetch_unit(STRAIGHT)
+        unit.cycle(1)
+        now = unit.stall_until
+        unit.cycle(now)
+        unit.cycle(now + 1)                      # queue already full
+        assert len(unit.queue) == MachineConfig().fetch_queue_size
+
+    def test_fetch_follows_taken_branch_within_cycle(self):
+        # jump at the first instruction: the fetch should continue at the
+        # target in the same cycle (idealised SimpleScalar fetch)
+        unit, stats, program = make_fetch_unit("""
+        .text
+            j target
+            nop
+            nop
+        target:
+            nop
+            nop
+            halt
+        """)
+        # warm up the BTB so the jump has no bubble
+        unit.predictor.btb.update(program.entry_point,
+                                  program.label_address("target"))
+        unit.cycle(1)
+        unit.cycle(unit.stall_until)
+        pcs = [dyn.pc for dyn in unit.queue]
+        assert pcs[0] == program.entry_point
+        assert pcs[1] == program.label_address("target")
+
+    def test_btb_miss_costs_bubble(self):
+        unit, stats, _ = make_fetch_unit("""
+        .text
+            j target
+            nop
+        target:
+            halt
+        """)
+        unit.cycle(1)
+        unit.cycle(unit.stall_until)             # fetch the jump, BTB cold
+        assert stats.btb_bubbles == 1
+        assert len(unit.queue) == 1              # fetch stopped at the jump
+
+    def test_off_text_fetch_stalls_without_crash(self):
+        unit, stats, _ = make_fetch_unit(".text\nnop\n")
+        unit.cycle(1)
+        unit.cycle(unit.stall_until)             # fetch the single nop
+        before = stats.fetched
+        unit.cycle(unit.stall_until + 1)        # now past the text segment
+        assert stats.fetched == before
+        assert stats.fetch_stall_cycles >= 1
+
+    def test_redirect_flushes_and_restarts(self):
+        unit, _, program = make_fetch_unit(STRAIGHT)
+        unit.cycle(1)
+        unit.cycle(unit.stall_until)
+        assert unit.queue
+        unit.redirect(program.entry_point + 8, now=10)
+        assert not unit.queue
+        assert unit.pc == program.entry_point + 8
+        assert unit.stall_until == 11            # resumes next cycle
+
+    def test_flush_queue_keeps_pc(self):
+        unit, _, _ = make_fetch_unit(STRAIGHT)
+        unit.cycle(1)
+        unit.cycle(unit.stall_until)
+        pc_before = unit.pc
+        unit.flush_queue()
+        assert not unit.queue
+        assert unit.pc == pc_before
+
+    def test_one_icache_access_per_fetch_cycle(self):
+        unit, stats, _ = make_fetch_unit(STRAIGHT)
+        unit.cycle(1)
+        accesses_after_miss = unit.hierarchy.il1.accesses
+        unit.cycle(unit.stall_until)
+        assert unit.hierarchy.il1.accesses == accesses_after_miss + 1
+        assert stats.icache_fetch_cycles == 2
+
+    def test_prediction_attached_to_control(self):
+        unit, _, program = make_fetch_unit("""
+        .text
+        top:
+            addiu $t0, $t0, 1
+            bne $t0, $t1, top
+            halt
+        """)
+        unit.cycle(1)
+        unit.cycle(unit.stall_until)
+        branch_dyn = [d for d in unit.queue if d.inst.is_control][0]
+        assert branch_dyn.pred_taken is not None
+        assert branch_dyn.pred_target is not None

@@ -1,0 +1,141 @@
+"""Tests for the gshare predictor and the bpred_kind configuration."""
+
+import pytest
+
+from repro.arch.branch.gshare import GsharePredictor
+from repro.arch.branch.predictor import BranchPredictor
+from repro.arch.config import MachineConfig
+from repro.arch.pipeline import Pipeline
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+
+from tests.helpers import assert_matches_oracle
+
+
+class TestGshareUnit:
+    def test_initially_weakly_taken(self):
+        predictor = GsharePredictor(64, history_bits=4)
+        assert predictor.peek(0x400000) is True
+
+    def test_history_shifts_on_predict(self):
+        predictor = GsharePredictor(64, history_bits=4)
+        assert predictor.history == 0
+        predictor.predict(0x400000)               # predicted taken
+        assert predictor.history == 1
+
+    def test_history_bounded(self):
+        predictor = GsharePredictor(64, history_bits=3)
+        for _ in range(10):
+            predictor.predict(0x400000)
+        assert predictor.history <= 0b111
+
+    def test_history_changes_index(self):
+        predictor = GsharePredictor(64, history_bits=4)
+        pc = 0x400000
+        index_h0 = predictor._index(pc)
+        predictor.history = 0b1010
+        assert predictor._index(pc) != index_h0
+
+    def test_counter_training(self):
+        predictor = GsharePredictor(64, history_bits=4)
+        pc = 0x400000
+        predictor.history = 0
+        index = predictor._index(pc)
+        predictor.update_at_index(index, False)
+        predictor.update_at_index(index, False)
+        assert predictor.table[index] == 0
+
+    def test_snapshot_restore(self):
+        predictor = GsharePredictor(64, history_bits=6)
+        predictor.predict(0x400000)
+        snap = predictor.snapshot()
+        predictor.predict(0x400004)
+        predictor.predict(0x400008)
+        predictor.restore(snap)
+        assert predictor.history == snap
+
+    def test_learns_alternating_pattern(self):
+        # T/N/T/N defeats bimodal but is trivial for 1+ history bits
+        predictor = GsharePredictor(256, history_bits=4)
+        pc = 0x400000
+        correct_tail = 0
+        for i in range(64):
+            outcome = bool(i % 2)
+            fetch_index = predictor._index(pc)     # pre-prediction history
+            predicted = predictor.predict(pc)
+            # repair the speculative history bit with the real outcome
+            predictor.history = ((predictor.history >> 1) << 1) \
+                | int(outcome)
+            predictor.update_at_index(fetch_index, outcome)
+            if i >= 32:
+                correct_tail += (predicted == outcome)
+        assert correct_tail >= 28                  # near-perfect once warm
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(100)                   # not a power of two
+        with pytest.raises(ValueError):
+            GsharePredictor(64, history_bits=0)
+
+
+class TestCompositeIntegration:
+    def test_kind_selection(self):
+        bimod = BranchPredictor(kind="bimod")
+        assert bimod.bimod is bimod.direction
+        gshare = BranchPredictor(kind="gshare")
+        assert gshare.gshare is gshare.direction
+        with pytest.raises(ValueError):
+            BranchPredictor(kind="neural")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(bpred_kind="neural")
+        MachineConfig(bpred_kind="gshare")         # accepted
+
+    @pytest.mark.parametrize("reuse", [False, True])
+    def test_gshare_machine_architecturally_exact(self, reuse,
+                                                  tight_loop_program,
+                                                  tight_loop_oracle):
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=reuse, bpred_kind="gshare")
+        pipeline = Pipeline(tight_loop_program, config)
+        pipeline.run()
+        assert_matches_oracle(pipeline, tight_loop_oracle)
+
+    def test_gshare_beats_bimod_on_alternating_branch(self):
+        source = """
+        .text
+            li $t0, 0
+            li $t1, 200
+            li $s0, 0
+        top:
+            andi $t2, $t0, 1
+            beq $t2, $zero, even
+            addiu $s0, $s0, 2
+        even:
+            addiu $t0, $t0, 1
+            slt $t3, $t0, $t1
+            bne $t3, $zero, top
+            halt
+        """
+        program = assemble(source, name="alt")
+        oracle = run_program(program)
+        results = {}
+        for kind in ("bimod", "gshare"):
+            config = MachineConfig().replace(bpred_kind=kind)
+            pipeline = Pipeline(program, config)
+            pipeline.run()
+            assert_matches_oracle(pipeline, oracle)
+            results[kind] = pipeline.stats.mispredicts
+        assert results["gshare"] < 0.5 * results["bimod"]
+
+    def test_reuse_gating_insensitive_to_predictor(self,
+                                                   tight_loop_program):
+        gating = {}
+        for kind in ("bimod", "gshare"):
+            config = MachineConfig().with_iq_size(32).replace(
+                reuse_enabled=True, bpred_kind=kind)
+            pipeline = Pipeline(tight_loop_program, config)
+            pipeline.run()
+            gating[kind] = pipeline.stats.gated_fraction
+        assert abs(gating["bimod"] - gating["gshare"]) < 0.1

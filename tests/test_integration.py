@@ -1,0 +1,85 @@
+"""End-to-end integration tests on real Table 2 benchmarks.
+
+These run complete benchmark programs through both machine modes and check
+architectural correctness plus the headline behaviours the paper reports.
+Kept to the two cheapest benchmarks; the full sweep lives in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.pipeline import Pipeline
+from repro.isa.interpreter import run_program
+from repro.sim.results import RunComparison
+from repro.sim.simulator import simulate
+
+from tests.helpers import assert_matches_oracle
+
+
+@pytest.fixture(scope="module")
+def tsf_program(suite):
+    return suite.program("tsf")
+
+
+@pytest.fixture(scope="module")
+def tsf_oracle(tsf_program):
+    return run_program(tsf_program)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("reuse", [False, True])
+    def test_tsf_architecturally_exact(self, tsf_program, tsf_oracle,
+                                       reuse):
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=reuse)
+        pipeline = Pipeline(tsf_program, config)
+        pipeline.run()
+        assert_matches_oracle(pipeline, tsf_oracle)
+
+    def test_tsf_gates_heavily_at_32(self, tsf_program):
+        config = MachineConfig().with_iq_size(32)
+        comparison = RunComparison(
+            simulate(tsf_program, config),
+            simulate(tsf_program, config.replace(reuse_enabled=True)))
+        assert comparison.gated_fraction > 0.7
+        assert comparison.overall_power_reduction > 0.1
+        assert abs(comparison.ipc_degradation) < 0.05
+
+    def test_tsf_non_monotonic_gating(self, tsf_program):
+        # the paper's observation: a larger issue queue buffers more
+        # iterations, delaying reuse -- tsf gates *less* at 256 than at 32
+        def gated(iq):
+            config = MachineConfig().with_iq_size(iq).replace(
+                reuse_enabled=True)
+            return simulate(tsf_program, config).gated_fraction
+
+        assert gated(32) > gated(256)
+
+    def test_wss_reuse_supplies_most_instructions(self, suite):
+        program = suite.program("wss")
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=True)
+        result = simulate(program, config)
+        assert result.stats.reuse_supplied > 0.5 * result.stats.committed
+
+    def test_optimized_tsf_still_exact(self, suite):
+        program = suite.program("tsf", optimize=True)
+        oracle = run_program(program)
+        config = MachineConfig().replace(reuse_enabled=True)
+        pipeline = Pipeline(program, config)
+        pipeline.run()
+        assert_matches_oracle(pipeline, oracle)
+
+    def test_paper_metrics_consistent(self, tsf_program):
+        config = MachineConfig().with_iq_size(32)
+        baseline = simulate(tsf_program, config)
+        reuse = simulate(tsf_program, config.replace(reuse_enabled=True))
+        comparison = RunComparison(baseline, reuse)
+        summary = comparison.summary()
+        # cross-checks between the metrics
+        assert summary["icache_power_reduction"] > \
+            summary["overall_power_reduction"]
+        assert baseline.stats.gated_cycles == 0
+        assert reuse.stats.reuse_supplied == \
+            reuse.stats.iq_partial_updates

@@ -1,0 +1,132 @@
+"""Unit tests for the in-order functional interpreter (the oracle)."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import Interpreter, InterpreterError, run_program
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import DATA_BASE, STACK_TOP
+from repro.isa.registers import REG_RA, REG_SP, fpreg, intreg
+
+
+def run(source):
+    return run_program(assemble(".text\n" + source))
+
+
+class TestBasicExecution:
+    def test_arithmetic(self):
+        machine = run("""
+            li $t0, 6
+            li $t1, 7
+            mult $t2, $t0, $t1
+            halt
+        """)
+        assert machine.regs[intreg(10)] == 42
+
+    def test_initial_state(self):
+        program = assemble(".text\nhalt")
+        machine = Interpreter(program)
+        assert machine.regs[REG_SP] == STACK_TOP
+        assert machine.regs[0] == 0
+        assert machine.regs[fpreg(0)] == 0.0
+
+    def test_zero_register_is_immutable(self):
+        machine = run("""
+            addiu $zero, $zero, 5
+            halt
+        """)
+        assert machine.regs[0] == 0
+
+    def test_memory_roundtrip(self):
+        machine = run("""
+            li $t0, 0x1000
+            li $t1, 99
+            sw $t1, 4($t0)
+            lw $t2, 4($t0)
+            halt
+        """)
+        assert machine.regs[intreg(10)] == 99
+        assert machine.memory.load_word(0x1004) == 99
+
+    def test_fp_memory(self):
+        program = assemble("""
+        .data
+        x: .double 2.5
+        .text
+            la $t0, x
+            l.d $f2, 0($t0)
+            add.d $f4, $f2, $f2
+            s.d $f4, 8($t0)
+            halt
+        """)
+        machine = run_program(program)
+        assert machine.regs[fpreg(4)] == 5.0
+        assert machine.memory.load_double(DATA_BASE + 8) == 5.0
+
+    def test_loop_executes_correct_count(self):
+        machine = run("""
+            li $t0, 0
+            li $t1, 10
+        top:
+            addiu $t0, $t0, 1
+            bne $t0, $t1, top
+            halt
+        """)
+        assert machine.regs[intreg(8)] == 10
+        assert machine.taken_branches == 9
+
+    def test_procedure_call(self):
+        machine = run("""
+            li $a0, 5
+            jal double_it
+            move $t0, $v0
+            halt
+        double_it:
+            addu $v0, $a0, $a0
+            jr $ra
+        """)
+        assert machine.regs[intreg(8)] == 10
+        assert machine.regs[REG_RA] != 0
+
+    def test_jalr(self):
+        machine = run("""
+            la $t0, target
+            jalr $t0
+            halt
+        target:
+            li $t1, 7
+            jr $ra
+        """)
+        assert machine.regs[intreg(9)] == 7
+
+    def test_class_counts(self):
+        machine = run("""
+            li $t0, 1
+            lw $t1, 0($t0)
+            sw $t1, 4($t0)
+            halt
+        """)
+        counts = machine.dynamic_class_counts
+        assert counts[InstrClass.LOAD] == 1
+        assert counts[InstrClass.STORE] == 1
+        assert counts[InstrClass.HALT] == 1
+
+
+class TestErrorHandling:
+    def test_run_off_text_raises(self):
+        program = assemble(".text\nnop")       # no halt
+        with pytest.raises(InterpreterError):
+            run_program(program)
+
+    def test_budget_exceeded(self):
+        program = assemble("""
+        .text
+        spin: b spin
+        """)
+        with pytest.raises(InterpreterError):
+            run_program(program, max_instructions=100)
+
+    def test_step_after_halt_raises(self):
+        machine = run("halt")
+        with pytest.raises(InterpreterError):
+            machine.step()

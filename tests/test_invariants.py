@@ -1,0 +1,153 @@
+"""Cycle-by-cycle invariant validation over representative programs.
+
+Runs whole programs with :func:`repro.arch.validate.validate` executed
+after *every* cycle -- structural corruption anywhere in the machine fails
+immediately with a precise message.
+"""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.pipeline import Pipeline
+from repro.arch.validate import InvariantViolation, run_validated, validate
+from repro.isa.assembler import assemble
+
+LOOP = """
+.text
+    li $t0, 0
+    li $t1, 40
+top:
+    addiu $t2, $t0, 5
+    sll   $t3, $t2, 1
+    addiu $t0, $t0, 1
+    slt   $t4, $t0, $t1
+    bne   $t4, $zero, top
+    halt
+"""
+
+NESTED = """
+.text
+    li $s0, 0
+    li $s1, 5
+outer:
+    li $t0, 0
+    li $t1, 12
+inner:
+    addiu $t2, $t0, 3
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner
+    addiu $s0, $s0, 1
+    slt $t4, $s0, $s1
+    bne $t4, $zero, outer
+    halt
+"""
+
+MEMORY = """
+.data
+buf: .space 128
+.text
+    la $t0, buf
+    li $t1, 0
+    li $t2, 12
+top:
+    sll $t3, $t1, 3
+    addu $t4, $t0, $t3
+    sw  $t1, 0($t4)
+    lw  $t5, 0($t4)
+    addiu $t1, $t1, 1
+    slt $t6, $t1, $t2
+    bne $t6, $zero, top
+    halt
+"""
+
+PROGRAMS = {"loop": LOOP, "nested": NESTED, "memory": MEMORY}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+@pytest.mark.parametrize("reuse", [False, True])
+def test_every_cycle_invariants(name, reuse):
+    program = assemble(PROGRAMS[name], name=name)
+    config = MachineConfig().with_iq_size(16).replace(reuse_enabled=reuse)
+    pipeline = Pipeline(program, config)
+    stats = run_validated(pipeline, every=1)
+    assert stats.committed > 0
+
+
+@pytest.mark.parametrize("strategy", ["single", "multi"])
+def test_invariants_under_strategies(strategy):
+    program = assemble(LOOP, name="loop")
+    config = MachineConfig().with_iq_size(16).replace(
+        reuse_enabled=True, buffering_strategy=strategy)
+    run_validated(Pipeline(program, config), every=1)
+
+
+def test_invariants_on_benchmark_prefix(suite):
+    # validate the first few thousand cycles of a real benchmark
+    program = suite.program("tsf")
+    config = MachineConfig().with_iq_size(32).replace(reuse_enabled=True)
+    pipeline = Pipeline(program, config)
+    for _ in range(4000):
+        if pipeline.halted:
+            break
+        pipeline.step()
+        validate(pipeline)
+
+
+class TestViolationDetection:
+    """The checker must actually detect corruption, not just pass."""
+
+    def _mid_run_pipeline(self):
+        program = assemble(LOOP, name="loop")
+        pipeline = Pipeline(program, MachineConfig().with_iq_size(16))
+        for _ in range(2000):                 # past cold I-cache misses
+            pipeline.step()
+            if len(pipeline.rob) >= 2:
+                break
+        assert len(pipeline.rob) >= 2
+        return pipeline
+
+    def test_detects_rob_disorder(self):
+        pipeline = self._mid_run_pipeline()
+        entries = pipeline.rob.entries
+        if len(entries) >= 2:
+            entries[0], entries[-1] = entries[-1], entries[0]
+            with pytest.raises(InvariantViolation):
+                validate(pipeline)
+
+    def test_detects_rename_corruption(self):
+        pipeline = self._mid_run_pipeline()
+        victim = pipeline.rob.entries[0]
+        pipeline.rename.table[7] = victim
+        if victim.inst.dest != 7:
+            with pytest.raises(InvariantViolation):
+                validate(pipeline)
+
+    def test_detects_lsq_desync(self):
+        program = assemble(MEMORY, name="memory")
+        pipeline = Pipeline(program, MachineConfig().with_iq_size(16))
+        for _ in range(200):
+            pipeline.step()
+            if len(pipeline.lsq) > 0:
+                break
+        pipeline.lsq.entries.rotate(1) if len(pipeline.lsq) > 1 else None
+        if len(pipeline.lsq) > 1:
+            with pytest.raises(InvariantViolation):
+                validate(pipeline)
+
+    def test_detects_phantom_classification(self):
+        program = assemble(LOOP, name="loop")
+        pipeline = Pipeline(program, MachineConfig().with_iq_size(16))
+        for _ in range(30):
+            pipeline.step()
+        if pipeline.iq.entries:
+            entry = next(iter(pipeline.iq.entries))
+            entry.classification = True
+            with pytest.raises(InvariantViolation):
+                validate(pipeline)
+
+    def test_detects_stat_mismatch(self):
+        pipeline = self._mid_run_pipeline()
+        pipeline.stats.cycles_normal += 1
+        with pytest.raises(InvariantViolation):
+            validate(pipeline)

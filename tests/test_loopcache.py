@@ -1,0 +1,189 @@
+"""Tests for the related-work loop-cache baseline."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.loopcache import LoopCacheController
+from repro.arch.pipeline import Pipeline
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+from repro.sim.simulator import simulate
+
+from tests.helpers import assert_matches_oracle
+
+LOOP = """
+.text
+    li $t0, 0
+    li $t1, 80
+top:
+    addiu $t2, $t0, 5
+    sll   $t3, $t2, 1
+    addiu $t0, $t0, 1
+    slt   $t4, $t0, $t1
+    bne   $t4, $zero, top
+    halt
+"""
+
+
+class TestControllerUnit:
+    def test_fill_then_supply(self):
+        lc = LoopCacheController(16)
+        lc.on_backward_branch(0x400020, 0x400008)      # 7-inst loop
+        assert not lc.filled
+        for pc in range(0x400008, 0x400024, 4):
+            lc.capture(pc)
+        assert lc.filled
+        assert lc.can_supply(0x400008)
+        assert lc.can_supply(0x400020)
+        assert not lc.can_supply(0x400024)             # past the tail
+
+    def test_loop_too_large_ignored(self):
+        lc = LoopCacheController(4)
+        lc.on_backward_branch(0x400020, 0x400008)      # 7 > 4
+        assert lc.head_pc is None
+        assert lc.fills == 0
+
+    def test_out_of_range_capture_ignored(self):
+        lc = LoopCacheController(16)
+        lc.on_backward_branch(0x400020, 0x400008)
+        lc.capture(0x400000)
+        assert len(lc._captured) == 0
+
+    def test_warm_reentry_keeps_fill(self):
+        lc = LoopCacheController(16)
+        lc.on_backward_branch(0x400020, 0x400008)
+        for pc in range(0x400008, 0x400024, 4):
+            lc.capture(pc)
+        lc.on_backward_branch(0x400020, 0x400008)      # same loop again
+        assert lc.filled                               # not re-flushed
+        assert lc.fills == 1
+
+    def test_new_loop_replaces_old(self):
+        lc = LoopCacheController(16)
+        lc.on_backward_branch(0x400020, 0x400008)
+        lc.capture(0x400008)
+        lc.on_backward_branch(0x400100, 0x4000F0)
+        assert lc.head_pc == 0x4000F0
+        assert not lc.filled
+
+    def test_supply_accounting(self):
+        lc = LoopCacheController(16)
+        lc.note_supply(4)
+        lc.note_supply(2)
+        assert lc.supplied_cycles == 2
+        assert lc.supplied_instructions == 6
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LoopCacheController(0)
+
+
+class TestPipelineIntegration:
+    def test_architecturally_invisible(self):
+        program = assemble(LOOP, name="lc")
+        oracle = run_program(program)
+        config = MachineConfig(loop_cache_size=32)
+        pipeline = Pipeline(program, config)
+        pipeline.run()
+        assert_matches_oracle(pipeline, oracle)
+
+    def test_timing_unchanged(self):
+        program = assemble(LOOP, name="lc")
+        plain = Pipeline(program, MachineConfig())
+        plain.run()
+        cached = Pipeline(program, MachineConfig(loop_cache_size=32))
+        cached.run()
+        assert plain.stats.cycles == cached.stats.cycles
+
+    def test_icache_accesses_drop(self):
+        program = assemble(LOOP, name="lc")
+        plain = Pipeline(program, MachineConfig())
+        plain.run()
+        cached = Pipeline(program, MachineConfig(loop_cache_size=32))
+        cached.run()
+        lc = cached.fetch_unit.loop_cache
+        assert lc.supplied_cycles > 0
+        assert (cached.hierarchy.il1.accesses
+                < 0.5 * plain.hierarchy.il1.accesses)
+        # but decode and prediction keep running (unlike the reuse queue)
+        assert cached.stats.decoded == plain.stats.decoded
+        assert cached.predictor.lookups == plain.predictor.lookups
+
+    def test_loop_too_big_for_cache_never_supplies(self):
+        program = assemble(LOOP, name="lc")
+        cached = Pipeline(program, MachineConfig(loop_cache_size=2))
+        cached.run()
+        assert cached.fetch_unit.loop_cache.supplied_cycles == 0
+
+    def test_power_savings_smaller_than_reuse(self):
+        program = assemble(LOOP, name="lc")
+        base = simulate(program, MachineConfig())
+        loop_cache = simulate(program, MachineConfig(loop_cache_size=32))
+        reuse = simulate(program, MachineConfig(reuse_enabled=True))
+        lc_saving = 1 - loop_cache.avg_power / base.avg_power
+        reuse_saving = 1 - reuse.avg_power / base.avg_power
+        assert lc_saving > 0.01                    # it does save something
+        assert reuse_saving > lc_saving + 0.05     # but reuse saves more
+
+    def test_nested_loops_recapture(self):
+        program = assemble("""
+        .text
+            li $s0, 0
+            li $s1, 6
+        outer:
+            li $t0, 0
+            li $t1, 20
+        inner:
+            addiu $t2, $t0, 3
+            addiu $t0, $t0, 1
+            slt $t3, $t0, $t1
+            bne $t3, $zero, inner
+            addiu $s0, $s0, 1
+            slt $t4, $s0, $s1
+            bne $t4, $zero, outer
+            halt
+        """, name="nested")
+        oracle = run_program(program)
+        pipeline = Pipeline(program, MachineConfig(loop_cache_size=8))
+        pipeline.run()
+        assert_matches_oracle(pipeline, oracle)
+        assert pipeline.fetch_unit.loop_cache.supplied_cycles > 0
+
+
+class TestDecodeFilterCache:
+    def test_requires_loop_cache(self):
+        with pytest.raises(ValueError):
+            MachineConfig(loop_cache_decoded=True)
+
+    def test_predecoded_instructions_counted(self):
+        program = assemble(LOOP, name="dfc")
+        pipeline = Pipeline(program, MachineConfig(
+            loop_cache_size=32, loop_cache_decoded=True))
+        pipeline.run()
+        stats = pipeline.stats
+        assert stats.predecoded_supplied > 0
+        assert stats.predecoded_supplied <= stats.decoded
+
+    def test_plain_loop_cache_never_predecodes(self):
+        program = assemble(LOOP, name="lc")
+        pipeline = Pipeline(program, MachineConfig(loop_cache_size=32))
+        pipeline.run()
+        assert pipeline.stats.predecoded_supplied == 0
+
+    def test_dfc_saves_decode_power_on_top(self):
+        program = assemble(LOOP, name="dfc")
+        base = simulate(program, MachineConfig())
+        lc = simulate(program, MachineConfig(loop_cache_size=32))
+        dfc = simulate(program, MachineConfig(loop_cache_size=32,
+                                              loop_cache_decoded=True))
+        assert dfc.component_power("decode") < \
+            lc.component_power("decode")
+        assert dfc.avg_power < lc.avg_power < base.avg_power
+
+    def test_dfc_architecturally_exact(self):
+        program = assemble(LOOP, name="dfc")
+        oracle = run_program(program)
+        pipeline = Pipeline(program, MachineConfig(
+            loop_cache_size=32, loop_cache_decoded=True))
+        pipeline.run()
+        assert_matches_oracle(pipeline, oracle)

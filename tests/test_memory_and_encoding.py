@@ -1,0 +1,158 @@
+"""Unit and property tests for sparse memory and the binary encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    ENCODED_SIZE,
+    EncodingError,
+    decode_instruction,
+    decode_program_text,
+    encode_instruction,
+    encode_program_text,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.memory import SparseMemory
+from repro.isa.opcodes import Format, Opcode
+
+
+class TestSparseMemory:
+    def test_unmapped_reads_zero(self):
+        memory = SparseMemory()
+        assert memory.load_word(0x1000) == 0
+        assert memory.load_double(0x2000) == 0.0
+        assert memory.read_bytes(0x3000, 16) == bytes(16)
+
+    def test_word_roundtrip(self):
+        memory = SparseMemory()
+        memory.store_word(0x100, -12345)
+        assert memory.load_word(0x100) == -12345
+
+    def test_word_truncates_to_32_bits(self):
+        memory = SparseMemory()
+        memory.store_word(0x100, 0x1_0000_0005)
+        assert memory.load_word(0x100) == 5
+
+    def test_double_roundtrip(self):
+        memory = SparseMemory()
+        memory.store_double(0x200, 3.14159)
+        assert memory.load_double(0x200) == 3.14159
+
+    def test_cross_page_access(self):
+        memory = SparseMemory()
+        addr = 0x1000 - 2                    # straddles a page boundary
+        memory.write_bytes(addr, b"ABCDEF")
+        assert memory.read_bytes(addr, 6) == b"ABCDEF"
+        assert memory.mapped_pages() == 2
+
+    def test_generic_accessors(self):
+        memory = SparseMemory()
+        memory.store(0x10, 42, 4)
+        memory.store(0x18, 2.5, 8)
+        assert memory.load(0x10, 4) == 42
+        assert memory.load(0x18, 8) == 2.5
+        with pytest.raises(ValueError):
+            memory.load(0, 2)
+
+    def test_copy_is_independent(self):
+        memory = SparseMemory()
+        memory.store_word(0, 1)
+        clone = memory.copy()
+        clone.store_word(0, 2)
+        assert memory.load_word(0) == 1
+        assert clone.load_word(0) == 2
+
+    def test_load_image(self):
+        memory = SparseMemory()
+        memory.load_image([(0x100, b"xy"), (0x200, b"z")])
+        assert memory.read_bytes(0x100, 2) == b"xy"
+        assert memory.read_bytes(0x200, 1) == b"z"
+
+    @given(st.integers(min_value=0, max_value=2 ** 20),
+           st.binary(min_size=1, max_size=64))
+    def test_bytes_roundtrip(self, addr, data):
+        memory = SparseMemory()
+        memory.write_bytes(addr, data)
+        assert memory.read_bytes(addr, len(data)) == data
+
+    @given(st.integers(min_value=0, max_value=2 ** 20),
+           st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_word_roundtrip_property(self, addr, value):
+        memory = SparseMemory()
+        memory.store_word(addr, value)
+        assert memory.load_word(addr) == value
+
+
+def _sample_instructions():
+    return [
+        Instruction(Opcode.ADDU, rd=8, rs=9, rt=10),
+        Instruction(Opcode.ADDIU, rt=8, rs=9, imm=-42),
+        Instruction(Opcode.LUI, rt=8, imm=0x1234),
+        Instruction(Opcode.LW, rt=8, rs=29, imm=16),
+        Instruction(Opcode.S_D, rt=34, rs=8, imm=-8),
+        Instruction(Opcode.BNE, rs=8, rt=0, target=0x400000),
+        Instruction(Opcode.J, target=0x400100),
+        Instruction(Opcode.JAL, target=0x400200),
+        Instruction(Opcode.JR, rs=31),
+        Instruction(Opcode.NOP),
+        Instruction(Opcode.HALT),
+        Instruction(Opcode.MUL_D, rd=34, rs=36, rt=38),
+    ]
+
+
+class TestEncoding:
+    def test_fixed_size(self):
+        for inst in _sample_instructions():
+            assert len(encode_instruction(inst)) == ENCODED_SIZE
+
+    def test_roundtrip_samples(self):
+        for inst in _sample_instructions():
+            decoded = decode_instruction(encode_instruction(inst))
+            assert decoded.op is inst.op
+            assert decoded.rd == inst.rd
+            assert decoded.rs == inst.rs
+            assert decoded.rt == inst.rt
+            assert decoded.imm == inst.imm
+            assert decoded.target == inst.target
+            assert decoded.dest == inst.dest
+            assert decoded.srcs == inst.srcs
+
+    def test_roundtrip_every_opcode(self):
+        # minimal operand assignment per format
+        for op in Opcode:
+            fmt = op.fmt
+            kwargs = {}
+            if fmt in (Format.R3, Format.FR3, Format.FCMP, Format.FR2,
+                       Format.SHIFT):
+                kwargs = dict(rd=8, rs=9, rt=10)
+            elif fmt in (Format.R2I, Format.LUI, Format.LOAD, Format.STORE,
+                         Format.FLOAD, Format.FSTORE):
+                kwargs = dict(rt=8, rs=9, imm=4)
+            elif fmt in (Format.BR2, Format.BR1):
+                kwargs = dict(rs=8, rt=9, target=0x400000)
+            elif fmt is Format.J:
+                kwargs = dict(target=0x400000)
+            elif fmt is Format.JR:
+                kwargs = dict(rs=31)
+            decoded = decode_instruction(
+                encode_instruction(Instruction(op, **kwargs)))
+            assert decoded.op is op
+
+    def test_program_text_roundtrip(self):
+        insts = _sample_instructions()
+        decoded = decode_program_text(encode_program_text(insts))
+        assert len(decoded) == len(insts)
+        assert all(a.op is b.op for a, b in zip(insts, decoded))
+
+    def test_decode_bad_length(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(b"123")
+        with pytest.raises(EncodingError):
+            decode_program_text(b"x" * (ENCODED_SIZE + 1))
+
+    def test_decode_bad_opcode(self):
+        blob = bytearray(encode_instruction(Instruction(Opcode.NOP)))
+        blob[0] = 255
+        with pytest.raises(EncodingError):
+            decode_instruction(bytes(blob))

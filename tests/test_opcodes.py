@@ -1,0 +1,90 @@
+"""Unit tests for opcode metadata."""
+
+from repro.isa.opcodes import (
+    CONTROL_CLASSES,
+    MNEMONIC_TO_OPCODE,
+    Format,
+    FuClass,
+    InstrClass,
+    Opcode,
+)
+
+
+class TestEnumIntegrity:
+    def test_format_values_are_unique(self):
+        # duplicate enum values silently alias members (a real bug we hit:
+        # LOAD/STORE shared a value string and stores became loads)
+        values = [fmt.value for fmt in Format]
+        assert len(values) == len(set(values))
+
+    def test_every_opcode_has_unique_mnemonic(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_mnemonic_lookup_is_complete(self):
+        assert set(MNEMONIC_TO_OPCODE.values()) == set(Opcode)
+
+    def test_latencies_positive(self):
+        for op in Opcode:
+            assert op.latency >= 1, op
+
+
+class TestClassification:
+    def test_control_opcodes(self):
+        controls = {Opcode.BEQ, Opcode.BNE, Opcode.BLEZ, Opcode.BGTZ,
+                    Opcode.BLTZ, Opcode.BGEZ, Opcode.J, Opcode.JAL,
+                    Opcode.JR, Opcode.JALR}
+        for op in Opcode:
+            assert op.is_control == (op in controls), op
+
+    def test_conditional_branches(self):
+        for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLEZ, Opcode.BGTZ,
+                   Opcode.BLTZ, Opcode.BGEZ):
+            assert op.is_conditional_branch
+            assert not op.is_unconditional
+
+    def test_unconditional_control(self):
+        for op in (Opcode.J, Opcode.JAL, Opcode.JR, Opcode.JALR):
+            assert op.is_unconditional
+            assert not op.is_conditional_branch
+
+    def test_memory_opcodes(self):
+        assert Opcode.LW.is_mem and Opcode.SW.is_mem
+        assert Opcode.L_D.is_mem and Opcode.S_D.is_mem
+        assert not Opcode.ADDU.is_mem
+        assert Opcode.LW.icls is InstrClass.LOAD
+        assert Opcode.SW.icls is InstrClass.STORE
+        assert Opcode.L_D.icls is InstrClass.LOAD
+        assert Opcode.S_D.icls is InstrClass.STORE
+
+    def test_control_classes_frozenset(self):
+        assert InstrClass.BRANCH in CONTROL_CLASSES
+        assert InstrClass.IALU not in CONTROL_CLASSES
+
+
+class TestFunctionalUnits:
+    def test_int_ops_use_ialu(self):
+        for op in (Opcode.ADDU, Opcode.SLT, Opcode.ADDIU, Opcode.SLL):
+            assert op.fu is FuClass.IALU
+
+    def test_mult_div_share_imult(self):
+        assert Opcode.MULT.fu is FuClass.IMULT
+        assert Opcode.DIV.fu is FuClass.IMULT
+
+    def test_fp_units(self):
+        assert Opcode.ADD_D.fu is FuClass.FPALU
+        assert Opcode.MUL_D.fu is FuClass.FPMULT
+        assert Opcode.DIV_D.fu is FuClass.FPMULT
+        assert Opcode.SQRT_D.fu is FuClass.FPMULT
+
+    def test_divide_latencies_exceed_multiply(self):
+        assert Opcode.DIV.latency > Opcode.MULT.latency
+        assert Opcode.DIV_D.latency > Opcode.MUL_D.latency
+
+    def test_nop_halt_need_no_unit(self):
+        assert Opcode.NOP.fu is FuClass.NONE
+        assert Opcode.HALT.fu is FuClass.NONE
+
+    def test_memory_ops_use_ialu_for_agen(self):
+        for op in (Opcode.LW, Opcode.SW, Opcode.L_D, Opcode.S_D):
+            assert op.fu is FuClass.IALU

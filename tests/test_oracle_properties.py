@@ -1,0 +1,241 @@
+"""Property-based equivalence: the out-of-order pipeline (baseline *and*
+reuse-enabled) must leave exactly the architectural state the in-order
+interpreter computes, for randomly generated programs.
+
+Program generators are built to always terminate: loops are counted, stores
+stay inside a scratch buffer, and every program ends in ``halt``.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import MachineConfig
+from repro.arch.pipeline import Pipeline
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+
+from tests.helpers import assert_matches_oracle
+
+# $s3-$s7 and $at are reserved for the loop harnesses below; random bodies
+# must not clobber the counters
+INT_REGS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+            "$s0", "$s1"]
+FP_REGS = ["$f2", "$f4", "$f6", "$f8", "$f10"]
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def straightline_ops(draw, size=st.integers(min_value=1, max_value=30)):
+    """Random straight-line integer/FP arithmetic instructions."""
+    count = draw(size)
+    lines = []
+    for _ in range(count):
+        kind = draw(st.integers(min_value=0, max_value=5))
+        rd = draw(st.sampled_from(INT_REGS))
+        rs = draw(st.sampled_from(INT_REGS))
+        rt = draw(st.sampled_from(INT_REGS))
+        imm = draw(st.integers(min_value=-100, max_value=100))
+        if kind == 0:
+            op = draw(st.sampled_from(
+                ["addu", "subu", "and", "or", "xor", "slt", "sltu"]))
+            lines.append(f"{op} {rd}, {rs}, {rt}")
+        elif kind == 1:
+            op = draw(st.sampled_from(["addiu", "slti", "andi", "ori"]))
+            lines.append(f"{op} {rd}, {rs}, {imm if op != 'andi' else abs(imm)}")
+        elif kind == 2:
+            sh = draw(st.integers(min_value=0, max_value=31))
+            op = draw(st.sampled_from(["sll", "srl", "sra"]))
+            lines.append(f"{op} {rd}, {rs}, {sh}")
+        elif kind == 3:
+            op = draw(st.sampled_from(["mult", "div"]))
+            lines.append(f"{op} {rd}, {rs}, {rt}")
+        elif kind == 4:
+            fd = draw(st.sampled_from(FP_REGS))
+            fs = draw(st.sampled_from(FP_REGS))
+            ft = draw(st.sampled_from(FP_REGS))
+            op = draw(st.sampled_from(["add.d", "sub.d", "mul.d"]))
+            lines.append(f"{op} {fd}, {fs}, {ft}")
+        else:
+            fd = draw(st.sampled_from(FP_REGS))
+            lines.append(f"itof {fd}, {rs}")
+    return lines
+
+
+@st.composite
+def memory_ops(draw):
+    """Random loads/stores confined to a 256-byte scratch buffer."""
+    count = draw(st.integers(min_value=1, max_value=25))
+    lines = ["la $s7, scratch"]
+    for _ in range(count):
+        offset = draw(st.integers(min_value=0, max_value=31)) * 8
+        if draw(st.booleans()):
+            if draw(st.booleans()):
+                reg = draw(st.sampled_from(INT_REGS[:8]))
+                lines.append(f"sw {reg}, {offset}($s7)")
+            else:
+                reg = draw(st.sampled_from(FP_REGS))
+                lines.append(f"s.d {reg}, {offset}($s7)")
+        else:
+            if draw(st.booleans()):
+                reg = draw(st.sampled_from(INT_REGS[:8]))
+                lines.append(f"lw {reg}, {offset}($s7)")
+            else:
+                reg = draw(st.sampled_from(FP_REGS))
+                lines.append(f"l.d {reg}, {offset}($s7)")
+        if draw(st.integers(min_value=0, max_value=3)) == 0:
+            rd = draw(st.sampled_from(INT_REGS[:8]))
+            rs = draw(st.sampled_from(INT_REGS[:8]))
+            lines.append(f"addu {rd}, {rd}, {rs}")
+    return lines
+
+
+def _wrap(body_lines, data=""):
+    init = [f"li {reg}, {i * 3 + 1}" for i, reg in enumerate(INT_REGS[:8])]
+    text = "\n".join(init + body_lines + ["halt"])
+    return f".data\nscratch: .space 256\n{data}\n.text\n{text}\n"
+
+
+def _check_both_modes(source):
+    program = assemble(source, name="prop")
+    oracle = run_program(program, max_instructions=1_000_000)
+    for reuse in (False, True):
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=reuse)
+        pipeline = Pipeline(program, config)
+        pipeline.run()
+        assert_matches_oracle(pipeline, oracle)
+
+
+class TestStraightLineEquivalence:
+    @_SETTINGS
+    @given(straightline_ops())
+    def test_arithmetic(self, lines):
+        _check_both_modes(_wrap(lines))
+
+    @_SETTINGS
+    @given(memory_ops())
+    def test_memory(self, lines):
+        _check_both_modes(_wrap(lines))
+
+
+class TestLoopEquivalence:
+    @_SETTINGS
+    @given(body=straightline_ops(size=st.integers(min_value=1, max_value=8)),
+           trips=st.integers(min_value=1, max_value=40))
+    def test_counted_loop(self, body, trips):
+        lines = [f"li $s6, {trips}", "li $s5, 0", "loop_top:"]
+        lines += body
+        lines += [
+            "addiu $s5, $s5, 1",
+            "slt $at, $s5, $s6",
+            "bne $at, $zero, loop_top",
+        ]
+        _check_both_modes(_wrap(lines))
+
+    @_SETTINGS
+    @given(body=memory_ops(),
+           trips=st.integers(min_value=2, max_value=20))
+    def test_memory_loop(self, body, trips):
+        lines = [f"li $s6, {trips}", "li $s5, 0", "loop_top:"]
+        lines += body[1:]                  # la is hoisted into _wrap's init
+        lines += [
+            "addiu $s5, $s5, 1",
+            "slt $at, $s5, $s6",
+            "bne $at, $zero, loop_top",
+        ]
+        _check_both_modes(_wrap(["la $s7, scratch"] + lines))
+
+    @_SETTINGS
+    @given(inner=st.integers(min_value=1, max_value=12),
+           outer=st.integers(min_value=1, max_value=8),
+           body=straightline_ops(size=st.integers(min_value=1, max_value=4)))
+    def test_nested_loops(self, inner, outer, body):
+        lines = [
+            f"li $s6, {outer}", "li $s5, 0",
+            "outer_top:",
+            f"li $s4, {inner}", "li $s3, 0",
+            "inner_top:",
+        ]
+        lines += body
+        lines += [
+            "addiu $s3, $s3, 1",
+            "slt $at, $s3, $s4",
+            "bne $at, $zero, inner_top",
+            "addiu $s5, $s5, 1",
+            "slt $at, $s5, $s6",
+            "bne $at, $zero, outer_top",
+        ]
+        _check_both_modes(_wrap(lines))
+
+
+class TestConfigEquivalence:
+    @pytest.mark.parametrize("iq_size", [8, 16, 64, 128])
+    def test_iq_sizes(self, iq_size, tight_loop_program,
+                      tight_loop_oracle):
+        for reuse in (False, True):
+            config = MachineConfig().with_iq_size(iq_size).replace(
+                reuse_enabled=reuse)
+            pipeline = Pipeline(tight_loop_program, config)
+            pipeline.run()
+            assert_matches_oracle(pipeline, tight_loop_oracle)
+
+    @pytest.mark.parametrize("strategy", ["single", "multi"])
+    def test_strategies(self, strategy, tight_loop_program,
+                        tight_loop_oracle):
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=True, buffering_strategy=strategy)
+        pipeline = Pipeline(tight_loop_program, config)
+        pipeline.run()
+        assert_matches_oracle(pipeline, tight_loop_oracle)
+
+    @pytest.mark.parametrize("nblt_size", [0, 2, 8])
+    def test_nblt_sizes(self, nblt_size, tight_loop_program,
+                        tight_loop_oracle):
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=True, nblt_size=nblt_size)
+        pipeline = Pipeline(tight_loop_program, config)
+        pipeline.run()
+        assert_matches_oracle(pipeline, tight_loop_oracle)
+
+    def test_narrow_machine(self, tight_loop_program, tight_loop_oracle):
+        config = MachineConfig(
+            fetch_width=2, decode_width=2, issue_width=2, commit_width=2,
+            iq_size=16, rob_size=16, lsq_size=8, reuse_enabled=True)
+        pipeline = Pipeline(tight_loop_program, config)
+        pipeline.run()
+        assert_matches_oracle(pipeline, tight_loop_oracle)
+
+
+class TestCallEquivalence:
+    @_SETTINGS
+    @given(body=straightline_ops(size=st.integers(min_value=1, max_value=4)),
+           leaf=straightline_ops(size=st.integers(min_value=1, max_value=5)),
+           trips=st.integers(min_value=1, max_value=25))
+    def test_loop_with_procedure_call(self, body, leaf, trips):
+        lines = [f"li $s6, {trips}", "li $s5, 0", "loop_top:"]
+        lines += body
+        lines += [
+            "jal leaf_fn",
+            "addiu $s5, $s5, 1",
+            "slt $at, $s5, $s6",
+            "bne $at, $zero, loop_top",
+        ]
+        source = _wrap(lines)
+        # append the callee after the halt
+        source += "leaf_fn:\n" + "\n".join(leaf) + "\njr $ra\n"
+        _check_both_modes(source)
+
+    @_SETTINGS
+    @given(leaf=straightline_ops(size=st.integers(min_value=1, max_value=4)),
+           calls=st.integers(min_value=1, max_value=6))
+    def test_repeated_straightline_calls(self, leaf, calls):
+        lines = ["jal leaf_fn"] * calls
+        source = _wrap(lines)
+        source += "leaf_fn:\n" + "\n".join(leaf) + "\njr $ra\n"
+        _check_both_modes(source)

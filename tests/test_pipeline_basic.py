@@ -1,0 +1,378 @@
+"""Pipeline behaviour tests against the interpreter oracle.
+
+Every test assembles a small program, runs it on the out-of-order pipeline
+and asserts the final architectural state (registers + memory + committed
+instruction count) equals the in-order interpreter's.
+"""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.pipeline import Pipeline, SimulationTimeout
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+from repro.isa.registers import fpreg, intreg
+
+from tests.helpers import assert_matches_oracle
+
+
+def check(source, config=None, name="t"):
+    """Run source on interpreter and pipeline; return the pipeline."""
+    program = assemble(source, name=name)
+    oracle = run_program(program)
+    pipeline = Pipeline(program, config or MachineConfig())
+    pipeline.run()
+    assert_matches_oracle(pipeline, oracle)
+    return pipeline
+
+
+class TestStraightLine:
+    def test_empty_program(self):
+        pipeline = check(".text\nhalt")
+        assert pipeline.stats.committed == 1
+
+    def test_independent_arithmetic(self):
+        check("""
+        .text
+            li $t0, 1
+            li $t1, 2
+            li $t2, 3
+            li $t3, 4
+            halt
+        """)
+
+    def test_dependent_chain(self):
+        pipeline = check("""
+        .text
+            li $t0, 1
+            addu $t1, $t0, $t0
+            addu $t2, $t1, $t1
+            addu $t3, $t2, $t2
+            addu $t4, $t3, $t3
+            halt
+        """)
+        assert pipeline.regfile.read(intreg(12)) == 16
+
+    def test_same_register_both_sources(self):
+        check("""
+        .text
+            li $t0, 3
+            mult $t1, $t0, $t0
+            halt
+        """)
+
+    def test_long_latency_divide(self):
+        pipeline = check("""
+        .text
+            li $t0, 100
+            li $t1, 7
+            div $t2, $t0, $t1
+            addiu $t3, $t2, 1
+            halt
+        """)
+        assert pipeline.regfile.read(intreg(10)) == 14
+
+    def test_fp_pipeline(self):
+        check("""
+        .text
+            li $t0, 3
+            itof $f2, $t0
+            mul.d $f4, $f2, $f2
+            sqrt.d $f6, $f4
+            ftoi $t1, $f6
+            halt
+        """)
+
+    def test_write_after_write(self):
+        pipeline = check("""
+        .text
+            li $t0, 1
+            li $t0, 2
+            li $t0, 3
+            halt
+        """)
+        assert pipeline.regfile.read(intreg(8)) == 3
+
+    def test_nops_flow_through(self):
+        check(".text\n" + "nop\n" * 10 + "halt")
+
+
+class TestMemoryBehaviour:
+    def test_store_then_load_same_address(self):
+        pipeline = check("""
+        .text
+            li $t0, 0x1000
+            li $t1, 42
+            sw $t1, 0($t0)
+            lw $t2, 0($t0)
+            addiu $t2, $t2, 1
+            halt
+        """)
+        assert pipeline.regfile.read(intreg(10)) == 43
+        # exact-match same-size forwarding must have happened in the LSQ
+        assert pipeline.stats.lsq_forwards >= 1
+
+    def test_store_load_different_sizes_not_forwarded(self):
+        # word store, double load overlapping: load must wait for commit
+        check("""
+        .data
+        buf: .space 16
+        .text
+            la $t0, buf
+            li $t1, 7
+            sw $t1, 0($t0)
+            l.d $f2, 0($t0)
+            halt
+        """)
+
+    def test_many_outstanding_loads(self):
+        check("""
+        .data
+        arr: .word 1, 2, 3, 4, 5, 6, 7, 8
+        .text
+            la $t0, arr
+            lw $t1, 0($t0)
+            lw $t2, 4($t0)
+            lw $t3, 8($t0)
+            lw $t4, 12($t0)
+            lw $t5, 16($t0)
+            addu $t6, $t1, $t2
+            addu $t6, $t6, $t3
+            addu $t6, $t6, $t4
+            addu $t6, $t6, $t5
+            halt
+        """)
+
+    def test_store_data_arrives_after_address(self):
+        # the store's data comes from a long-latency divide: the split
+        # STA/STD path must capture it when the divide completes
+        pipeline = check("""
+        .text
+            li $t0, 0x2000
+            li $t1, 144
+            li $t2, 12
+            div $t3, $t1, $t2
+            sw $t3, 0($t0)
+            lw $t4, 0($t0)
+            halt
+        """)
+        assert pipeline.regfile.read(intreg(12)) == 12
+
+
+class TestControlFlow:
+    def test_not_taken_branch(self):
+        check("""
+        .text
+            li $t0, 1
+            li $t1, 2
+            beq $t0, $t1, skip
+            li $t2, 99
+        skip:
+            halt
+        """)
+
+    def test_taken_forward_branch(self):
+        pipeline = check("""
+        .text
+            li $t0, 1
+            li $t1, 1
+            beq $t0, $t1, skip
+            li $t2, 99
+        skip:
+            halt
+        """)
+        assert pipeline.regfile.read(intreg(10)) == 0   # skipped
+
+    def test_loop_counts_correctly(self):
+        pipeline = check("""
+        .text
+            li $t0, 0
+            li $t1, 25
+        top:
+            addiu $t0, $t0, 1
+            bne $t0, $t1, top
+            halt
+        """)
+        assert pipeline.regfile.read(intreg(8)) == 25
+
+    def test_loop_exit_mispredicts_once_warm(self):
+        pipeline = check("""
+        .text
+            li $t0, 0
+            li $t1, 50
+        top:
+            addiu $t0, $t0, 1
+            bne $t0, $t1, top
+            halt
+        """)
+        # warmed bimod predicts taken; only the exit should mispredict
+        assert pipeline.stats.mispredicts <= 3
+
+    def test_procedure_call_and_return(self):
+        pipeline = check("""
+        .text
+            li $a0, 10
+            jal twice
+            move $t0, $v0
+            jal twice
+            move $t1, $v0
+            halt
+        twice:
+            addu $v0, $a0, $a0
+            jr $ra
+        """)
+        assert pipeline.regfile.read(intreg(8)) == 20
+
+    def test_nested_calls(self):
+        check("""
+        .text
+            jal outer
+            halt
+        outer:
+            move $s0, $ra
+            jal inner
+            move $ra, $s0
+            jr $ra
+        inner:
+            li $t5, 5
+            jr $ra
+        """)
+
+    def test_indirect_jump_via_jalr(self):
+        check("""
+        .text
+            la $t0, fn
+            jalr $t0
+            halt
+        fn:
+            li $t1, 11
+            jr $ra
+        """)
+
+    def test_alternating_branch_directions(self):
+        # pattern T/N/T/N defeats the bimodal predictor; recovery must be
+        # exact every time
+        check("""
+        .text
+            li $t0, 0
+            li $t1, 20
+            li $t3, 0
+        top:
+            andi $t2, $t0, 1
+            beq $t2, $zero, even
+            addiu $t3, $t3, 10
+            b join
+        even:
+            addiu $t3, $t3, 1
+        join:
+            addiu $t0, $t0, 1
+            bne $t0, $t1, top
+            halt
+        """)
+
+    def test_branch_on_long_latency_condition(self):
+        # branch condition produced by a divide: deep speculation down the
+        # predicted path, then (maybe) recovery
+        check("""
+        .text
+            li $t0, 7
+            li $t1, 7
+            div $t2, $t0, $t1
+            beq $t2, $zero, skip
+            li $t3, 1
+            li $t4, 2
+            li $t5, 3
+        skip:
+            halt
+        """)
+
+
+class TestStructuralLimits:
+    def test_tiny_issue_queue(self):
+        check("""
+        .text
+            li $t0, 0
+            li $t1, 30
+        top:
+            addiu $t0, $t0, 1
+            bne $t0, $t1, top
+            halt
+        """, config=MachineConfig(iq_size=4, rob_size=8, lsq_size=4))
+
+    def test_tiny_rob(self):
+        check("""
+        .text
+            li $t0, 5
+            li $t1, 3
+            mult $t2, $t0, $t1
+            mult $t3, $t2, $t0
+            mult $t4, $t3, $t1
+            halt
+        """, config=MachineConfig(iq_size=8, rob_size=4, lsq_size=4))
+
+    def test_single_ialu(self):
+        check("""
+        .text
+            li $t0, 1
+            li $t1, 2
+            li $t2, 3
+            li $t3, 4
+            li $t4, 5
+            halt
+        """, config=MachineConfig(num_ialu=1))
+
+    def test_imult_contention(self):
+        check("""
+        .text
+            li $t0, 3
+            li $t1, 4
+            mult $t2, $t0, $t1
+            mult $t3, $t0, $t0
+            mult $t4, $t1, $t1
+            div  $t5, $t2, $t0
+            mult $t6, $t5, $t1
+            halt
+        """)
+
+    def test_timeout_on_missing_halt(self):
+        program = assemble("""
+        .text
+        spin: b spin
+        """)
+        pipeline = Pipeline(program, MachineConfig())
+        with pytest.raises(SimulationTimeout):
+            pipeline.run(max_cycles=5000)
+
+
+class TestStatistics:
+    def test_ipc_bounded_by_width(self, tight_loop_program,
+                                  tight_loop_oracle):
+        pipeline = Pipeline(tight_loop_program, MachineConfig())
+        stats = pipeline.run()
+        assert 0 < stats.ipc <= MachineConfig().issue_width
+
+    def test_fetch_counts_exceed_commits_with_speculation(
+            self, tight_loop_program):
+        pipeline = Pipeline(tight_loop_program, MachineConfig())
+        stats = pipeline.run()
+        assert stats.fetched >= stats.committed
+
+    def test_baseline_never_gates(self, tight_loop_program):
+        pipeline = Pipeline(tight_loop_program, MachineConfig())
+        stats = pipeline.run()
+        assert stats.gated_cycles == 0
+        assert stats.cycles_normal == stats.cycles
+
+    def test_fp_store_value_precision(self):
+        pipeline = check("""
+        .data
+        x: .double 0.1
+        .text
+            la $t0, x
+            l.d $f2, 0($t0)
+            add.d $f4, $f2, $f2
+            s.d $f4, 8($t0)
+            halt
+        """)
+        from repro.isa.program import DATA_BASE
+        assert pipeline.mem_image.load_double(DATA_BASE + 8) == 0.2

@@ -1,0 +1,79 @@
+"""Power-model calibration tests.
+
+These pin the relationships DESIGN.md documents between the gated fraction
+and the per-component savings -- the relationships that make Figure 6's
+shape come out right:
+
+* I-cache savings track the gated fraction closely (all fetch activity
+  stops; only the 10 % idle floor remains),
+* branch-predictor savings are roughly half the gated fraction (lookups
+  gate, commit-side updates do not),
+* issue-queue savings come from partial updates displacing insert+remove
+  pairs, a bounded fraction of issue-queue power,
+* overhead stays well under 1 % of machine power.
+"""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.compiler.passes import build_program
+from repro.sim.results import RunComparison
+from repro.sim.simulator import simulate
+from repro.workloads.generator import synthetic_loop_kernel
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """A heavily-gated run pair on a long tight loop."""
+    program = build_program(synthetic_loop_kernel(
+        "calib", statements=1, trip_count=600))
+    config = MachineConfig().with_iq_size(64)
+    baseline = simulate(program, config)
+    reuse = simulate(program, config.replace(reuse_enabled=True))
+    return RunComparison(baseline, reuse)
+
+
+class TestCalibration:
+    def test_run_is_heavily_gated(self, comparison):
+        assert comparison.gated_fraction > 0.85
+
+    def test_icache_savings_track_gating(self, comparison):
+        gated = comparison.gated_fraction
+        icache = comparison.component_power_reduction("icache")
+        # within 15 points of g (active part saves ~all of g; the idle
+        # floor keeps it slightly below g + misses add noise)
+        assert gated - 0.15 < icache <= gated + 0.05
+
+    def test_bpred_savings_about_half_of_gating(self, comparison):
+        gated = comparison.gated_fraction
+        bpred = comparison.component_power_reduction("bpred")
+        assert 0.3 * gated < bpred < 0.7 * gated
+
+    def test_iq_savings_bounded(self, comparison):
+        iq = comparison.component_power_reduction("issue_queue")
+        assert 0.05 < iq < 0.45
+
+    def test_decode_savings_track_gating(self, comparison):
+        decode = comparison.component_power_reduction("decode")
+        assert decode > 0.7 * comparison.gated_fraction
+
+    def test_overhead_below_one_percent(self, comparison):
+        assert comparison.overhead_fraction < 0.01
+
+    def test_overall_reduction_in_paper_band(self, comparison):
+        # the paper's overall savings at high gating: ~10-25 % of machine
+        # power (front-end is a bounded slice of the whole core)
+        overall = comparison.overall_power_reduction
+        assert 0.05 < overall < 0.35
+
+    def test_backend_components_unaffected(self, comparison):
+        # the data cache and FUs do the same work either way
+        for name in ("dcache", "fu", "regfile"):
+            reduction = comparison.component_power_reduction(name)
+            assert abs(reduction) < 0.1, name
+
+    def test_energy_not_just_power_improves(self, comparison):
+        # with near-equal cycle counts, total energy must drop too
+        base = comparison.baseline.total_energy
+        reuse = comparison.reuse.total_energy
+        assert reuse < base

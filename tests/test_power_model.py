@@ -1,0 +1,155 @@
+"""Unit tests for the Wattch-style power model."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.power.components import (
+    ComponentEnergy,
+    REPORT_COMPONENTS,
+    power_reduction,
+    total_power_reduction,
+)
+from repro.power.model import PowerModel
+from repro.power.params import DEFAULT_PARAMS, PowerParams
+from repro.arch.stats import PipelineStats
+
+
+def blank_activity(**overrides):
+    """A zeroed activity dict with the extra hierarchy/predictor keys."""
+    activity = PipelineStats().as_dict()
+    activity.update(
+        icache_accesses=0, icache_misses=0, itlb_accesses=0,
+        bpred_lookups=0, bpred_updates=0, dcache_accesses=0,
+        dcache_misses=0, dtlb_accesses=0, l2_accesses=0, dram_accesses=0,
+        reuse_enabled=0, cycles=1000, gated_cycles=0,
+    )
+    activity.update(overrides)
+    return activity
+
+
+class TestComponentEnergy:
+    def test_totals_and_avg(self):
+        component = ComponentEnergy("x", active_energy=300.0,
+                                    base_energy=700.0, cycles=100)
+        assert component.total_energy == 1000.0
+        assert component.avg_power == 10.0
+
+    def test_power_reduction_sign_convention(self):
+        base = ComponentEnergy("x", 1000.0, 0.0, 100)
+        better = ComponentEnergy("x", 500.0, 0.0, 100)
+        worse = ComponentEnergy("x", 1500.0, 0.0, 100)
+        assert power_reduction(base, better) == pytest.approx(0.5)
+        assert power_reduction(base, worse) == pytest.approx(-0.5)
+
+    def test_reduction_is_per_cycle(self):
+        # same energy over more cycles = lower power = a reduction
+        base = ComponentEnergy("x", 1000.0, 0.0, 100)
+        slower = ComponentEnergy("x", 1000.0, 0.0, 200)
+        assert power_reduction(base, slower) == pytest.approx(0.5)
+
+    def test_total_power_reduction(self):
+        base = {"a": ComponentEnergy("a", 600.0, 0.0, 100),
+                "b": ComponentEnergy("b", 400.0, 0.0, 100)}
+        variant = {"a": ComponentEnergy("a", 300.0, 0.0, 100),
+                   "b": ComponentEnergy("b", 400.0, 0.0, 100)}
+        assert total_power_reduction(base, variant) == pytest.approx(0.3)
+
+
+class TestPowerModel:
+    def test_all_report_components_present(self):
+        model = PowerModel(MachineConfig())
+        energies = model.component_energies(blank_activity())
+        assert set(energies) == set(REPORT_COMPONENTS)
+
+    def test_idle_machine_burns_only_base_power(self):
+        model = PowerModel(MachineConfig())
+        energies = model.component_energies(blank_activity())
+        assert all(c.active_energy == 0.0 for c in energies.values())
+        assert energies["clock"].base_energy > 0
+
+    def test_activity_charges_energy(self):
+        model = PowerModel(MachineConfig())
+        idle = model.component_energies(blank_activity())
+        busy = model.component_energies(
+            blank_activity(icache_accesses=500, decoded=2000, issued=2000))
+        assert busy["icache"].total_energy > idle["icache"].total_energy
+        assert busy["decode"].total_energy > idle["decode"].total_energy
+        assert busy["issue_queue"].total_energy > \
+            idle["issue_queue"].total_energy
+
+    def test_gating_reduces_front_end_base_power(self):
+        model = PowerModel(MachineConfig())
+        ungated = model.component_energies(blank_activity())
+        gated = model.component_energies(blank_activity(gated_cycles=900))
+        for name in ("icache", "itlb", "decode", "clock"):
+            assert gated[name].base_energy < ungated[name].base_energy, name
+        # backend base power is unaffected by the gate
+        for name in ("rob", "regfile", "lsq"):
+            assert gated[name].base_energy == ungated[name].base_energy
+
+    def test_gated_idle_fraction(self):
+        params = DEFAULT_PARAMS
+        model = PowerModel(MachineConfig(), params)
+        fully_gated = model.component_energies(
+            blank_activity(gated_cycles=1000))
+        ungated = model.component_energies(blank_activity())
+        ratio = (fully_gated["icache"].base_energy
+                 / ungated["icache"].base_energy)
+        assert ratio == pytest.approx(params.idle_fraction)
+
+    def test_overhead_only_when_reuse_enabled(self):
+        model = PowerModel(MachineConfig())
+        off = model.component_energies(blank_activity())
+        on = model.component_energies(
+            blank_activity(reuse_enabled=1, lrl_writes=10, lrl_reads=50,
+                           nblt_lookups=5, nblt_inserts=1, decoded=100))
+        assert off["overhead"].total_energy == 0.0
+        assert on["overhead"].total_energy > 0.0
+
+    def test_partial_update_cheaper_than_insert_remove(self):
+        params = DEFAULT_PARAMS
+        assert params.e_iq_partial_update < \
+            params.e_iq_insert + params.e_iq_remove
+
+    def test_iq_energy_scales_with_size(self):
+        activity = blank_activity(iq_inserts=1000, iq_removes=1000,
+                                  issued=1000, iq_wakeups=500)
+        small = PowerModel(MachineConfig().with_iq_size(32))
+        large = PowerModel(MachineConfig().with_iq_size(256))
+        assert (large.component_energies(activity)["issue_queue"]
+                .total_energy
+                > small.component_energies(activity)["issue_queue"]
+                .total_energy)
+
+    def test_bpred_update_base_survives_gating(self):
+        model = PowerModel(MachineConfig())
+        gated = model.component_energies(blank_activity(gated_cycles=1000))
+        params = DEFAULT_PARAMS
+        # the update port's base power is charged for all cycles
+        assert gated["bpred"].base_energy >= \
+            params.p_bpred_update_base * 1000
+
+    def test_total_energy_is_component_sum(self):
+        model = PowerModel(MachineConfig())
+        activity = blank_activity(icache_accesses=100, decoded=400)
+        energies = model.component_energies(activity)
+        assert model.total_energy(activity) == pytest.approx(
+            sum(c.total_energy for c in energies.values()))
+
+    def test_params_are_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_PARAMS.e_icache_access = 0
+
+    def test_custom_params(self):
+        params = PowerParams(e_icache_access=1000.0)
+        model = PowerModel(MachineConfig(), params)
+        energies = model.component_energies(
+            blank_activity(icache_accesses=1))
+        assert energies["icache"].active_energy == pytest.approx(1000.0)
+
+    def test_clock_scale_grows_with_window(self):
+        params = DEFAULT_PARAMS
+        assert params.clock_scale(MachineConfig().with_iq_size(256)) > \
+            params.clock_scale(MachineConfig().with_iq_size(32))

@@ -1,0 +1,137 @@
+"""Unit tests for the Program container and the instruction record."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import (
+    DATA_BASE,
+    INSTRUCTION_BYTES,
+    Program,
+    STACK_TOP,
+    TEXT_BASE,
+)
+from repro.isa.registers import fpreg
+
+
+@pytest.fixture
+def program():
+    return assemble("""
+    .data
+    x: .word 7
+    .text
+    main:
+        li $t0, 1
+    top:
+        addiu $t0, $t0, 1
+        slti $t1, $t0, 5
+        bne $t1, $zero, top
+        halt
+    """, name="prog_test")
+
+
+class TestAddressing:
+    def test_entry_and_layout(self, program):
+        assert program.entry_point == TEXT_BASE
+        assert program.text_end == TEXT_BASE + 5 * INSTRUCTION_BYTES
+        assert len(program) == 5
+        for index, inst in enumerate(program.instructions):
+            assert inst.pc == TEXT_BASE + 4 * index
+            assert inst.index == index
+
+    def test_inst_at(self, program):
+        assert program.inst_at(TEXT_BASE).op is Opcode.ADDIU   # li
+        assert program.inst_at(program.text_end) is None
+        assert program.inst_at(TEXT_BASE - 4) is None
+        assert program.inst_at(TEXT_BASE + 2) is None          # misaligned
+
+    def test_index_of(self, program):
+        assert program.index_of(TEXT_BASE + 8) == 2
+        assert program.index_of(0) is None
+
+    def test_label_address(self, program):
+        assert program.label_address("main") == TEXT_BASE
+        assert program.label_address("top") == TEXT_BASE + 4
+        assert program.label_address("x") == DATA_BASE
+        with pytest.raises(KeyError):
+            program.label_address("missing")
+
+    def test_constants(self):
+        assert TEXT_BASE == 0x00400000
+        assert DATA_BASE == 0x10000000
+        assert STACK_TOP == 0x7FFF0000
+        assert INSTRUCTION_BYTES == 4
+
+
+class TestIntrospection:
+    def test_initial_memory_is_fresh_each_time(self, program):
+        first = program.initial_memory()
+        first.store_word(DATA_BASE, 99)
+        second = program.initial_memory()
+        assert second.load_word(DATA_BASE) == 7
+
+    def test_listing_contains_labels_and_addresses(self, program):
+        listing = program.listing()
+        assert "main:" in listing
+        assert "top:" in listing
+        assert f"{TEXT_BASE:#010x}" in listing
+
+    def test_static_loop_sizes(self, program):
+        sizes = program.static_loop_sizes()
+        assert sizes == [3]                     # top..bne inclusive
+
+    def test_repr(self, program):
+        assert "prog_test" in repr(program)
+
+
+class TestInstructionRecord:
+    def test_disassemble_every_format(self):
+        samples = [
+            (Instruction(Opcode.ADDU, rd=8, rs=9, rt=10),
+             "addu $t0, $t1, $t2"),
+            (Instruction(Opcode.ADDIU, rt=8, rs=9, imm=-4),
+             "addiu $t0, $t1, -4"),
+            (Instruction(Opcode.SLL, rd=8, rt=9, imm=3),
+             "sll $t0, $t1, 3"),
+            (Instruction(Opcode.LUI, rt=8, imm=16),
+             "lui $t0, 16"),
+            (Instruction(Opcode.LW, rt=8, rs=29, imm=4),
+             "lw $t0, 4($sp)"),
+            (Instruction(Opcode.S_D, rt=fpreg(2), rs=8, imm=0),
+             "s.d $f2, 0($t0)"),
+            (Instruction(Opcode.BNE, rs=8, rt=0, target=0x400000),
+             "bne $t0, $zero, 0x400000"),
+            (Instruction(Opcode.J, target=0x400010),
+             "j 0x400010"),
+            (Instruction(Opcode.JR, rs=31), "jr $ra"),
+            (Instruction(Opcode.MUL_D, rd=fpreg(2), rs=fpreg(4),
+                         rt=fpreg(6)),
+             "mul.d $f2, $f4, $f6"),
+            (Instruction(Opcode.ITOF, rd=fpreg(2), rs=8),
+             "itof $f2, $t0"),
+            (Instruction(Opcode.SLT_D, rd=8, rs=fpreg(2), rt=fpreg(4)),
+             "slt.d $t0, $f2, $f4"),
+            (Instruction(Opcode.NOP), "nop"),
+            (Instruction(Opcode.HALT), "halt"),
+        ]
+        for inst, expected in samples:
+            assert inst.disassemble() == expected
+
+    def test_classification_helpers(self):
+        call = Instruction(Opcode.JAL, target=0x400000)
+        assert call.is_call and call.is_control and call.is_direct_control
+        ret = Instruction(Opcode.JR, rs=31)
+        assert ret.is_return and ret.is_indirect_control
+        jalr = Instruction(Opcode.JALR, rs=8)
+        assert jalr.is_call and jalr.is_indirect_control
+        store = Instruction(Opcode.SW, rt=8, rs=9, imm=0)
+        assert store.is_store and store.is_mem and not store.is_load
+        halt = Instruction(Opcode.HALT)
+        assert halt.is_halt
+
+    def test_repr_with_and_without_pc(self):
+        inst = Instruction(Opcode.NOP)
+        assert "nop" in repr(inst)
+        inst.pc = 0x400000
+        assert "0x400000" in repr(inst)

@@ -1,0 +1,102 @@
+"""Unit tests for the unified logical register space."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_BASE,
+    INT_REG_ALIASES,
+    NUM_LOGICAL_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    fpreg,
+    intreg,
+    is_fp_reg,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestIndices:
+    def test_int_regs_are_identity(self):
+        for i in range(32):
+            assert intreg(i) == i
+
+    def test_fp_regs_are_offset(self):
+        for i in range(32):
+            assert fpreg(i) == FP_BASE + i
+
+    def test_total_count(self):
+        assert NUM_LOGICAL_REGS == 64
+
+    def test_well_known_registers(self):
+        assert REG_ZERO == 0
+        assert REG_SP == 29
+        assert REG_RA == 31
+
+    def test_int_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            intreg(32)
+        with pytest.raises(ValueError):
+            intreg(-1)
+
+    def test_fp_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            fpreg(32)
+
+    def test_is_fp_reg(self):
+        assert not is_fp_reg(0)
+        assert not is_fp_reg(31)
+        assert is_fp_reg(32)
+        assert is_fp_reg(63)
+
+
+class TestNames:
+    def test_aliases_cover_all_int_regs(self):
+        assert len(INT_REG_ALIASES) == 32
+        assert len(set(INT_REG_ALIASES)) == 32
+
+    def test_reg_name_int(self):
+        assert reg_name(0) == "$zero"
+        assert reg_name(8) == "$t0"
+        assert reg_name(29) == "$sp"
+        assert reg_name(31) == "$ra"
+
+    def test_reg_name_fp(self):
+        assert reg_name(32) == "$f0"
+        assert reg_name(63) == "$f31"
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(64)
+
+
+class TestParsing:
+    @pytest.mark.parametrize("token,expected", [
+        ("$t0", 8),
+        ("t0", 8),
+        ("$zero", 0),
+        ("$ra", 31),
+        ("$5", 5),
+        ("r5", 5),
+        ("$f0", 32),
+        ("f31", 63),
+        ("$sp", 29),
+        ("$a0", 4),
+        ("$s0", 16),
+        ("$v1", 3),
+    ])
+    def test_parse_valid(self, token, expected):
+        assert parse_reg(token) == expected
+
+    def test_parse_is_case_insensitive(self):
+        assert parse_reg("$T0") == parse_reg("$t0")
+
+    def test_parse_roundtrips_names(self):
+        for logical in range(64):
+            assert parse_reg(reg_name(logical)) == logical
+
+    @pytest.mark.parametrize("token", ["$x9", "", "$", "f32", "r32", "$f99"])
+    def test_parse_invalid(self, token):
+        with pytest.raises(ValueError):
+            parse_reg(token)

@@ -1,0 +1,45 @@
+"""Tests for the one-call reproduction entry point."""
+
+import pytest
+
+from repro.sim.experiments import ExperimentRunner
+from repro.sim.reproduce import EXPERIMENT_NAMES, reproduce
+
+
+class TestReproduce:
+    def test_experiment_registry_complete(self):
+        assert EXPERIMENT_NAMES == ("table1", "table2", "fig5", "fig6",
+                                    "fig7", "fig8", "fig9", "nblt",
+                                    "strategy")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError) as err:
+            reproduce(["fig99"])
+        assert "fig99" in str(err.value)
+
+    def test_cheap_subset_silent_mode(self):
+        report = reproduce(["table1", "table2"], echo=None)
+        assert "Table 1" in report
+        assert "Table 2" in report
+        assert "wall time" in report
+
+    def test_echo_callback_receives_sections(self):
+        received = []
+        reproduce(["table1"], echo=received.append)
+        assert any("Table 1" in section for section in received)
+
+    def test_shared_runner_reuses_cache(self):
+        runner = ExperimentRunner(benchmarks=("tsf",), iq_sizes=(32,))
+        # warm the cache through the runner directly...
+        runner.compare("tsf", 32)
+        cached = dict(runner._cache)
+        # ...then reproduce with the same runner must not grow it for the
+        # experiments that need no simulation
+        reproduce(["table1", "table2"], runner=runner, echo=None)
+        assert runner._cache == cached
+
+    def test_report_is_concatenation(self):
+        report = reproduce(["table1", "table2"], echo=None)
+        table1_pos = report.index("Table 1")
+        table2_pos = report.index("Table 2")
+        assert table1_pos < table2_pos

@@ -1,0 +1,184 @@
+"""Unit and property tests for the shared evaluation semantics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import (
+    access_size,
+    branch_taken,
+    effective_address,
+    evaluate,
+    sign_extend_16,
+    to_s32,
+    to_u32,
+    zero_extend_16,
+)
+
+INT32 = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+IMM16 = st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1)
+
+
+class TestWidthHelpers:
+    def test_to_s32_wraps_overflow(self):
+        assert to_s32(2 ** 31) == -(2 ** 31)
+        assert to_s32(2 ** 32) == 0
+        assert to_s32(-1) == -1
+        assert to_s32(0x7FFFFFFF) == 0x7FFFFFFF
+
+    def test_to_u32(self):
+        assert to_u32(-1) == 0xFFFFFFFF
+        assert to_u32(2 ** 32 + 5) == 5
+
+    @given(INT32)
+    def test_s32_identity_in_range(self, value):
+        assert to_s32(value) == value
+
+    @given(st.integers())
+    def test_s32_u32_consistent(self, value):
+        assert to_u32(to_s32(value)) == to_u32(value)
+
+    def test_sign_extend(self):
+        assert sign_extend_16(0x8000) == -32768
+        assert sign_extend_16(0x7FFF) == 32767
+        assert sign_extend_16(0xFFFF) == -1
+
+    def test_zero_extend(self):
+        assert zero_extend_16(0xFFFF) == 0xFFFF
+        assert zero_extend_16(-1) == 0xFFFF
+
+
+class TestIntegerOps:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (Opcode.ADDU, 2, 3, 5),
+        (Opcode.ADDU, 0x7FFFFFFF, 1, -(2 ** 31)),     # wraparound
+        (Opcode.SUBU, 3, 5, -2),
+        (Opcode.AND, 0b1100, 0b1010, 0b1000),
+        (Opcode.OR, 0b1100, 0b1010, 0b1110),
+        (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+        (Opcode.NOR, 0, 0, -1),
+        (Opcode.SLT, -1, 0, 1),
+        (Opcode.SLT, 0, -1, 0),
+        (Opcode.SLTU, -1, 0, 0),                      # -1 is max unsigned
+        (Opcode.SLLV, 1, 4, 16),
+        (Opcode.SRLV, -1, 28, 0xF),
+        (Opcode.SRAV, -16, 2, -4),
+        (Opcode.SLLV, 1, 33, 2),                      # shift amount mod 32
+        (Opcode.MULT, 7, -3, -21),
+        (Opcode.DIV, 7, 2, 3),
+        (Opcode.DIV, -7, 2, -3),                      # truncate toward zero
+        (Opcode.DIV, 7, -2, -3),
+        (Opcode.DIV, 5, 0, 0),                        # defined x/0 == 0
+    ])
+    def test_r3_ops(self, op, a, b, expected):
+        assert evaluate(op, a, b, 0) == expected
+
+    @pytest.mark.parametrize("op,a,imm,expected", [
+        (Opcode.ADDIU, 5, -3, 2),
+        (Opcode.ADDIU, 0, 0x8000 - 2 ** 16, -32768),
+        (Opcode.ANDI, -1, 0xF0F0, 0xF0F0),            # imm zero-extended
+        (Opcode.ORI, 0x10000, 0x00FF, 0x100FF),
+        (Opcode.XORI, 0xFF, 0x0F, 0xF0),
+        (Opcode.SLTI, -5, 0, 1),
+        (Opcode.SLTIU, 1, -1, 1),                     # imm sign-ext then unsigned
+        (Opcode.SLL, 3, 2, 12),
+        (Opcode.SRL, -4, 1, 0x7FFFFFFE),
+        (Opcode.SRA, -4, 1, -2),
+    ])
+    def test_imm_ops(self, op, a, imm, expected):
+        assert evaluate(op, a, 0, imm) == expected
+
+    def test_lui(self):
+        assert evaluate(Opcode.LUI, 0, 0, 0x1234) == 0x12340000
+        assert evaluate(Opcode.LUI, 0, 0, 0x8000) == to_s32(0x80000000)
+
+    @given(INT32, INT32)
+    def test_addu_subu_inverse(self, a, b):
+        assert evaluate(Opcode.SUBU, evaluate(Opcode.ADDU, a, b, 0),
+                        b, 0) == a
+
+    @given(INT32, INT32)
+    def test_slt_antisymmetric(self, a, b):
+        lt = evaluate(Opcode.SLT, a, b, 0)
+        gt = evaluate(Opcode.SLT, b, a, 0)
+        assert not (lt and gt)
+        if a != b:
+            assert lt or gt
+
+
+class TestFloatOps:
+    def test_basic_arith(self):
+        assert evaluate(Opcode.ADD_D, 1.5, 2.25, 0) == 3.75
+        assert evaluate(Opcode.SUB_D, 1.5, 2.25, 0) == -0.75
+        assert evaluate(Opcode.MUL_D, 1.5, 2.0, 0) == 3.0
+        assert evaluate(Opcode.DIV_D, 3.0, 2.0, 0) == 1.5
+
+    def test_div_by_zero(self):
+        assert math.isinf(evaluate(Opcode.DIV_D, 1.0, 0.0, 0))
+        assert math.isnan(evaluate(Opcode.DIV_D, 0.0, 0.0, 0))
+
+    def test_unary(self):
+        assert evaluate(Opcode.NEG_D, 2.0, 0, 0) == -2.0
+        assert evaluate(Opcode.ABS_D, -2.0, 0, 0) == 2.0
+        assert evaluate(Opcode.MOV_D, 3.5, 0, 0) == 3.5
+        assert evaluate(Opcode.SQRT_D, 9.0, 0, 0) == 3.0
+        assert math.isnan(evaluate(Opcode.SQRT_D, -1.0, 0, 0))
+
+    def test_conversions(self):
+        assert evaluate(Opcode.ITOF, 7, 0, 0) == 7.0
+        assert evaluate(Opcode.FTOI, 7.9, 0, 0) == 7
+        assert evaluate(Opcode.FTOI, -7.9, 0, 0) == -7
+        assert evaluate(Opcode.FTOI, math.nan, 0, 0) == 0
+
+    def test_compares(self):
+        assert evaluate(Opcode.SLT_D, 1.0, 2.0, 0) == 1
+        assert evaluate(Opcode.SLT_D, 2.0, 1.0, 0) == 0
+        assert evaluate(Opcode.SLE_D, 2.0, 2.0, 0) == 1
+        assert evaluate(Opcode.SEQ_D, 2.0, 2.0, 0) == 1
+        assert evaluate(Opcode.SEQ_D, 2.0, 2.5, 0) == 0
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e100, max_value=1e100))
+    def test_neg_involution(self, x):
+        assert evaluate(Opcode.NEG_D,
+                        evaluate(Opcode.NEG_D, x, 0, 0), 0, 0) == x
+
+
+class TestControlAndMemory:
+    @pytest.mark.parametrize("op,a,b,taken", [
+        (Opcode.BEQ, 1, 1, True),
+        (Opcode.BEQ, 1, 2, False),
+        (Opcode.BNE, 1, 2, True),
+        (Opcode.BLEZ, 0, 0, True),
+        (Opcode.BLEZ, 1, 0, False),
+        (Opcode.BGTZ, 1, 0, True),
+        (Opcode.BLTZ, -1, 0, True),
+        (Opcode.BLTZ, 0, 0, False),
+        (Opcode.BGEZ, 0, 0, True),
+    ])
+    def test_branch_taken(self, op, a, b, taken):
+        assert branch_taken(op, a, b) is taken
+
+    def test_branch_taken_rejects_non_branch(self):
+        with pytest.raises(ValueError):
+            branch_taken(Opcode.ADDU, 0, 0)
+
+    @given(INT32, IMM16)
+    def test_effective_address_unsigned(self, base, offset):
+        address = effective_address(base, offset & 0xFFFF)
+        assert 0 <= address <= 0xFFFFFFFF
+
+    def test_access_sizes(self):
+        assert access_size(Opcode.LW) == 4
+        assert access_size(Opcode.SW) == 4
+        assert access_size(Opcode.L_D) == 8
+        assert access_size(Opcode.S_D) == 8
+        with pytest.raises(ValueError):
+            access_size(Opcode.ADDU)
+
+    def test_evaluate_rejects_memory_ops(self):
+        with pytest.raises(ValueError):
+            evaluate(Opcode.LW, 0, 0, 0)

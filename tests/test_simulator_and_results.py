@@ -1,0 +1,135 @@
+"""Tests for the simulation driver, result records and comparisons."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.power.params import PowerParams
+from repro.sim.report import format_comparison_rows, format_percent_table
+from repro.sim.results import RunComparison
+from repro.sim.simulator import simulate
+from repro.workloads.generator import synthetic_loop_kernel
+from repro.compiler.passes import build_program
+
+
+@pytest.fixture(scope="module")
+def loop_program():
+    return build_program(synthetic_loop_kernel(
+        "simtest", statements=1, trip_count=80))
+
+
+@pytest.fixture(scope="module")
+def baseline(loop_program):
+    return simulate(loop_program, MachineConfig().with_iq_size(32))
+
+
+@pytest.fixture(scope="module")
+def reuse(loop_program):
+    return simulate(loop_program, MachineConfig().with_iq_size(32)
+                    .replace(reuse_enabled=True))
+
+
+class TestSimulate:
+    def test_result_fields(self, baseline):
+        assert baseline.program_name == "simtest"
+        assert baseline.cycles > 0
+        assert 0 < baseline.ipc <= 4
+        assert baseline.total_energy > 0
+        assert baseline.avg_power > 0
+        assert len(baseline.registers) == 64
+
+    def test_baseline_never_gates(self, baseline):
+        assert baseline.gated_fraction == 0.0
+
+    def test_reuse_gates(self, reuse):
+        assert reuse.gated_fraction > 0.3
+
+    def test_component_energies_present(self, baseline):
+        for name in ("icache", "bpred", "issue_queue", "clock",
+                     "overhead"):
+            assert name in baseline.energies
+
+    def test_custom_power_params(self, loop_program):
+        hot = simulate(loop_program, MachineConfig(),
+                       params=PowerParams(e_icache_access=9999.0))
+        cold = simulate(loop_program, MachineConfig())
+        assert hot.component_power("icache") > \
+            cold.component_power("icache")
+
+    def test_keep_pipeline(self, loop_program):
+        result = simulate(loop_program, MachineConfig(),
+                          keep_pipeline=True)
+        assert result.pipeline is not None
+        assert result.pipeline.halted
+
+
+class TestRunComparison:
+    def test_summary_metrics(self, baseline, reuse):
+        comparison = RunComparison(baseline, reuse)
+        summary = comparison.summary()
+        assert summary["gated_fraction"] == reuse.gated_fraction
+        assert 0 < summary["icache_power_reduction"] <= 1
+        assert 0 < summary["bpred_power_reduction"] <= 1
+        assert 0 < summary["iq_power_reduction"] <= 1
+        assert summary["overhead_fraction"] > 0
+        assert summary["overall_power_reduction"] > 0
+
+    def test_icache_saves_most(self, baseline, reuse):
+        comparison = RunComparison(baseline, reuse)
+        assert comparison.component_power_reduction("icache") > \
+            comparison.component_power_reduction("bpred") > \
+            comparison.component_power_reduction("issue_queue")
+
+    def test_mismatched_commit_counts_rejected(self, baseline, reuse,
+                                               loop_program):
+        other = simulate(build_program(synthetic_loop_kernel(
+            "different", statements=2, trip_count=10)), MachineConfig())
+        with pytest.raises(ValueError):
+            RunComparison(baseline, other)
+
+    def test_ipc_degradation_sign(self, baseline, reuse):
+        comparison = RunComparison(baseline, reuse)
+        # reuse must not change cycle count drastically on this loop
+        assert abs(comparison.ipc_degradation) < 0.2
+
+
+class TestReportFormatting:
+    def test_percent_table(self):
+        table = {"a": {32: 0.5, 64: 0.75}, "b": {32: 0.1, 64: 0.2}}
+        text = format_percent_table("Title", table, [32, 64],
+                                    column_header="bench")
+        assert "Title" in text
+        assert "50.0%" in text
+        assert "75.0%" in text
+        assert text.splitlines()[1].startswith("bench")
+
+    def test_percent_table_row_order(self):
+        table = {"b": {1: 0.1}, "a": {1: 0.2}}
+        text = format_percent_table("t", table, [1], row_order=["a", "b"])
+        lines = text.splitlines()
+        assert lines[-2].startswith("a")
+        assert lines[-1].startswith("b")
+
+    def test_comparison_rows(self):
+        table = {"x": {"m1": 0.25, "m2": 0.5}}
+        text = format_comparison_rows("T", table, ["m1", "m2"],
+                                      ["col one", "col two"])
+        assert "col one" in text
+        assert "25.0%" in text
+
+
+class TestEnergyDelayProduct:
+    def test_edp_and_energy_in_summary(self, baseline, reuse):
+        comparison = RunComparison(baseline, reuse)
+        summary = comparison.summary()
+        assert "edp_improvement" in summary
+        assert "energy_reduction" in summary
+
+    def test_edp_positive_when_power_saved_at_equal_speed(self, baseline,
+                                                          reuse):
+        comparison = RunComparison(baseline, reuse)
+        # this loop gates heavily with negligible slowdown: EDP improves
+        # at least as much as energy alone minus the (tiny) delay cost
+        assert comparison.edp_improvement > 0
+        assert comparison.edp_improvement == pytest.approx(
+            1 - (1 - comparison.energy_reduction)
+            * (reuse.cycles / baseline.cycles), abs=1e-9)

@@ -1,0 +1,177 @@
+"""Tests for byte/halfword memory operations (lb/lbu/lh/lhu/sb/sh).
+
+These exercise the sign/zero-extension semantics and the LSQ paths that
+sub-word accesses stress: exact-size forwarding with extension, and the
+partial-overlap conservative blocking.
+"""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.pipeline import Pipeline
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import intreg
+from repro.isa.semantics import (
+    access_size,
+    forwarded_value,
+    load_from_memory,
+    store_to_memory,
+)
+from repro.isa.memory import SparseMemory
+
+from tests.helpers import assert_matches_oracle
+
+
+def check(source, config=None):
+    program = assemble(source, name="subword")
+    oracle = run_program(program)
+    pipeline = Pipeline(program, config or MachineConfig())
+    pipeline.run()
+    assert_matches_oracle(pipeline, oracle)
+    return pipeline
+
+
+class TestSemantics:
+    def test_access_sizes(self):
+        assert access_size(Opcode.LB) == access_size(Opcode.SB) == 1
+        assert access_size(Opcode.LH) == access_size(Opcode.SH) == 2
+        assert access_size(Opcode.LBU) == 1
+        assert access_size(Opcode.LHU) == 2
+
+    def test_byte_sign_extension(self):
+        memory = SparseMemory()
+        store_to_memory(memory, Opcode.SB, 0x100, -1)
+        assert load_from_memory(memory, Opcode.LB, 0x100) == -1
+        assert load_from_memory(memory, Opcode.LBU, 0x100) == 255
+
+    def test_half_sign_extension(self):
+        memory = SparseMemory()
+        store_to_memory(memory, Opcode.SH, 0x100, -2)
+        assert load_from_memory(memory, Opcode.LH, 0x100) == -2
+        assert load_from_memory(memory, Opcode.LHU, 0x100) == 0xFFFE
+
+    def test_store_truncates(self):
+        memory = SparseMemory()
+        store_to_memory(memory, Opcode.SB, 0x100, 0x1FF)
+        assert load_from_memory(memory, Opcode.LBU, 0x100) == 0xFF
+        # adjacent byte untouched
+        assert load_from_memory(memory, Opcode.LBU, 0x101) == 0
+
+    def test_forwarded_value_extension(self):
+        assert forwarded_value(Opcode.LB, -1) == -1
+        assert forwarded_value(Opcode.LBU, -1) == 255
+        assert forwarded_value(Opcode.LH, 0x8000) == -32768
+        assert forwarded_value(Opcode.LHU, 0x18000) == 0x8000
+        assert forwarded_value(Opcode.LW, -5) == -5
+
+    def test_word_load_still_signed(self):
+        memory = SparseMemory()
+        store_to_memory(memory, Opcode.SW, 0x100, -12345)
+        assert load_from_memory(memory, Opcode.LW, 0x100) == -12345
+
+
+class TestInterpreter:
+    def test_byte_roundtrip(self):
+        machine = run_program(assemble("""
+        .text
+            li $t0, 0x1000
+            li $t1, -3
+            sb $t1, 5($t0)
+            lb $t2, 5($t0)
+            lbu $t3, 5($t0)
+            halt
+        """))
+        assert machine.regs[intreg(10)] == -3
+        assert machine.regs[intreg(11)] == 253
+
+    def test_half_roundtrip(self):
+        machine = run_program(assemble("""
+        .text
+            li $t0, 0x1000
+            li $t1, -300
+            sh $t1, 2($t0)
+            lh $t2, 2($t0)
+            lhu $t3, 2($t0)
+            halt
+        """))
+        assert machine.regs[intreg(10)] == -300
+        assert machine.regs[intreg(11)] == 65236
+
+    def test_bytes_within_word(self):
+        machine = run_program(assemble("""
+        .text
+            li $t0, 0x1000
+            li $t1, 0x11
+            li $t2, 0x22
+            sb $t1, 0($t0)
+            sb $t2, 1($t0)
+            lhu $t3, 0($t0)
+            halt
+        """))
+        assert machine.regs[intreg(11)] == 0x2211
+
+
+class TestPipeline:
+    def test_subword_oracle_equivalence(self):
+        check("""
+        .text
+            li $t0, 0x2000
+            li $t1, -7
+            sb $t1, 0($t0)
+            sh $t1, 2($t0)
+            lb $t2, 0($t0)
+            lbu $t3, 0($t0)
+            lh $t4, 2($t0)
+            lhu $t5, 2($t0)
+            halt
+        """)
+
+    def test_forwarding_applies_extension(self):
+        # sb of a negative value forwarded into lbu must zero-extend
+        pipeline = check("""
+        .text
+            li $t0, 0x2000
+            li $t1, -1
+            sb $t1, 0($t0)
+            lbu $t2, 0($t0)
+            lb  $t3, 0($t0)
+            halt
+        """)
+        assert pipeline.regfile.read(intreg(10)) == 255
+        assert pipeline.regfile.read(intreg(11)) == -1
+
+    def test_partial_overlap_byte_store_word_load(self):
+        # a byte store inside a later word load's range: the LSQ must not
+        # forward (different sizes) and must wait for the store to commit
+        check("""
+        .text
+            li $t0, 0x2000
+            li $t1, 0x0A0B0C0D
+            sw $t1, 0($t0)
+            li $t2, 0xEE
+            sb $t2, 1($t0)
+            lw $t3, 0($t0)
+            halt
+        """)
+
+    def test_subword_loop_reuse_mode(self):
+        check("""
+        .data
+        buf: .space 64
+        .text
+            la $t0, buf
+            li $t1, 0
+            li $t2, 40
+        top:
+            andi $t3, $t1, 31
+            addu $t4, $t0, $t3
+            sb  $t1, 0($t4)
+            lbu $t5, 0($t4)
+            addiu $t1, $t1, 1
+            slt $t6, $t1, $t2
+            bne $t6, $zero, top
+            halt
+        """, config=MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=True))

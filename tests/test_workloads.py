@@ -1,0 +1,141 @@
+"""Tests for the Table 2 kernels and the synthetic generator.
+
+These pin the *calibration properties* DESIGN.md documents: which loops are
+capturable at which issue-queue size, how big the kernels are dynamically,
+and that original and optimized variants compute the same results.
+"""
+
+import pytest
+
+from repro.compiler.passes import build_program
+from repro.isa.interpreter import run_program
+from repro.workloads.generator import synthetic_loop_kernel
+from repro.workloads.kernels import KERNEL_BUILDERS, build_kernel
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    BENCHMARK_SOURCES,
+    WorkloadSuite,
+)
+
+#: Benchmarks whose dominant loop fits a 32-entry issue queue.
+TIGHT = ("aps", "tsf", "wss")
+
+#: Benchmarks whose dominant loop needs a large issue queue.
+LARGE = ("adi", "btrix", "eflux", "tomcat", "vpenta")
+
+
+class TestSuiteRegistry:
+    def test_table2_names(self):
+        assert BENCHMARK_NAMES == ("adi", "aps", "btrix", "eflux",
+                                   "tomcat", "tsf", "vpenta", "wss")
+        assert set(KERNEL_BUILDERS) == set(BENCHMARK_NAMES)
+
+    def test_sources_match_paper(self):
+        assert BENCHMARK_SOURCES["adi"] == "Livermore"
+        assert BENCHMARK_SOURCES["tomcat"] == "Spec95"
+        assert BENCHMARK_SOURCES["btrix"] == "Spec92/NASA"
+        assert BENCHMARK_SOURCES["wss"] == "Perfect Club"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_kernel("nonesuch")
+        with pytest.raises(ValueError):
+            WorkloadSuite(["nonesuch"])
+
+    def test_programs_cached(self, suite):
+        assert suite.program("aps") is suite.program("aps")
+        assert suite.program("aps") is not suite.program("aps",
+                                                         optimize=True)
+
+    def test_table2_renders(self, suite):
+        table = suite.table2()
+        for name in BENCHMARK_NAMES:
+            assert name in table
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", TIGHT)
+    def test_tight_kernels_capturable_at_32(self, suite, name):
+        sizes = suite.program(name).static_loop_sizes()
+        assert min(sizes) <= 32
+
+    @pytest.mark.parametrize("name", LARGE)
+    def test_large_kernels_dominant_loop_exceeds_32(self, suite, name):
+        program = suite.program(name)
+        sizes = sorted(program.static_loop_sizes())
+        assert max(sizes) > 32
+
+    def test_btrix_loop_near_ninety(self, suite):
+        # the paper: "dominated by a loop with size of 90 instructions"
+        sizes = suite.program("btrix").static_loop_sizes()
+        assert any(70 <= size <= 100 for size in sizes)
+
+    def test_tomcat_body_is_very_large(self, suite):
+        # tomcat's innermost 2-D body tops 100 instructions, beyond even a
+        # 64-entry issue queue by a wide margin
+        sizes = suite.program("tomcat").static_loop_sizes()
+        assert min(sizes) > 100
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_dynamic_size_budget(self, suite, name):
+        machine = run_program(suite.program(name))
+        assert 15_000 <= machine.instructions_executed <= 120_000
+
+    @pytest.mark.parametrize("name", ("adi", "btrix", "tomcat", "vpenta",
+                                      "wss"))
+    def test_distribution_shrinks_large_bodies(self, suite, name):
+        original = max(suite.program(name).static_loop_sizes())
+        optimized_sizes = suite.program(name, optimize=True) \
+            .static_loop_sizes()
+        # at least one distributed inner loop fits the 64-entry baseline
+        assert min(optimized_sizes) <= 64
+        inner = [s for s in optimized_sizes if s < original]
+        assert inner, "distribution produced no smaller loops"
+
+    def test_eflux_contains_a_call_in_loop(self, suite):
+        program = suite.program("eflux")
+        calls = [inst for inst in program.instructions if inst.is_call]
+        assert calls
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_original_and_optimized_same_results(self, suite, name):
+        original = run_program(suite.program(name))
+        optimized = run_program(suite.program(name, optimize=True))
+        for page_addr, page in original.memory._pages.items():
+            got = optimized.memory.read_bytes(page_addr << 12, len(page))
+            assert got == bytes(page), f"{name}: page {page_addr:#x}"
+
+
+class TestSyntheticGenerator:
+    def test_basic_shape(self):
+        kernel = synthetic_loop_kernel(statements=3, trip_count=10)
+        program = build_program(kernel)
+        machine = run_program(program)
+        assert machine.instructions_executed > 10 * 3
+
+    def test_outer_wrapping(self):
+        kernel = synthetic_loop_kernel(trip_count=5, outer_trips=4)
+        single = synthetic_loop_kernel(trip_count=5)
+        wrapped = run_program(build_program(kernel))
+        once = run_program(build_program(single))
+        assert wrapped.instructions_executed > \
+            3 * once.instructions_executed
+
+    def test_statement_count_controls_body_size(self):
+        small = build_program(synthetic_loop_kernel(statements=1))
+        big = build_program(synthetic_loop_kernel(statements=4))
+        assert max(big.static_loop_sizes()) > \
+            max(small.static_loop_sizes())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_loop_kernel(statements=0)
+        with pytest.raises(ValueError):
+            synthetic_loop_kernel(trip_count=0)
+
+    def test_distributes_cleanly(self):
+        kernel = synthetic_loop_kernel(statements=3, trip_count=8)
+        original = build_program(kernel, optimize=False)
+        optimized = build_program(kernel, optimize=True)
+        assert len(optimized.static_loop_sizes()) >= \
+            len(original.static_loop_sizes()) + 2
