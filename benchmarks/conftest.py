@@ -5,23 +5,37 @@ figure so the master sweep (8 benchmarks x 4 issue-queue sizes x 2 machine
 modes) runs exactly once per session.  Each figure module prints its table
 (visible with ``-s`` / in the benchmark log) and writes it to
 ``benchmarks/results/`` for EXPERIMENTS.md.
+
+The runner is configurable through the environment, so a beefy machine can
+fan the sweep out over a process pool and/or keep results across sessions:
+
+``REPRO_JOBS``
+    Parallel simulation workers (``0`` = one per CPU; default ``1``).
+``REPRO_CACHE_DIR``
+    Enables the persistent result cache in that directory.  Off by
+    default: the harness regenerates the golden tables from scratch
+    unless a cache is explicitly requested.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
-from repro.sim.experiments import ExperimentRunner
+from repro.runner import build_runner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
 def runner():
-    """The shared, caching experiment runner."""
-    return ExperimentRunner()
+    """The shared, caching experiment runner (env-configurable)."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    return build_runner(jobs=jobs, cache_dir=cache_dir,
+                        no_cache=cache_dir is None)
 
 
 @pytest.fixture(scope="session")

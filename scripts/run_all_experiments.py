@@ -1,17 +1,46 @@
 #!/usr/bin/env python
 """Run every experiment and print every table/figure.
 
-Thin wrapper over :func:`repro.sim.reproduce.reproduce_all`; kept for
-backward compatibility -- prefer ``python -m repro reproduce`` or
-``examples/reproduce_paper.py``.
+Thin wrapper over :func:`repro.sim.reproduce.reproduce_all` that exposes
+the parallel experiment-runner knobs; prefer ``python -m repro reproduce``
+for the full CLI.
+
+Examples::
+
+    python scripts/run_all_experiments.py              # serial, cached
+    python scripts/run_all_experiments.py --jobs 0     # one worker per CPU
+    python scripts/run_all_experiments.py --no-cache   # always re-simulate
 """
 
+import argparse
+
+from repro.runner import build_runner
 from repro.sim.reproduce import reproduce_all
 
 
-def main():
-    reproduce_all()
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's full evaluation.")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="simulations to run in parallel "
+                             "(0 = one per CPU; default 1)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--manifest", metavar="PATH", default=None,
+                        help="write a JSON run manifest to PATH")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress runner progress on stderr")
+    args = parser.parse_args(argv)
+
+    runner = build_runner(jobs=args.jobs, cache_dir=args.cache_dir,
+                          no_cache=args.no_cache, verbose=not args.quiet)
+    reproduce_all(runner=runner)
+    if args.manifest:
+        runner.executor.progress.write_manifest(args.manifest)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

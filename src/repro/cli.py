@@ -11,10 +11,13 @@ Subcommands
 ``reproduce [EXPERIMENT ...]``
     Regenerate the paper's tables/figures (default: all of
     table1 table2 fig5 fig6 fig7 fig8 fig9 nblt strategy).
+    ``--jobs N`` fans the simulations out over a process pool;
+    ``--cache-dir`` / ``--no-cache`` control the persistent result cache;
+    ``--manifest PATH`` exports a JSON run manifest.
 
 ``bench NAME``
     Simulate one Table 2 benchmark in both modes at a chosen issue-queue
-    size.
+    size (same ``--jobs`` / cache flags as ``reproduce``).
 
 ``disasm FILE.s``
     Assemble a file and print the disassembly listing with labels.
@@ -28,12 +31,13 @@ from typing import List, Optional
 
 from repro.arch.config import MachineConfig
 from repro.isa.assembler import AssemblerError, assemble
+from repro.runner import SimJob, build_runner
 from repro.sim.export import to_json
 from repro.sim.reproduce import EXPERIMENT_NAMES, reproduce
 from repro.sim.results import RunComparison
 from repro.sim.simulator import simulate
 from repro.sim.statsdump import render_stats
-from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
+from repro.workloads.suite import BENCHMARK_NAMES
 
 
 def _machine_config(args) -> MachineConfig:
@@ -59,6 +63,25 @@ def _add_machine_options(parser: argparse.ArgumentParser) -> None:
                              "(0 disables); default 8")
 
 
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that executes through the runner."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="simulations to run in parallel "
+                             "(0 = one per CPU; default 1)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent result cache directory "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro-sim)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job stall timeout before parallel "
+                             "execution falls back to serial")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress runner progress on stderr")
+
+
 def _load_program(path: str):
     try:
         with open(path) as handle:
@@ -78,24 +101,46 @@ def _print_result(result, label: str) -> None:
           f"avg power={result.avg_power:.1f}/cycle")
 
 
+def _emit_comparison(comparison: RunComparison, args) -> int:
+    """Shared baseline-vs-reuse output block (``run --compare``, ``bench``).
+
+    Honours ``--json`` (machine-readable dump and nothing else) and
+    ``--stats`` (full counter dump of the reuse run after the summary).
+    """
+    if args.json:
+        print(to_json(comparison))
+        return 0
+    _print_result(comparison.baseline, "baseline")
+    _print_result(comparison.reuse, "reuse")
+    print()
+    for key, value in comparison.summary().items():
+        print(f"{key:28s} {value:8.2%}")
+    if args.stats:
+        print()
+        print(render_stats(comparison.reuse))
+    return 0
+
+
+def _build_runner_from_args(args, **runner_kwargs):
+    """Construct the executor-backed experiment runner from CLI flags."""
+    try:
+        return build_runner(jobs=args.jobs,
+                            cache_dir=args.cache_dir,
+                            no_cache=args.no_cache,
+                            timeout=args.timeout,
+                            verbose=not args.quiet,
+                            **runner_kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_run(args) -> int:
     program = _load_program(args.file)
     config = _machine_config(args)
     if args.compare:
         baseline = simulate(program, config.replace(reuse_enabled=False))
         reuse = simulate(program, config.replace(reuse_enabled=True))
-        comparison = RunComparison(baseline, reuse)
-        if args.json:
-            print(to_json(comparison))
-            return 0
-        _print_result(baseline, "baseline")
-        _print_result(reuse, "reuse")
-        print()
-        for key, value in comparison.summary().items():
-            print(f"{key:28s} {value:8.2%}")
-        if args.stats:
-            print()
-            print(render_stats(reuse))
+        return _emit_comparison(RunComparison(baseline, reuse), args)
     else:
         result = simulate(program, config)
         if args.json:
@@ -111,10 +156,13 @@ def _cmd_run(args) -> int:
 
 def _cmd_reproduce(args) -> int:
     names = args.experiments or None
+    runner = _build_runner_from_args(args)
     try:
-        reproduce(names)
+        reproduce(names, runner=runner)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    if args.manifest:
+        runner.executor.progress.write_manifest(args.manifest)
     return 0
 
 
@@ -122,24 +170,16 @@ def _cmd_bench(args) -> int:
     if args.name not in BENCHMARK_NAMES:
         raise SystemExit(f"error: unknown benchmark {args.name!r}; "
                          f"choose from {', '.join(BENCHMARK_NAMES)}")
-    suite = WorkloadSuite()
-    program = suite.program(args.name, optimize=args.optimize)
+    runner = _build_runner_from_args(args)
+    executor = runner.executor
     config = _machine_config(args)
-    baseline = simulate(program, config.replace(reuse_enabled=False))
-    reuse = simulate(program, config.replace(reuse_enabled=True))
-    comparison = RunComparison(baseline, reuse)
-    if args.json:
-        print(to_json(comparison))
-        return 0
-    _print_result(baseline, "baseline")
-    _print_result(reuse, "reuse")
-    print()
-    for key, value in comparison.summary().items():
-        print(f"{key:28s} {value:8.2%}")
-    if args.stats:
-        print()
-        print(render_stats(reuse))
-    return 0
+    jobs = [SimJob(benchmark=args.name,
+                   config=config.replace(reuse_enabled=reuse),
+                   optimize=args.optimize)
+            for reuse in (False, True)]
+    results = executor.run(jobs)
+    comparison = RunComparison(results[jobs[0]], results[jobs[1]])
+    return _emit_comparison(comparison, args)
 
 
 def _cmd_disasm(args) -> int:
@@ -172,6 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
                      help=f"subset to run (default: all of "
                           f"{' '.join(EXPERIMENT_NAMES)})")
+    rep.add_argument("--manifest", metavar="PATH", default=None,
+                     help="write a JSON run manifest (events, wall "
+                          "times, cache hit rate) to PATH")
+    _add_runner_options(rep)
     rep.set_defaults(func=_cmd_reproduce)
 
     bench = sub.add_parser("bench",
@@ -184,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
     _add_machine_options(bench)
+    _add_runner_options(bench)
     bench.set_defaults(func=_cmd_bench)
 
     dis = sub.add_parser("disasm", help="assemble and list a program")
@@ -202,6 +247,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         return 0
+    except KeyboardInterrupt:
+        # Ctrl-C mid-sweep: exit cleanly with the conventional code
+        # instead of dumping a traceback across the report
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -1,0 +1,126 @@
+"""Persistent on-disk simulation result cache.
+
+One JSON file per job key under a cache directory; the payload inside is
+the round-trip export from :mod:`repro.sim.export` and is versioned by
+:data:`repro.sim.export.SCHEMA_VERSION` plus the package version.  The
+store is corruption-tolerant by design: an unreadable, truncated or
+stale-versioned entry is *evicted and re-run*, never an error -- a cache
+must never be able to fail a reproduction run.
+
+Layout::
+
+    <cache_dir>/
+        <job key>.json      one entry per (program, config, params)
+
+Writes are atomic (temp file + ``os.replace``) so a killed run cannot
+leave a half-written entry that later parses as garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Optional
+
+from repro import __version__
+from repro.arch.config import MachineConfig
+from repro.sim.export import (
+    SCHEMA_VERSION,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.sim.results import SimulationResult
+
+from repro.runner.jobs import SimJob, job_to_dict
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the default cache directory.
+
+    Order: ``$REPRO_CACHE_DIR``, then ``$XDG_CACHE_HOME/repro-sim``, then
+    ``~/.cache/repro-sim``.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg \
+        else pathlib.Path.home() / ".cache"
+    return base / "repro-sim"
+
+
+class ResultCache:
+    """Schema-versioned, corruption-tolerant result store."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None \
+            else default_cache_dir()
+        self.evictions = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Path of the entry file for one job key."""
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str,
+             config: MachineConfig) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None on miss/stale/corrupt.
+
+        Any unreadable or version-mismatched entry is deleted so the next
+        store starts clean; nothing a cache file contains can raise out of
+        here.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._evict(path)
+            return None
+        try:
+            if entry["schema"] != SCHEMA_VERSION:
+                raise ValueError("stale schema version")
+            if entry["repro_version"] != __version__:
+                raise ValueError("written by a different repro version")
+            return result_from_payload(entry["result"], config)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._evict(path)
+            return None
+
+    def store(self, key: str, job: SimJob,
+              result: SimulationResult) -> None:
+        """Persist one result atomically; I/O errors are non-fatal."""
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "repro_version": __version__,
+            "key": key,
+            "job": job_to_dict(job),
+            "result": result_to_payload(result),
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=".tmp-", suffix=".json")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, self.path_for(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            # a read-only or full cache directory degrades to "no cache"
+            pass
+
+    def _evict(self, path: pathlib.Path) -> None:
+        self.evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,236 @@
+"""Parallel simulation executor.
+
+:class:`JobExecutor` resolves a batch of :class:`~repro.runner.jobs.SimJob`
+specs to :class:`~repro.sim.results.SimulationResult` objects:
+
+1. deduplicate the batch and probe the persistent cache,
+2. fan the misses out over a ``ProcessPoolExecutor`` (``jobs`` workers),
+3. on stalls (no job completes within the per-job timeout), pool
+   breakage or pool start failure, fall back to in-process serial
+   execution with a bounded number of retry rounds,
+4. emit structured progress events throughout.
+
+Every result -- parallel, serial or cached -- travels through the same
+round-trip payload from :mod:`repro.sim.export`, so the three paths are
+guaranteed to produce byte-identical downstream tables (simulations are
+deterministic and JSON preserves floats exactly).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.export import result_from_payload, result_to_payload
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.workloads.suite import WorkloadSuite
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import SimJob, job_key
+from repro.runner.progress import ProgressReporter
+
+#: Per-worker workload suite so repeated jobs in one process reuse the
+#: compiled programs (with the default fork start method the parent's
+#: already-compiled suite is inherited for free).
+_WORKER_SUITE: Optional[WorkloadSuite] = None
+
+
+def _worker_suite() -> WorkloadSuite:
+    global _WORKER_SUITE
+    if _WORKER_SUITE is None:
+        _WORKER_SUITE = WorkloadSuite()
+    return _WORKER_SUITE
+
+
+def execute_job(job: SimJob) -> dict:
+    """Run one job to completion; returns the round-trip payload.
+
+    Module-level so it can be pickled to pool workers; also the serial
+    path, so both paths share one code path and one result format.
+    """
+    program = _worker_suite().program(job.benchmark, optimize=job.optimize)
+    result = simulate(program, job.config, params=job.params)
+    return result_to_payload(result)
+
+
+def default_job_count() -> int:
+    """Worker count when the caller asks for ``--jobs 0`` (auto)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class JobExecutor:
+    """Resolves job batches through cache, pool and serial fallback."""
+
+    def __init__(self,
+                 jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 progress: Optional[ProgressReporter] = None,
+                 suite: Optional[WorkloadSuite] = None):
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = one per CPU)")
+        self.jobs = jobs if jobs else default_job_count()
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress or ProgressReporter(verbose=False)
+        self.suite = suite or WorkloadSuite()
+        self._keys: Dict[SimJob, str] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def key(self, job: SimJob) -> str:
+        """Content-hash cache key of one job (memoised)."""
+        if job not in self._keys:
+            program = self.suite.program(job.benchmark,
+                                         optimize=job.optimize)
+            self._keys[job] = job_key(job, program)
+        return self._keys[job]
+
+    def run(self, jobs: Sequence[SimJob]) -> Dict[SimJob, SimulationResult]:
+        """Resolve a batch of jobs; returns ``{job: result}``.
+
+        Duplicates in the batch are resolved once.  Raises only if a job
+        keeps failing *in-process* after all retry rounds -- pool-level
+        failures degrade to serial execution instead.
+        """
+        ordered: List[SimJob] = []
+        for job in jobs:
+            if job not in ordered:
+                ordered.append(job)
+
+        results: Dict[SimJob, SimulationResult] = {}
+        pending: List[Tuple[SimJob, str]] = []
+        for job in ordered:
+            key = self.key(job)
+            self.progress.emit("queued", job=job.describe(), key=key)
+            cached = self.cache.load(key, job.config) if self.cache else None
+            if cached is not None:
+                results[job] = cached
+                self.progress.emit("cache-hit", job=job.describe(), key=key)
+            else:
+                pending.append((job, key))
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                failed = self._run_parallel(pending, results)
+            else:
+                failed = self._run_serial(
+                    pending, results, raise_errors=self.retries == 0)
+            for round_index in range(self.retries):
+                if not failed:
+                    break
+                for job, _ in failed:
+                    self.progress.emit(
+                        "retry", job=job.describe(),
+                        detail=f"round {round_index + 1}")
+                failed = self._run_serial(failed, results,
+                                          raise_errors=round_index
+                                          == self.retries - 1)
+        self.progress.render_summary()
+        return results
+
+    # -- serial path -------------------------------------------------------
+
+    def _finish(self, job: SimJob, key: str, payload: dict,
+                results: Dict[SimJob, SimulationResult],
+                wall_time: float) -> None:
+        result = result_from_payload(payload, job.config)
+        results[job] = result
+        if self.cache:
+            self.cache.store(key, job, result)
+        self.progress.emit("done", job=job.describe(), key=key,
+                           wall_time=wall_time)
+
+    def _run_serial(self, pending: Sequence[Tuple[SimJob, str]],
+                    results: Dict[SimJob, SimulationResult],
+                    raise_errors: bool = True
+                    ) -> List[Tuple[SimJob, str]]:
+        failed: List[Tuple[SimJob, str]] = []
+        for job, key in pending:
+            self.progress.emit("started", job=job.describe(), key=key)
+            start = time.time()
+            try:
+                payload = execute_job(job)
+            except Exception as exc:
+                self.progress.emit("failed", job=job.describe(), key=key,
+                                   detail=str(exc))
+                if raise_errors:
+                    raise
+                failed.append((job, key))
+                continue
+            self._finish(job, key, payload, results, time.time() - start)
+        return failed
+
+    # -- parallel path -----------------------------------------------------
+
+    def _run_parallel(self, pending: Sequence[Tuple[SimJob, str]],
+                      results: Dict[SimJob, SimulationResult]
+                      ) -> List[Tuple[SimJob, str]]:
+        """Fan pending jobs out over a process pool.
+
+        Returns the jobs that still need (serial) resolution: everything
+        whose worker raised, whose future was abandoned on a stall, or --
+        when the pool cannot even start -- the entire batch.
+        """
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)))
+        except (OSError, ValueError, ImportError) as exc:
+            self.progress.emit("fallback",
+                               detail=f"process pool unavailable: {exc}")
+            return list(pending)
+
+        failed: List[Tuple[SimJob, str]] = []
+        starts: Dict[SimJob, float] = {}
+        try:
+            futures = {}
+            for job, key in pending:
+                self.progress.emit("started", job=job.describe(), key=key)
+                starts[job] = time.time()
+                futures[pool.submit(execute_job, job)] = (job, key)
+            remaining = dict(futures)
+            while remaining:
+                done, _ = concurrent.futures.wait(
+                    remaining, timeout=self.timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                if not done:
+                    # nothing finished within one per-job timeout: the
+                    # pool is stalled -- abandon it and re-run serially
+                    for job, key in remaining.values():
+                        self.progress.emit(
+                            "failed", job=job.describe(), key=key,
+                            detail=f"timeout after {self.timeout}s")
+                    failed.extend(remaining.values())
+                    for future in remaining:
+                        future.cancel()
+                    break
+                for future in done:
+                    job, key = remaining.pop(future)
+                    try:
+                        payload = future.result()
+                    except Exception as exc:
+                        self.progress.emit("failed", job=job.describe(),
+                                           key=key, detail=str(exc))
+                        failed.append((job, key))
+                        continue
+                    self._finish(job, key, payload, results,
+                                 time.time() - starts[job])
+        except concurrent.futures.process.BrokenProcessPool as exc:
+            broken = [(job, key) for job, key in pending
+                      if job not in results
+                      and (job, key) not in failed]
+            self.progress.emit("fallback",
+                               detail=f"process pool broke: {exc}")
+            failed = broken
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if failed:
+            self.progress.emit(
+                "fallback",
+                detail=f"{len(failed)} job(s) falling back to serial")
+        return failed

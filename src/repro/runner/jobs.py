@@ -1,0 +1,111 @@
+"""Declarative simulation job specifications.
+
+A :class:`SimJob` names everything one simulation depends on -- the
+benchmark, the frozen :class:`~repro.arch.config.MachineConfig`, the
+compiler-optimization flag and the power parameters -- without holding any
+live state, so it can be hashed, pickled to a worker process, and used as
+a key into the persistent result cache.
+
+The cache key (:func:`job_key`) is a content hash: it digests the full
+machine configuration, the power parameters and the *bytes of the program
+itself* (disassembly listing plus data image), so editing a kernel or a
+config knob automatically misses the cache instead of serving a stale
+result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.arch.config import MachineConfig
+from repro.isa.program import Program
+from repro.power.params import DEFAULT_PARAMS, PowerParams
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to run: program + configuration + power params."""
+
+    #: Table 2 benchmark name (resolved through the workload suite).
+    benchmark: str
+    #: Full machine configuration, including ``reuse_enabled``.
+    config: MachineConfig
+    #: Use the loop-distributed (Section 4) variant of the kernel.
+    optimize: bool = False
+    #: Power-model parameters.
+    params: PowerParams = field(default=DEFAULT_PARAMS)
+
+    def describe(self) -> str:
+        """Short human-readable label for progress lines."""
+        mode = "reuse" if self.config.reuse_enabled else "base"
+        opt = " opt" if self.optimize else ""
+        extras = []
+        if self.config.nblt_size != 8:
+            extras.append(f"nblt={self.config.nblt_size}")
+        if self.config.buffering_strategy != "multi":
+            extras.append(self.config.buffering_strategy)
+        suffix = (" " + " ".join(extras)) if extras else ""
+        return (f"{self.benchmark} iq={self.config.iq_size} "
+                f"{mode}{opt}{suffix}")
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def config_digest(config: MachineConfig) -> str:
+    """Stable hash of every field of a machine configuration."""
+    return _digest(json.dumps(dataclasses.asdict(config), sort_keys=True))
+
+
+def params_digest(params: PowerParams) -> str:
+    """Stable hash of the power-model parameters."""
+    return _digest(json.dumps(dataclasses.asdict(params), sort_keys=True))
+
+
+def program_digest(program: Program) -> str:
+    """Content hash of an assembled program.
+
+    Digests the disassembly listing (text segment plus labels) and the
+    data image.  The binary instruction encoding is deliberately not used:
+    some calibrated kernels carry immediates outside the encodable range.
+    """
+    sha = hashlib.sha256()
+    sha.update(program.listing().encode("utf-8"))
+    for address, data in sorted(program.data_segments):
+        sha.update(address.to_bytes(8, "little"))
+        sha.update(data)
+    return sha.hexdigest()
+
+
+def job_key(job: SimJob, program: Program) -> str:
+    """Deterministic cache key for one job.
+
+    Folds the benchmark name, the optimize flag, the program bytes, the
+    machine configuration and the power parameters into one digest, so any
+    change to any input re-simulates instead of hitting a stale entry.
+    """
+    sha = hashlib.sha256()
+    for part in (job.benchmark, "opt" if job.optimize else "orig",
+                 program_digest(program), config_digest(job.config),
+                 params_digest(job.params)):
+        sha.update(part.encode("utf-8"))
+        sha.update(b"\0")
+    return sha.hexdigest()[:40]
+
+
+def job_to_dict(job: SimJob) -> Dict[str, Any]:
+    """Reporting export of a job spec (for cache entries / manifests)."""
+    return {
+        "benchmark": job.benchmark,
+        "optimize": job.optimize,
+        "iq_size": job.config.iq_size,
+        "reuse_enabled": job.config.reuse_enabled,
+        "buffering_strategy": job.config.buffering_strategy,
+        "nblt_size": job.config.nblt_size,
+        "config_digest": config_digest(job.config),
+    }

@@ -1,0 +1,130 @@
+"""Structured progress events for experiment runs.
+
+The executor emits one :class:`RunEvent` per state change of every job --
+``queued``, ``cache-hit``, ``started``, ``done``, ``failed``, ``retry``
+and ``fallback`` -- and the :class:`ProgressReporter` renders them to
+stderr (stdout is reserved for the tables, which must stay byte-identical
+regardless of parallelism or caching) while accumulating a machine-
+readable *run manifest*: every event plus a summary with wall time and
+cache hit rate, exportable as JSON for dashboards and regression tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TextIO
+
+#: Event kinds emitted by the executor, in lifecycle order.
+EVENT_KINDS = ("queued", "cache-hit", "started", "done", "failed",
+               "retry", "fallback")
+
+
+@dataclass
+class RunEvent:
+    """One state change of one job (or of the run itself)."""
+
+    kind: str
+    job: str = ""
+    key: str = ""
+    wall_time: Optional[float] = None
+    detail: str = ""
+    timestamp: float = field(default_factory=time.time)
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+        }
+        if self.job:
+            record["job"] = self.job
+        if self.key:
+            record["key"] = self.key
+        if self.wall_time is not None:
+            record["wall_time"] = round(self.wall_time, 6)
+        if self.detail:
+            record["detail"] = self.detail
+        return record
+
+
+class ProgressReporter:
+    """Collects run events; optionally renders them to a stream."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 verbose: bool = False):
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+        self.events: List[RunEvent] = []
+        self._start = time.time()
+
+    # -- event intake ------------------------------------------------------
+
+    def emit(self, kind: str, job: str = "", key: str = "",
+             wall_time: Optional[float] = None, detail: str = "") -> None:
+        """Record one event and, when verbose, render it."""
+        event = RunEvent(kind=kind, job=job, key=key,
+                         wall_time=wall_time, detail=detail)
+        self.events.append(event)
+        if self.verbose and kind != "queued":
+            self._render(event)
+
+    def _render(self, event: RunEvent) -> None:
+        parts = [f"[runner] {event.kind:9s}"]
+        if event.job:
+            parts.append(f"{event.job:30s}")
+        if event.wall_time is not None:
+            parts.append(f"{event.wall_time:6.2f}s")
+        if event.detail:
+            parts.append(f"({event.detail})")
+        print("  ".join(parts).rstrip(), file=self.stream)
+        self.stream.flush()
+
+    # -- aggregation -------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate counts: jobs, hits, hit rate, wall time."""
+        queued = self.count("queued")
+        hits = self.count("cache-hit")
+        simulated = self.count("done")
+        resolved = hits + simulated
+        return {
+            "jobs": queued,
+            "cache_hits": hits,
+            "simulated": simulated,
+            "failed": self.count("failed"),
+            "retries": self.count("retry"),
+            "hit_rate": hits / resolved if resolved else 0.0,
+            "wall_time": round(time.time() - self._start, 3),
+        }
+
+    def render_summary(self) -> None:
+        """One-line human summary on the progress stream."""
+        if not self.verbose or not self.events:
+            return
+        s = self.summary()
+        print(f"[runner] {s['jobs']} jobs: {s['cache_hits']} cache hits "
+              f"({s['hit_rate']:.0%}), {s['simulated']} simulated, "
+              f"{s['failed']} failed, wall {s['wall_time']:.1f}s",
+              file=self.stream)
+        self.stream.flush()
+
+    # -- manifest ----------------------------------------------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        """The full run manifest (summary + every event)."""
+        return {
+            "summary": self.summary(),
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    def write_manifest(self, path) -> None:
+        """Serialise the manifest to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.manifest(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -16,17 +16,25 @@ Every table and figure in the evaluation (Section 3) and the compiler study
   (Section 2.2.1).
 
 Results are cached per (program, config) within a :class:`ExperimentRunner`
-so that the four figures sharing one sweep pay for it once.
+so that the four figures sharing one sweep pay for it once.  All
+simulations execute through a :class:`~repro.runner.executor.JobExecutor`:
+the default is serial and memory-only (identical behaviour to running
+:func:`~repro.sim.simulator.simulate` directly), while
+:func:`repro.runner.build_runner` wires in process-pool parallelism and
+the persistent on-disk result cache.  Every experiment *prefetches* the
+full set of simulations it needs in one executor batch before reading any
+of them, so a parallel executor sees the whole sweep at once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.config import SWEEP_IQ_SIZES, MachineConfig
+from repro.runner.executor import JobExecutor
+from repro.runner.jobs import SimJob
 from repro.sim.results import RunComparison, SimulationResult
-from repro.sim.simulator import simulate
 from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
 
 
@@ -52,14 +60,61 @@ class ExperimentRunner:
     iq_sizes: Tuple[int, ...] = SWEEP_IQ_SIZES
     base_config: MachineConfig = field(default_factory=MachineConfig)
     suite: WorkloadSuite = field(default_factory=WorkloadSuite)
+    executor: Optional[JobExecutor] = None
     _cache: Dict[tuple, SimulationResult] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.executor is None:
+            # serial, memory-only default: same behaviour as calling
+            # simulate() directly, no persistent state
+            self.executor = JobExecutor(jobs=1, cache=None,
+                                        suite=self.suite)
+
+    # -- execution through the runner subsystem -----------------------------
+
+    def _config(self, iq_size: int, strategy: str = "multi",
+                nblt_size: int = 8, reuse: bool = False) -> MachineConfig:
+        return self.base_config.with_iq_size(iq_size).replace(
+            buffering_strategy=strategy, nblt_size=nblt_size,
+            reuse_enabled=reuse)
+
+    def _pair_specs(self, benchmark: str, iq_size: int,
+                    optimize: bool = False, strategy: str = "multi",
+                    nblt_size: int = 8) -> List[tuple]:
+        """The (benchmark, config, optimize) baseline/reuse spec pair."""
+        return [
+            (benchmark,
+             self._config(iq_size, strategy, nblt_size, reuse=reuse),
+             optimize)
+            for reuse in (False, True)
+        ]
+
+    def prefetch(self, specs: Sequence[tuple]) -> None:
+        """Resolve many (benchmark, config, optimize) specs in one batch.
+
+        Specs already held in memory are skipped; the rest go to the
+        executor as a single batch, so a parallel executor fans the whole
+        sweep out at once and a persistent cache is probed exactly once
+        per simulation.
+        """
+        wanted = []
+        for benchmark, config, optimize in specs:
+            key = (benchmark, optimize, config)
+            if key not in self._cache:
+                job = SimJob(benchmark=benchmark, config=config,
+                             optimize=optimize)
+                if job not in wanted:
+                    wanted.append(job)
+        if not wanted:
+            return
+        for job, result in self.executor.run(wanted).items():
+            self._cache[(job.benchmark, job.optimize, job.config)] = result
 
     def _run(self, benchmark: str, config: MachineConfig,
              optimize: bool = False) -> SimulationResult:
         key = (benchmark, optimize, config)
         if key not in self._cache:
-            program = self.suite.program(benchmark, optimize=optimize)
-            self._cache[key] = simulate(program, config)
+            self.prefetch([(benchmark, config, optimize)])
         return self._cache[key]
 
     def compare(self, benchmark: str, iq_size: int,
@@ -67,17 +122,30 @@ class ExperimentRunner:
                 strategy: str = "multi",
                 nblt_size: int = 8) -> RunComparison:
         """Baseline vs reuse for one benchmark/configuration."""
-        config = self.base_config.with_iq_size(iq_size).replace(
-            buffering_strategy=strategy, nblt_size=nblt_size)
-        baseline = self._run(benchmark, config, optimize)
-        reuse = self._run(benchmark, config.replace(reuse_enabled=True),
-                          optimize)
+        specs = self._pair_specs(benchmark, iq_size, optimize,
+                                 strategy, nblt_size)
+        self.prefetch(specs)
+        (_, base_config, _), (_, reuse_config, _) = specs
+        baseline = self._run(benchmark, base_config, optimize)
+        reuse = self._run(benchmark, reuse_config, optimize)
         return RunComparison(baseline, reuse)
 
     # -- the master sweep (Figures 5-8) -------------------------------------
 
     def sweep(self, optimize: bool = False) -> List[SweepCell]:
-        """All (benchmark, iq_size) cells."""
+        """All (benchmark, iq_size) cells.
+
+        The full grid (benchmarks x IQ sizes x {baseline, reuse}) is
+        prefetched as one executor batch, so the four figures sharing
+        this sweep also share one parallel pass.
+        """
+        self.prefetch([
+            spec
+            for benchmark in self.benchmarks
+            for iq_size in self.iq_sizes
+            for spec in self._pair_specs(benchmark, iq_size,
+                                         optimize=optimize)
+        ])
         return [
             SweepCell(benchmark, iq_size,
                       self.compare(benchmark, iq_size, optimize=optimize))
@@ -138,6 +206,13 @@ class ExperimentRunner:
         Also reports the gated fractions and IPC degradation behind the
         text's 48 % -> 86 % and 1 % -> 2 % claims.
         """
+        self.prefetch([
+            spec
+            for benchmark in self.benchmarks
+            for optimize in (False, True)
+            for spec in self._pair_specs(benchmark, iq_size,
+                                         optimize=optimize)
+        ])
         table: Dict[str, Dict[str, float]] = {}
         for benchmark in self.benchmarks:
             original = self.compare(benchmark, iq_size, optimize=False)
@@ -164,6 +239,13 @@ class ExperimentRunner:
                       ) -> Dict[str, Dict[str, float]]:
         """Buffering revoke rate with and without the NBLT (Section 3)."""
         names = tuple(benchmarks) if benchmarks else self.benchmarks
+        self.prefetch([
+            spec
+            for benchmark in names
+            for nblt_size in (8, 0)
+            for spec in self._pair_specs(benchmark, iq_size,
+                                         nblt_size=nblt_size)
+        ])
         table: Dict[str, Dict[str, float]] = {}
         for benchmark in names:
             with_nblt = self.compare(benchmark, iq_size, nblt_size=8)
@@ -183,6 +265,13 @@ class ExperimentRunner:
                           ) -> Dict[str, Dict[str, float]]:
         """Single- vs multi-iteration buffering (Section 2.2.1)."""
         names = tuple(benchmarks) if benchmarks else self.benchmarks
+        self.prefetch([
+            spec
+            for benchmark in names
+            for strategy in ("multi", "single")
+            for spec in self._pair_specs(benchmark, iq_size,
+                                         strategy=strategy)
+        ])
         table: Dict[str, Dict[str, float]] = {}
         for benchmark in names:
             multi = self.compare(benchmark, iq_size, strategy="multi")

@@ -4,6 +4,19 @@ Turns :class:`~repro.sim.results.SimulationResult` and
 :class:`~repro.sim.results.RunComparison` objects into plain dicts / JSON
 for downstream tooling (plotting scripts, regression dashboards).  The CLI
 exposes this through ``--json``.
+
+Two levels of export exist:
+
+* :func:`result_to_dict` -- the *reporting* export: headline metrics,
+  counters and per-component power, for humans and plotting scripts;
+* :func:`result_to_payload` / :func:`result_from_payload` -- the
+  *round-trip* export used by the persistent result cache in
+  :mod:`repro.runner.cache`: every field needed to reconstruct an
+  equivalent :class:`SimulationResult` exactly (JSON preserves Python
+  floats bit-for-bit, so reconstructed metrics are byte-identical).
+
+:data:`SCHEMA_VERSION` versions the round-trip payload; cache entries
+written under a different version are treated as stale and re-run.
 """
 
 from __future__ import annotations
@@ -11,7 +24,14 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
+from repro.arch.stats import PipelineStats
+from repro.power.components import ComponentEnergy
 from repro.sim.results import RunComparison, SimulationResult
+
+#: Version of the round-trip payload layout.  Bump whenever the payload
+#: shape or the meaning of a persisted field changes; persistent cache
+#: entries with a different version are evicted and recomputed.
+SCHEMA_VERSION = 2
 
 
 def config_to_dict(config) -> Dict[str, Any]:
@@ -31,6 +51,7 @@ def config_to_dict(config) -> Dict[str, Any]:
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     """Full export of one run: config, headline metrics, counters, power."""
+    stats = result.stats
     return {
         "program": result.program_name,
         "config": config_to_dict(result.config),
@@ -41,9 +62,20 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "gated_fraction": result.gated_fraction,
             "total_energy": result.total_energy,
             "avg_power": result.avg_power,
+            "revoke_rate": stats.revoke_rate,
+            "loop_detections": stats.loop_detections,
+            "buffering_started": stats.buffering_started,
         },
         "counters": {key: int(value)
                      for key, value in result.activity.items()},
+        "revokes": {
+            "total": stats.revokes,
+            "buffering": stats.buffering_revokes,
+            "inner_loop": stats.revokes_inner_loop,
+            "exit": stats.revokes_exit,
+            "iq_full": stats.revokes_iq_full,
+            "mispredict": stats.revokes_mispredict,
+        },
         "power": {
             name: {
                 "active_energy": component.active_energy,
@@ -62,6 +94,79 @@ def comparison_to_dict(comparison: RunComparison) -> Dict[str, Any]:
         "baseline": result_to_dict(comparison.baseline),
         "reuse": result_to_dict(comparison.reuse),
     }
+
+
+def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
+    """Round-trip export: everything needed to rebuild the result.
+
+    Unlike :func:`result_to_dict` (a reporting format), this keeps the raw
+    pipeline counters, activity dict, per-component energies and the final
+    architectural register file, so :func:`result_from_payload` can
+    reconstruct a :class:`SimulationResult` whose derived metrics are
+    byte-identical to the original's.  The machine configuration is *not*
+    embedded -- the caller (the job cache) already owns the authoritative
+    :class:`~repro.arch.config.MachineConfig` and passes it back in.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "program": result.program_name,
+        "stats": result.stats.as_dict(),
+        "activity": dict(result.activity),
+        "energies": {
+            name: {
+                "active_energy": component.active_energy,
+                "base_energy": component.base_energy,
+                "cycles": component.cycles,
+            }
+            for name, component in result.energies.items()
+        },
+        "registers": list(result.registers),
+    }
+
+
+def stats_from_dict(counters: Dict[str, int]) -> PipelineStats:
+    """Rebuild a :class:`PipelineStats` from its :meth:`as_dict` export.
+
+    Unknown keys (from a different stats layout) raise ``KeyError`` so the
+    cache treats the entry as stale rather than silently dropping data.
+    """
+    stats = PipelineStats()
+    for name, value in counters.items():
+        if name not in PipelineStats.__slots__:
+            raise KeyError(f"unknown pipeline counter {name!r}")
+        setattr(stats, name, value)
+    return stats
+
+
+def result_from_payload(payload: Dict[str, Any],
+                        config) -> SimulationResult:
+    """Inverse of :func:`result_to_payload`.
+
+    ``config`` is the :class:`~repro.arch.config.MachineConfig` the run was
+    executed under (owned by the job spec, not the payload).  Raises
+    ``KeyError`` / ``TypeError`` / ``ValueError`` on malformed payloads --
+    callers (the persistent cache) treat any of those as a stale entry.
+    """
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"payload schema {payload.get('schema')!r} != {SCHEMA_VERSION}")
+    energies = {
+        name: ComponentEnergy(
+            name=name,
+            active_energy=float(record["active_energy"]),
+            base_energy=float(record["base_energy"]),
+            cycles=int(record["cycles"]),
+        )
+        for name, record in payload["energies"].items()
+    }
+    return SimulationResult(
+        program_name=payload["program"],
+        config=config,
+        stats=stats_from_dict(payload["stats"]),
+        activity=dict(payload["activity"]),
+        energies=energies,
+        registers=list(payload["registers"]),
+    )
 
 
 def to_json(obj, indent: int = 2) -> str:

@@ -127,6 +127,11 @@ def reproduce(names: Optional[List[str]] = None,
     return "\n\n".join(sections) + "\n\n" + footer
 
 
-def reproduce_all(echo: Optional[Callable[[str], None]] = print) -> str:
-    """Run the complete evaluation (all tables, figures and ablations)."""
-    return reproduce(echo=echo)
+def reproduce_all(echo: Optional[Callable[[str], None]] = print,
+                  runner: Optional[ExperimentRunner] = None) -> str:
+    """Run the complete evaluation (all tables, figures and ablations).
+
+    Pass an executor-backed runner (see :func:`repro.runner.build_runner`)
+    to parallelise the sweep and reuse the persistent result cache.
+    """
+    return reproduce(runner=runner, echo=echo)

@@ -9,6 +9,16 @@ from __future__ import annotations
 import pytest
 
 from repro.arch.config import MachineConfig
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the persistent result cache out of the real user cache dir.
+
+    CLI commands default to an on-disk cache under ``~/.cache``; tests
+    must never read from or write to it.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
 from repro.isa.assembler import assemble
 from repro.isa.interpreter import run_program
 from repro.workloads.suite import WorkloadSuite

@@ -49,6 +49,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "x.s", "--strategy", "bogus"])
 
+    def test_runner_flag_defaults(self):
+        args = build_parser().parse_args(["reproduce", "fig5"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert args.manifest is None
+
+    def test_runner_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["reproduce", "fig5", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--no-cache", "--manifest", "m.json", "--quiet"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+        assert args.manifest == "m.json"
+        assert args.quiet
+
+    def test_bench_accepts_runner_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "tsf", "--jobs", "2", "--no-cache"])
+        assert args.jobs == 2
+        assert args.no_cache
+
 
 class TestRunCommand:
     def test_baseline_run(self, loop_file, capsys):
@@ -121,3 +144,23 @@ class TestReproduceCommand:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["reproduce", "fig99"])
+
+    def test_manifest_written(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        assert main(["reproduce", "table1", "--manifest",
+                     str(manifest)]) == 0
+        import json
+        parsed = json.loads(manifest.read_text())
+        assert set(parsed) == {"summary", "events"}
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_returns_130(self, monkeypatch, capsys):
+        import repro.cli as cli_module
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "reproduce", interrupted)
+        assert main(["reproduce", "fig5"]) == 130
+        assert "interrupted" in capsys.readouterr().err

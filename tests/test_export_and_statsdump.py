@@ -47,6 +47,24 @@ class TestExport:
         assert "icache" in exported["power"]
         assert exported["counters"]["cycles"] == baseline.cycles
 
+    def test_result_dict_reuse_metrics(self, results):
+        _, reuse = results
+        exported = result_to_dict(reuse)
+        metrics = exported["metrics"]
+        assert metrics["revoke_rate"] == reuse.stats.revoke_rate
+        assert metrics["loop_detections"] == reuse.stats.loop_detections
+        assert metrics["buffering_started"] == \
+            reuse.stats.buffering_started
+        assert metrics["loop_detections"] > 0
+
+    def test_result_dict_revokes_by_cause(self, results):
+        _, reuse = results
+        revokes = result_to_dict(reuse)["revokes"]
+        assert set(revokes) == {"total", "buffering", "inner_loop",
+                                "exit", "iq_full", "mispredict"}
+        assert revokes["total"] == reuse.stats.revokes
+        assert revokes["buffering"] == reuse.stats.buffering_revokes
+
     def test_comparison_dict(self, results):
         baseline, reuse = results
         exported = comparison_to_dict(RunComparison(baseline, reuse))

@@ -1,0 +1,242 @@
+"""Tests for the parallel experiment-runner subsystem.
+
+Covers the acceptance properties of :mod:`repro.runner`:
+
+* parallel execution produces results identical to the serial path,
+* a second run against the same cache directory is served entirely from
+  the persistent cache (zero simulations),
+* corrupted or version-mismatched cache entries are evicted and re-run,
+  never crash,
+* content-hash job keys react to every input,
+* transient in-process failures are retried; executor errors surface
+  only after the retry budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.compiler.passes import build_program
+from repro.runner import SimJob, build_runner, job_key
+from repro.runner.cache import ResultCache
+from repro.runner.executor import JobExecutor, execute_job
+from repro.runner.jobs import config_digest, program_digest
+from repro.runner.progress import ProgressReporter
+from repro.sim.experiments import ExperimentRunner
+from repro.sim.export import (
+    SCHEMA_VERSION,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.sim.simulator import simulate
+from repro.workloads.generator import synthetic_loop_kernel
+from repro.workloads.suite import WorkloadSuite
+
+BENCHMARKS = ("tsf",)
+IQ_SIZES = (32,)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("result-cache")
+
+
+@pytest.fixture(scope="module")
+def serial_table():
+    """Figure 5 table from the default serial, uncached path."""
+    runner = ExperimentRunner(benchmarks=BENCHMARKS, iq_sizes=IQ_SIZES)
+    return runner.figure5_gating()
+
+
+@pytest.fixture(scope="module")
+def first_parallel_run(cache_dir, serial_table):
+    """One parallel run that also populates the persistent cache."""
+    runner = build_runner(jobs=2, cache_dir=cache_dir,
+                          benchmarks=BENCHMARKS, iq_sizes=IQ_SIZES)
+    table = runner.figure5_gating()
+    return table, runner.executor.progress.summary()
+
+
+class TestJobKeys:
+    def test_key_is_deterministic(self):
+        suite = WorkloadSuite()
+        job = SimJob("tsf", MachineConfig().with_iq_size(32))
+        program = suite.program("tsf")
+        assert job_key(job, program) == job_key(job, program)
+
+    def test_key_reacts_to_config(self):
+        program = WorkloadSuite().program("tsf")
+        base = SimJob("tsf", MachineConfig().with_iq_size(32))
+        for variant in (
+                SimJob("tsf", MachineConfig().with_iq_size(64)),
+                SimJob("tsf", MachineConfig().with_iq_size(32).replace(
+                    reuse_enabled=True)),
+                SimJob("tsf", MachineConfig().with_iq_size(32).replace(
+                    nblt_size=0)),
+        ):
+            assert job_key(variant, program) != job_key(base, program)
+
+    def test_key_reacts_to_program(self):
+        # wss is a kernel the loop-distribution pass actually rewrites
+        suite = WorkloadSuite()
+        config = MachineConfig()
+        job = SimJob("wss", config)
+        original = suite.program("wss", optimize=False)
+        optimized = suite.program("wss", optimize=True)
+        assert program_digest(original) != program_digest(optimized)
+        assert job_key(job, original) != job_key(job, optimized)
+
+    def test_config_digest_covers_all_fields(self):
+        base = MachineConfig()
+        assert config_digest(base) != config_digest(
+            base.replace(mem_first_chunk=81))
+
+
+class TestPayloadRoundTrip:
+    def test_reconstructed_result_is_equivalent(self):
+        program = build_program(synthetic_loop_kernel(
+            "rt", statements=1, trip_count=50))
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=True)
+        original = simulate(program, config)
+        rebuilt = result_from_payload(result_to_payload(original), config)
+        assert rebuilt.program_name == original.program_name
+        assert rebuilt.stats.as_dict() == original.stats.as_dict()
+        assert rebuilt.activity == original.activity
+        assert rebuilt.registers == original.registers
+        assert rebuilt.total_energy == original.total_energy
+        assert rebuilt.avg_power == original.avg_power
+        for name, component in original.energies.items():
+            assert rebuilt.energies[name].avg_power == component.avg_power
+
+    def test_schema_mismatch_rejected(self):
+        program = build_program(synthetic_loop_kernel(
+            "rt2", statements=1, trip_count=10))
+        config = MachineConfig().with_iq_size(32)
+        payload = result_to_payload(simulate(program, config))
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            result_from_payload(payload, config)
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_exactly(self, serial_table,
+                                             first_parallel_run):
+        parallel_table, _ = first_parallel_run
+        assert parallel_table == serial_table
+
+    def test_first_run_simulates_everything(self, first_parallel_run):
+        _, summary = first_parallel_run
+        assert summary["simulated"] == 2 * len(BENCHMARKS) * len(IQ_SIZES)
+        assert summary["cache_hits"] == 0
+        assert summary["failed"] == 0
+
+
+class TestPersistentCache:
+    def test_second_run_is_all_cache_hits(self, cache_dir, serial_table,
+                                          first_parallel_run):
+        runner = build_runner(jobs=2, cache_dir=cache_dir,
+                              benchmarks=BENCHMARKS, iq_sizes=IQ_SIZES)
+        assert runner.figure5_gating() == serial_table
+        summary = runner.executor.progress.summary()
+        assert summary["simulated"] == 0
+        assert summary["hit_rate"] == 1.0
+
+    def test_corrupted_entry_is_evicted_and_rerun(self, cache_dir,
+                                                  serial_table,
+                                                  first_parallel_run):
+        victim = sorted(cache_dir.glob("*.json"))[0]
+        victim.write_text("{ this is not json", encoding="utf-8")
+        runner = build_runner(jobs=1, cache_dir=cache_dir,
+                              benchmarks=BENCHMARKS, iq_sizes=IQ_SIZES)
+        assert runner.figure5_gating() == serial_table
+        summary = runner.executor.progress.summary()
+        assert summary["simulated"] == 1          # only the victim re-ran
+        assert runner.executor.cache.evictions == 1
+        # the re-run re-stored a valid entry
+        assert json.loads(victim.read_text())["schema"] == SCHEMA_VERSION
+
+    def test_version_mismatch_is_evicted_and_rerun(self, cache_dir,
+                                                   serial_table,
+                                                   first_parallel_run):
+        victim = sorted(cache_dir.glob("*.json"))[1]
+        entry = json.loads(victim.read_text())
+        entry["schema"] = SCHEMA_VERSION + 99
+        victim.write_text(json.dumps(entry), encoding="utf-8")
+        runner = build_runner(jobs=1, cache_dir=cache_dir,
+                              benchmarks=BENCHMARKS, iq_sizes=IQ_SIZES)
+        assert runner.figure5_gating() == serial_table
+        assert runner.executor.progress.summary()["simulated"] == 1
+        assert json.loads(victim.read_text())["schema"] == SCHEMA_VERSION
+
+    def test_unwritable_cache_degrades_gracefully(self, tmp_path):
+        cache = ResultCache(tmp_path / "file-not-dir")
+        (tmp_path / "file-not-dir").write_text("occupied")
+        program = build_program(synthetic_loop_kernel(
+            "nc", statements=1, trip_count=10))
+        config = MachineConfig().with_iq_size(32)
+        job = SimJob("tsf", config)
+        result = simulate(program, config)
+        cache.store("deadbeef", job, result)     # must not raise
+        assert cache.load("deadbeef", config) is None
+
+
+class TestExecutorFallback:
+    def test_transient_failure_is_retried(self, monkeypatch):
+        calls = {"n": 0}
+        real = execute_job
+
+        def flaky(job):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return real(job)
+
+        import repro.runner.executor as executor_module
+        monkeypatch.setattr(executor_module, "execute_job", flaky)
+        executor = JobExecutor(jobs=1, retries=2,
+                               progress=ProgressReporter(verbose=False))
+        job = SimJob("tsf", MachineConfig().with_iq_size(32))
+        results = executor.run([job])
+        assert results[job].cycles > 0
+        assert calls["n"] == 2
+        assert executor.progress.count("retry") == 1
+
+    def test_persistent_failure_raises_after_budget(self, monkeypatch):
+        import repro.runner.executor as executor_module
+
+        def broken(job):
+            raise OSError("permanent")
+
+        monkeypatch.setattr(executor_module, "execute_job", broken)
+        executor = JobExecutor(jobs=1, retries=1,
+                               progress=ProgressReporter(verbose=False))
+        job = SimJob("tsf", MachineConfig().with_iq_size(32))
+        with pytest.raises(OSError):
+            executor.run([job])
+
+    def test_duplicate_jobs_resolved_once(self):
+        executor = JobExecutor(jobs=1)
+        job = SimJob("tsf", MachineConfig().with_iq_size(32))
+        results = executor.run([job, job, job])
+        assert len(results) == 1
+        assert executor.progress.count("done") == 1
+
+
+class TestProgressManifest:
+    def test_manifest_contents(self, tmp_path, cache_dir, serial_table,
+                               first_parallel_run):
+        runner = build_runner(jobs=1, cache_dir=cache_dir,
+                              benchmarks=BENCHMARKS, iq_sizes=IQ_SIZES)
+        runner.figure5_gating()
+        path = tmp_path / "manifest.json"
+        runner.executor.progress.write_manifest(path)
+        manifest = json.loads(path.read_text())
+        assert set(manifest) == {"summary", "events"}
+        kinds = {event["kind"] for event in manifest["events"]}
+        assert "queued" in kinds
+        assert "cache-hit" in kinds
+        assert manifest["summary"]["jobs"] == 2
