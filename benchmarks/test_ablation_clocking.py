@@ -11,24 +11,18 @@ re-evaluates the same *simulations* under Wattch's other clocking styles:
 * ``cc3`` (the paper's assumption) lands between the two.
 
 Because the power model is post-hoc, the three styles share one pair of
-simulations per benchmark -- only the energy arithmetic differs.
+simulations per benchmark -- :meth:`ExperimentRunner.reevaluate` re-costs
+the cached timing runs, so only the energy arithmetic differs.
 """
 
-from repro.power.model import PowerModel
-from repro.power.params import CLOCKING_STYLES, DEFAULT_PARAMS
-from repro.power.components import total_power_reduction
+from repro.power.params import CLOCKING_STYLES
 
 BENCHES = ("aps", "tsf", "wss")
 
 
 def _reduction_for_style(runner, benchmark, style):
-    comparison = runner.compare(benchmark, 64)
-    params = DEFAULT_PARAMS.for_clocking_style(style)
-    model = PowerModel(comparison.baseline.config, params)
-    base = model.component_energies(comparison.baseline.activity)
-    model_reuse = PowerModel(comparison.reuse.config, params)
-    reuse = model_reuse.component_energies(comparison.reuse.activity)
-    return total_power_reduction(base, reuse)
+    restyled = runner.reevaluate(benchmark, 64, style=style)
+    return restyled.overall_power_reduction
 
 
 def test_clocking_style_sensitivity(runner, publish, benchmark):

@@ -37,9 +37,10 @@ class FetchUnit:
 
     def __init__(self, program: Program, config: MachineConfig,
                  hierarchy: MemoryHierarchy, predictor: BranchPredictor,
-                 seq_allocator: Callable[[], int], stats: PipelineStats,
-                 tracer=None):
-        self.tracer = tracer
+                 seq_allocator: Callable[[], int], stats: PipelineStats):
+        #: Stage-event dispatcher, kept in sync with the owning pipeline's
+        #: probe set (None when no stage probes are attached).
+        self.record_stage = None
         self.program = program
         self.config = config
         self.hierarchy = hierarchy
@@ -103,8 +104,8 @@ class FetchUnit:
             dyn = DynInst(self.next_seq(), inst, self.pc)
             if supplying and self._loop_cache_decoded:
                 dyn.predecoded = True
-            if self.tracer is not None:
-                self.tracer.record("fetch", dyn, now)
+            if self.record_stage is not None:
+                self.record_stage("fetch", dyn, now)
             self.stats.fetched += 1
             fetched += 1
             if inst.is_control:

@@ -48,6 +48,7 @@ from repro.arch.lsq import (
 )
 from repro.arch.mem.hierarchy import MemoryHierarchy
 from repro.arch.regfile import RegisterFile
+from repro.arch.probe import overrides_hook
 from repro.arch.rename import RenameMap
 from repro.arch.rob import ReorderBuffer
 from repro.arch.stats import PipelineStats
@@ -80,8 +81,13 @@ class Pipeline:
                  tracer: Optional[PipelineTracer] = None):
         self.program = program
         self.config = config
-        #: Optional per-instruction lifecycle recorder (None = no tracing).
-        self.tracer = tracer
+        # probe machinery: stage probes receive per-instruction lifecycle
+        # events, cycle probes run at the end of every step.  _record /
+        # _record_squash are the (None when idle) hot-path dispatchers.
+        self._stage_probes: List = []
+        self._cycle_probes: List = []
+        self._record = None
+        self._record_squash = None
         self.mem_image = memory if memory is not None \
             else program.initial_memory()
         self.stats = PipelineStats()
@@ -100,7 +106,7 @@ class Pipeline:
         self._seq = 0
         self.fetch_unit = FetchUnit(program, config, self.hierarchy,
                                     self.predictor, self._next_seq,
-                                    self.stats, tracer=tracer)
+                                    self.stats)
         self.decoded = deque()
         self._decode_buffer_cap = 2 * config.decode_width
         self._inflight: List = []           # heap of (cycle, seq, dyn)
@@ -112,10 +118,97 @@ class Pipeline:
         self.cycle = 0
         self.halted = False
         self._dcache_ports_used = 0
+        if tracer is not None:
+            # legacy convenience: tracer= is an ordinary stage probe
+            self.attach_probe(tracer)
 
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
+
+    # ---------------------------------------------------------------- probes
+
+    @property
+    def tracer(self) -> Optional[PipelineTracer]:
+        """The first attached :class:`PipelineTracer` (None if absent)."""
+        for probe in self._stage_probes:
+            if isinstance(probe, PipelineTracer):
+                return probe
+        return None
+
+    def attach_probe(self, probe) -> None:
+        """Attach ``probe`` for every hook family its class overrides.
+
+        A probe overriding :meth:`~repro.arch.probe.PipelineProbe.record`
+        (or ``record_squash``) receives per-instruction stage events; one
+        overriding ``on_cycle`` runs at the end of every cycle.  Attaching
+        an observer with neither is an error (it would observe nothing).
+        """
+        stage = (overrides_hook(probe, "record")
+                 or overrides_hook(probe, "record_squash"))
+        cycle = overrides_hook(probe, "on_cycle")
+        if not stage and not cycle:
+            raise TypeError(
+                f"{type(probe).__name__} overrides no probe hook "
+                f"(record / record_squash / on_cycle)")
+        if probe in self._stage_probes or probe in self._cycle_probes:
+            raise ValueError(f"probe {probe!r} already attached")
+        if stage:
+            self._stage_probes.append(probe)
+        if cycle:
+            self._cycle_probes.append(probe)
+        self._rebuild_dispatch()
+        if overrides_hook(probe, "on_attach"):
+            probe.on_attach(self)
+
+    def detach_probe(self, probe) -> None:
+        """Detach ``probe``; restores the no-probe fast path when last."""
+        found = False
+        for family in (self._stage_probes, self._cycle_probes):
+            if probe in family:
+                family.remove(probe)
+                found = True
+        if not found:
+            raise ValueError(f"probe {probe!r} is not attached")
+        self._rebuild_dispatch()
+        if overrides_hook(probe, "on_detach"):
+            probe.on_detach(self)
+
+    def _rebuild_dispatch(self) -> None:
+        """Recompute the stage-event dispatchers after attach/detach.
+
+        One probe binds its methods directly (no wrapper call); several
+        share a closure over an immutable snapshot of the probe list.
+        No probes leaves the dispatchers ``None`` -- the zero-overhead
+        fast path the hot loop tests for.
+        """
+        recorders = [probe for probe in self._stage_probes
+                     if overrides_hook(probe, "record")]
+        squashers = [probe for probe in self._stage_probes
+                     if overrides_hook(probe, "record_squash")]
+        if not recorders:
+            self._record = None
+        elif len(recorders) == 1:
+            self._record = recorders[0].record
+        else:
+            snapshot = tuple(recorders)
+
+            def fan_out(stage, dyn, cycle, _probes=snapshot):
+                for probe in _probes:
+                    probe.record(stage, dyn, cycle)
+            self._record = fan_out
+        if not squashers:
+            self._record_squash = None
+        elif len(squashers) == 1:
+            self._record_squash = squashers[0].record_squash
+        else:
+            squash_snapshot = tuple(squashers)
+
+            def fan_out_squash(dyn, _probes=squash_snapshot):
+                for probe in _probes:
+                    probe.record_squash(dyn)
+            self._record_squash = fan_out_squash
+        self.fetch_unit.record_stage = self._record
 
     # ------------------------------------------------------------------ run
 
@@ -160,17 +253,19 @@ class Pipeline:
         if controller.gated:
             stats.gated_cycles += 1
         self._commit()
-        if self.halted:
-            return
-        self._writeback()
-        self._process_stores()
-        self._process_loads()
-        self._issue()
-        self._dispatch()
-        if not controller.gated:
-            self._decode()
-            if not controller.gated:        # decode may raise the gate
-                self.fetch_unit.cycle(self.cycle)
+        if not self.halted:
+            self._writeback()
+            self._process_stores()
+            self._process_loads()
+            self._issue()
+            self._dispatch()
+            if not controller.gated:
+                self._decode()
+                if not controller.gated:    # decode may raise the gate
+                    self.fetch_unit.cycle(self.cycle)
+        if self._cycle_probes:
+            for probe in self._cycle_probes:
+                probe.on_cycle(self)
 
     # ---------------------------------------------------------------- commit
 
@@ -192,8 +287,8 @@ class Pipeline:
                 stats.dcache_store_accesses += 1
             self.rob.retire_head()
             dyn.committed = True
-            if self.tracer is not None:
-                self.tracer.record("commit", dyn, self.cycle)
+            if self._record is not None:
+                self._record("commit", dyn, self.cycle)
             stats.committed += 1
             stats.rob_reads += 1
             if inst.is_mem:
@@ -229,8 +324,8 @@ class Pipeline:
     def _complete(self, dyn: DynInst) -> None:
         stats = self.stats
         dyn.done = True
-        if self.tracer is not None:
-            self.tracer.record("complete", dyn, self.cycle)
+        if self._record is not None:
+            self._record("complete", dyn, self.cycle)
         stats.resultbus_writes += 1
         waiters = dyn.waiters
         if waiters:
@@ -250,9 +345,9 @@ class Pipeline:
         target = dyn.actual_target if dyn.actual_taken \
             else dyn.pc + INSTRUCTION_BYTES
         squashed = self.rob.squash_younger_than(dyn.seq)
-        if self.tracer is not None:
+        if self._record_squash is not None:
             for victim in squashed:
-                self.tracer.record_squash(victim)
+                self._record_squash(victim)
         stats.squashed += len(squashed)
         stats.iq_removes += self.iq.squash_younger_than(dyn.seq)
         self.lsq.squash_younger_than(dyn.seq)
@@ -346,8 +441,8 @@ class Pipeline:
         inst = entry.inst
         op = inst.op
         dyn.issued = True
-        if self.tracer is not None:
-            self.tracer.record("issue", dyn, self.cycle)
+        if self._record is not None:
+            self._record("issue", dyn, self.cycle)
         stats.issued += 1
         regread = self.regfile.read
         values = []
@@ -504,8 +599,8 @@ class Pipeline:
         stats = self.stats
         inst = dyn.inst
         dyn.dispatched = True
-        if self.tracer is not None:
-            self.tracer.record("dispatch", dyn, self.cycle)
+        if self._record is not None:
+            self._record("dispatch", dyn, self.cycle)
         stats.dispatched += 1
         stats.rob_writes += 1
         pending = 0
@@ -557,8 +652,8 @@ class Pipeline:
             stats.decoded += 1
             if dyn.predecoded:
                 stats.predecoded_supplied += 1
-            if self.tracer is not None:
-                self.tracer.record("decode", dyn, self.cycle)
+            if self._record is not None:
+                self._record("decode", dyn, self.cycle)
             decoded.append(dyn)
             if controller.enabled:
                 controller.on_decode(dyn)

@@ -14,14 +14,18 @@ D events** -- the front-end was gated; their lifecycle starts at ``R``.
 That is the paper's mechanism, directly visible in the diagram (see
 ``examples/pipeline_trace.py``).
 
-Tracing is opt-in (pass ``tracer=`` to the Pipeline) and bounded: after
-``capacity`` instructions the tracer stops recording new ones, so it can
-be attached to long runs to capture their beginning.
+Tracing is opt-in -- the tracer is an ordinary stage probe, attached with
+``pipeline.attach_probe(tracer)`` (or the equivalent ``tracer=``
+constructor convenience) -- and bounded: after ``capacity`` instructions
+the tracer stops recording new ones, so it can be attached to long runs to
+capture their beginning.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
+
+from repro.arch.probe import PipelineProbe
 
 #: Lifecycle stages in pipeline order, with their diagram letters.
 STAGES = ("fetch", "decode", "dispatch", "issue", "complete", "commit")
@@ -72,8 +76,8 @@ class InstructionTrace:
         return self.events["commit"] - self.first_cycle
 
 
-class PipelineTracer:
-    """Bounded per-instruction lifecycle recorder."""
+class PipelineTracer(PipelineProbe):
+    """Bounded per-instruction lifecycle recorder (a stage probe)."""
 
     def __init__(self, capacity: int = 2000):
         self.capacity = capacity

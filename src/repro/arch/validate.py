@@ -2,10 +2,12 @@
 
 :func:`validate` inspects a live :class:`~repro.arch.pipeline.Pipeline`
 mid-run and raises :class:`InvariantViolation` if any structural invariant
-is broken.  The test suite drives pipelines cycle by cycle with validation
-enabled (`run_validated`), which turns subtle state-corruption bugs into
-immediate, diagnosable failures instead of wrong results thousands of
-cycles later.
+is broken.  :class:`InvariantProbe` packages it as a cycle probe (see
+:mod:`repro.arch.probe`), so validation attaches to any pipeline with
+``pipeline.attach_probe(InvariantProbe())``; :func:`run_validated` is the
+convenience wrapper the test suite uses.  Cycle-by-cycle validation turns
+subtle state-corruption bugs into immediate, diagnosable failures instead
+of wrong results thousands of cycles later.
 
 Checked invariants:
 
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.arch.probe import PipelineProbe
 from repro.core.states import IQState
 
 
@@ -156,6 +159,25 @@ def _validate_stats(pipeline) -> None:
            "more commits than dispatches")
 
 
+class InvariantProbe(PipelineProbe):
+    """Cycle probe running :func:`validate` every ``every`` cycles.
+
+    The halting cycle is always validated regardless of ``every``, so the
+    final machine state is never left unchecked.
+    """
+
+    def __init__(self, every: int = 1):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.checks = 0
+
+    def on_cycle(self, pipeline) -> None:
+        if pipeline.cycle % self.every == 0 or pipeline.halted:
+            self.checks += 1
+            validate(pipeline)
+
+
 def run_validated(pipeline, max_cycles: Optional[int] = None,
                   every: int = 1):
     """Run a pipeline to completion, validating every ``every`` cycles.
@@ -164,12 +186,14 @@ def run_validated(pipeline, max_cycles: Optional[int] = None,
     """
     limit = max_cycles if max_cycles is not None \
         else pipeline.config.max_cycles
-    while not pipeline.halted:
-        if pipeline.cycle >= limit:
-            raise InvariantViolation(
-                f"no halt after {pipeline.cycle} validated cycles")
-        pipeline.step()
-        if pipeline.cycle % every == 0:
-            validate(pipeline)
-    validate(pipeline)
+    probe = InvariantProbe(every)
+    pipeline.attach_probe(probe)
+    try:
+        while not pipeline.halted:
+            if pipeline.cycle >= limit:
+                raise InvariantViolation(
+                    f"no halt after {pipeline.cycle} validated cycles")
+            pipeline.step()
+    finally:
+        pipeline.detach_probe(probe)
     return pipeline.stats

@@ -19,6 +19,14 @@ Subcommands
     Simulate one Table 2 benchmark in both modes at a chosen issue-queue
     size (same ``--jobs`` / cache flags as ``reproduce``).
 
+``power``
+    Re-cost an already-simulated sweep under another power
+    parameterization -- a Wattch conditional-clocking style
+    (``--style cc0|cc1|cc3``) and/or a JSON parameter-override file
+    (``--params FILE``).  Timing runs come from the persistent cache;
+    with a warm cache no simulation executes (verify with
+    ``--manifest``).
+
 ``disasm FILE.s``
     Assemble a file and print the disassembly listing with labels.
 """
@@ -26,13 +34,17 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
 from repro.arch.config import MachineConfig
 from repro.isa.assembler import AssemblerError, assemble
+from repro.power.params import CLOCKING_STYLES, DEFAULT_PARAMS
 from repro.runner import SimJob, build_runner
 from repro.sim.export import to_json
+from repro.sim.report import format_percent_table
 from repro.sim.reproduce import EXPERIMENT_NAMES, reproduce
 from repro.sim.results import RunComparison
 from repro.sim.simulator import simulate
@@ -80,6 +92,9 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                              "execution falls back to serial")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress runner progress on stderr")
+    parser.add_argument("--manifest", metavar="PATH", default=None,
+                        help="write a JSON run manifest (events, wall "
+                             "times, cache hit rate) to PATH")
 
 
 def _load_program(path: str):
@@ -154,6 +169,12 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _write_manifest(args, runner) -> None:
+    """Export the run manifest when ``--manifest PATH`` was given."""
+    if getattr(args, "manifest", None):
+        runner.executor.progress.write_manifest(args.manifest)
+
+
 def _cmd_reproduce(args) -> int:
     names = args.experiments or None
     runner = _build_runner_from_args(args)
@@ -161,8 +182,7 @@ def _cmd_reproduce(args) -> int:
         reproduce(names, runner=runner)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    if args.manifest:
-        runner.executor.progress.write_manifest(args.manifest)
+    _write_manifest(args, runner)
     return 0
 
 
@@ -179,7 +199,64 @@ def _cmd_bench(args) -> int:
             for reuse in (False, True)]
     results = executor.run(jobs)
     comparison = RunComparison(results[jobs[0]], results[jobs[1]])
-    return _emit_comparison(comparison, args)
+    status = _emit_comparison(comparison, args)
+    _write_manifest(args, runner)
+    return status
+
+
+def _load_params_file(path: str):
+    """Build a :class:`PowerParams` from a JSON field-override file."""
+    try:
+        with open(path) as handle:
+            overrides = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    if not isinstance(overrides, dict):
+        raise SystemExit(f"error: {path} must hold a JSON object of "
+                         f"PowerParams field overrides")
+    try:
+        return dataclasses.replace(DEFAULT_PARAMS, **overrides)
+    except TypeError as exc:
+        raise SystemExit(f"error: bad parameter override in {path}: {exc}")
+
+
+def _cmd_power(args) -> int:
+    benchmarks = tuple(args.bench) if args.bench else BENCHMARK_NAMES
+    for name in benchmarks:
+        if name not in BENCHMARK_NAMES:
+            raise SystemExit(f"error: unknown benchmark {name!r}; "
+                             f"choose from {', '.join(BENCHMARK_NAMES)}")
+    params = _load_params_file(args.params) if args.params \
+        else DEFAULT_PARAMS
+    runner_kwargs = {"benchmarks": benchmarks}
+    if args.iq:
+        runner_kwargs["iq_sizes"] = tuple(args.iq)
+    runner = _build_runner_from_args(args, **runner_kwargs)
+    cells = runner.sweep()
+    # pure re-costing of the sweep's cached timing runs -- with a warm
+    # cache the manifest shows zero simulations
+    table = {}
+    for cell in cells:
+        recosted = cell.comparison.reevaluate(params=params,
+                                              style=args.style)
+        table.setdefault(cell.benchmark, {})[cell.iq_size] = \
+            recosted.overall_power_reduction
+    iq_sizes = tuple(runner.iq_sizes)
+    if args.json:
+        print(to_json({
+            "style": args.style,
+            "params_file": args.params,
+            "overall_power_reduction": table,
+        }))
+    else:
+        label = args.style or "cc3 (default)"
+        print(format_percent_table(
+            f"overall power reduction, clocking style {label}",
+            table, columns=iq_sizes, column_header="bench \\ iq"))
+    _write_manifest(args, runner)
+    return 0
 
 
 def _cmd_disasm(args) -> int:
@@ -212,9 +289,6 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
                      help=f"subset to run (default: all of "
                           f"{' '.join(EXPERIMENT_NAMES)})")
-    rep.add_argument("--manifest", metavar="PATH", default=None,
-                     help="write a JSON run manifest (events, wall "
-                          "times, cache hit rate) to PATH")
     _add_runner_options(rep)
     rep.set_defaults(func=_cmd_reproduce)
 
@@ -230,6 +304,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_options(bench)
     _add_runner_options(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    power = sub.add_parser(
+        "power",
+        help="re-cost cached timing runs under other power parameters")
+    power.add_argument("--style", choices=CLOCKING_STYLES, default=None,
+                       help="Wattch conditional-clocking style "
+                            "(default: the calibrated cc3 parameters)")
+    power.add_argument("--params", metavar="FILE", default=None,
+                       help="JSON file of PowerParams field overrides")
+    power.add_argument("--bench", nargs="+", metavar="NAME", default=None,
+                       help="benchmarks to include (default: all)")
+    power.add_argument("--iq", nargs="+", type=int, metavar="N",
+                       default=None,
+                       help="issue-queue sizes to include "
+                            "(default: the paper's sweep)")
+    power.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+    _add_runner_options(power)
+    power.set_defaults(func=_cmd_power)
 
     dis = sub.add_parser("disasm", help="assemble and list a program")
     dis.add_argument("file", help="assembly source file")

@@ -18,11 +18,14 @@ Energies are in arbitrary units; as in the paper, only relative (per-cycle
 power) comparisons between runs are meaningful.
 """
 
+from repro.power.activity import ACTIVITY_SCHEMA_VERSION, ActivityRecord
 from repro.power.components import ComponentEnergy
 from repro.power.model import PowerModel, collect_activity
 from repro.power.params import DEFAULT_PARAMS, PowerParams
 
 __all__ = [
+    "ACTIVITY_SCHEMA_VERSION",
+    "ActivityRecord",
     "ComponentEnergy",
     "PowerModel",
     "collect_activity",

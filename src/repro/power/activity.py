@@ -1,0 +1,175 @@
+"""The activity record: the timing/power interface.
+
+An :class:`ActivityRecord` is a serializable, schema-versioned snapshot of
+everything a finished timing run produced that the power model (or any
+other post-hoc evaluation) can consume:
+
+* every :class:`~repro.arch.stats.PipelineStats` counter,
+* the memory-hierarchy, predictor and loop-cache counters that live on
+  their own structures rather than in ``PipelineStats``,
+* the configuration flags the power model keys on (``reuse_enabled``,
+  ``loop_cache_enabled``),
+* the final architectural register file (the run's functional output).
+
+The record is the *only* thing power evaluation needs: the paper's power
+numbers are pure post-hoc arithmetic over activity counts (Wattch sitting
+on top of SimpleScalar), so once a record exists, any number of
+:class:`~repro.power.params.PowerParams` variants -- clocking styles,
+calibration sweeps -- can be costed without touching the cycle-level
+simulator.  That separation is what lets the persistent result cache key
+on timing inputs alone (see ``docs/activity.md``).
+
+Schema versioning: :data:`ACTIVITY_SCHEMA_VERSION` stamps every payload.
+:meth:`ActivityRecord.from_payload` validates the version *and* the exact
+counter key set (the pipeline's counter layout is part of the schema), so
+a payload written by any other layout is rejected -- callers treat that as
+a stale cache entry and re-run the timing simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping
+
+from repro.arch.stats import PipelineStats
+
+#: Version of the activity-record payload.  Bump whenever a counter is
+#: added, removed or changes meaning; persisted records with a different
+#: version (or a different counter key set) are treated as stale.
+ACTIVITY_SCHEMA_VERSION = 1
+
+#: Counters harvested from structures outside ``PipelineStats``, in the
+#: order they are captured.  Together with ``PipelineStats.__slots__``
+#: these define the exact key set of a valid record.
+EXTRA_COUNTERS = (
+    "icache_accesses", "icache_misses", "itlb_accesses",
+    "bpred_lookups", "bpred_updates",
+    "dcache_accesses", "dcache_misses", "dtlb_accesses",
+    "l2_accesses", "dram_accesses",
+    "reuse_enabled", "loop_cache_enabled", "loopcache_supplied_cycles",
+)
+
+
+def _required_keys() -> frozenset:
+    return frozenset(PipelineStats.__slots__) | frozenset(EXTRA_COUNTERS)
+
+
+class ActivityRecord(Mapping):
+    """Schema-versioned snapshot of one timing run's activity.
+
+    Behaves as a read-only mapping over its counters, so existing
+    consumers (:class:`~repro.power.model.PowerModel`, the stats dump,
+    the JSON export) index it exactly like the plain dict it replaced.
+    """
+
+    __slots__ = ("program_name", "counters", "registers")
+
+    def __init__(self, program_name: str, counters: Dict[str, int],
+                 registers: List):
+        self.program_name = program_name
+        self.counters = counters
+        self.registers = registers
+
+    # -- capture -----------------------------------------------------------
+
+    @classmethod
+    def capture(cls, pipeline) -> "ActivityRecord":
+        """Harvest every activity counter from a finished pipeline."""
+        hierarchy = pipeline.hierarchy
+        predictor = pipeline.predictor
+        counters = pipeline.stats.as_dict()
+        counters.update(
+            icache_accesses=hierarchy.il1.accesses,
+            icache_misses=hierarchy.il1.misses,
+            itlb_accesses=hierarchy.itlb.accesses,
+            bpred_lookups=predictor.lookups,
+            bpred_updates=predictor.updates,
+            dcache_accesses=hierarchy.dl1.accesses,
+            dcache_misses=hierarchy.dl1.misses,
+            dtlb_accesses=hierarchy.dtlb.accesses,
+            l2_accesses=hierarchy.l2.accesses,
+            dram_accesses=hierarchy.dram.accesses,
+            reuse_enabled=1 if pipeline.config.reuse_enabled else 0,
+            loop_cache_enabled=1 if pipeline.config.loop_cache_size else 0,
+            loopcache_supplied_cycles=(
+                pipeline.fetch_unit.loop_cache.supplied_cycles
+                if pipeline.fetch_unit.loop_cache is not None else 0),
+        )
+        return cls(program_name=pipeline.program.name,
+                   counters=counters,
+                   registers=pipeline.architectural_registers())
+
+    # -- mapping interface -------------------------------------------------
+
+    def __getitem__(self, key: str) -> int:
+        return self.counters[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.counters)
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ActivityRecord):
+            return (self.program_name == other.program_name
+                    and self.counters == other.counters
+                    and self.registers == other.registers)
+        if isinstance(other, Mapping):
+            return dict(self.counters) == dict(other)
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return (f"<ActivityRecord {self.program_name}: "
+                f"{self.counters.get('cycles', 0)} cycles, "
+                f"{len(self.counters)} counters>")
+
+    # -- reconstruction ----------------------------------------------------
+
+    def pipeline_stats(self) -> PipelineStats:
+        """Rebuild the :class:`PipelineStats` view of this record."""
+        stats = PipelineStats()
+        counters = self.counters
+        for name in PipelineStats.__slots__:
+            setattr(stats, name, int(counters[name]))
+        return stats
+
+    # -- serialization -----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable export (inverse of :meth:`from_payload`)."""
+        return {
+            "schema": ACTIVITY_SCHEMA_VERSION,
+            "program": self.program_name,
+            "counters": {name: int(value)
+                         for name, value in self.counters.items()},
+            # FP registers are Python floats; JSON round-trips them
+            # bit-for-bit, so no casting here
+            "registers": list(self.registers),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ActivityRecord":
+        """Rebuild a record, validating schema version and key set.
+
+        Raises ``ValueError`` / ``KeyError`` / ``TypeError`` on any
+        mismatch; callers (the persistent cache) treat those as a stale
+        entry to evict, never an error to surface.
+        """
+        if payload.get("schema") != ACTIVITY_SCHEMA_VERSION:
+            raise ValueError(
+                f"activity schema {payload.get('schema')!r} != "
+                f"{ACTIVITY_SCHEMA_VERSION}")
+        counters = {str(name): int(value)
+                    for name, value in payload["counters"].items()}
+        present, required = frozenset(counters), _required_keys()
+        if present != required:
+            missing = sorted(required - present)
+            unknown = sorted(present - required)
+            raise ValueError(
+                f"counter layout mismatch (missing {missing}, "
+                f"unknown {unknown})")
+        registers = list(payload["registers"])
+        return cls(program_name=str(payload["program"]),
+                   counters=counters, registers=registers)

@@ -1,8 +1,12 @@
 """The power model proper.
 
-:func:`collect_activity` harvests every activity counter from a finished
-pipeline; :class:`PowerModel` turns those counts into per-component
-:class:`~repro.power.components.ComponentEnergy` records.
+:class:`PowerModel` turns the activity counts of an
+:class:`~repro.power.activity.ActivityRecord` (or any mapping of the same
+counters) into per-component
+:class:`~repro.power.components.ComponentEnergy` records; it never sees a
+live pipeline, so power is computable from a persisted record alone.
+:func:`collect_activity` adapts either a finished pipeline or an existing
+record into an :class:`ActivityRecord`.
 
 Keeping the model *post-hoc* (counters in the hot loop, arithmetic at the
 end) is both faster and faithful to how Wattch sits on top of SimpleScalar.
@@ -23,37 +27,25 @@ Gating semantics (the paper's mechanism):
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Mapping
 
 from repro.arch.config import MachineConfig
+from repro.power.activity import ActivityRecord
 from repro.power.components import ComponentEnergy
 from repro.power.params import DEFAULT_PARAMS, PowerParams
 
 
-def collect_activity(pipeline) -> Dict[str, float]:
-    """Harvest all activity counters from a finished pipeline run."""
-    stats = pipeline.stats
-    hierarchy = pipeline.hierarchy
-    predictor = pipeline.predictor
-    activity = stats.as_dict()
-    activity.update(
-        icache_accesses=hierarchy.il1.accesses,
-        icache_misses=hierarchy.il1.misses,
-        itlb_accesses=hierarchy.itlb.accesses,
-        bpred_lookups=predictor.lookups,
-        bpred_updates=predictor.updates,
-        dcache_accesses=hierarchy.dl1.accesses,
-        dcache_misses=hierarchy.dl1.misses,
-        dtlb_accesses=hierarchy.dtlb.accesses,
-        l2_accesses=hierarchy.l2.accesses,
-        dram_accesses=hierarchy.dram.accesses,
-        reuse_enabled=1 if pipeline.config.reuse_enabled else 0,
-        loop_cache_enabled=1 if pipeline.config.loop_cache_size else 0,
-        loopcache_supplied_cycles=(
-            pipeline.fetch_unit.loop_cache.supplied_cycles
-            if pipeline.fetch_unit.loop_cache is not None else 0),
-    )
-    return activity
+def collect_activity(source) -> ActivityRecord:
+    """The :class:`ActivityRecord` for ``source``.
+
+    ``source`` is either a finished
+    :class:`~repro.arch.pipeline.Pipeline` (harvested via
+    :meth:`ActivityRecord.capture`) or an existing record (returned
+    as-is), so callers written against either interface keep working.
+    """
+    if isinstance(source, ActivityRecord):
+        return source
+    return ActivityRecord.capture(source)
 
 
 class PowerModel:
@@ -65,8 +57,12 @@ class PowerModel:
         self.params = params
 
     def component_energies(
-            self, activity: Dict[str, float]) -> Dict[str, ComponentEnergy]:
-        """Compute the energy of every component for one run."""
+            self, activity: Mapping) -> Dict[str, ComponentEnergy]:
+        """Compute the energy of every component for one run.
+
+        ``activity`` is an :class:`~repro.power.activity.ActivityRecord`
+        or any mapping carrying the same counters.
+        """
         p = self.params
         cfg = self.config
         cycles = int(activity["cycles"])
@@ -185,7 +181,7 @@ class PowerModel:
 
         return out
 
-    def total_energy(self, activity: Dict[str, float]) -> float:
+    def total_energy(self, activity: Mapping) -> float:
         """Total energy across all components for one run."""
         return sum(c.total_energy
                    for c in self.component_energies(activity).values())

@@ -1,19 +1,27 @@
 """Persistent on-disk simulation result cache.
 
-One JSON file per job key under a cache directory; the payload inside is
-the round-trip export from :mod:`repro.sim.export` and is versioned by
-:data:`repro.sim.export.SCHEMA_VERSION` plus the package version.  The
-store is corruption-tolerant by design: an unreadable, truncated or
-stale-versioned entry is *evicted and re-run*, never an error -- a cache
-must never be able to fail a reproduction run.
+One JSON file per job key under a cache directory.  The payload inside is
+the :class:`~repro.power.activity.ActivityRecord` of the timing run --
+never derived energies -- versioned by
+:data:`repro.sim.export.SCHEMA_VERSION` plus the package version, so one
+entry serves every power parameterization (clocking styles, calibration
+sweeps) of its (program, config) pair.  The store is corruption-tolerant
+by design: an unreadable, truncated or stale-versioned entry is *evicted
+and re-run*, never an error -- a cache must never be able to fail a
+reproduction run.
 
 Layout::
 
     <cache_dir>/
-        <job key>.json      one entry per (program, config, params)
+        <job key>.json      one entry per (program, config) timing run
 
 Writes are atomic (temp file + ``os.replace``) so a killed run cannot
 leave a half-written entry that later parses as garbage.
+
+Entries written before the params-free keying (schema 2 and earlier)
+carried full results under params-dependent keys; those keys are never
+probed again, so :meth:`ResultCache.purge_stale` sweeps the directory for
+old-schema files once per cache instance and deletes them silently.
 """
 
 from __future__ import annotations
@@ -25,13 +33,8 @@ import tempfile
 from typing import Optional
 
 from repro import __version__
-from repro.arch.config import MachineConfig
-from repro.sim.export import (
-    SCHEMA_VERSION,
-    result_from_payload,
-    result_to_payload,
-)
-from repro.sim.results import SimulationResult
+from repro.power.activity import ActivityRecord
+from repro.sim.export import SCHEMA_VERSION
 
 from repro.runner.jobs import SimJob, job_to_dict
 
@@ -55,25 +58,26 @@ def default_cache_dir() -> pathlib.Path:
 
 
 class ResultCache:
-    """Schema-versioned, corruption-tolerant result store."""
+    """Schema-versioned, corruption-tolerant activity-record store."""
 
     def __init__(self, cache_dir: Optional[os.PathLike] = None):
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         self.evictions = 0
+        self._purged = False
 
     def path_for(self, key: str) -> pathlib.Path:
         """Path of the entry file for one job key."""
         return self.cache_dir / f"{key}.json"
 
-    def load(self, key: str,
-             config: MachineConfig) -> Optional[SimulationResult]:
-        """The cached result for ``key``, or None on miss/stale/corrupt.
+    def load(self, key: str) -> Optional[ActivityRecord]:
+        """The cached timing record for ``key``, or None on miss/stale.
 
         Any unreadable or version-mismatched entry is deleted so the next
         store starts clean; nothing a cache file contains can raise out of
         here.
         """
+        self.purge_stale()
         path = self.path_for(key)
         try:
             with open(path, encoding="utf-8") as handle:
@@ -88,20 +92,21 @@ class ResultCache:
                 raise ValueError("stale schema version")
             if entry["repro_version"] != __version__:
                 raise ValueError("written by a different repro version")
-            return result_from_payload(entry["result"], config)
+            return ActivityRecord.from_payload(entry["record"])
         except (KeyError, TypeError, ValueError, AttributeError):
             self._evict(path)
             return None
 
     def store(self, key: str, job: SimJob,
-              result: SimulationResult) -> None:
-        """Persist one result atomically; I/O errors are non-fatal."""
+              record: ActivityRecord) -> None:
+        """Persist one timing record atomically; I/O errors are non-fatal."""
+        self.purge_stale()
         entry = {
             "schema": SCHEMA_VERSION,
             "repro_version": __version__,
             "key": key,
             "job": job_to_dict(job),
-            "result": result_to_payload(result),
+            "record": record.to_payload(),
         }
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -117,6 +122,35 @@ class ResultCache:
         except OSError:
             # a read-only or full cache directory degrades to "no cache"
             pass
+
+    def purge_stale(self) -> int:
+        """Delete every entry written under a different payload schema.
+
+        Pre-schema-3 entries were keyed on the power parameters as well,
+        so their keys are never probed again and :meth:`load` alone would
+        leave them orphaned on disk forever.  Runs once per cache
+        instance (subsequent calls are free); returns the number of files
+        removed.  Unreadable files are left for :meth:`load` to evict if
+        their key is ever probed.
+        """
+        if self._purged:
+            return 0
+        self._purged = True
+        removed = 0
+        try:
+            entries = list(self.cache_dir.glob("*.json"))
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    schema = json.load(handle).get("schema")
+            except (OSError, ValueError, AttributeError):
+                continue
+            if schema != SCHEMA_VERSION:
+                self._evict(path)
+                removed += 1
+        return removed
 
     def _evict(self, path: pathlib.Path) -> None:
         self.evictions += 1

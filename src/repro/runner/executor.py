@@ -3,17 +3,22 @@
 :class:`JobExecutor` resolves a batch of :class:`~repro.runner.jobs.SimJob`
 specs to :class:`~repro.sim.results.SimulationResult` objects:
 
-1. deduplicate the batch and probe the persistent cache,
-2. fan the misses out over a ``ProcessPoolExecutor`` (``jobs`` workers),
+1. group the batch by timing cache key -- jobs differing only in power
+   parameters share one key, hence one simulation -- and probe the
+   persistent cache,
+2. fan the missing *timing runs* out over a ``ProcessPoolExecutor``
+   (``jobs`` workers); workers return activity-record payloads,
 3. on stalls (no job completes within the per-job timeout), pool
    breakage or pool start failure, fall back to in-process serial
    execution with a bounded number of retry rounds,
-4. emit structured progress events throughout.
+4. cost every job's result from its group's record under that job's own
+   params (:func:`~repro.sim.simulator.evaluate_power`), emitting
+   structured progress events throughout.
 
-Every result -- parallel, serial or cached -- travels through the same
-round-trip payload from :mod:`repro.sim.export`, so the three paths are
-guaranteed to produce byte-identical downstream tables (simulations are
-deterministic and JSON preserves floats exactly).
+Every result -- parallel, serial or cached -- is derived from the same
+activity-record payload, so the three paths are guaranteed to produce
+byte-identical downstream tables (simulations are deterministic and JSON
+preserves floats exactly).
 """
 
 from __future__ import annotations
@@ -23,9 +28,9 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.export import result_from_payload, result_to_payload
+from repro.power.activity import ActivityRecord
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import simulate
+from repro.sim.simulator import evaluate_power, run_timing
 from repro.workloads.suite import WorkloadSuite
 
 from repro.runner.cache import ResultCache
@@ -46,14 +51,16 @@ def _worker_suite() -> WorkloadSuite:
 
 
 def execute_job(job: SimJob) -> dict:
-    """Run one job to completion; returns the round-trip payload.
+    """Run one job's timing simulation; returns the record payload.
 
     Module-level so it can be pickled to pool workers; also the serial
-    path, so both paths share one code path and one result format.
+    path, so both paths share one code path and one result format.  The
+    job's power params play no part here -- power is evaluated by the
+    parent from the returned activity record.
     """
     program = _worker_suite().program(job.benchmark, optimize=job.optimize)
-    result = simulate(program, job.config, params=job.params)
-    return result_to_payload(result)
+    record = run_timing(program, job.config)
+    return record.to_payload()
 
 
 def default_job_count() -> int:
@@ -80,6 +87,8 @@ class JobExecutor:
         self.progress = progress or ProgressReporter(verbose=False)
         self.suite = suite or WorkloadSuite()
         self._keys: Dict[SimJob, str] = {}
+        # key -> all jobs of the current batch sharing that timing run
+        self._groups: Dict[str, List[SimJob]] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -94,26 +103,39 @@ class JobExecutor:
     def run(self, jobs: Sequence[SimJob]) -> Dict[SimJob, SimulationResult]:
         """Resolve a batch of jobs; returns ``{job: result}``.
 
-        Duplicates in the batch are resolved once.  Raises only if a job
-        keeps failing *in-process* after all retry rounds -- pool-level
-        failures degrade to serial execution instead.
+        Duplicates in the batch are resolved once, and jobs that share a
+        timing cache key (same program and config, different power
+        params) share one simulation: the group's record is computed or
+        loaded once and every member is costed from it under its own
+        params.  Raises only if a job keeps failing *in-process* after
+        all retry rounds -- pool-level failures degrade to serial
+        execution instead.
         """
         ordered: List[SimJob] = []
         for job in jobs:
             if job not in ordered:
                 ordered.append(job)
 
-        results: Dict[SimJob, SimulationResult] = {}
-        pending: List[Tuple[SimJob, str]] = []
+        self._groups = {}
         for job in ordered:
             key = self.key(job)
             self.progress.emit("queued", job=job.describe(), key=key)
-            cached = self.cache.load(key, job.config) if self.cache else None
-            if cached is not None:
-                results[job] = cached
-                self.progress.emit("cache-hit", job=job.describe(), key=key)
+            self._groups.setdefault(key, []).append(job)
+
+        results: Dict[SimJob, SimulationResult] = {}
+        pending: List[Tuple[SimJob, str]] = []
+        for key, group in self._groups.items():
+            record = self.cache.load(key) if self.cache else None
+            if record is not None:
+                for job in group:
+                    results[job] = evaluate_power(record, job.config,
+                                                  job.params)
+                    self.progress.emit("cache-hit", job=job.describe(),
+                                       key=key)
             else:
-                pending.append((job, key))
+                # the group leader runs the timing simulation; _finish
+                # fans the record out to the whole group
+                pending.append((group[0], key))
 
         if pending:
             if self.jobs > 1 and len(pending) > 1:
@@ -139,12 +161,17 @@ class JobExecutor:
     def _finish(self, job: SimJob, key: str, payload: dict,
                 results: Dict[SimJob, SimulationResult],
                 wall_time: float) -> None:
-        result = result_from_payload(payload, job.config)
-        results[job] = result
+        record = ActivityRecord.from_payload(payload)
         if self.cache:
-            self.cache.store(key, job, result)
+            self.cache.store(key, job, record)
         self.progress.emit("done", job=job.describe(), key=key,
                            wall_time=wall_time)
+        for member in self._groups.get(key, [job]):
+            results[member] = evaluate_power(record, member.config,
+                                             member.params)
+            if member is not job:
+                self.progress.emit("cache-hit", job=member.describe(),
+                                   key=key, detail="shared timing run")
 
     def _run_serial(self, pending: Sequence[Tuple[SimJob, str]],
                     results: Dict[SimJob, SimulationResult],

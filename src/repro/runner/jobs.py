@@ -6,11 +6,13 @@ compiler-optimization flag and the power parameters -- without holding any
 live state, so it can be hashed, pickled to a worker process, and used as
 a key into the persistent result cache.
 
-The cache key (:func:`job_key`) is a content hash: it digests the full
-machine configuration, the power parameters and the *bytes of the program
-itself* (disassembly listing plus data image), so editing a kernel or a
-config knob automatically misses the cache instead of serving a stale
-result.
+The cache key (:func:`job_key`) is a content hash of the *timing inputs
+only*: the full machine configuration and the bytes of the program itself
+(disassembly listing plus data image), so editing a kernel or a config
+knob automatically misses the cache instead of serving a stale result.
+The power parameters are deliberately **not** part of the key -- power is
+post-hoc arithmetic over the cached activity record, so jobs differing
+only in params share one timing simulation (see ``docs/activity.md``).
 """
 
 from __future__ import annotations
@@ -36,7 +38,8 @@ class SimJob:
     config: MachineConfig
     #: Use the loop-distributed (Section 4) variant of the kernel.
     optimize: bool = False
-    #: Power-model parameters.
+    #: Power-model parameters (evaluation-time only; never part of the
+    #: cache key, so any params variant reuses the same timing run).
     params: PowerParams = field(default=DEFAULT_PARAMS)
 
     def describe(self) -> str:
@@ -62,11 +65,6 @@ def config_digest(config: MachineConfig) -> str:
     return _digest(json.dumps(dataclasses.asdict(config), sort_keys=True))
 
 
-def params_digest(params: PowerParams) -> str:
-    """Stable hash of the power-model parameters."""
-    return _digest(json.dumps(dataclasses.asdict(params), sort_keys=True))
-
-
 def program_digest(program: Program) -> str:
     """Content hash of an assembled program.
 
@@ -83,16 +81,18 @@ def program_digest(program: Program) -> str:
 
 
 def job_key(job: SimJob, program: Program) -> str:
-    """Deterministic cache key for one job.
+    """Deterministic cache key for one job's *timing run*.
 
-    Folds the benchmark name, the optimize flag, the program bytes, the
-    machine configuration and the power parameters into one digest, so any
-    change to any input re-simulates instead of hitting a stale entry.
+    Folds the benchmark name, the optimize flag, the program bytes and
+    the machine configuration into one digest, so any change to any
+    timing input re-simulates instead of hitting a stale entry.  The
+    power parameters are excluded on purpose: the cached artifact is an
+    activity record, valid under every parameterization, so jobs
+    differing only in params collapse onto one key.
     """
     sha = hashlib.sha256()
     for part in (job.benchmark, "opt" if job.optimize else "orig",
-                 program_digest(program), config_digest(job.config),
-                 params_digest(job.params)):
+                 program_digest(program), config_digest(job.config)):
         sha.update(part.encode("utf-8"))
         sha.update(b"\0")
     return sha.hexdigest()[:40]

@@ -11,6 +11,7 @@
 """
 
 from repro.sim.results import RunComparison, SimulationResult
-from repro.sim.simulator import simulate
+from repro.sim.simulator import evaluate_power, run_timing, simulate
 
-__all__ = ["RunComparison", "SimulationResult", "simulate"]
+__all__ = ["RunComparison", "SimulationResult", "evaluate_power",
+           "run_timing", "simulate"]

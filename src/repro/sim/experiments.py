@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.config import SWEEP_IQ_SIZES, MachineConfig
+from repro.power.params import PowerParams
 from repro.runner.executor import JobExecutor
 from repro.runner.jobs import SimJob
 from repro.sim.results import RunComparison, SimulationResult
@@ -129,6 +130,22 @@ class ExperimentRunner:
         baseline = self._run(benchmark, base_config, optimize)
         reuse = self._run(benchmark, reuse_config, optimize)
         return RunComparison(baseline, reuse)
+
+    def reevaluate(self, benchmark: str, iq_size: int,
+                   params: Optional[PowerParams] = None,
+                   style: Optional[str] = None,
+                   optimize: bool = False,
+                   strategy: str = "multi",
+                   nblt_size: int = 8) -> RunComparison:
+        """A :meth:`compare` pair re-costed under other power parameters.
+
+        The timing runs come from the cache (in-memory or persistent) --
+        re-costing an already-simulated pair under a new clocking style
+        or parameter file performs zero simulations.
+        """
+        comparison = self.compare(benchmark, iq_size, optimize=optimize,
+                                  strategy=strategy, nblt_size=nblt_size)
+        return comparison.reevaluate(params=params, style=style)
 
     # -- the master sweep (Figures 5-8) -------------------------------------
 

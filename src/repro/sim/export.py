@@ -11,9 +11,12 @@ Two levels of export exist:
   counters and per-component power, for humans and plotting scripts;
 * :func:`result_to_payload` / :func:`result_from_payload` -- the
   *round-trip* export used by the persistent result cache in
-  :mod:`repro.runner.cache`: every field needed to reconstruct an
-  equivalent :class:`SimulationResult` exactly (JSON preserves Python
-  floats bit-for-bit, so reconstructed metrics are byte-identical).
+  :mod:`repro.runner.cache`.  Since schema 3 the payload carries only the
+  run's :class:`~repro.power.activity.ActivityRecord` -- timing facts,
+  never derived energies -- and :func:`result_from_payload` re-derives a
+  :class:`SimulationResult` under whatever power parameters the caller
+  wants.  JSON preserves Python floats bit-for-bit, so re-derived metrics
+  are byte-identical to a fresh simulation's.
 
 :data:`SCHEMA_VERSION` versions the round-trip payload; cache entries
 written under a different version are treated as stale and re-run.
@@ -25,13 +28,24 @@ import json
 from typing import Any, Dict
 
 from repro.arch.stats import PipelineStats
-from repro.power.components import ComponentEnergy
+from repro.power.activity import ActivityRecord
+from repro.power.params import DEFAULT_PARAMS, PowerParams
 from repro.sim.results import RunComparison, SimulationResult
+from repro.sim.simulator import evaluate_power
+
+__all__ = [
+    "SCHEMA_VERSION", "config_to_dict", "result_to_dict",
+    "comparison_to_dict", "result_to_payload", "result_from_payload",
+    "stats_from_dict", "to_json",
+]
 
 #: Version of the round-trip payload layout.  Bump whenever the payload
 #: shape or the meaning of a persisted field changes; persistent cache
 #: entries with a different version are evicted and recomputed.
-SCHEMA_VERSION = 2
+#: History: 2 carried a full result (stats + energies under one parameter
+#: set); 3 carries the activity record only, so one cached timing run
+#: serves every power parameterization.
+SCHEMA_VERSION = 3
 
 
 def config_to_dict(config) -> Dict[str, Any]:
@@ -97,30 +111,26 @@ def comparison_to_dict(comparison: RunComparison) -> Dict[str, Any]:
 
 
 def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
-    """Round-trip export: everything needed to rebuild the result.
+    """Round-trip export: the timing facts needed to rebuild the result.
 
-    Unlike :func:`result_to_dict` (a reporting format), this keeps the raw
-    pipeline counters, activity dict, per-component energies and the final
-    architectural register file, so :func:`result_from_payload` can
-    reconstruct a :class:`SimulationResult` whose derived metrics are
-    byte-identical to the original's.  The machine configuration is *not*
-    embedded -- the caller (the job cache) already owns the authoritative
-    :class:`~repro.arch.config.MachineConfig` and passes it back in.
+    Unlike :func:`result_to_dict` (a reporting format), this persists the
+    run's :class:`~repro.power.activity.ActivityRecord` -- every counter
+    plus the final architectural register file -- from which
+    :func:`result_from_payload` re-derives a :class:`SimulationResult`
+    under any power parameters.  Energies are *not* stored: they are
+    arithmetic over the record.  The machine configuration is likewise
+    not embedded -- the caller (the job cache) already owns the
+    authoritative :class:`~repro.arch.config.MachineConfig` and passes it
+    back in.
     """
+    activity = result.activity
+    if not isinstance(activity, ActivityRecord):
+        activity = ActivityRecord(program_name=result.program_name,
+                                  counters=dict(activity),
+                                  registers=list(result.registers))
     return {
         "schema": SCHEMA_VERSION,
-        "program": result.program_name,
-        "stats": result.stats.as_dict(),
-        "activity": dict(result.activity),
-        "energies": {
-            name: {
-                "active_energy": component.active_energy,
-                "base_energy": component.base_energy,
-                "cycles": component.cycles,
-            }
-            for name, component in result.energies.items()
-        },
-        "registers": list(result.registers),
+        "record": activity.to_payload(),
     }
 
 
@@ -138,35 +148,23 @@ def stats_from_dict(counters: Dict[str, int]) -> PipelineStats:
     return stats
 
 
-def result_from_payload(payload: Dict[str, Any],
-                        config) -> SimulationResult:
+def result_from_payload(payload: Dict[str, Any], config,
+                        params: PowerParams = DEFAULT_PARAMS
+                        ) -> SimulationResult:
     """Inverse of :func:`result_to_payload`.
 
     ``config`` is the :class:`~repro.arch.config.MachineConfig` the run was
-    executed under (owned by the job spec, not the payload).  Raises
-    ``KeyError`` / ``TypeError`` / ``ValueError`` on malformed payloads --
-    callers (the persistent cache) treat any of those as a stale entry.
+    executed under (owned by the job spec, not the payload); ``params``
+    selects the power parameterization the rebuilt result is costed
+    under -- the payload itself is parameter-free.  Raises ``KeyError`` /
+    ``TypeError`` / ``ValueError`` on malformed payloads -- callers (the
+    persistent cache) treat any of those as a stale entry.
     """
     if payload.get("schema") != SCHEMA_VERSION:
         raise ValueError(
             f"payload schema {payload.get('schema')!r} != {SCHEMA_VERSION}")
-    energies = {
-        name: ComponentEnergy(
-            name=name,
-            active_energy=float(record["active_energy"]),
-            base_energy=float(record["base_energy"]),
-            cycles=int(record["cycles"]),
-        )
-        for name, record in payload["energies"].items()
-    }
-    return SimulationResult(
-        program_name=payload["program"],
-        config=config,
-        stats=stats_from_dict(payload["stats"]),
-        activity=dict(payload["activity"]),
-        energies=energies,
-        registers=list(payload["registers"]),
-    )
+    record = ActivityRecord.from_payload(payload["record"])
+    return evaluate_power(record, config, params)
 
 
 def to_json(obj, indent: int = 2) -> str:

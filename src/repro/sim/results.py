@@ -10,12 +10,18 @@ The paper's evaluation metrics are all *relative*:
 
 :class:`RunComparison` computes all of them from a baseline
 :class:`SimulationResult` and a reuse-enabled one.
+
+A result holds the run's *activity* (timing facts) and derives its
+*energies* lazily from ``params`` on first access, so the same timing run
+can be re-costed under any power parameterization --
+:meth:`SimulationResult.reevaluate` and :meth:`RunComparison.reevaluate`
+return cheap re-costed views sharing the original activity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional
 
 from repro.arch.config import MachineConfig
 from repro.arch.stats import PipelineStats
@@ -24,19 +30,52 @@ from repro.power.components import (
     power_reduction,
     total_power_reduction,
 )
+from repro.power.model import PowerModel
+from repro.power.params import DEFAULT_PARAMS, PowerParams
 
 
 @dataclass
 class SimulationResult:
-    """Everything one run produced."""
+    """Everything one run produced.
+
+    ``activity`` is the timing run's full counter snapshot (normally an
+    :class:`~repro.power.activity.ActivityRecord`); ``energies`` is
+    derived from it on demand using ``params``, never stored by the
+    timing layer.
+    """
 
     program_name: str
     config: MachineConfig
     stats: PipelineStats
-    activity: Dict[str, float]
-    energies: Dict[str, ComponentEnergy]
+    activity: Mapping
     registers: List
-    pipeline: Optional[object] = field(default=None, repr=False)
+    params: PowerParams = DEFAULT_PARAMS
+    pipeline: Optional[object] = field(default=None, repr=False,
+                                       compare=False)
+    _energies: Optional[Dict[str, ComponentEnergy]] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def energies(self) -> Dict[str, ComponentEnergy]:
+        """Per-component energies under ``params`` (computed lazily)."""
+        if self._energies is None:
+            self._energies = PowerModel(
+                self.config, self.params).component_energies(self.activity)
+        return self._energies
+
+    def reevaluate(self, params: Optional[PowerParams] = None,
+                   style: Optional[str] = None) -> "SimulationResult":
+        """This timing run re-costed under different power parameters.
+
+        ``params`` replaces the parameter set (default: the current one);
+        ``style`` additionally applies a Wattch conditional-clocking
+        style (``cc0``/``cc1``/``cc3``).  The returned result shares the
+        activity record, statistics and registers -- no simulation runs.
+        """
+        new_params = params if params is not None else self.params
+        if style is not None:
+            new_params = new_params.for_clocking_style(style)
+        return replace(self, params=new_params, pipeline=None)
 
     @property
     def cycles(self) -> int:
@@ -141,6 +180,17 @@ class RunComparison:
         if baseline_edp == 0.0:
             return 0.0
         return 1.0 - reuse_edp / baseline_edp
+
+    def reevaluate(self, params: Optional[PowerParams] = None,
+                   style: Optional[str] = None) -> "RunComparison":
+        """Both runs re-costed under different power parameters.
+
+        Same contract as :meth:`SimulationResult.reevaluate`; no timing
+        simulation runs.
+        """
+        return RunComparison(
+            baseline=self.baseline.reevaluate(params=params, style=style),
+            reuse=self.reuse.reevaluate(params=params, style=style))
 
     def summary(self) -> Dict[str, float]:
         """All headline metrics as a dict (used by reports and tests)."""

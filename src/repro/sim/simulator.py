@@ -1,20 +1,72 @@
-"""Top-level simulation entry point.
+"""Top-level simulation entry points.
 
-:func:`simulate` is the one call the examples, tests and benchmark harness
-use: program + configuration in, :class:`~repro.sim.results.SimulationResult`
-out (cycles, IPC, gating, per-component energy, final architectural state).
+The timing/power split the paper's methodology implies (Wattch sitting on
+top of SimpleScalar) is explicit here:
+
+* :func:`run_timing` runs the cycle-level pipeline and returns an
+  :class:`~repro.power.activity.ActivityRecord` -- the complete,
+  serializable snapshot of what happened;
+* :func:`evaluate_power` turns a record into a
+  :class:`~repro.sim.results.SimulationResult` under any
+  :class:`~repro.power.params.PowerParams` -- pure arithmetic, no
+  simulation;
+* :func:`simulate` composes the two and remains the one call the
+  examples, tests and benchmark harness use.
+
+Because a record is all power evaluation needs, one timing run can be
+re-costed under any number of parameter sets (clocking styles,
+calibration sweeps) -- the persistent result cache exploits exactly this.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.arch.config import MachineConfig
 from repro.arch.pipeline import Pipeline
 from repro.isa.program import Program
-from repro.power.model import PowerModel, collect_activity
+from repro.power.activity import ActivityRecord
 from repro.power.params import DEFAULT_PARAMS, PowerParams
 from repro.sim.results import SimulationResult
+
+
+def run_timing(program: Program, config: MachineConfig,
+               max_cycles: Optional[int] = None,
+               probes: Iterable = (),
+               keep_pipeline: bool = False):
+    """Run ``program`` to its committed ``halt``; timing only.
+
+    Returns the run's :class:`~repro.power.activity.ActivityRecord`.
+    ``probes`` are attached to the pipeline before it runs (tracers,
+    invariant checkers, ...).  With ``keep_pipeline=True`` the return
+    value is a ``(record, pipeline)`` pair instead.
+    """
+    pipeline = Pipeline(program, config)
+    for probe in probes:
+        pipeline.attach_probe(probe)
+    pipeline.run(max_cycles=max_cycles)
+    record = ActivityRecord.capture(pipeline)
+    if keep_pipeline:
+        return record, pipeline
+    return record
+
+
+def evaluate_power(record: ActivityRecord, config: MachineConfig,
+                   params: PowerParams = DEFAULT_PARAMS) -> SimulationResult:
+    """Cost a finished timing run under ``params``; no simulation.
+
+    Pure post-hoc arithmetic over the record's activity counters: calling
+    this any number of times with different parameter sets (clocking
+    styles, calibration variants) re-costs the same run for free.
+    """
+    return SimulationResult(
+        program_name=record.program_name,
+        config=config,
+        stats=record.pipeline_stats(),
+        activity=record,
+        registers=list(record.registers),
+        params=params,
+    )
 
 
 def simulate(program: Program, config: MachineConfig,
@@ -39,18 +91,9 @@ def simulate(program: Program, config: MachineConfig,
         Attach the finished :class:`~repro.arch.pipeline.Pipeline` to the
         result (for tests that inspect microarchitectural state).
     """
-    pipeline = Pipeline(program, config)
-    stats = pipeline.run(max_cycles=max_cycles)
-    activity = collect_activity(pipeline)
-    energies = PowerModel(config, params).component_energies(activity)
-    result = SimulationResult(
-        program_name=program.name,
-        config=config,
-        stats=stats,
-        activity=activity,
-        energies=energies,
-        registers=pipeline.architectural_registers(),
-    )
+    record, pipeline = run_timing(program, config, max_cycles=max_cycles,
+                                  keep_pipeline=True)
+    result = evaluate_power(record, config, params)
     if keep_pipeline:
         result.pipeline = pipeline
     return result

@@ -1,0 +1,183 @@
+"""Tests for the activity record and the timing/power split.
+
+The refactor's contract: one timing run (an
+:class:`~repro.power.activity.ActivityRecord`) plus
+:func:`~repro.sim.simulator.evaluate_power` must reproduce -- bit for
+bit -- what a fresh :func:`~repro.sim.simulator.simulate` computes under
+any power parameterization, and the record must survive a JSON round
+trip unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.power.activity import (
+    ACTIVITY_SCHEMA_VERSION,
+    ActivityRecord,
+    EXTRA_COUNTERS,
+)
+from repro.power.model import PowerModel, collect_activity
+from repro.power.params import CLOCKING_STYLES, DEFAULT_PARAMS
+from repro.sim.experiments import ExperimentRunner
+from repro.sim.simulator import evaluate_power, run_timing, simulate
+from repro.workloads.suite import WorkloadSuite
+
+CONFIG = MachineConfig().with_iq_size(32).replace(reuse_enabled=True)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return WorkloadSuite().program("tsf")
+
+
+@pytest.fixture(scope="module")
+def record(program):
+    return run_timing(program, CONFIG)
+
+
+class TestRecordCapture:
+    def test_capture_covers_every_counter(self, record):
+        from repro.arch.stats import PipelineStats
+        expected = set(PipelineStats.__slots__) | set(EXTRA_COUNTERS)
+        assert set(record.counters) == expected
+
+    def test_mapping_interface(self, record):
+        assert record["cycles"] > 0
+        assert len(record) == len(record.counters)
+        assert set(iter(record)) == set(record.counters)
+        assert dict(record) == record.counters
+
+    def test_collect_activity_passes_records_through(self, record):
+        assert collect_activity(record) is record
+
+    def test_pipeline_stats_reconstruction(self, program):
+        result = simulate(program, CONFIG)
+        rebuilt = collect_activity(result.activity).pipeline_stats()
+        assert rebuilt.as_dict() == result.stats.as_dict()
+
+
+class TestRecordRoundTrip:
+    def test_json_round_trip_is_identity(self, record):
+        payload = json.loads(json.dumps(record.to_payload()))
+        rebuilt = ActivityRecord.from_payload(payload)
+        assert rebuilt == record
+        assert rebuilt.registers == record.registers
+        assert rebuilt.program_name == record.program_name
+
+    def test_registers_preserve_floats(self, record):
+        # FP registers are Python floats; the round trip must not
+        # truncate them to ints
+        payload = json.loads(json.dumps(record.to_payload()))
+        rebuilt = ActivityRecord.from_payload(payload)
+        for before, after in zip(record.registers, rebuilt.registers):
+            assert type(before) is type(after)
+            assert before == after
+
+    def test_schema_version_enforced(self, record):
+        payload = record.to_payload()
+        payload["schema"] = ACTIVITY_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            ActivityRecord.from_payload(payload)
+
+    def test_missing_counter_rejected(self, record):
+        payload = record.to_payload()
+        del payload["counters"]["cycles"]
+        with pytest.raises(ValueError, match="cycles"):
+            ActivityRecord.from_payload(payload)
+
+    def test_unknown_counter_rejected(self, record):
+        payload = record.to_payload()
+        payload["counters"]["made_up_counter"] = 7
+        with pytest.raises(ValueError, match="made_up_counter"):
+            ActivityRecord.from_payload(payload)
+
+
+class TestTimingPowerSplit:
+    def test_split_equals_simulate(self, program, record):
+        whole = simulate(program, CONFIG)
+        split = evaluate_power(record, CONFIG)
+        assert split.stats.as_dict() == whole.stats.as_dict()
+        assert split.registers == whole.registers
+        assert split.total_energy == whole.total_energy
+        for name, component in whole.energies.items():
+            assert split.energies[name].avg_power == component.avg_power
+
+    def test_one_record_matches_fresh_runs_per_style(self, program,
+                                                     record):
+        """One timing run + three evaluations == three simulations."""
+        for style in CLOCKING_STYLES:
+            params = DEFAULT_PARAMS.for_clocking_style(style)
+            fresh = simulate(program, CONFIG, params=params)
+            derived = evaluate_power(record, CONFIG, params)
+            assert derived.total_energy == fresh.total_energy, style
+            assert derived.avg_power == fresh.avg_power, style
+            for name, component in fresh.energies.items():
+                mine = derived.energies[name]
+                assert mine.active_energy == component.active_energy
+                assert mine.base_energy == component.base_energy
+
+    def test_json_round_tripped_record_still_matches(self, program,
+                                                     record):
+        payload = json.loads(json.dumps(record.to_payload()))
+        rebuilt = ActivityRecord.from_payload(payload)
+        for style in CLOCKING_STYLES:
+            params = DEFAULT_PARAMS.for_clocking_style(style)
+            fresh = simulate(program, CONFIG, params=params)
+            assert evaluate_power(rebuilt, CONFIG, params).total_energy \
+                == fresh.total_energy
+
+    def test_run_timing_probes_and_pipeline(self, program):
+        from repro.arch.trace import PipelineTracer
+        tracer = PipelineTracer()
+        rec, pipeline = run_timing(program, CONFIG, probes=(tracer,),
+                                   keep_pipeline=True)
+        assert pipeline.halted
+        assert tracer.traces
+        assert rec["cycles"] == pipeline.stats.cycles
+
+
+class TestReevaluation:
+    def test_result_reevaluate_is_lazy_and_cheap(self, record):
+        result = evaluate_power(record, CONFIG)
+        restyled = result.reevaluate(style="cc0")
+        assert restyled.activity is result.activity
+        assert restyled.stats is result.stats
+        assert restyled.params.idle_fraction == 1.0
+        assert restyled.total_energy > result.total_energy
+
+    def test_reevaluate_matches_direct_model(self, record):
+        result = evaluate_power(record, CONFIG)
+        params = DEFAULT_PARAMS.for_clocking_style("cc1")
+        expected = PowerModel(CONFIG, params).component_energies(record)
+        restyled = result.reevaluate(params=DEFAULT_PARAMS, style="cc1")
+        for name, component in expected.items():
+            assert restyled.energies[name].avg_power == component.avg_power
+
+    def test_runner_reevaluate_matches_hand_rolled(self):
+        runner = ExperimentRunner(benchmarks=("tsf",), iq_sizes=(32,))
+        comparison = runner.compare("tsf", 32)
+        for style in CLOCKING_STYLES:
+            restyled = runner.reevaluate("tsf", 32, style=style)
+            params = DEFAULT_PARAMS.for_clocking_style(style)
+            by_hand = {
+                name: component.avg_power
+                for name, component in PowerModel(
+                    comparison.reuse.config, params).component_energies(
+                        comparison.reuse.activity).items()
+            }
+            for name, avg_power in by_hand.items():
+                assert restyled.reuse.energies[name].avg_power \
+                    == avg_power, (style, name)
+
+    def test_comparison_reevaluate_keeps_timing_metrics(self):
+        runner = ExperimentRunner(benchmarks=("tsf",), iq_sizes=(32,))
+        comparison = runner.compare("tsf", 32)
+        restyled = comparison.reevaluate(style="cc0")
+        assert restyled.ipc_degradation == comparison.ipc_degradation
+        assert restyled.gated_fraction == comparison.gated_fraction
+        assert restyled.overall_power_reduction \
+            != comparison.overall_power_reduction

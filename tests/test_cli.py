@@ -72,6 +72,25 @@ class TestParser:
         assert args.jobs == 2
         assert args.no_cache
 
+    def test_bench_accepts_manifest(self):
+        args = build_parser().parse_args(
+            ["bench", "tsf", "--manifest", "m.json"])
+        assert args.manifest == "m.json"
+
+    def test_power_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["power", "--style", "cc1", "--bench", "tsf", "aps",
+             "--iq", "32", "64", "--no-cache", "--manifest", "m.json"])
+        assert args.style == "cc1"
+        assert args.bench == ["tsf", "aps"]
+        assert args.iq == [32, 64]
+        assert args.no_cache
+        assert args.manifest == "m.json"
+
+    def test_power_rejects_unknown_style(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["power", "--style", "cc9"])
+
 
 class TestRunCommand:
     def test_baseline_run(self, loop_file, capsys):
@@ -152,6 +171,54 @@ class TestReproduceCommand:
         import json
         parsed = json.loads(manifest.read_text())
         assert set(parsed) == {"summary", "events"}
+
+
+class TestPowerCommand:
+    def test_power_reports_table(self, capsys):
+        assert main(["power", "--bench", "tsf", "--iq", "32",
+                     "--style", "cc1", "--no-cache", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "overall power reduction" in out
+        assert "cc1" in out
+        assert "tsf" in out
+
+    def test_power_unknown_benchmark(self):
+        with pytest.raises(SystemExit) as err:
+            main(["power", "--bench", "nonesuch", "--no-cache"])
+        assert "nonesuch" in str(err.value)
+
+    def test_power_bad_params_file(self, tmp_path):
+        bad = tmp_path / "params.json"
+        bad.write_text('{"made_up_field": 1.0}')
+        with pytest.raises(SystemExit) as err:
+            main(["power", "--bench", "tsf", "--iq", "32",
+                  "--params", str(bad), "--no-cache", "--quiet"])
+        assert "made_up_field" in str(err.value)
+
+    def test_power_params_file_applied(self, tmp_path, capsys):
+        import json
+        params_file = tmp_path / "params.json"
+        params_file.write_text(json.dumps({"idle_fraction": 0.0}))
+        assert main(["power", "--bench", "tsf", "--iq", "32",
+                     "--params", str(params_file), "--json",
+                     "--no-cache", "--quiet"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["params_file"] == str(params_file)
+        assert "tsf" in parsed["overall_power_reduction"]
+
+    def test_power_reuses_cached_sweep(self, tmp_path, capsys):
+        """Warm cache: re-costing performs zero timing simulations."""
+        import json
+        cache_dir = str(tmp_path / "cache")
+        assert main(["bench", "tsf", "--iq", "32",
+                     "--cache-dir", cache_dir, "--quiet"]) == 0
+        manifest = tmp_path / "power.json"
+        assert main(["power", "--bench", "tsf", "--iq", "32",
+                     "--style", "cc0", "--cache-dir", cache_dir,
+                     "--manifest", str(manifest), "--quiet"]) == 0
+        summary = json.loads(manifest.read_text())["summary"]
+        assert summary["simulated"] == 0
+        assert summary["cache_hits"] == summary["jobs"]
 
 
 class TestKeyboardInterrupt:

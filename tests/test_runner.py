@@ -5,9 +5,12 @@ Covers the acceptance properties of :mod:`repro.runner`:
 * parallel execution produces results identical to the serial path,
 * a second run against the same cache directory is served entirely from
   the persistent cache (zero simulations),
-* corrupted or version-mismatched cache entries are evicted and re-run,
-  never crash,
-* content-hash job keys react to every input,
+* power params are not part of the cache key: jobs differing only in
+  params share one timing simulation, and a warm cache re-costs under
+  any clocking style without simulating,
+* corrupted, version-mismatched or pre-params-free-keying cache entries
+  are evicted and re-run, never crash,
+* content-hash job keys react to every timing input,
 * transient in-process failures are retried; executor errors surface
   only after the retry budget is exhausted.
 """
@@ -31,7 +34,8 @@ from repro.sim.export import (
     result_from_payload,
     result_to_payload,
 )
-from repro.sim.simulator import simulate
+from repro.power.params import DEFAULT_PARAMS
+from repro.sim.simulator import run_timing, simulate
 from repro.workloads.generator import synthetic_loop_kernel
 from repro.workloads.suite import WorkloadSuite
 
@@ -179,9 +183,87 @@ class TestPersistentCache:
             "nc", statements=1, trip_count=10))
         config = MachineConfig().with_iq_size(32)
         job = SimJob("tsf", config)
-        result = simulate(program, config)
-        cache.store("deadbeef", job, result)     # must not raise
-        assert cache.load("deadbeef", config) is None
+        record = run_timing(program, config)
+        cache.store("deadbeef", job, record)     # must not raise
+        assert cache.load("deadbeef") is None
+
+    def test_legacy_pre_schema3_entry_is_purged_silently(self, tmp_path):
+        # a pre-params-free-keying (schema 2) entry: full result payload
+        # under a params-dependent key that will never be probed again
+        legacy = tmp_path / "0123456789abcdef0123456789abcdef01234567.json"
+        legacy.write_text(json.dumps({
+            "schema": 2,
+            "repro_version": "0.0.0",
+            "key": legacy.stem,
+            "job": {"benchmark": "tsf"},
+            "result": {"schema": 2, "program": "tsf", "stats": {},
+                       "activity": {}, "energies": {}, "registers": []},
+        }), encoding="utf-8")
+        cache = ResultCache(tmp_path)
+        assert cache.load("somekey") is None     # must not raise
+        assert not legacy.exists()               # orphan swept on first use
+        assert cache.evictions == 1
+
+    def test_purge_leaves_current_schema_entries_alone(self, tmp_path):
+        program = build_program(synthetic_loop_kernel(
+            "keep", statements=1, trip_count=10))
+        config = MachineConfig().with_iq_size(32)
+        cache = ResultCache(tmp_path)
+        record = run_timing(program, config)
+        cache.store("feedface", SimJob("tsf", config), record)
+        fresh = ResultCache(tmp_path)
+        assert fresh.purge_stale() == 0
+        loaded = fresh.load("feedface")
+        assert loaded is not None
+        assert loaded == record
+
+
+class TestParamsFreeCache:
+    """Power params never trigger a simulation of their own."""
+
+    STYLES = ("cc0", "cc1", "cc3")
+
+    def _style_jobs(self, config):
+        return [SimJob("tsf", config,
+                       params=DEFAULT_PARAMS.for_clocking_style(style))
+                for style in self.STYLES]
+
+    def test_params_variants_share_one_key(self):
+        program = WorkloadSuite().program("tsf")
+        config = MachineConfig().with_iq_size(32)
+        keys = {job_key(job, program) for job in self._style_jobs(config)}
+        assert len(keys) == 1
+
+    def test_one_simulation_serves_every_style(self, tmp_path):
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=True)
+        executor = JobExecutor(jobs=1, cache=ResultCache(tmp_path))
+        jobs = self._style_jobs(config)
+        results = executor.run(jobs)
+        # one timing run, the other two styles derived from it
+        assert executor.progress.count("done") == 1
+        program = WorkloadSuite().program("tsf")
+        for job in jobs:
+            fresh = simulate(program, config, params=job.params)
+            assert results[job].total_energy == fresh.total_energy
+            for name, component in fresh.energies.items():
+                assert results[job].energies[name].avg_power \
+                    == component.avg_power
+
+    def test_warm_cache_restyles_without_simulating(self, tmp_path):
+        # reuse-enabled so cycles are actually gated and the styles'
+        # idle fractions produce distinct energies
+        config = MachineConfig().with_iq_size(32).replace(
+            reuse_enabled=True)
+        JobExecutor(jobs=1, cache=ResultCache(tmp_path)).run(
+            [SimJob("tsf", config)])
+        warm = JobExecutor(jobs=1, cache=ResultCache(tmp_path))
+        results = warm.run(self._style_jobs(config))
+        assert warm.progress.count("done") == 0
+        assert warm.progress.summary()["simulated"] == 0
+        energies = {job.params.idle_fraction: results[job].total_energy
+                    for job in results}
+        assert len(set(energies.values())) == len(energies)
 
 
 class TestExecutorFallback:
