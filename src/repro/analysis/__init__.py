@@ -1,0 +1,68 @@
+"""Static program analysis over assembled :class:`~repro.isa.program.Program`s.
+
+The paper's mechanism is driven entirely by *structural* properties of
+loops -- backward-branch distance vs. issue-queue size, nesting, call
+depth, and the logical registers a loop body touches -- yet the simulator
+discovers them dynamically, one run at a time.  This package recovers the
+same properties statically:
+
+* :mod:`repro.analysis.cfg` -- basic-block control-flow graphs, procedure
+  discovery and the call graph,
+* :mod:`repro.analysis.loops` -- natural-loop detection via dominators,
+  with per-loop distance, body length, nesting depth, call depth and
+  inline footprint,
+* :mod:`repro.analysis.dataflow` -- def/use and initialization analysis
+  over the 64 logical registers, plus constant tracking for static store
+  addresses,
+* :mod:`repro.analysis.lint` -- the rule framework (B001-B006) with text,
+  JSON and SARIF reports,
+* :mod:`repro.analysis.crosscheck` -- runs a program through the timing
+  simulator and asserts concordance between the static predictions and
+  the dynamic controller's behaviour.
+
+``python -m repro.cli lint`` is the command-line surface.
+"""
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, Procedure, build_cfg
+from repro.analysis.crosscheck import (
+    ControllerEventProbe,
+    CrosscheckResult,
+    crosscheck,
+)
+from repro.analysis.dataflow import (
+    RegisterFootprint,
+    loop_footprint,
+    resolve_static_stores,
+    undefined_reads,
+)
+from repro.analysis.lint import (
+    Finding,
+    LintReport,
+    RuleSpec,
+    RULES,
+    Severity,
+    run_lint,
+)
+from repro.analysis.loops import StaticLoop, analyze_loops
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "ControllerEventProbe",
+    "CrosscheckResult",
+    "Finding",
+    "LintReport",
+    "Procedure",
+    "RegisterFootprint",
+    "RuleSpec",
+    "RULES",
+    "Severity",
+    "StaticLoop",
+    "analyze_loops",
+    "build_cfg",
+    "crosscheck",
+    "loop_footprint",
+    "resolve_static_stores",
+    "run_lint",
+    "undefined_reads",
+]

@@ -1,0 +1,349 @@
+"""Basic-block control-flow graph construction.
+
+A :class:`ControlFlowGraph` partitions a program's text segment into
+maximal basic blocks (leaders at the entry point, at every direct
+branch/jump/call target and after every control-flow instruction) and
+connects them with typed edges:
+
+* ``fall`` -- sequential fall-through (including the not-taken side of a
+  conditional branch),
+* ``taken`` -- the taken side of a direct branch or jump,
+* ``call-return`` -- the *summary* edge from a call block to its return
+  site: intra-procedural analyses step over the callee, while the call
+  graph records the transfer itself.
+
+Procedure bodies are discovered from direct call targets (plus the
+implicit ``__start`` routine at the entry point); returns (``jr $ra``)
+and ``halt`` terminate a routine, and indirect jumps that are not returns
+conservatively end the known control flow of their block.
+
+The graph is the substrate for dominator-based loop analysis
+(:mod:`repro.analysis.loops`), register dataflow
+(:mod:`repro.analysis.dataflow`) and the B004 unreachable-block rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import Program
+
+#: Edge kinds.
+EDGE_FALL = "fall"
+EDGE_TAKEN = "taken"
+EDGE_CALL_RETURN = "call-return"
+
+#: Name given to the implicit routine at the program entry point.
+START_ROUTINE = "__start"
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    #: Position in :attr:`ControlFlowGraph.blocks`.
+    index: int
+    #: First instruction index (into ``program.instructions``).
+    start: int
+    #: One past the last instruction index.
+    end: int
+    #: Outgoing ``(block index, edge kind)`` pairs.
+    successors: List[Tuple[int, str]] = field(default_factory=list)
+    #: Incoming block indices (deduplicated, sorted at build time).
+    predecessors: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def successor_indices(self) -> List[int]:
+        """Successor block indices, edge kinds dropped."""
+        return [index for index, _ in self.successors]
+
+    def __repr__(self) -> str:
+        return (f"<BasicBlock #{self.index} [{self.start}:{self.end}) "
+                f"-> {self.successor_indices()}>")
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One direct or indirect call instruction."""
+
+    #: Byte address of the call instruction.
+    pc: int
+    #: Callee entry address (``None`` for indirect calls).
+    target: Optional[int]
+
+
+@dataclass
+class Procedure:
+    """One routine: the blocks intra-procedurally reachable from an entry."""
+
+    #: Entry byte address.
+    entry_pc: int
+    #: Label name if the entry address carries one, else a synthetic name.
+    name: str
+    #: Block indices of the body (sorted).
+    blocks: Tuple[int, ...]
+    #: Total instructions across the body blocks.
+    instruction_count: int
+    #: Blocks whose terminator is a return (``jr $ra``).
+    return_blocks: Tuple[int, ...]
+    #: Call instructions inside the body.
+    call_sites: Tuple[CallSite, ...]
+    #: True when the body contains an indirect jump that is not a return.
+    has_indirect_flow: bool
+
+
+class ControlFlowGraph:
+    """Blocks, edges, procedures and the call graph of one program."""
+
+    def __init__(self, program: Program, blocks: List[BasicBlock],
+                 block_of_index: List[int]):
+        self.program = program
+        self.blocks = blocks
+        #: Maps instruction index -> owning block index.
+        self._block_of_index = block_of_index
+        #: Routines keyed by entry pc (always includes ``__start``).
+        self.procedures: Dict[int, Procedure] = {}
+        #: Call graph: routine entry pc -> callee entry pcs (direct only).
+        self.call_graph: Dict[int, FrozenSet[int]] = {}
+        #: Blocks reachable from the entry point (following calls).
+        self.reachable: FrozenSet[int] = frozenset()
+        self._discover_procedures()
+        self._compute_reachability()
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        """The block holding the program entry point."""
+        return self.blocks[0]
+
+    def block_at_index(self, index: int) -> BasicBlock:
+        """The block owning instruction ``index``."""
+        return self.blocks[self._block_of_index[index]]
+
+    def block_at_pc(self, pc: int) -> Optional[BasicBlock]:
+        """The block owning byte address ``pc``, or None outside text."""
+        index = self.program.index_of(pc)
+        if index is None:
+            return None
+        return self.block_at_index(index)
+
+    def instructions(self, block: BasicBlock) -> List[Instruction]:
+        """The instructions of one block."""
+        return self.program.instructions[block.start:block.end]
+
+    def terminator(self, block: BasicBlock) -> Instruction:
+        """The last instruction of one block."""
+        return self.program.instructions[block.end - 1]
+
+    def unreachable_blocks(self) -> List[BasicBlock]:
+        """Blocks no path from the entry point (via calls) can reach."""
+        return [block for block in self.blocks
+                if block.index not in self.reachable]
+
+    # -- construction helpers ----------------------------------------------------
+
+    def _label_for(self, pc: int) -> Optional[str]:
+        for label, address in sorted(self.program.labels.items()):
+            if address == pc:
+                return label
+        return None
+
+    def _discover_procedures(self) -> None:
+        """Find routine bodies from the entry point and direct call targets."""
+        entries: Dict[int, str] = {self.program.entry_point: START_ROUTINE}
+        for block in self.blocks:
+            term = self.terminator(block)
+            if term.is_call and term.target is not None:
+                if self.program.index_of(term.target) is not None:
+                    label = self._label_for(term.target)
+                    entries.setdefault(
+                        term.target, label or f"proc_{term.target:#x}")
+        for entry_pc, name in sorted(entries.items()):
+            self.procedures[entry_pc] = self._trace_procedure(entry_pc, name)
+        for entry_pc, proc in self.procedures.items():
+            callees = frozenset(
+                site.target for site in proc.call_sites
+                if site.target is not None and site.target in self.procedures)
+            self.call_graph[entry_pc] = callees
+
+    def _trace_procedure(self, entry_pc: int, name: str) -> Procedure:
+        entry_index = self.program.index_of(entry_pc)
+        assert entry_index is not None
+        entry_block = self._block_of_index[entry_index]
+        seen: Set[int] = set()
+        worklist = [entry_block]
+        returns: List[int] = []
+        calls: List[CallSite] = []
+        indirect = False
+        while worklist:
+            index = worklist.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            block = self.blocks[index]
+            term = self.terminator(block)
+            if term.is_return:
+                returns.append(index)
+            elif term.is_call:
+                calls.append(CallSite(pc=int(term.pc or 0),
+                                      target=term.target
+                                      if not term.is_indirect_control
+                                      else None))
+            elif term.is_indirect_control:
+                indirect = True
+            for succ, _kind in block.successors:
+                if succ not in seen:
+                    worklist.append(succ)
+        blocks = tuple(sorted(seen))
+        count = sum(len(self.blocks[index]) for index in blocks)
+        return Procedure(entry_pc=entry_pc, name=name, blocks=blocks,
+                         instruction_count=count,
+                         return_blocks=tuple(sorted(returns)),
+                         call_sites=tuple(sorted(calls,
+                                                 key=lambda s: s.pc)),
+                         has_indirect_flow=indirect)
+
+    def _compute_reachability(self) -> None:
+        """Whole-program reachability: CFG edges plus call transfers."""
+        seen: Set[int] = set()
+        worklist = [self.entry_block.index]
+        while worklist:
+            index = worklist.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            block = self.blocks[index]
+            for succ, _kind in block.successors:
+                if succ not in seen:
+                    worklist.append(succ)
+            term = self.terminator(block)
+            if term.is_call and term.target is not None:
+                callee_index = self.program.index_of(term.target)
+                if callee_index is not None:
+                    callee_block = self._block_of_index[callee_index]
+                    if callee_block not in seen:
+                        worklist.append(callee_block)
+        self.reachable = frozenset(seen)
+
+    # -- interprocedural view (used by dataflow) ----------------------------------
+
+    def supergraph_successors(self, block: BasicBlock) -> List[int]:
+        """Successors in the interprocedural supergraph.
+
+        A direct call block flows into its callee's entry block instead of
+        its return site; each procedure's return blocks flow back to every
+        return site of a call targeting that procedure.  Indirect calls
+        keep their summary edge (the callee is unknown).
+        """
+        term = self.terminator(block)
+        if term.is_call and term.target is not None \
+                and term.target in self.procedures:
+            entry_index = self.program.index_of(term.target)
+            assert entry_index is not None
+            return [self._block_of_index[entry_index]]
+        if term.is_return:
+            return sorted(self._return_sites_for(block.index))
+        return block.successor_indices()
+
+    def _return_sites_for(self, block_index: int) -> Set[int]:
+        sites: Set[int] = set()
+        owners = [proc for proc in self.procedures.values()
+                  if block_index in proc.blocks
+                  and proc.name != START_ROUTINE]
+        for proc in owners:
+            for caller in self.procedures.values():
+                for site in caller.call_sites:
+                    if site.target != proc.entry_pc:
+                        continue
+                    call_index = self.program.index_of(site.pc)
+                    if call_index is None:
+                        continue
+                    call_block = self.blocks[self._block_of_index[call_index]]
+                    for succ, kind in call_block.successors:
+                        if kind == EDGE_CALL_RETURN:
+                            sites.add(succ)
+        return sites
+
+    # -- introspection ----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"<ControlFlowGraph {self.program.name!r}: "
+                f"{len(self.blocks)} blocks, "
+                f"{len(self.procedures)} procedures>")
+
+
+def _find_leaders(program: Program) -> List[int]:
+    """Instruction indices starting a basic block."""
+    count = len(program.instructions)
+    leaders: Set[int] = {0} if count else set()
+    for index, inst in enumerate(program.instructions):
+        ends_block = inst.is_control or inst.is_halt
+        if ends_block and index + 1 < count:
+            leaders.add(index + 1)
+        if inst.is_direct_control and inst.target is not None:
+            target_index = program.index_of(inst.target)
+            if target_index is not None:
+                leaders.add(target_index)
+    return sorted(leaders)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Construct the :class:`ControlFlowGraph` of ``program``."""
+    if not program.instructions:
+        raise ValueError("cannot build a CFG for an empty program")
+    leaders = _find_leaders(program)
+    count = len(program.instructions)
+    blocks: List[BasicBlock] = []
+    for position, start in enumerate(leaders):
+        end = leaders[position + 1] if position + 1 < len(leaders) else count
+        blocks.append(BasicBlock(index=position, start=start, end=end))
+    block_of_index = [0] * count
+    for block in blocks:
+        for index in range(block.start, block.end):
+            block_of_index[index] = block.index
+
+    def block_of_pc(pc: int) -> Optional[int]:
+        index = program.index_of(pc)
+        if index is None:
+            return None
+        return block_of_index[index]
+
+    for block in blocks:
+        term = program.instructions[block.end - 1]
+        icls = term.op.icls
+        fall = block.index + 1 if block.end < count else None
+        if icls is InstrClass.BRANCH:
+            if term.target is not None:
+                taken = block_of_pc(term.target)
+                if taken is not None:
+                    block.successors.append((taken, EDGE_TAKEN))
+            if fall is not None:
+                block.successors.append((fall, EDGE_FALL))
+        elif icls is InstrClass.JUMP:
+            if term.target is not None:
+                taken = block_of_pc(term.target)
+                if taken is not None:
+                    block.successors.append((taken, EDGE_TAKEN))
+        elif icls in (InstrClass.CALL, InstrClass.ICALL):
+            if fall is not None:
+                block.successors.append((fall, EDGE_CALL_RETURN))
+        elif icls is InstrClass.IJUMP:
+            pass                     # return or unknown indirect flow
+        elif icls is InstrClass.HALT:
+            pass
+        else:
+            if fall is not None:
+                block.successors.append((fall, EDGE_FALL))
+    for block in blocks:
+        for succ, _kind in block.successors:
+            if block.index not in blocks[succ].predecessors:
+                blocks[succ].predecessors.append(block.index)
+    for block in blocks:
+        block.predecessors.sort()
+    return ControlFlowGraph(program, blocks, block_of_index)

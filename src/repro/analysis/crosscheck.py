@@ -1,0 +1,246 @@
+"""Static/dynamic concordance checking.
+
+The static analyzer predicts, per loop candidate, whether the reuse
+controller can capture it and which revoke causes are possible.  The
+dynamic controller logs every decision it actually takes
+(:class:`~repro.core.controller.ControllerEvent`).  :func:`crosscheck`
+runs a program through :func:`repro.sim.simulator.run_timing` with a
+:class:`ControllerEventProbe` attached and asserts that the two views
+agree:
+
+* every ``buffer_start`` names a static loop candidate whose distance
+  fits the issue queue (the detector and :func:`is_loop_candidate` must
+  agree on what a capturable loop is),
+* every ``promote`` concerns a loop the analyzer classified capturable
+  (not ``too-large``, not guaranteed-``overflow``), and the captured
+  iterations fit the queue: ``iterations x min_iteration_length <=
+  iq_size`` whenever the static minimum is known (buffered entries never
+  leave the queue, so they can never exceed it),
+* every NBLT-registering ``revoke`` carries a reason whose static hazard
+  (:data:`REASON_TO_HAZARD`) the analyzer flagged for that loop.
+
+A disagreement is a :class:`ConcordanceViolation` -- either a simulator
+bug or an analyzer bug, which is exactly the point: the two
+implementations verify each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.loops import (
+    CLASS_OVERFLOW,
+    CLASS_TOO_LARGE,
+    HAZARD_EXIT,
+    HAZARD_INNER_LOOP,
+    HAZARD_IQ_OVERFLOW,
+    StaticLoop,
+    analyze_loops,
+    loops_by_tail,
+)
+from repro.arch.config import MachineConfig
+from repro.arch.probe import PipelineProbe
+from repro.core.controller import ControllerEvent
+from repro.isa.program import Program
+
+#: Dynamic revoke reason -> static hazard tag.  Only the NBLT-registering
+#: reasons appear; mispredict recovery and normal reuse exit do not mark
+#: a loop non-bufferable and carry no static claim.
+REASON_TO_HAZARD: Dict[str, str] = {
+    "exit": HAZARD_EXIT,
+    "exit at tail": HAZARD_EXIT,
+    "inner loop": HAZARD_INNER_LOOP,
+    "issue queue full": HAZARD_IQ_OVERFLOW,
+}
+
+
+class ControllerEventProbe(PipelineProbe):
+    """Cycle probe collecting the controller's event log.
+
+    The controller appends events as decisions happen; this probe copies
+    the new ones into :attr:`events` at the end of every cycle, stamping
+    each with that cycle.  A cursor (rather than clearing the log) keeps
+    the probe passive, as the probe contract requires.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[int, ControllerEvent]] = []
+        self._cursor = 0
+
+    def on_cycle(self, pipeline: Any) -> None:
+        log = pipeline.controller.events
+        if len(log) > self._cursor:
+            cycle = pipeline.cycle
+            self.events.extend(
+                (cycle, event) for event in log[self._cursor:])
+            self._cursor = len(log)
+
+
+@dataclass(frozen=True)
+class ConcordanceViolation:
+    """One disagreement between the static and dynamic views."""
+
+    #: Which check failed (``buffer_start`` / ``promote`` / ``revoke``).
+    check: str
+    #: The event's cycle.
+    cycle: int
+    #: The loop tail the event concerned (None when missing).
+    tail_pc: Optional[int]
+    #: Explanation.
+    message: str
+
+
+@dataclass
+class CrosscheckResult:
+    """Outcome of one program/config concordance run."""
+
+    program: str
+    iq_size: int
+    #: Timestamped controller events observed during the run.
+    events: List[Tuple[int, ControllerEvent]]
+    #: Static loops keyed by tail pc.
+    static_loops: Dict[int, StaticLoop]
+    #: Disagreements (empty = full concordance).
+    violations: List[ConcordanceViolation] = field(default_factory=list)
+    #: Event counts by kind, for reporting.
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when static and dynamic views fully agree."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary."""
+        return {
+            "program": self.program,
+            "iq_size": self.iq_size,
+            "ok": self.ok,
+            "counts": dict(sorted(self.counts.items())),
+            "violations": [
+                {
+                    "check": v.check,
+                    "cycle": v.cycle,
+                    "tail_pc": (None if v.tail_pc is None
+                                else f"{v.tail_pc:#x}"),
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def _check_buffer_start(event: ControllerEvent, cycle: int,
+                        loops: Dict[int, StaticLoop], iq_size: int,
+                        out: List[ConcordanceViolation]) -> None:
+    loop = loops.get(event.tail_pc) if event.tail_pc is not None else None
+    if loop is None:
+        out.append(ConcordanceViolation(
+            "buffer_start", cycle, event.tail_pc,
+            f"dynamic detector fired at {event.tail_pc!r} but no static "
+            f"loop candidate has that tail"))
+        return
+    if event.head_pc != loop.head_pc:
+        out.append(ConcordanceViolation(
+            "buffer_start", cycle, event.tail_pc,
+            f"head mismatch: dynamic {event.head_pc:#x} vs static "
+            f"{loop.head_pc:#x}"))
+    if not loop.fits(iq_size):
+        out.append(ConcordanceViolation(
+            "buffer_start", cycle, event.tail_pc,
+            f"buffering started on a loop of size {loop.size} that "
+            f"cannot fit the {iq_size}-entry queue"))
+
+
+def _check_promote(event: ControllerEvent, cycle: int,
+                   loops: Dict[int, StaticLoop], iq_size: int,
+                   out: List[ConcordanceViolation]) -> None:
+    loop = loops.get(event.tail_pc) if event.tail_pc is not None else None
+    if loop is None:
+        out.append(ConcordanceViolation(
+            "promote", cycle, event.tail_pc,
+            f"promoted loop {event.tail_pc!r} has no static candidate"))
+        return
+    verdict = loop.classify(iq_size)
+    if verdict in (CLASS_TOO_LARGE, CLASS_OVERFLOW):
+        out.append(ConcordanceViolation(
+            "promote", cycle, event.tail_pc,
+            f"loop statically classified {verdict!r} was promoted to "
+            f"Code Reuse"))
+    if event.iterations < 1:
+        out.append(ConcordanceViolation(
+            "promote", cycle, event.tail_pc,
+            "promotion with no complete iteration buffered"))
+    if loop.min_iteration_length is not None:
+        need = event.iterations * loop.min_iteration_length
+        if need > iq_size:
+            out.append(ConcordanceViolation(
+                "promote", cycle, event.tail_pc,
+                f"{event.iterations} buffered iteration(s) of at least "
+                f"{loop.min_iteration_length} instructions cannot fit "
+                f"the {iq_size}-entry queue"))
+
+
+def _check_revoke(event: ControllerEvent, cycle: int,
+                  loops: Dict[int, StaticLoop], iq_size: int,
+                  out: List[ConcordanceViolation]) -> None:
+    if not event.nblt_insert:
+        return                 # mispredict / reuse exit: no static claim
+    reason = event.reason or ""
+    hazard = REASON_TO_HAZARD.get(reason)
+    if hazard is None:
+        out.append(ConcordanceViolation(
+            "revoke", cycle, event.tail_pc,
+            f"NBLT insert with unmapped revoke reason {reason!r}"))
+        return
+    loop = loops.get(event.tail_pc) if event.tail_pc is not None else None
+    if loop is None:
+        out.append(ConcordanceViolation(
+            "revoke", cycle, event.tail_pc,
+            f"NBLT insert for {event.tail_pc!r} with no static "
+            f"candidate"))
+        return
+    if hazard not in loop.hazards(iq_size):
+        out.append(ConcordanceViolation(
+            "revoke", cycle, event.tail_pc,
+            f"dynamic revoke {reason!r} (hazard {hazard!r}) was not "
+            f"statically flagged for the loop at {event.tail_pc:#x} "
+            f"(static hazards: {sorted(loop.hazards(iq_size))})"))
+
+
+def crosscheck(program: Program, config: MachineConfig,
+               max_cycles: Optional[int] = None) -> CrosscheckResult:
+    """Run ``program`` and compare controller decisions to the analyzer.
+
+    The config's ``reuse_enabled`` flag is forced on (without the
+    mechanism there is nothing to check).  Returns a
+    :class:`CrosscheckResult`; callers assert :attr:`CrosscheckResult.ok`.
+    """
+    from repro.sim.simulator import run_timing
+
+    if not config.reuse_enabled:
+        config = config.replace(reuse_enabled=True)
+    static = loops_by_tail(analyze_loops(build_cfg(program)))
+    probe = ControllerEventProbe()
+    run_timing(program, config, max_cycles=max_cycles, probes=(probe,))
+    iq_size = config.iq_size
+    violations: List[ConcordanceViolation] = []
+    counts: Dict[str, int] = {}
+    for cycle, event in probe.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+        if event.kind == "buffer_start":
+            _check_buffer_start(event, cycle, static, iq_size, violations)
+        elif event.kind == "promote":
+            _check_promote(event, cycle, static, iq_size, violations)
+        elif event.kind == "revoke":
+            _check_revoke(event, cycle, static, iq_size, violations)
+    return CrosscheckResult(
+        program=program.name,
+        iq_size=iq_size,
+        events=probe.events,
+        static_loops=static,
+        violations=violations,
+        counts=counts,
+    )

@@ -1,0 +1,276 @@
+"""Register dataflow over the unified logical register space.
+
+Three analyses, all over the interprocedural supergraph view of a
+:class:`~repro.analysis.cfg.ControlFlowGraph` (calls flow into their
+callee, returns flow back to every return site):
+
+* :func:`undefined_reads` -- forward *must-initialized* analysis.  At
+  machine reset only ``$zero`` and ``$sp`` carry meaningful values; a
+  read of any other register on some path with no prior write observes
+  the register file's reset value (rule B005).
+* :func:`resolve_static_stores` -- sparse constant tracking through
+  ``lui``/``ori``/``addiu``/``addu``/``or`` so stores whose effective
+  address is statically known can be checked against the text segment
+  (rule B006).
+* :func:`loop_footprint` -- def/use sets over a loop's body (callees
+  inlined): the logical registers the paper's logical register list
+  would capture for the loop, and therefore the LRL traffic one reuse
+  pass implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.loops import StaticLoop
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import STACK_TOP
+from repro.isa.registers import NUM_LOGICAL_REGS, REG_SP, REG_ZERO
+
+#: Registers architecturally defined at program entry (reset state).
+ENTRY_REGS = frozenset({REG_ZERO, REG_SP})
+
+_ENTRY_MASK = sum(1 << reg for reg in ENTRY_REGS)
+_ALL_MASK = (1 << NUM_LOGICAL_REGS) - 1
+_WORD_MASK = 0xFFFFFFFF
+
+
+# -- must-initialized analysis (B005) ----------------------------------------
+
+
+def _must_init_transfer(block_insts: List[Instruction], mask: int,
+                        reads: Optional[Set[Tuple[int, int]]]) -> int:
+    """Apply one block; optionally collect uninitialized reads."""
+    for inst in block_insts:
+        if reads is not None:
+            for reg in inst.srcs:
+                if not (mask >> reg) & 1 and inst.pc is not None:
+                    reads.add((inst.pc, reg))
+        if inst.dest is not None:
+            mask |= 1 << inst.dest
+        if inst.is_call and inst.is_indirect_control:
+            mask = _ALL_MASK          # unknown callee: assume it defines all
+    return mask
+
+
+def _must_init_states(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Fixpoint block-entry masks of definitely-initialized registers."""
+    entry = cfg.entry_block.index
+    in_state: Dict[int, int] = {entry: _ENTRY_MASK}
+    worklist = [entry]
+    while worklist:
+        index = worklist.pop()
+        block = cfg.blocks[index]
+        out = _must_init_transfer(cfg.instructions(block),
+                                  in_state[index], None)
+        for succ in cfg.supergraph_successors(block):
+            if succ not in in_state:
+                in_state[succ] = out
+                worklist.append(succ)
+            else:
+                merged = in_state[succ] & out
+                if merged != in_state[succ]:
+                    in_state[succ] = merged
+                    worklist.append(succ)
+    return in_state
+
+
+def undefined_reads(cfg: ControlFlowGraph) -> List[Tuple[int, int]]:
+    """``(pc, register)`` pairs read without a guaranteed prior write.
+
+    Sorted by pc then register; unreachable blocks are skipped (rule
+    B004 owns those).  ``$zero`` and ``$sp`` never appear -- they are
+    defined by the reset state.
+    """
+    in_state = _must_init_states(cfg)
+    found: Set[Tuple[int, int]] = set()
+    for index, mask in in_state.items():
+        _must_init_transfer(cfg.instructions(cfg.blocks[index]), mask, found)
+    return sorted(found)
+
+
+# -- constant tracking (B006) -------------------------------------------------
+
+
+def _const_transfer(block_insts: List[Instruction],
+                    state: Dict[int, int],
+                    stores: Optional[Set[Tuple[int, int]]]) -> Dict[int, int]:
+    """Apply one block to a register-constant map; collect store sites."""
+
+    def read(reg: Optional[int]) -> Optional[int]:
+        if reg is None:
+            return None
+        if reg == REG_ZERO:
+            return 0
+        return state.get(reg)
+
+    state = dict(state)
+    for inst in block_insts:
+        op = inst.op
+        if inst.is_store and stores is not None and inst.pc is not None:
+            base = read(inst.rs)
+            if base is not None:
+                stores.add((inst.pc, (base + inst.imm) & _WORD_MASK))
+        if inst.is_call and inst.is_indirect_control:
+            state.clear()             # unknown callee clobbers everything
+            continue
+        dest = inst.dest
+        if dest is None:
+            continue
+        value: Optional[int] = None
+        if op is Opcode.LUI:
+            value = (inst.imm & 0xFFFF) << 16
+        elif op is Opcode.ORI:
+            source = read(inst.rs)
+            if source is not None:
+                value = source | (inst.imm & 0xFFFF)
+        elif op is Opcode.ADDIU:
+            source = read(inst.rs)
+            if source is not None:
+                value = (source + inst.imm) & _WORD_MASK
+        elif op is Opcode.ADDU:
+            a, b = read(inst.rs), read(inst.rt)
+            if a is not None and b is not None:
+                value = (a + b) & _WORD_MASK
+        elif op is Opcode.OR:
+            a, b = read(inst.rs), read(inst.rt)
+            if a is not None and b is not None:
+                value = a | b
+        if value is None:
+            state.pop(dest, None)
+        else:
+            state[dest] = value
+    return state
+
+
+def _merge_consts(left: Dict[int, int],
+                  right: Dict[int, int]) -> Dict[int, int]:
+    return {reg: value for reg, value in left.items()
+            if right.get(reg) == value}
+
+
+def resolve_static_stores(cfg: ControlFlowGraph) -> List[Tuple[int, int]]:
+    """``(pc, effective address)`` of stores with statically known bases.
+
+    The constant lattice covers the address-forming idioms the assembler
+    emits (``la`` = ``lui``+``ori``, pointer bumps via ``addiu``/``addu``).
+    Sorted by pc; each store reports the addresses seen over all constant
+    paths reaching it.
+    """
+    entry = cfg.entry_block.index
+    in_state: Dict[int, Dict[int, int]] = {entry: {REG_SP: STACK_TOP}}
+    worklist = [entry]
+    iterations = 0
+    limit = 64 * max(1, len(cfg.blocks)) ** 2
+    while worklist and iterations < limit:
+        iterations += 1
+        index = worklist.pop()
+        block = cfg.blocks[index]
+        out = _const_transfer(cfg.instructions(block), in_state[index], None)
+        for succ in cfg.supergraph_successors(block):
+            if succ not in in_state:
+                in_state[succ] = out
+                worklist.append(succ)
+            else:
+                merged = _merge_consts(in_state[succ], out)
+                if merged != in_state[succ]:
+                    in_state[succ] = merged
+                    worklist.append(succ)
+    found: Set[Tuple[int, int]] = set()
+    for index, state in in_state.items():
+        _const_transfer(cfg.instructions(cfg.blocks[index]), state, found)
+    return sorted(found)
+
+
+# -- per-loop register footprints ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegisterFootprint:
+    """Def/use summary of one loop body (callees inlined)."""
+
+    #: Logical registers read by the body.
+    reads: FrozenSet[int]
+    #: Logical registers written by the body.
+    writes: FrozenSet[int]
+    #: Registers read before any body write (loop-carried inputs), by a
+    #: straight head-to-tail scan of the contiguous range.
+    live_in: FrozenSet[int]
+
+    @property
+    def registers(self) -> FrozenSet[int]:
+        """Every register the LRL would record for this loop."""
+        return self.reads | self.writes
+
+    @property
+    def footprint(self) -> int:
+        """Distinct logical registers touched."""
+        return len(self.registers)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (stable ordering)."""
+        return {
+            "reads": sorted(self.reads),
+            "writes": sorted(self.writes),
+            "live_in": sorted(self.live_in),
+            "footprint": self.footprint,
+        }
+
+
+def _loop_instructions(cfg: ControlFlowGraph,
+                       loop: StaticLoop) -> List[Instruction]:
+    """The loop's contiguous range plus every reachable callee body."""
+    program = cfg.program
+    instructions = [inst for inst in program.instructions
+                    if inst.pc is not None
+                    and loop.head_pc <= inst.pc <= loop.tail_pc]
+    seen: Set[int] = set()
+    worklist: List[int] = []
+    for pc in loop.call_sites:
+        index = program.index_of(pc)
+        if index is None:
+            continue
+        target = program.instructions[index].target
+        if target is not None:
+            worklist.append(target)
+    while worklist:
+        entry_pc = worklist.pop()
+        if entry_pc in seen:
+            continue
+        seen.add(entry_pc)
+        proc = cfg.procedures.get(entry_pc)
+        if proc is None:
+            continue
+        for block_index in proc.blocks:
+            instructions.extend(cfg.instructions(cfg.blocks[block_index]))
+        for site in proc.call_sites:
+            if site.target is not None and site.target not in seen:
+                worklist.append(site.target)
+    return instructions
+
+
+def loop_footprint(cfg: ControlFlowGraph,
+                   loop: StaticLoop) -> RegisterFootprint:
+    """Def/use analysis over one loop body.
+
+    ``$zero`` is excluded (reads are constant, writes are discarded, and
+    the rename stage never tracks it).
+    """
+    reads: Set[int] = set()
+    writes: Set[int] = set()
+    live_in: Set[int] = set()
+    for inst in _loop_instructions(cfg, loop):
+        for reg in inst.srcs:
+            if reg == REG_ZERO:
+                continue
+            reads.add(reg)
+            if reg not in writes:
+                live_in.add(reg)
+        if inst.dest is not None:
+            writes.add(inst.dest)
+    return RegisterFootprint(reads=frozenset(reads),
+                             writes=frozenset(writes),
+                             live_in=frozenset(live_in))

@@ -1,0 +1,419 @@
+"""Bufferability lint rules over assembled programs.
+
+The rule set encodes the structural preconditions of the paper's
+reuse-capable issue queue as static checks:
+
+=====  ========================  ========  =====================================
+id     name                      severity  fires when
+=====  ========================  ========  =====================================
+B001   loop-fits-iq              note      a loop candidate cannot be captured
+                                           at the configured issue-queue size
+                                           (distance too large, or even the
+                                           shortest iteration overflows)
+B002   inner-loop-would-abort    note      a capturable loop contains another
+                                           loop candidate; detecting the inner
+                                           loop revokes buffering (NBLT cause
+                                           "inner loop")
+B003   call-depth-exceeds-limit  warning   a loop's static call chain exceeds
+                                           the return-address-stack depth (or
+                                           is unbounded), so returns inside
+                                           the loop will mispredict
+B004   unreachable-block         warning   a basic block no path from the
+                                           entry point reaches
+B005   undefined-register-read   error     a register is read on some path
+                                           with no prior write (only ``$zero``
+                                           and ``$sp`` are defined at reset)
+B006   store-to-text-segment     error     a store's statically resolved
+                                           address lands inside the text
+                                           segment (self-modifying code; the
+                                           pipeline fetches stale text)
+=====  ========================  ========  =====================================
+
+:func:`run_lint` produces a :class:`LintReport` with deterministic
+ordering, renderable as text, JSON or SARIF 2.1.0.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dataflow import (
+    loop_footprint,
+    resolve_static_stores,
+    undefined_reads,
+)
+from repro.analysis.loops import (
+    CLASS_BUFFERABLE,
+    CLASS_OVERFLOW,
+    CLASS_TOO_LARGE,
+    StaticLoop,
+    analyze_loops,
+)
+from repro.arch.config import MachineConfig
+from repro.isa.program import Program
+from repro.isa.registers import reg_name
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; comparable, so ``--fail-on`` is a threshold."""
+
+    NOTE = 1
+    WARNING = 2
+    ERROR = 3
+
+    @property
+    def label(self) -> str:
+        """Lower-case name (also the SARIF ``level``)."""
+        return self.name.lower()
+
+
+_SEVERITY_BY_LABEL = {sev.label: sev for sev in Severity}
+
+
+def parse_severity(label: str) -> Severity:
+    """Parse a ``--fail-on`` threshold label."""
+    try:
+        return _SEVERITY_BY_LABEL[label.lower()]
+    except KeyError:
+        raise ValueError(f"unknown severity: {label!r}") from None
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Identity and defaults of one lint rule."""
+
+    #: Stable identifier (``B001`` .. ``B006``).
+    id: str
+    #: Short kebab-case name.
+    name: str
+    #: Severity every finding of this rule carries.
+    severity: Severity
+    #: One-line description (also the SARIF rule description).
+    description: str
+
+
+#: The rule catalog, keyed by rule id.
+RULES: Dict[str, RuleSpec] = {
+    spec.id: spec for spec in (
+        RuleSpec("B001", "loop-fits-iq", Severity.NOTE,
+                 "A backward-branch loop cannot be captured at the "
+                 "configured issue-queue size."),
+        RuleSpec("B002", "inner-loop-would-abort", Severity.NOTE,
+                 "A capturable loop contains another loop candidate; "
+                 "detecting the inner loop revokes buffering."),
+        RuleSpec("B003", "call-depth-exceeds-limit", Severity.WARNING,
+                 "A loop's static call chain exceeds the return address "
+                 "stack depth, so returns will mispredict."),
+        RuleSpec("B004", "unreachable-block", Severity.WARNING,
+                 "A basic block is unreachable from the entry point."),
+        RuleSpec("B005", "undefined-register-read", Severity.ERROR,
+                 "A register is read before any write on some path."),
+        RuleSpec("B006", "store-to-text-segment", Severity.ERROR,
+                 "A store's statically resolved address falls inside "
+                 "the text segment."),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source span."""
+
+    #: Rule id (a key of :data:`RULES`).
+    rule: str
+    #: Human-readable description of this specific violation.
+    message: str
+    #: First byte address of the offending span (None = whole program).
+    pc: Optional[int] = None
+    #: Last byte address of the span, inclusive (None = single address).
+    end_pc: Optional[int] = None
+    #: Suggested remediation.
+    fix: Optional[str] = None
+    #: Rule-specific structured details (JSON-ready values only).
+    data: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def severity(self) -> Severity:
+        """The rule's severity."""
+        return RULES[self.rule].severity
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (stable keys, hex addresses)."""
+        return {
+            "rule": self.rule,
+            "name": RULES[self.rule].name,
+            "severity": self.severity.label,
+            "message": self.message,
+            "pc": None if self.pc is None else f"{self.pc:#x}",
+            "end_pc": None if self.end_pc is None else f"{self.end_pc:#x}",
+            "fix": self.fix,
+            "data": self.data,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings and loop summaries for one program at one IQ size."""
+
+    #: Program name.
+    program: str
+    #: Issue-queue size the loop rules were evaluated at.
+    iq_size: int
+    #: Return-address-stack depth used by B003.
+    ras_size: int
+    #: Findings, sorted by (pc, rule).
+    findings: List[Finding]
+    #: Per-loop static structure with bufferability verdicts.
+    loops: List[Dict[str, object]]
+    #: Text-segment base address (for pc -> listing-line mapping).
+    text_base: int = 0x00400000
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings at exactly ``severity``."""
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    def worst(self) -> Optional[Severity]:
+        """The most severe finding, or None when the report is clean."""
+        if not self.findings:
+            return None
+        return max(f.severity for f in self.findings)
+
+    def fails(self, threshold: Severity) -> bool:
+        """True when any finding is at or above ``threshold``."""
+        worst = self.worst()
+        return worst is not None and worst >= threshold
+
+    # -- renderers -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the golden-file format)."""
+        return {
+            "program": self.program,
+            "iq_size": self.iq_size,
+            "ras_size": self.ras_size,
+            "counts": {sev.label: self.count(sev) for sev in Severity},
+            "findings": [f.to_dict() for f in self.findings],
+            "loops": self.loops,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize :meth:`to_dict` (trailing newline included)."""
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=False) + "\n"
+
+    def to_sarif(self) -> Dict[str, object]:
+        """A minimal SARIF 2.1.0 log with one run."""
+        artifact = f"{self.program}.s"
+        results = []
+        for finding in self.findings:
+            result: Dict[str, object] = {
+                "ruleId": finding.rule,
+                "level": finding.severity.label,
+                "message": {"text": finding.message},
+            }
+            if finding.pc is not None:
+                region: Dict[str, object] = {
+                    "startLine": self._line_of(finding.pc)}
+                if finding.end_pc is not None:
+                    region["endLine"] = self._line_of(finding.end_pc)
+                result["locations"] = [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": artifact},
+                        "region": region,
+                    }
+                }]
+            if finding.fix is not None:
+                result["fixes"] = [
+                    {"description": {"text": finding.fix}}]
+            results.append(result)
+        return {
+            "version": "2.1.0",
+            "$schema": ("https://json.schemastore.org/sarif-2.1.0.json"),
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/analysis.md",
+                    "rules": [
+                        {
+                            "id": spec.id,
+                            "name": spec.name,
+                            "shortDescription": {"text": spec.description},
+                            "defaultConfiguration": {
+                                "level": spec.severity.label},
+                        }
+                        for spec in sorted(RULES.values(),
+                                           key=lambda s: s.id)
+                    ],
+                }},
+                "results": results,
+            }],
+        }
+
+    def render_text(self) -> str:
+        """Human-readable report."""
+        lines = [f"{self.program}: iq={self.iq_size} "
+                 f"loops={len(self.loops)} findings={len(self.findings)}"]
+        for finding in self.findings:
+            where = "" if finding.pc is None else f" @ {finding.pc:#x}"
+            if finding.end_pc is not None:
+                where += f"..{finding.end_pc:#x}"
+            lines.append(f"  {finding.rule} {finding.severity.label}"
+                         f"{where}: {finding.message}")
+            if finding.fix:
+                lines.append(f"       fix: {finding.fix}")
+        for loop in self.loops:
+            lines.append(
+                f"  loop tail={loop['tail_pc']} size={loop['size']} "
+                f"depth={loop['depth']} class={loop['class']}")
+        return "\n".join(lines)
+
+    def _line_of(self, pc: int) -> int:
+        """1-based instruction index standing in for a source line."""
+        return (pc - self.text_base) // 4 + 1
+
+
+# -- rule evaluation ----------------------------------------------------------
+
+
+def _loop_rules(cfg: ControlFlowGraph, loops: List[StaticLoop],
+                config: MachineConfig) -> List[Finding]:
+    iq = config.iq_size
+    findings: List[Finding] = []
+    for loop in loops:
+        verdict = loop.classify(iq)
+        span = dict(pc=loop.head_pc, end_pc=loop.tail_pc)
+        if verdict == CLASS_TOO_LARGE:
+            findings.append(Finding(
+                rule="B001",
+                message=(f"loop at {loop.tail_pc:#x} spans {loop.size} "
+                         f"instructions and cannot fit a {iq}-entry "
+                         f"issue queue"),
+                fix=("shrink the loop body or split it so the backward "
+                     "distance fits the issue queue"),
+                data={"size": loop.size, "iq_size": iq,
+                      "class": verdict}, **span))
+        elif verdict == CLASS_OVERFLOW:
+            findings.append(Finding(
+                rule="B001",
+                message=(f"loop at {loop.tail_pc:#x} fits the queue but "
+                         f"its shortest iteration decodes "
+                         f"{loop.min_iteration_length} instructions "
+                         f"(> {iq}); buffering always aborts"),
+                fix="outline the loop body calls or reduce the iteration "
+                    "length",
+                data={"size": loop.size, "iq_size": iq,
+                      "min_iteration_length": loop.min_iteration_length,
+                      "class": verdict}, **span))
+        if loop.fits(iq) and loop.inner_tail_pcs:
+            inner = ", ".join(f"{pc:#x}" for pc in loop.inner_tail_pcs)
+            findings.append(Finding(
+                rule="B002",
+                message=(f"loop at {loop.tail_pc:#x} contains inner loop "
+                         f"candidate(s) at {inner}; buffering the outer "
+                         f"loop aborts when an inner loop is detected"),
+                fix="only the innermost loop can be reused; consider "
+                    "unrolling the inner loop if outer reuse matters",
+                data={"inner_tail_pcs":
+                      [f"{pc:#x}" for pc in loop.inner_tail_pcs]}, **span))
+        if loop.call_sites and (loop.max_call_depth is None
+                                or loop.max_call_depth > config.ras_size):
+            depth = ("unbounded" if loop.max_call_depth is None
+                     else str(loop.max_call_depth))
+            findings.append(Finding(
+                rule="B003",
+                message=(f"loop at {loop.tail_pc:#x} reaches call depth "
+                         f"{depth}, exceeding the {config.ras_size}-entry "
+                         f"return address stack"),
+                fix="flatten the call chain below the RAS depth to keep "
+                    "return prediction accurate",
+                data={"max_call_depth": loop.max_call_depth,
+                      "ras_size": config.ras_size}, **span))
+    return findings
+
+
+def _block_rules(cfg: ControlFlowGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    program = cfg.program
+    for block in cfg.unreachable_blocks():
+        first = program.instructions[block.start]
+        last = program.instructions[block.end - 1]
+        findings.append(Finding(
+            rule="B004",
+            message=(f"block #{block.index} "
+                     f"({len(block)} instruction(s)) is unreachable "
+                     f"from the entry point"),
+            pc=first.pc, end_pc=last.pc,
+            fix="delete the dead code or add a branch reaching it",
+            data={"block": block.index,
+                  "instructions": len(block)}))
+    return findings
+
+
+def _dataflow_rules(cfg: ControlFlowGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    program = cfg.program
+    for pc, reg in undefined_reads(cfg):
+        findings.append(Finding(
+            rule="B005",
+            message=(f"register {reg_name(reg)} is read at {pc:#x} "
+                     f"but never written on some path from the entry "
+                     f"point"),
+            pc=pc,
+            fix=f"initialize {reg_name(reg)} before the read",
+            data={"register": reg, "register_name": reg_name(reg)}))
+    text_end = program.text_end
+    for pc, addr in resolve_static_stores(cfg):
+        if program.text_base <= addr < text_end:
+            findings.append(Finding(
+                rule="B006",
+                message=(f"store at {pc:#x} writes address {addr:#x} "
+                         f"inside the text segment"),
+                pc=pc,
+                fix="point the store at the data segment or the stack",
+                data={"address": f"{addr:#x}"}))
+    return findings
+
+
+def _loop_summaries(cfg: ControlFlowGraph, loops: List[StaticLoop],
+                    config: MachineConfig) -> List[Dict[str, object]]:
+    summaries = []
+    for loop in loops:
+        entry = loop.to_dict()
+        entry["class"] = loop.classify(config.iq_size)
+        entry["hazards"] = sorted(loop.hazards(config.iq_size))
+        entry["lrl"] = loop_footprint(cfg, loop).to_dict()
+        summaries.append(entry)
+    return summaries
+
+
+def run_lint(program: Program,
+             config: Optional[MachineConfig] = None) -> LintReport:
+    """Evaluate every rule over ``program`` at ``config``'s queue size."""
+    if config is None:
+        config = MachineConfig()
+    cfg = build_cfg(program)
+    loops = analyze_loops(cfg)
+    findings: List[Finding] = []
+    findings.extend(_loop_rules(cfg, loops, config))
+    findings.extend(_block_rules(cfg))
+    findings.extend(_dataflow_rules(cfg))
+    findings.sort(key=lambda f: (f.pc if f.pc is not None else -1, f.rule))
+    return LintReport(
+        program=program.name,
+        iq_size=config.iq_size,
+        ras_size=config.ras_size,
+        findings=findings,
+        loops=_loop_summaries(cfg, loops, config),
+        text_base=program.text_base,
+    )
+
+
+def bufferable_loops(report: LintReport) -> List[Dict[str, object]]:
+    """The report's loops classified bufferable (convenience for tests)."""
+    return [loop for loop in report.loops
+            if loop["class"] == CLASS_BUFFERABLE]

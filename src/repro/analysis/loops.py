@@ -1,0 +1,527 @@
+"""Static loop detection and structure analysis.
+
+The dynamic loop detector (:mod:`repro.core.loop_detector`) fires on any
+predicted-taken backward direct branch or jump whose static distance fits
+the issue queue.  This module enumerates exactly the same *candidates*
+statically -- every direct conditional branch or unconditional jump whose
+target lies at or before its own address (direct calls excluded, as in
+the detector) -- and attaches the structure the paper's mechanism cares
+about:
+
+* the static distance (``head..tail`` inclusive, the detector's size),
+* the dominator-based *natural loop* for the back edge, when the CFG is
+  reducible at that edge (body blocks and body length),
+* nesting depth by interval containment (matching the contiguous-range
+  view the hardware has of a loop),
+* call structure: in-range call sites, the maximum static call depth and
+  minimum/maximum *dynamic iteration length* with callees inlined (the
+  quantity that must fit the free issue-queue entries, Section 2.2.2),
+* abort hazards: the statically visible reasons buffering could be
+  revoked (loop exit, inner loop, issue-queue overflow) -- the same
+  causes the controller registers in the NBLT (Section 2.2.3).
+
+:func:`analyze_loops` is the entry point; the crosscheck and the B001,
+B002 and B003 lint rules consume its :class:`StaticLoop` records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import (
+    EDGE_CALL_RETURN,
+    ControlFlowGraph,
+    Procedure,
+    START_ROUTINE,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import INSTRUCTION_BYTES
+
+#: Hazard tags (the statically visible NBLT-registered revoke causes).
+HAZARD_EXIT = "exit"
+HAZARD_INNER_LOOP = "inner-loop"
+HAZARD_IQ_OVERFLOW = "iq-overflow"
+
+#: Bufferability classes returned by :meth:`StaticLoop.classify`.
+CLASS_BUFFERABLE = "bufferable"
+CLASS_CONDITIONAL = "conditional"
+CLASS_OVERFLOW = "overflow"
+CLASS_TOO_LARGE = "too-large"
+
+
+def is_loop_candidate(inst: Instruction) -> bool:
+    """True for the static form of the detector's loop-ending test.
+
+    A direct conditional branch or unconditional jump whose resolved
+    target is at or before its own address; direct calls are excluded
+    (backward calls are procedure linkage, not loop ends).
+    """
+    icls = inst.op.icls
+    if icls is not InstrClass.BRANCH and icls is not InstrClass.JUMP:
+        return False
+    return (inst.target is not None and inst.pc is not None
+            and inst.target <= inst.pc)
+
+
+@dataclass(frozen=True)
+class StaticLoop:
+    """One backward-branch loop candidate with its static structure."""
+
+    #: Address of the loop-ending branch/jump (the detector's trigger).
+    tail_pc: int
+    #: Address of the first instruction of an iteration (the target).
+    head_pc: int
+    #: Static distance head..tail inclusive, in instructions.
+    size: int
+    #: True when the tail is a conditional branch (the loop can fall out).
+    tail_conditional: bool
+    #: Name of the routine owning the tail block.
+    routine: str
+    #: True when the back edge's target dominates its source (reducible).
+    natural: bool
+    #: Natural-loop body block indices (empty when not natural).
+    body_blocks: Tuple[int, ...]
+    #: Instructions across the natural body (falls back to ``size``).
+    body_length: int
+    #: Nesting depth by pc-interval containment (1 = outermost).
+    depth: int
+    #: Enclosing candidate's tail pc, or None when outermost.
+    parent_tail_pc: Optional[int]
+    #: Direct/indirect call instructions inside the pc range.
+    call_sites: Tuple[int, ...]
+    #: Deepest static call chain from the loop body (0 = no calls,
+    #: None = unbounded or unknown -- recursion or an indirect call).
+    max_call_depth: Optional[int]
+    #: Shortest decode path head->tail with callees inlined (None when
+    #: no bound is computable).  A value above the IQ size proves the
+    #: loop can never finish buffering an iteration.
+    min_iteration_length: Optional[int]
+    #: Full footprint: every in-range instruction plus every reachable
+    #: callee instruction (None = unbounded).  Above the IQ size means
+    #: overflow is *possible*.
+    max_iteration_length: Optional[int]
+    #: Tail pcs of other loop candidates inside the range or its callees.
+    inner_tail_pcs: Tuple[int, ...]
+    #: A non-tail in-range branch/jump targets outside the range.
+    has_side_exit: bool
+    #: The range contains a return instruction.
+    has_return_inside: bool
+    #: The range contains a non-return indirect jump.
+    has_indirect_inside: bool
+
+    def fits(self, iq_size: int) -> bool:
+        """True when the static distance fits an ``iq_size``-entry queue."""
+        return self.size <= iq_size
+
+    def hazards(self, iq_size: int) -> FrozenSet[str]:
+        """Statically visible buffering-abort causes at this queue size.
+
+        These are exactly the revoke causes the controller registers in
+        the non-bufferable loop table: execution leaving the loop during
+        buffering, an inner loop being detected, and the issue queue
+        filling before the loop-ending instruction is met.
+        """
+        tags: Set[str] = set()
+        unknown_calls = bool(self.call_sites) and self.max_call_depth is None
+        # A call inside the loop counts as an exit hazard: a mispredicted
+        # return can strand the predicted decode stream outside the loop
+        # while the call-depth counter is back at zero.
+        if (self.tail_conditional or self.has_side_exit
+                or self.has_return_inside or self.has_indirect_inside
+                or self.call_sites):
+            tags.add(HAZARD_EXIT)
+        if self.inner_tail_pcs or unknown_calls:
+            tags.add(HAZARD_INNER_LOOP)
+        # Overflow is possible when the longest iteration exceeds the
+        # queue, and also whenever the iteration length *varies*: the
+        # multi-iteration strategy only guarantees room for another
+        # iteration of the size just observed.
+        if (self.max_iteration_length is None
+                or self.max_iteration_length > iq_size
+                or self.min_iteration_length is None
+                or self.min_iteration_length != self.max_iteration_length):
+            tags.add(HAZARD_IQ_OVERFLOW)
+        return frozenset(tags)
+
+    def classify(self, iq_size: int) -> str:
+        """Bufferability verdict at one issue-queue size.
+
+        ``too-large``
+            the distance exceeds the queue; the detector never fires.
+        ``overflow``
+            even the shortest possible iteration (callees inlined)
+            exceeds the queue; buffering always aborts.
+        ``conditional``
+            capturable, but an inner loop or possible callee overflow
+            can revoke buffering depending on dynamic behaviour.
+        ``bufferable``
+            capturable with no statically visible structural hazard.
+        """
+        if not self.fits(iq_size):
+            return CLASS_TOO_LARGE
+        if (self.min_iteration_length is not None
+                and self.min_iteration_length > iq_size):
+            return CLASS_OVERFLOW
+        hazards = self.hazards(iq_size)
+        if HAZARD_INNER_LOOP in hazards or HAZARD_IQ_OVERFLOW in hazards:
+            return CLASS_CONDITIONAL
+        return CLASS_BUFFERABLE
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (stable keys, hex addresses)."""
+        return {
+            "tail_pc": f"{self.tail_pc:#x}",
+            "head_pc": f"{self.head_pc:#x}",
+            "size": self.size,
+            "tail_conditional": self.tail_conditional,
+            "routine": self.routine,
+            "natural": self.natural,
+            "body_length": self.body_length,
+            "depth": self.depth,
+            "parent_tail_pc": (None if self.parent_tail_pc is None
+                               else f"{self.parent_tail_pc:#x}"),
+            "call_sites": [f"{pc:#x}" for pc in self.call_sites],
+            "max_call_depth": self.max_call_depth,
+            "min_iteration_length": self.min_iteration_length,
+            "max_iteration_length": self.max_iteration_length,
+            "inner_tail_pcs": [f"{pc:#x}" for pc in self.inner_tail_pcs],
+            "has_side_exit": self.has_side_exit,
+            "has_return_inside": self.has_return_inside,
+            "has_indirect_inside": self.has_indirect_inside,
+        }
+
+
+# -- dominators ---------------------------------------------------------------
+
+
+def compute_dominators(cfg: ControlFlowGraph,
+                       proc: Procedure) -> Dict[int, Set[int]]:
+    """Dominator sets for one routine's blocks (iterative dataflow)."""
+    members = set(proc.blocks)
+    entry_index = cfg.program.index_of(proc.entry_pc)
+    assert entry_index is not None
+    entry = cfg.block_at_index(entry_index).index
+    dominators: Dict[int, Set[int]] = {
+        index: ({entry} if index == entry else set(members))
+        for index in members
+    }
+    changed = True
+    while changed:
+        changed = False
+        for index in proc.blocks:
+            if index == entry:
+                continue
+            preds = [p for p in cfg.blocks[index].predecessors
+                     if p in members]
+            if preds:
+                new: Set[int] = set.intersection(
+                    *(dominators[p] for p in preds))
+            else:
+                new = set()
+            new.add(index)
+            if new != dominators[index]:
+                dominators[index] = new
+                changed = True
+    return dominators
+
+
+def natural_loop_body(cfg: ControlFlowGraph, head_block: int,
+                      tail_block: int, members: Set[int]) -> Set[int]:
+    """Blocks of the natural loop for the back edge tail->head."""
+    body = {head_block, tail_block}
+    worklist = [tail_block]
+    while worklist:
+        index = worklist.pop()
+        if index == head_block:
+            continue
+        for pred in cfg.blocks[index].predecessors:
+            if pred in members and pred not in body:
+                body.add(pred)
+                worklist.append(pred)
+    return body
+
+
+# -- callee footprints --------------------------------------------------------
+
+
+class _CalleeMetrics:
+    """Memoized per-procedure inline footprints and call depths."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self._min: Dict[int, float] = {}
+        self._max: Dict[int, float] = {}
+        self._depth: Dict[int, Optional[float]] = {}
+
+    def min_inline(self, entry_pc: int) -> float:
+        """Shortest entry-to-return decode path, callees inlined."""
+        if entry_pc in self._min:
+            return self._min[entry_pc]
+        self._min[entry_pc] = math.inf        # cycle guard
+        proc = self.cfg.procedures.get(entry_pc)
+        if proc is None:
+            return math.inf
+        self._min[entry_pc] = self._shortest_path(
+            proc, self._entry_block(proc), set(proc.return_blocks))
+        return self._min[entry_pc]
+
+    def max_inline(self, entry_pc: int) -> float:
+        """Every body instruction plus every reachable callee's."""
+        if entry_pc in self._max:
+            return self._max[entry_pc]
+        self._max[entry_pc] = math.inf        # cycle guard
+        proc = self.cfg.procedures.get(entry_pc)
+        if proc is None:
+            return math.inf
+        total = float(proc.instruction_count)
+        for site in proc.call_sites:
+            if site.target is None:
+                total = math.inf
+                break
+            total += self.max_inline(site.target)
+        self._max[entry_pc] = total
+        return total
+
+    def depth(self, entry_pc: int) -> Optional[float]:
+        """Deepest call chain from one procedure (1 = leaf)."""
+        if entry_pc in self._depth:
+            return self._depth[entry_pc]
+        self._depth[entry_pc] = None          # cycle guard -> unbounded
+        proc = self.cfg.procedures.get(entry_pc)
+        if proc is None:
+            return None
+        deepest = 0.0
+        for site in proc.call_sites:
+            if site.target is None:
+                self._depth[entry_pc] = None
+                return None
+            below = self.depth(site.target)
+            if below is None:
+                self._depth[entry_pc] = None
+                return None
+            deepest = max(deepest, below)
+        self._depth[entry_pc] = 1.0 + deepest
+        return self._depth[entry_pc]
+
+    def _entry_block(self, proc: Procedure) -> int:
+        index = self.cfg.program.index_of(proc.entry_pc)
+        assert index is not None
+        return self.cfg.block_at_index(index).index
+
+    def _shortest_path(self, proc: Procedure, start: int,
+                       goals: Set[int]) -> float:
+        """Dijkstra over blocks; entering a block costs its length and
+        crossing a call-return edge additionally inlines the callee."""
+        if not goals:
+            return math.inf
+        members = set(proc.blocks)
+        dist: Dict[int, float] = {start: float(len(self.cfg.blocks[start]))}
+        frontier = {start}
+        while frontier:
+            current = min(frontier, key=lambda b: dist[b])
+            frontier.discard(current)
+            block = self.cfg.blocks[current]
+            for succ, kind in block.successors:
+                if succ not in members:
+                    continue
+                weight = float(len(self.cfg.blocks[succ]))
+                if kind == EDGE_CALL_RETURN:
+                    term = self.cfg.terminator(block)
+                    weight += (self.min_inline(term.target)
+                               if term.target is not None else math.inf)
+                candidate = dist[current] + weight
+                if candidate < dist.get(succ, math.inf):
+                    dist[succ] = candidate
+                    frontier.add(succ)
+        return min((dist.get(goal, math.inf) for goal in goals),
+                   default=math.inf)
+
+    def shortest_iteration(self, proc: Procedure, head_block: int,
+                           tail_block: int) -> float:
+        """Shortest decode path head..tail inside one routine."""
+        return self._shortest_path(proc, head_block, {tail_block})
+
+
+# -- the analysis -------------------------------------------------------------
+
+
+def _owning_procedure(cfg: ControlFlowGraph,
+                      block_index: int) -> Optional[Procedure]:
+    start = cfg.procedures.get(cfg.program.entry_point)
+    if start is not None and block_index in start.blocks:
+        return start
+    for entry_pc in sorted(cfg.procedures):
+        proc = cfg.procedures[entry_pc]
+        if proc.name != START_ROUTINE and block_index in proc.blocks:
+            return proc
+    return None
+
+
+def _callee_pc_ranges(cfg: ControlFlowGraph, metrics: _CalleeMetrics,
+                      call_targets: List[int]) -> Set[int]:
+    """All instruction pcs of procedures reachable from the call targets."""
+    pcs: Set[int] = set()
+    seen: Set[int] = set()
+    worklist = list(call_targets)
+    while worklist:
+        entry_pc = worklist.pop()
+        if entry_pc in seen:
+            continue
+        seen.add(entry_pc)
+        proc = cfg.procedures.get(entry_pc)
+        if proc is None:
+            continue
+        for block_index in proc.blocks:
+            block = cfg.blocks[block_index]
+            for inst in cfg.instructions(block):
+                if inst.pc is not None:
+                    pcs.add(inst.pc)
+        for site in proc.call_sites:
+            if site.target is not None and site.target not in seen:
+                worklist.append(site.target)
+    return pcs
+
+
+def _as_optional_int(value: float) -> Optional[int]:
+    return None if math.isinf(value) else int(value)
+
+
+def analyze_loops(cfg: ControlFlowGraph) -> List[StaticLoop]:
+    """Every backward-branch loop candidate with its static structure.
+
+    Sorted by tail address; nesting depth and parents computed by pc
+    interval containment, which is the view the detector's distance
+    check and the controller's in-range test share.
+    """
+    program = cfg.program
+    candidates = [inst for inst in program.instructions
+                  if is_loop_candidate(inst)]
+    metrics = _CalleeMetrics(cfg)
+    dominators_cache: Dict[int, Dict[int, Set[int]]] = {}
+    intervals = [(inst.target, inst.pc) for inst in candidates]
+    loops: List[StaticLoop] = []
+    for inst in candidates:
+        assert inst.pc is not None and inst.target is not None
+        tail_pc, head_pc = inst.pc, inst.target
+        size = (tail_pc - head_pc) // INSTRUCTION_BYTES + 1
+        tail_block = cfg.block_at_pc(tail_pc)
+        head_block = cfg.block_at_pc(head_pc)
+        assert tail_block is not None
+        proc = _owning_procedure(cfg, tail_block.index)
+        routine = proc.name if proc is not None else "<unreachable>"
+
+        natural = False
+        body_blocks: Tuple[int, ...] = ()
+        body_length = size
+        if (proc is not None and head_block is not None
+                and head_block.index in proc.blocks):
+            if proc.entry_pc not in dominators_cache:
+                dominators_cache[proc.entry_pc] = \
+                    compute_dominators(cfg, proc)
+            dominators = dominators_cache[proc.entry_pc]
+            if head_block.index in dominators.get(tail_block.index, set()):
+                natural = True
+                body = natural_loop_body(cfg, head_block.index,
+                                         tail_block.index,
+                                         set(proc.blocks))
+                body_blocks = tuple(sorted(body))
+                body_length = sum(len(cfg.blocks[index])
+                                  for index in body_blocks)
+
+        depth = 1
+        parent_tail: Optional[int] = None
+        parent_span: Optional[int] = None
+        for other_head, other_tail in intervals:
+            assert other_head is not None and other_tail is not None
+            if (other_head, other_tail) == (head_pc, tail_pc):
+                continue
+            if other_head <= head_pc and tail_pc <= other_tail:
+                depth += 1
+                span = other_tail - other_head
+                if parent_span is None or span < parent_span:
+                    parent_span = span
+                    parent_tail = other_tail
+
+        in_range = [i for i in program.instructions
+                    if i.pc is not None and head_pc <= i.pc <= tail_pc]
+        call_sites = tuple(i.pc for i in in_range
+                           if i.is_call and i.pc is not None)
+        direct_targets = [i.target for i in in_range
+                          if i.is_call and not i.is_indirect_control
+                          and i.target is not None]
+        has_indirect_call = any(i.is_call and i.is_indirect_control
+                                for i in in_range)
+        has_return = any(i.is_return for i in in_range)
+        has_indirect = any(i.is_indirect_control and not i.is_return
+                           and not i.is_call for i in in_range)
+        side_exit = False
+        for i in in_range:
+            if i.pc == tail_pc or not i.is_direct_control or i.is_call:
+                continue
+            if i.target is not None and not (head_pc <= i.target <= tail_pc):
+                side_exit = True
+                break
+
+        callee_pcs = _callee_pc_ranges(cfg, metrics, direct_targets)
+        inner_tails = tuple(sorted(
+            i.pc for i in program.instructions
+            if is_loop_candidate(i) and i.pc is not None and i.pc != tail_pc
+            and (head_pc <= i.pc < tail_pc or i.pc in callee_pcs)))
+
+        depth_below: Optional[float] = 0.0
+        if has_indirect_call:
+            depth_below = None
+        else:
+            for target in direct_targets:
+                below = metrics.depth(target)
+                if below is None:
+                    depth_below = None
+                    break
+                assert depth_below is not None
+                depth_below = max(depth_below, below)
+        max_call_depth = None if depth_below is None else int(depth_below)
+
+        max_iter: float = float(size)
+        if has_indirect_call:
+            max_iter = math.inf
+        else:
+            for target in direct_targets:
+                max_iter += metrics.max_inline(target)
+        min_iter: float = math.inf
+        if (proc is not None and head_block is not None
+                and head_block.index in proc.blocks):
+            min_iter = metrics.shortest_iteration(proc, head_block.index,
+                                                  tail_block.index)
+        elif not call_sites:
+            min_iter = float(size)
+
+        loops.append(StaticLoop(
+            tail_pc=tail_pc,
+            head_pc=head_pc,
+            size=size,
+            tail_conditional=inst.is_conditional_branch,
+            routine=routine,
+            natural=natural,
+            body_blocks=body_blocks,
+            body_length=body_length,
+            depth=depth,
+            parent_tail_pc=parent_tail,
+            call_sites=call_sites,
+            max_call_depth=max_call_depth,
+            min_iteration_length=_as_optional_int(min_iter),
+            max_iteration_length=_as_optional_int(max_iter),
+            inner_tail_pcs=inner_tails,
+            has_side_exit=side_exit,
+            has_return_inside=has_return,
+            has_indirect_inside=has_indirect,
+        ))
+    loops.sort(key=lambda loop: loop.tail_pc)
+    return loops
+
+
+def loops_by_tail(loops: List[StaticLoop]) -> Dict[int, StaticLoop]:
+    """Index a loop list by tail address (the NBLT key)."""
+    return {loop.tail_pc: loop for loop in loops}

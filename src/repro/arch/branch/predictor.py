@@ -90,7 +90,8 @@ class BranchPredictor:
         self.ras.restore(ras_snap)
         if direction_snap is not None:
             if actual_taken is not None:
-                direction_snap = ((direction_snap >> 1) << 1)                     | int(actual_taken)
+                direction_snap = (((direction_snap >> 1) << 1)
+                                  | int(actual_taken))
             self.direction.restore(direction_snap)
 
     def predict(self, inst: Instruction, pc: int) -> Prediction:

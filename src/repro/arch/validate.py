@@ -22,8 +22,8 @@ Checked invariants:
 * every rename-map producer is an in-flight ROB instruction whose
   destination is the mapped register,
 * the controller's gate is only up while buffering has promoted or reuse
-  is active, the reuse pointer is in range, and buffered entries never
-  exceed the queue,
+  is active, the reuse pointer is in range and points at an entry whose
+  classification bit is set, and buffered entries never exceed the queue,
 * state-cycle counters add up.
 """
 
@@ -140,6 +140,9 @@ def _validate_controller(pipeline) -> None:
         _check(controller.buffered, "Code Reuse with nothing buffered")
         _check(0 <= controller.reuse_pointer < len(controller.buffered),
                "reuse pointer out of range")
+        pointed = controller.buffered[controller.reuse_pointer]
+        _check(pointed.classification,
+               "reuse pointer at an entry with classification bit clear")
     if state is IQState.NORMAL:
         _check(not controller.buffered,
                "Normal state with buffered entries")

@@ -27,6 +27,14 @@ Subcommands
     with a warm cache no simulation executes (verify with
     ``--manifest``).
 
+``lint [TARGET ...]``
+    Static bufferability analysis (rules B001-B006) over kernel names
+    and/or ``.s`` files (default: the whole Table 2 suite).  ``--iq``
+    sweeps issue-queue sizes, ``--format`` selects text/JSON/SARIF,
+    ``--fail-on`` sets the exit-code threshold and ``--crosscheck``
+    additionally verifies static predictions against the dynamic
+    controller (see ``docs/analysis.md``).
+
 ``disasm FILE.s``
     Assemble a file and print the disassembly listing with labels.
 """
@@ -39,6 +47,8 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.analysis.crosscheck import crosscheck
+from repro.analysis.lint import Severity, parse_severity, run_lint
 from repro.arch.config import MachineConfig
 from repro.isa.assembler import AssemblerError, assemble
 from repro.power.params import CLOCKING_STYLES, DEFAULT_PARAMS
@@ -49,7 +59,7 @@ from repro.sim.reproduce import EXPERIMENT_NAMES, reproduce
 from repro.sim.results import RunComparison
 from repro.sim.simulator import simulate
 from repro.sim.statsdump import render_stats
-from repro.workloads.suite import BENCHMARK_NAMES
+from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
 
 
 def _machine_config(args) -> MachineConfig:
@@ -259,6 +269,72 @@ def _cmd_power(args) -> int:
     return 0
 
 
+def _lint_programs(args):
+    """Resolve lint targets: kernel names and/or ``.s`` source files."""
+    targets = args.targets or list(BENCHMARK_NAMES)
+    suite = WorkloadSuite()
+    programs = []
+    for target in targets:
+        if target in BENCHMARK_NAMES:
+            programs.append(suite.program(target,
+                                          optimize=args.optimize))
+        elif target.endswith(".s"):
+            programs.append(_load_program(target))
+        else:
+            raise SystemExit(
+                f"error: unknown lint target {target!r}; pass a "
+                f"benchmark name ({', '.join(BENCHMARK_NAMES)}) or a "
+                f".s file")
+    return programs
+
+
+def _cmd_lint(args) -> int:
+    try:
+        threshold = parse_severity(args.fail_on)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    programs = _lint_programs(args)
+    iq_sizes = args.iq or [64]
+    reports = []
+    checks = []
+    failed = False
+    for iq in iq_sizes:
+        config = MachineConfig().with_iq_size(iq)
+        for program in programs:
+            report = run_lint(program, config)
+            reports.append(report)
+            if report.fails(threshold):
+                failed = True
+            if args.crosscheck:
+                result = crosscheck(
+                    program, config.replace(reuse_enabled=True))
+                checks.append(result)
+                if not result.ok:
+                    failed = True
+    if args.format == "json":
+        payload = {"reports": [r.to_dict() for r in reports]}
+        if args.crosscheck:
+            payload["crosschecks"] = [c.to_dict() for c in checks]
+        print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        logs = [r.to_sarif() for r in reports]
+        merged = logs[0]
+        for log in logs[1:]:
+            merged["runs"].extend(log["runs"])
+        print(json.dumps(merged, indent=2))
+    else:
+        for report in reports:
+            print(report.render_text())
+        for result in checks:
+            verdict = "ok" if result.ok else "FAIL"
+            print(f"crosscheck {result.program} iq={result.iq_size}: "
+                  f"{verdict} {dict(sorted(result.counts.items()))}")
+            for violation in result.violations:
+                print(f"  {violation.check} @ cycle {violation.cycle}: "
+                      f"{violation.message}")
+    return 1 if failed else 0
+
+
 def _cmd_disasm(args) -> int:
     program = _load_program(args.file)
     print(program.listing())
@@ -323,6 +399,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit machine-readable JSON instead of text")
     _add_runner_options(power)
     power.set_defaults(func=_cmd_power)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static bufferability analysis (rules B001-B006)")
+    lint.add_argument("targets", nargs="*", metavar="TARGET",
+                      help="benchmark names and/or .s files "
+                           "(default: the whole suite)")
+    lint.add_argument("--iq", nargs="+", type=int, metavar="N",
+                      default=None,
+                      help="issue-queue size(s) to evaluate the loop "
+                           "rules at (default: 64)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--fail-on",
+                      choices=tuple(s.label for s in Severity),
+                      default="error",
+                      help="exit non-zero when a finding at or above "
+                           "this severity exists (default: error)")
+    lint.add_argument("--crosscheck", action="store_true",
+                      help="also run each program through the timing "
+                           "simulator and verify static/dynamic "
+                           "concordance")
+    lint.add_argument("--optimize", action="store_true",
+                      help="lint the loop-distributed kernel variants")
+    lint.set_defaults(func=_cmd_lint)
 
     dis = sub.add_parser("disasm", help="assemble and list a program")
     dis.add_argument("file", help="assembly source file")

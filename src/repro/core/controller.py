@@ -22,6 +22,7 @@ recovery (``on_mispredict``) and when dispatching in Code Reuse state
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.arch.config import MachineConfig
@@ -32,6 +33,30 @@ from repro.core.loop_detector import LoopCandidate, LoopDetector
 from repro.core.lrl import LogicalRegisterList
 from repro.core.nblt import NonBufferableLoopTable
 from repro.core.states import IQState, check_transition
+
+
+@dataclass(frozen=True)
+class ControllerEvent:
+    """One externally observable controller decision.
+
+    The event log gives probes an exact record of which loop each
+    transition concerned -- the :attr:`ReuseController.transitions` list
+    only carries reasons, and the head/tail registers are cleared by the
+    time a cycle probe runs after a revoke.
+    """
+
+    #: ``buffer_start`` | ``promote`` | ``revoke``.
+    kind: str
+    #: ``R_loophead`` at the time of the event.
+    head_pc: Optional[int]
+    #: ``R_looptail`` at the time of the event (the NBLT key).
+    tail_pc: Optional[int]
+    #: Revoke reason (None for the other kinds).
+    reason: Optional[str] = None
+    #: True when the revoke registered the tail in the NBLT.
+    nblt_insert: bool = False
+    #: Iterations captured (promote events only).
+    iterations: int = 0
 
 
 class ReuseController:
@@ -71,6 +96,8 @@ class ReuseController:
         self._undispatched_candidates = 0
         #: (old, new, cycle-agnostic reason) transition log for tests.
         self.transitions: List = []
+        #: Decision log for probes (see :class:`ControllerEvent`).
+        self.events: List[ControllerEvent] = []
 
     # -- state transitions ---------------------------------------------------
 
@@ -105,6 +132,10 @@ class ReuseController:
 
     def _start_buffering(self, candidate: LoopCandidate) -> None:
         self._transition(IQState.BUFFERING, "capturable loop detected")
+        self.events.append(ControllerEvent(
+            kind="buffer_start",
+            head_pc=candidate.head_pc,
+            tail_pc=candidate.tail_pc))
         self.stats.buffering_started += 1
         self.session_id += 1
         self._undispatched_candidates = 0
@@ -202,6 +233,11 @@ class ReuseController:
 
     def _enter_reuse(self) -> None:
         self._transition(IQState.REUSE, "buffering finished")
+        self.events.append(ControllerEvent(
+            kind="promote",
+            head_pc=self.loop_head_pc,
+            tail_pc=self.loop_tail_pc,
+            iterations=self.iterations_buffered))
         self.stats.promotions += 1
         self.stats.buffered_iterations += self.iterations_buffered
         self.pending_promote = False
@@ -265,7 +301,15 @@ class ReuseController:
         instruction itself must still execute; it is removed at issue like
         any conventional entry).
         """
-        if register_nblt and self.loop_tail_pc is not None:
+        inserted = register_nblt and self.loop_tail_pc is not None
+        self.events.append(ControllerEvent(
+            kind="revoke",
+            head_pc=self.loop_head_pc,
+            tail_pc=self.loop_tail_pc,
+            reason=reason,
+            nblt_insert=inserted,
+            iterations=self.iterations_buffered))
+        if inserted:
             self.nblt.insert(self.loop_tail_pc)
             self.stats.nblt_inserts += 1
         for entry in self.buffered:

@@ -76,6 +76,8 @@ class _Assembler:
         self.source = source
         self.name = name
         self.labels: Dict[str, int] = {}
+        #: Line each label was first defined on (for duplicate diagnostics).
+        self.label_lines: Dict[str, int] = {}
         self.pending: List[_PendingInstruction] = []
         self.data = bytearray()
         self.data_base = DATA_BASE
@@ -103,8 +105,12 @@ class _Assembler:
             if not _LABEL_RE.match(label):
                 raise AssemblerError(f"bad label {label!r}", line_no)
             if label in self.labels:
-                raise AssemblerError(f"duplicate label {label!r}", line_no)
+                raise AssemblerError(
+                    f"duplicate label {label!r} "
+                    f"(first defined on line {self.label_lines[label]})",
+                    line_no)
             self.labels[label] = self._current_address()
+            self.label_lines[label] = line_no
             line = rest.strip()
         if not line:
             return

@@ -1,0 +1,326 @@
+"""Tests for CFG construction and static loop analysis."""
+
+import pytest
+
+from repro.analysis.cfg import (
+    EDGE_CALL_RETURN,
+    EDGE_FALL,
+    EDGE_TAKEN,
+    START_ROUTINE,
+    build_cfg,
+)
+from repro.analysis.loops import (
+    CLASS_BUFFERABLE,
+    CLASS_CONDITIONAL,
+    CLASS_OVERFLOW,
+    CLASS_TOO_LARGE,
+    HAZARD_EXIT,
+    HAZARD_INNER_LOOP,
+    HAZARD_IQ_OVERFLOW,
+    analyze_loops,
+    compute_dominators,
+    loops_by_tail,
+)
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
+
+STRAIGHT_LINE = """
+.text
+    li $t0, 1
+    addiu $t0, $t0, 2
+    addiu $t0, $t0, 3
+    halt
+"""
+
+SINGLE_LOOP = """
+.text
+    li $t0, 0
+    li $t1, 10
+top:
+    addiu $t0, $t0, 1
+    slt $t2, $t0, $t1
+    bne $t2, $zero, top
+    halt
+"""
+
+NESTED_LOOPS = """
+.text
+    li $s0, 0
+outer:
+    li $t0, 0
+inner:
+    addiu $t0, $t0, 1
+    slti $t1, $t0, 4
+    bne $t1, $zero, inner
+    addiu $s0, $s0, 1
+    slti $t1, $s0, 3
+    bne $t1, $zero, outer
+    halt
+"""
+
+# The second loop is entered both through its header and from `side`,
+# which jumps into the middle of the body: the back edge's target does
+# not dominate its source, so the loop is not a natural loop.
+IRREDUCIBLE = """
+.text
+    li $t0, 0
+    beq $t0, $zero, middle
+head:
+    addiu $t0, $t0, 1
+middle:
+    addiu $t0, $t0, 1
+    slti $t1, $t0, 9
+    bne $t1, $zero, head
+    halt
+"""
+
+WITH_CALL = """
+.text
+    li $s0, 0
+loop:
+    jal helper
+    addiu $s0, $s0, 1
+    slti $t1, $s0, 5
+    bne $t1, $zero, loop
+    halt
+helper:
+    addiu $t9, $zero, 7
+    jr $ra
+"""
+
+DEAD_CODE = """
+.text
+    li $t0, 1
+    j end
+    addiu $t0, $t0, 1
+    addiu $t0, $t0, 2
+end:
+    halt
+"""
+
+
+def _cfg(source, name="test"):
+    return build_cfg(assemble(source, name=name))
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = _cfg(STRAIGHT_LINE)
+        assert len(cfg.blocks) == 1
+        assert len(cfg.blocks[0]) == 4
+        assert cfg.blocks[0].successors == []
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            build_cfg(Program([], name="empty"))
+
+    def test_single_loop_shape(self):
+        cfg = _cfg(SINGLE_LOOP)
+        # preamble (li/li -> 3 insts after pseudo expansion), body, halt
+        assert len(cfg.blocks) == 3
+        body = cfg.blocks[1]
+        kinds = dict((kind, succ) for succ, kind in body.successors)
+        assert kinds[EDGE_TAKEN] == body.index       # back edge to itself
+        assert kinds[EDGE_FALL] == body.index + 1    # exit to halt
+        assert body.index in cfg.blocks[2].predecessors
+
+    def test_block_lookup_consistency(self):
+        cfg = _cfg(NESTED_LOOPS)
+        program = cfg.program
+        for inst in program.instructions:
+            block = cfg.block_at_pc(inst.pc)
+            assert block is not None
+            assert block.start <= inst.index < block.end
+        assert cfg.block_at_pc(program.text_end) is None
+
+    def test_terminator_and_instructions(self):
+        cfg = _cfg(SINGLE_LOOP)
+        body = cfg.blocks[1]
+        insts = cfg.instructions(body)
+        assert insts[-1] is cfg.terminator(body)
+        assert cfg.terminator(body).op.mnemonic == "bne"
+
+
+class TestProcedures:
+    def test_start_routine_always_present(self):
+        cfg = _cfg(STRAIGHT_LINE)
+        start = cfg.procedures[cfg.program.entry_point]
+        assert start.name == START_ROUTINE
+        assert start.instruction_count == 4
+
+    def test_call_discovers_procedure(self):
+        cfg = _cfg(WITH_CALL)
+        helper_pc = cfg.program.labels["helper"]
+        assert helper_pc in cfg.procedures
+        helper = cfg.procedures[helper_pc]
+        assert helper.name == "helper"
+        assert helper.return_blocks            # ends in jr $ra
+        start = cfg.procedures[cfg.program.entry_point]
+        assert cfg.call_graph[start.entry_pc] == frozenset({helper_pc})
+        assert cfg.call_graph[helper_pc] == frozenset()
+
+    def test_call_block_uses_summary_edge(self):
+        cfg = _cfg(WITH_CALL)
+        call_blocks = [b for b in cfg.blocks
+                       if cfg.terminator(b).is_call]
+        assert call_blocks
+        for block in call_blocks:
+            kinds = [kind for _, kind in block.successors]
+            assert kinds == [EDGE_CALL_RETURN]
+
+    def test_supergraph_inlines_the_callee(self):
+        cfg = _cfg(WITH_CALL)
+        helper_pc = cfg.program.labels["helper"]
+        helper_entry = cfg.block_at_pc(helper_pc)
+        call_block = next(b for b in cfg.blocks
+                          if cfg.terminator(b).is_call)
+        assert cfg.supergraph_successors(call_block) == \
+            [helper_entry.index]
+        return_block = cfg.blocks[cfg.procedures[helper_pc]
+                                  .return_blocks[0]]
+        sites = cfg.supergraph_successors(return_block)
+        summary = [succ for succ, kind in call_block.successors
+                   if kind == EDGE_CALL_RETURN]
+        assert sites == summary
+
+
+class TestReachability:
+    def test_dead_code_reported(self):
+        cfg = _cfg(DEAD_CODE)
+        dead = cfg.unreachable_blocks()
+        assert len(dead) == 1
+        first = cfg.program.instructions[dead[0].start]
+        assert first.op.mnemonic == "addiu"
+
+    def test_callee_is_reachable(self):
+        cfg = _cfg(WITH_CALL)
+        assert cfg.unreachable_blocks() == []
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = _cfg(NESTED_LOOPS)
+        start = cfg.procedures[cfg.program.entry_point]
+        dom = compute_dominators(cfg, start)
+        entry = cfg.entry_block.index
+        for block in start.blocks:
+            assert entry in dom[block]
+
+    def test_loop_header_dominates_tail(self):
+        cfg = _cfg(SINGLE_LOOP)
+        start = cfg.procedures[cfg.program.entry_point]
+        dom = compute_dominators(cfg, start)
+        body = cfg.blocks[1]
+        assert body.index in dom[body.index]
+
+
+class TestLoopAnalysis:
+    def test_straight_line_has_no_loops(self):
+        assert analyze_loops(_cfg(STRAIGHT_LINE)) == []
+
+    def test_single_loop(self):
+        cfg = _cfg(SINGLE_LOOP)
+        loops = analyze_loops(cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.head_pc == cfg.program.labels["top"]
+        assert loop.size == 3
+        assert loop.natural
+        assert loop.depth == 1
+        assert loop.tail_conditional
+        assert loop.min_iteration_length == 3
+        assert loop.max_iteration_length == 3
+        assert loop.inner_tail_pcs == ()
+        assert not loop.call_sites
+
+    def test_nested_loop_structure(self):
+        cfg = _cfg(NESTED_LOOPS)
+        loops = analyze_loops(cfg)
+        assert len(loops) == 2
+        inner, outer = loops            # sorted by tail pc
+        assert inner.depth == 2
+        assert outer.depth == 1
+        assert inner.parent_tail_pc == outer.tail_pc
+        assert outer.parent_tail_pc is None
+        assert inner.tail_pc in outer.inner_tail_pcs
+        assert outer.inner_tail_pcs == (inner.tail_pc,)
+
+    def test_irreducible_back_edge_not_natural(self):
+        cfg = _cfg(IRREDUCIBLE)
+        loops = analyze_loops(cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert not loop.natural          # `head` does not dominate the tail
+        assert loop.body_blocks == ()
+        assert loop.body_length == loop.size
+        assert loop.size > 0             # distance still well-defined
+
+    def test_loop_with_call(self):
+        cfg = _cfg(WITH_CALL)
+        loops = analyze_loops(cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert len(loop.call_sites) == 1
+        assert loop.max_call_depth == 1
+        # helper body (2 instructions) is inlined into both bounds
+        assert loop.max_iteration_length == loop.size + 2
+        assert loop.min_iteration_length == loop.size + 2
+
+    def test_classification_sweep(self):
+        cfg = _cfg(SINGLE_LOOP)
+        loop = analyze_loops(cfg)[0]
+        assert loop.classify(64) == CLASS_BUFFERABLE
+        assert loop.classify(2) == CLASS_TOO_LARGE
+
+    def test_outer_loop_conditional(self):
+        cfg = _cfg(NESTED_LOOPS)
+        inner, outer = analyze_loops(cfg)
+        assert inner.classify(64) == CLASS_BUFFERABLE
+        assert outer.classify(64) == CLASS_CONDITIONAL
+        assert HAZARD_INNER_LOOP in outer.hazards(64)
+        assert HAZARD_INNER_LOOP not in inner.hazards(64)
+
+    def test_overflow_class_needs_call_growth(self):
+        cfg = _cfg(WITH_CALL)
+        loop = analyze_loops(cfg)[0]
+        tight = loop.size + 1            # fits the tail, not the callee
+        assert loop.size <= tight < loop.min_iteration_length
+        assert loop.classify(tight) == CLASS_OVERFLOW
+        assert HAZARD_IQ_OVERFLOW in loop.hazards(tight)
+
+    def test_exit_hazard_on_conditional_tail(self):
+        cfg = _cfg(SINGLE_LOOP)
+        loop = analyze_loops(cfg)[0]
+        assert HAZARD_EXIT in loop.hazards(64)
+
+    def test_loops_by_tail(self):
+        loops = analyze_loops(_cfg(NESTED_LOOPS))
+        index = loops_by_tail(loops)
+        assert set(index) == {loop.tail_pc for loop in loops}
+
+    def test_to_dict_is_json_ready(self):
+        import json
+        loop = analyze_loops(_cfg(SINGLE_LOOP))[0]
+        payload = json.loads(json.dumps(loop.to_dict()))
+        assert payload["size"] == 3
+        assert payload["tail_pc"].startswith("0x")
+
+
+class TestKernelSuite:
+    def test_sizes_match_program_view(self):
+        # analyze_loops and Program.static_loop_sizes must agree on
+        # every non-call backward branch
+        suite = WorkloadSuite()
+        for name in BENCHMARK_NAMES:
+            program = suite.program(name)
+            loops = analyze_loops(build_cfg(program))
+            assert sorted(lp.size for lp in loops) == \
+                sorted(program.static_loop_sizes())
+
+    def test_every_kernel_has_a_natural_loop(self):
+        suite = WorkloadSuite()
+        for name in BENCHMARK_NAMES:
+            loops = analyze_loops(build_cfg(suite.program(name)))
+            assert loops
+            assert any(loop.natural for loop in loops)

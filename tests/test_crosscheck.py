@@ -1,0 +1,115 @@
+"""Static/dynamic concordance tests (the analyzer as a simulator oracle)."""
+
+import pytest
+
+from repro.analysis.crosscheck import (
+    REASON_TO_HAZARD,
+    ControllerEventProbe,
+    crosscheck,
+)
+from repro.arch.config import MachineConfig
+from repro.isa.assembler import assemble
+from repro.sim.simulator import run_timing
+from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
+
+#: The IQ sizes the concordance contract is verified at.
+CROSSCHECK_IQ_SIZES = (32, 64, 96, 128)
+
+TINY_LOOP = """
+.text
+    li $t0, 0
+    li $t1, 20
+top:
+    addiu $t0, $t0, 1
+    slt $t2, $t0, $t1
+    bne $t2, $zero, top
+    halt
+"""
+
+
+def _config(iq):
+    return MachineConfig().with_iq_size(iq).replace(reuse_enabled=True)
+
+
+class TestEventLog:
+    def test_events_cover_buffering_lifecycle(self):
+        program = assemble(TINY_LOOP, name="tiny")
+        probe = ControllerEventProbe()
+        run_timing(program, _config(64), probes=(probe,))
+        kinds = [event.kind for _, event in probe.events]
+        assert "buffer_start" in kinds
+        assert "promote" in kinds
+        # the loop eventually exits during reuse -> at least one revoke
+        assert "revoke" in kinds
+
+    def test_event_pcs_name_the_loop(self):
+        program = assemble(TINY_LOOP, name="tiny")
+        probe = ControllerEventProbe()
+        run_timing(program, _config(64), probes=(probe,))
+        start = next(e for _, e in probe.events
+                     if e.kind == "buffer_start")
+        assert start.head_pc == program.labels["top"]
+
+    def test_cycles_are_monotonic(self):
+        program = assemble(TINY_LOOP, name="tiny")
+        probe = ControllerEventProbe()
+        run_timing(program, _config(64), probes=(probe,))
+        cycles = [cycle for cycle, _ in probe.events]
+        assert cycles == sorted(cycles)
+
+    def test_probe_is_passive(self):
+        program = assemble(TINY_LOOP, name="tiny")
+        plain = run_timing(program, _config(64), keep_pipeline=True)[1]
+        probed = run_timing(program, _config(64), keep_pipeline=True,
+                            probes=(ControllerEventProbe(),))[1]
+        assert plain.stats.as_dict() == probed.stats.as_dict()
+
+
+class TestReasonMap:
+    def test_covers_every_nblt_registering_reason(self):
+        # the controller registers exactly these four reasons in the NBLT
+        assert set(REASON_TO_HAZARD) == {
+            "exit", "exit at tail", "inner loop", "issue queue full"}
+
+
+class TestTinyProgramConcordance:
+    def test_tiny_loop_is_concordant(self):
+        program = assemble(TINY_LOOP, name="tiny")
+        result = crosscheck(program, _config(64))
+        assert result.ok, result.violations
+        assert result.counts.get("promote", 0) >= 1
+
+    def test_result_serializes(self):
+        import json
+        program = assemble(TINY_LOOP, name="tiny")
+        result = crosscheck(program, _config(64))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["ok"] is True
+        assert payload["iq_size"] == 64
+
+    def test_reuse_forced_on(self):
+        program = assemble(TINY_LOOP, name="tiny")
+        result = crosscheck(
+            program, MachineConfig().with_iq_size(64))
+        # without forcing reuse there would be no events at all
+        assert result.counts
+
+
+class TestKernelConcordance:
+    """The acceptance contract: zero violations, all kernels, IQ 32-128."""
+
+    @pytest.mark.parametrize("iq", CROSSCHECK_IQ_SIZES)
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_kernel_concordant(self, name, iq):
+        program = WorkloadSuite().program(name)
+        result = crosscheck(program, _config(iq))
+        assert result.ok, (name, iq, result.violations)
+
+    def test_dynamic_activity_exists_somewhere(self):
+        # the contract would be vacuous if no kernel ever buffered
+        suite = WorkloadSuite()
+        promotes = 0
+        for name in BENCHMARK_NAMES:
+            result = crosscheck(suite.program(name), _config(64))
+            promotes += result.counts.get("promote", 0)
+        assert promotes > 0

@@ -1,0 +1,344 @@
+"""Tests for the bufferability lint rules and report formats."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    Severity,
+    parse_severity,
+    run_lint,
+)
+from repro.arch.config import MachineConfig
+from repro.cli import main
+from repro.isa.assembler import AssemblerError, assemble
+from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
+
+CLEAN_LOOP = """
+.text
+    li $t0, 0
+    li $t1, 10
+top:
+    addiu $t0, $t0, 1
+    slt $t2, $t0, $t1
+    bne $t2, $zero, top
+    halt
+"""
+
+NESTED = """
+.text
+    li $s0, 0
+outer:
+    li $t0, 0
+inner:
+    addiu $t0, $t0, 1
+    slti $t1, $t0, 4
+    bne $t1, $zero, inner
+    addiu $s0, $s0, 1
+    slti $t1, $s0, 3
+    bne $t1, $zero, outer
+    halt
+"""
+
+DEEP_CALLS = """
+.text
+    li $s0, 0
+loop:
+    jal f1
+    addiu $s0, $s0, 1
+    slti $t1, $s0, 3
+    bne $t1, $zero, loop
+    halt
+f1:
+    addiu $sp, $sp, -4
+    sw $ra, 0($sp)
+    jal f2
+    lw $ra, 0($sp)
+    addiu $sp, $sp, 4
+    jr $ra
+f2:
+    addiu $t9, $zero, 1
+    jr $ra
+"""
+
+DEAD_CODE = """
+.text
+    li $t0, 1
+    j end
+    addiu $t0, $t0, 1
+end:
+    halt
+"""
+
+UNDEFINED_READ = """
+.text
+    addiu $t0, $t3, 1
+    halt
+"""
+
+STORE_TO_TEXT = """
+.text
+    lui $t0, 0x40
+    sw $zero, 0($t0)
+    halt
+"""
+
+STORE_TO_DATA = """
+.data
+buf: .word 0
+.text
+    la $t0, buf
+    sw $zero, 0($t0)
+    halt
+"""
+
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden", "lint")
+
+
+def _golden(name):
+    with open(os.path.join(GOLDEN_DIR, f"{name}.json")) as handle:
+        return json.load(handle)
+
+
+def _lint(source, iq=64, name="test"):
+    program = assemble(source, name=name)
+    return run_lint(program, MachineConfig().with_iq_size(iq))
+
+
+def _rules(report):
+    return sorted({finding.rule for finding in report.findings})
+
+
+class TestRuleCatalog:
+    def test_all_six_rules_defined(self):
+        assert sorted(RULES) == \
+            ["B001", "B002", "B003", "B004", "B005", "B006"]
+
+    def test_severities(self):
+        assert RULES["B001"].severity is Severity.NOTE
+        assert RULES["B004"].severity is Severity.WARNING
+        assert RULES["B005"].severity is Severity.ERROR
+        assert RULES["B006"].severity is Severity.ERROR
+
+    def test_parse_severity(self):
+        assert parse_severity("warning") is Severity.WARNING
+        with pytest.raises(ValueError):
+            parse_severity("fatal")
+
+
+class TestB001LoopFitsIq:
+    def test_fires_when_too_large(self):
+        report = _lint(CLEAN_LOOP, iq=2)
+        assert "B001" in _rules(report)
+
+    def test_silent_when_fitting(self):
+        report = _lint(CLEAN_LOOP, iq=64)
+        assert "B001" not in _rules(report)
+
+    def test_fires_on_guaranteed_overflow(self):
+        # the loop body fits, but the callee chain pushes even the
+        # shortest iteration past the queue
+        program = assemble(DEEP_CALLS, name="deep")
+        loop_size = max(program.static_loop_sizes())
+        report = run_lint(
+            program, MachineConfig().with_iq_size(loop_size + 1))
+        b001 = [f for f in report.findings if f.rule == "B001"]
+        assert b001
+        assert "shortest iteration" in b001[0].message
+
+
+class TestB002InnerLoop:
+    def test_fires_on_nested(self):
+        report = _lint(NESTED)
+        b002 = [f for f in report.findings if f.rule == "B002"]
+        assert len(b002) == 1
+        assert "inner loop" in b002[0].message
+
+    def test_silent_on_single_loop(self):
+        assert "B002" not in _rules(_lint(CLEAN_LOOP))
+
+
+class TestB003CallDepth:
+    def test_fires_when_ras_too_small(self):
+        program = assemble(DEEP_CALLS, name="deep")
+        config = MachineConfig().with_iq_size(64).replace(ras_size=1)
+        report = run_lint(program, config)
+        b003 = [f for f in report.findings if f.rule == "B003"]
+        assert b003
+        assert b003[0].severity is Severity.WARNING
+
+    def test_silent_when_ras_deep_enough(self):
+        report = _lint(DEEP_CALLS)          # depth 2 vs default RAS 8
+        assert "B003" not in _rules(report)
+
+
+class TestB004Unreachable:
+    def test_fires_on_dead_code(self):
+        report = _lint(DEAD_CODE)
+        b004 = [f for f in report.findings if f.rule == "B004"]
+        assert len(b004) == 1
+        assert b004[0].severity is Severity.WARNING
+
+    def test_silent_on_fully_reachable(self):
+        assert "B004" not in _rules(_lint(CLEAN_LOOP))
+
+
+class TestB005UndefinedRead:
+    def test_fires_on_uninitialized_register(self):
+        report = _lint(UNDEFINED_READ)
+        b005 = [f for f in report.findings if f.rule == "B005"]
+        assert len(b005) == 1
+        assert "$t3" in b005[0].message
+        assert report.fails(Severity.ERROR)
+
+    def test_sp_and_zero_are_defined(self):
+        report = _lint("""
+.text
+    addiu $t0, $sp, -8
+    addiu $t1, $zero, 1
+    halt
+""")
+        assert "B005" not in _rules(report)
+
+    def test_write_before_read_is_clean(self):
+        assert "B005" not in _rules(_lint(CLEAN_LOOP))
+
+    def test_callee_sees_caller_initialization(self):
+        # $s0 is written before the call; the callee read must not fire
+        report = _lint("""
+.text
+    li $s0, 42
+    jal helper
+    halt
+helper:
+    addiu $t0, $s0, 1
+    jr $ra
+""")
+        assert "B005" not in _rules(report)
+
+
+class TestB006StoreToText:
+    def test_fires_on_text_store(self):
+        report = _lint(STORE_TO_TEXT)
+        b006 = [f for f in report.findings if f.rule == "B006"]
+        assert len(b006) == 1
+        assert report.fails(Severity.ERROR)
+
+    def test_silent_on_data_store(self):
+        assert "B006" not in _rules(_lint(STORE_TO_DATA))
+
+    def test_silent_on_stack_store(self):
+        report = _lint("""
+.text
+    addiu $sp, $sp, -8
+    sw $zero, 0($sp)
+    halt
+""")
+        assert "B006" not in _rules(report)
+
+
+class TestReport:
+    def test_fail_threshold(self):
+        report = _lint(NESTED)              # B002 note only
+        assert report.fails(Severity.NOTE)
+        assert not report.fails(Severity.WARNING)
+        assert not report.fails(Severity.ERROR)
+
+    def test_clean_report_never_fails(self):
+        report = _lint(CLEAN_LOOP)
+        assert report.findings == []
+        assert report.worst() is None
+        assert not report.fails(Severity.NOTE)
+
+    def test_json_round_trip(self):
+        report = _lint(NESTED)
+        payload = json.loads(report.to_json())
+        assert payload["program"] == "test"
+        assert payload["counts"]["note"] == len(report.findings)
+        assert len(payload["loops"]) == 2
+
+    def test_loop_summaries_include_footprint(self):
+        report = _lint(CLEAN_LOOP)
+        (loop,) = report.loops
+        assert loop["class"] == "bufferable"
+        assert loop["lrl"]["footprint"] >= 2
+        assert loop["lrl"]["reads"]
+
+
+class TestSarif:
+    def test_schema_shape(self):
+        sarif = _lint(NESTED).to_sarif()
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert [r["id"] for r in driver["rules"]] == sorted(RULES)
+
+    def test_results_reference_known_rules(self):
+        sarif = _lint(DEAD_CODE).to_sarif()
+        (run,) = sarif["runs"]
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"] in RULES
+            assert result["level"] in ("note", "warning", "error")
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+
+    def test_round_trip_through_json(self):
+        report = _lint(UNDEFINED_READ)
+        restored = json.loads(json.dumps(report.to_sarif()))
+        (run,) = restored["runs"]
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels["B005"] == "error"
+
+
+class TestAssemblerDuplicateLabels:
+    def test_duplicate_label_reports_both_lines(self):
+        source = "\n.text\nfoo:\n    nop\nfoo:\n    halt\n"
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        message = str(excinfo.value)
+        assert "duplicate label 'foo'" in message
+        assert "line 5" in message               # the redefinition
+        assert "first defined on line 3" in message
+
+
+class TestCliLint:
+    def test_suite_is_error_free(self, capsys):
+        assert main(["lint", "--fail-on", "error"]) == 0
+        out = capsys.readouterr().out
+        for name in BENCHMARK_NAMES:
+            assert name in out
+
+    def test_fail_on_note_trips(self, capsys):
+        assert main(["lint", "tsf", "--fail-on", "note"]) == 1
+
+    def test_json_matches_golden(self, capsys):
+        assert main(["lint", "tsf", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out) == _golden("tsf")
+
+    def test_file_target(self, tmp_path, capsys):
+        path = tmp_path / "clean.s"
+        path.write_text(CLEAN_LOOP)
+        assert main(["lint", str(path), "--fail-on", "note"]) == 0
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "nosuchkernel"])
+
+    def test_sarif_output_parses(self, capsys):
+        assert main(["lint", "wss", "--format", "sarif"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+
+
+class TestKernelGoldens:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_report_matches_golden(self, name):
+        program = WorkloadSuite().program(name)
+        report = run_lint(program, MachineConfig().with_iq_size(64))
+        assert _golden(name)["reports"] == [report.to_dict()]
