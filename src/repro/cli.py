@@ -35,6 +35,15 @@ Subcommands
     additionally verifies static predictions against the dynamic
     controller (see ``docs/analysis.md``).
 
+``fuzz``
+    Coverage-guided differential fuzzing campaign over mutated
+    always-terminating programs: interpreter vs. baseline pipeline vs.
+    reuse pipeline, steered by a controller-behaviour coverage map.
+    Prints a deterministic JSON campaign report; exits non-zero when any
+    divergence was found.  ``--programs`` / ``--time-budget`` bound the
+    run, ``--jobs`` fans mutants out over processes, ``--corpus-dir``
+    collects replayable reproducers (see ``docs/fuzzing.md``).
+
 ``disasm FILE.s``
     Assemble a file and print the disassembly listing with labels.
 """
@@ -44,6 +53,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -335,6 +345,44 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import CampaignConfig, FuzzCampaign
+    from repro.runner.progress import ProgressReporter
+
+    if args.jobs < 0:
+        raise SystemExit("error: jobs must be >= 0 (0 = one per CPU)")
+    config = CampaignConfig(
+        seed=args.seed,
+        programs=args.programs,
+        time_budget=args.time_budget,
+        jobs=args.jobs,
+        iq_size=args.iq,
+        nblt_size=args.nblt,
+        buffering_strategy=args.strategy,
+        minimize=args.minimize,
+        corpus_dir=args.corpus_dir,
+        inject_bug=args.inject_bug,
+    )
+    reporter = ProgressReporter(verbose=not args.quiet)
+    campaign = FuzzCampaign(config, progress=reporter)
+    report = campaign.run()
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        parent = os.path.dirname(args.report)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    else:
+        print(payload)
+    if args.manifest:
+        parent = os.path.dirname(args.manifest)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        reporter.write_manifest(args.manifest)
+    return 1 if report["findings"] else 0
+
+
 def _cmd_disasm(args) -> int:
     program = _load_program(args.file)
     print(program.listing())
@@ -425,6 +473,50 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--optimize", action="store_true",
                       help="lint the loop-distributed kernel variants")
     lint.set_defaults(func=_cmd_lint)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing campaign")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign PRNG seed (default 0); the report "
+                           "is a deterministic function of it")
+    fuzz.add_argument("--programs", type=int, default=200, metavar="N",
+                      help="mutant budget (default 200)")
+    fuzz.add_argument("--time-budget", type=float, default=60.0,
+                      metavar="SECONDS",
+                      help="wall-clock safety cap (default 60; 0 "
+                           "disables -- determinism holds when the "
+                           "program budget binds first)")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="mutants to evaluate in parallel "
+                           "(0 = one per CPU; default 1)")
+    fuzz.add_argument("--corpus-dir", metavar="DIR", default=None,
+                      help="write findings (minimized reproducers + "
+                           "manifests) to this directory")
+    fuzz.add_argument("--minimize", default=True,
+                      action=argparse.BooleanOptionalAction,
+                      help="shrink findings to minimal reproducers "
+                           "(default on)")
+    fuzz.add_argument("--iq", type=int, default=32,
+                      help="issue-queue entries for the campaign "
+                           "machine (default 32)")
+    fuzz.add_argument("--nblt", type=int, default=8,
+                      help="non-bufferable loop table entries "
+                           "(default 8)")
+    fuzz.add_argument("--strategy", choices=("single", "multi"),
+                      default="multi",
+                      help="buffering strategy (default: multi)")
+    fuzz.add_argument("--report", metavar="PATH", default=None,
+                      help="write the JSON campaign report to PATH "
+                           "instead of stdout")
+    fuzz.add_argument("--manifest", metavar="PATH", default=None,
+                      help="write a JSON runner manifest (events, wall "
+                           "times) to PATH")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress progress events on stderr")
+    fuzz.add_argument("--inject-bug", default=None,
+                      help=argparse.SUPPRESS)
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     dis = sub.add_parser("disasm", help="assemble and list a program")
     dis.add_argument("file", help="assembly source file")

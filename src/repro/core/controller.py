@@ -35,6 +35,17 @@ from repro.core.nblt import NonBufferableLoopTable
 from repro.core.states import IQState, check_transition
 
 
+#: Private fault-injection switch for the fuzzer's self-test (see
+#: ``tests/test_fuzz_selftest.py`` and ``docs/fuzzing.md``).  The only
+#: recognised value, ``"skip-lrl-update"``, makes the reuse pointer wrap
+#: to slot 1 instead of slot 0: the first buffered entry's LRL partial
+#: update never happens after the first reused iteration, so the entry
+#: is silently dropped from every subsequent iteration -- an
+#: architecturally visible controller bug the fuzzer must find and
+#: shrink.  Never set outside tests.
+_INJECTED_BUG: Optional[str] = None
+
+
 @dataclass(frozen=True)
 class ControllerEvent:
     """One externally observable controller decision.
@@ -278,6 +289,10 @@ class ReuseController:
         """Advance the reuse pointer (wraps at the last buffered entry)."""
         self.reuse_pointer += 1
         if self.reuse_pointer >= len(self.buffered):
+            if _INJECTED_BUG == "skip-lrl-update" \
+                    and len(self.buffered) > 1:
+                self.reuse_pointer = 1
+                return
             self.reuse_pointer = 0
 
     # -- recovery -------------------------------------------------------------------

@@ -1,0 +1,64 @@
+"""Coverage-guided differential fuzzing for the reuse pipeline.
+
+The package closes the loop between three existing subsystems: the
+always-terminating program generators (:mod:`repro.fuzz.mutate`), the
+three-way interpreter/baseline/reuse oracle (:mod:`repro.fuzz.oracle`),
+and the controller's append-only event log, distilled into a
+microarchitectural coverage map (:mod:`repro.fuzz.coverage`) that steers
+mutation toward rare controller behaviour.  Divergences are shrunk to
+minimal reproducers (:mod:`repro.fuzz.shrink`) and written to a
+replayable corpus (:mod:`repro.fuzz.corpus`);
+:class:`~repro.fuzz.campaign.FuzzCampaign` drives the whole loop behind
+the ``repro fuzz`` CLI subcommand.  See ``docs/fuzzing.md``.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignConfig,
+    Finding,
+    FuzzCampaign,
+    REPORT_SCHEMA,
+)
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    CorpusError,
+    SCHEMA_VERSION,
+    load_corpus,
+    load_entry,
+    write_entry,
+)
+from repro.fuzz.coverage import CoverageMap, CoverageProbe, occupancy_bucket
+from repro.fuzz.mutate import MutationEngine, ProgramSpec, render
+from repro.fuzz.oracle import (
+    DifferentialOutcome,
+    Divergence,
+    assert_matches_oracle,
+    first_divergence,
+    run_differential,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "CampaignConfig",
+    "FuzzCampaign",
+    "Finding",
+    "REPORT_SCHEMA",
+    "CorpusEntry",
+    "CorpusError",
+    "SCHEMA_VERSION",
+    "load_corpus",
+    "load_entry",
+    "write_entry",
+    "CoverageMap",
+    "CoverageProbe",
+    "occupancy_bucket",
+    "MutationEngine",
+    "ProgramSpec",
+    "render",
+    "DifferentialOutcome",
+    "Divergence",
+    "assert_matches_oracle",
+    "first_divergence",
+    "run_differential",
+    "ShrinkResult",
+    "shrink",
+]

@@ -1,0 +1,120 @@
+"""Microarchitectural coverage for the fuzzer.
+
+The fuzzer does not steer on line or branch coverage of the simulator's
+Python source -- it steers on *controller behaviour*.  A
+:class:`CoverageProbe` (an ordinary passive cycle probe, see
+:mod:`repro.arch.probe`) folds each cycle of a reuse-enabled run into a
+small set of string signatures:
+
+``cycle state=<S> occ=<B> depth=<D>``
+    Controller state x issue-queue-occupancy bucket x call-depth bucket,
+    sampled at the end of every cycle.
+
+``event state=<S> kind=<K> reason=<R> occ=<B> nblt=<0|1>``
+    One per new :class:`~repro.core.controller.ControllerEvent` --
+    controller state x event kind (``buffer_start`` / ``promote`` /
+    ``revoke``) x revoke reason x occupancy bucket x whether the event
+    registered the loop in the NBLT.
+
+``nblt hit occ=<B>``
+    A cycle in which an NBLT lookup hit (buffering suppressed) -- hits
+    produce no controller event, so they are sampled separately.
+
+A mutant that produces any signature the campaign has not seen before is
+*interesting* and enters the corpus; the set of distinct signatures is the
+campaign's coverage map (:class:`CoverageMap`).  Occupancy is bucketed
+(empty / four quarters / full) so the map stays small and stable across
+issue-queue sizes, and the call depth saturates at
+:data:`CALL_DEPTH_SATURATION`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.arch.probe import PipelineProbe
+
+#: Number of issue-queue occupancy buckets (empty, 4 quarters, full).
+OCCUPANCY_BUCKETS = 6
+
+#: Call-depth values at or above this collapse into one bucket.
+CALL_DEPTH_SATURATION = 3
+
+
+def occupancy_bucket(occupancy: int, capacity: int) -> int:
+    """Bucket an occupancy into 0 (empty) .. 5 (full)."""
+    if occupancy <= 0:
+        return 0
+    if occupancy >= capacity:
+        return OCCUPANCY_BUCKETS - 1
+    return 1 + (4 * (occupancy - 1)) // max(capacity - 1, 1)
+
+
+class CoverageProbe(PipelineProbe):
+    """Passive cycle probe distilling a run into coverage signatures.
+
+    Keeps private cursors over the controller's append-only event log and
+    the NBLT hit counter instead of mutating either, as the probe contract
+    requires (probed and probe-free runs stay bit-identical).
+    """
+
+    def __init__(self) -> None:
+        self.signatures: List[str] = []
+        self._seen: set = set()
+        self._event_cursor = 0
+        self._nblt_hits = 0
+
+    def _add(self, signature: str) -> None:
+        if signature not in self._seen:
+            self._seen.add(signature)
+            self.signatures.append(signature)
+
+    def on_cycle(self, pipeline: Any) -> None:
+        controller = pipeline.controller
+        iq = pipeline.iq
+        occ = occupancy_bucket(iq.occupancy, iq.capacity)
+        state = controller.state.name
+        depth = min(controller.call_depth, CALL_DEPTH_SATURATION)
+        self._add(f"cycle state={state} occ={occ} depth={depth}")
+        log = controller.events
+        if len(log) > self._event_cursor:
+            for event in log[self._event_cursor:]:
+                reason = event.reason or "-"
+                self._add(f"event state={state} kind={event.kind} "
+                          f"reason={reason} occ={occ} "
+                          f"nblt={int(event.nblt_insert)}")
+            self._event_cursor = len(log)
+        hits = controller.nblt.hits
+        if hits > self._nblt_hits:
+            self._add(f"nblt hit occ={occ}")
+            self._nblt_hits = hits
+
+
+class CoverageMap:
+    """The campaign-global set of signatures seen so far."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, signature: str) -> bool:
+        """Record one signature; True if it was new."""
+        new = signature not in self._counts
+        self._counts[signature] = self._counts.get(signature, 0) + 1
+        return new
+
+    def add_all(self, signatures: Iterable[str]) -> int:
+        """Record a run's signatures; returns how many were new."""
+        return sum(1 for signature in signatures if self.add(signature))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct signatures seen."""
+        return len(self._counts)
+
+    def signatures(self) -> List[str]:
+        """Distinct signatures, sorted (deterministic for reports)."""
+        return sorted(self._counts)
+
+    def counts(self) -> List[Tuple[str, int]]:
+        """(signature, times-seen) pairs, sorted by signature."""
+        return sorted(self._counts.items())

@@ -1,0 +1,498 @@
+"""Mutation engine over always-terminating assembled programs.
+
+The fuzzer never mutates raw assembly text -- it mutates a small
+structured *program spec* and renders it, so every mutant terminates by
+construction:
+
+* loops are counted: the counter/bound registers come from a per-depth
+  reserved pool (:data:`LOOP_COUNTERS`) that body instructions can never
+  touch, and nesting is capped at :data:`MAX_DEPTH`;
+* memory traffic stays inside a 256-byte scratch buffer addressed off the
+  reserved ``$s7`` base;
+* calls only target straight-line leaf procedures (no recursion, no calls
+  from leaves), so the call depth is bounded and ``$ra`` is never
+  clobbered mid-call;
+* every program ends in ``halt``, and the estimated dynamic instruction
+  count (:meth:`ProgramSpec.estimated_cost`) is capped, so trip-count and
+  duplication mutations cannot blow the simulation budget.
+
+The building blocks mirror ``tests/test_oracle_properties.py`` and
+:mod:`repro.workloads.generator`: straight-line integer/FP arithmetic,
+scratch-buffer loads/stores, counted loops, nests, and leaf calls.  The
+mutations -- splice/duplicate/perturb loop bodies, nest/unnest, resize
+trip counts, insert calls -- are exactly the edits that push the reuse
+controller through its rare paths (mid-buffering aborts, NBLT churn,
+call-depth edges).
+
+Everything draws from one :class:`random.Random` passed in by the caller,
+so campaigns are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+#: Integer registers mutant bodies may read and write.
+INT_POOL = ("$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$s0")
+
+#: FP registers mutant bodies may read and write.
+FP_POOL = ("$f2", "$f4", "$f6", "$f8", "$f10")
+
+#: (index, bound) register pair reserved for the loop at each nest depth.
+LOOP_COUNTERS = (("$s5", "$s6"), ("$s3", "$s4"), ("$s1", "$s2"))
+
+#: Maximum loop nesting depth (one counter pair per level).
+MAX_DEPTH = len(LOOP_COUNTERS)
+
+#: Scratch-buffer base register (loaded once in the prologue).
+SCRATCH_REG = "$s7"
+
+#: Scratch-buffer size in bytes; offsets are 8-byte aligned within it.
+SCRATCH_BYTES = 256
+
+#: Trip-count cap for a top-level loop / for a nested loop.
+MAX_TRIPS_OUTER = 32
+MAX_TRIPS_NESTED = 8
+
+#: Cap on a spec's estimated dynamic instruction count.
+DEFAULT_MAX_COST = 3000
+
+#: Most leaf procedures a spec may carry.
+MAX_LEAVES = 3
+
+
+@dataclass
+class Ops:
+    """A run of straight-line instructions."""
+
+    lines: List[str]
+
+
+@dataclass
+class Call:
+    """A call to leaf procedure ``target``."""
+
+    target: int
+
+
+@dataclass
+class Loop:
+    """A counted loop; ``uid`` keeps rendered labels unique."""
+
+    trips: int
+    body: List["Node"]
+    uid: int
+
+
+Node = Union[Ops, Call, Loop]
+
+
+@dataclass
+class ProgramSpec:
+    """One fuzzable program: top-level blocks plus leaf procedures."""
+
+    blocks: List[Node] = field(default_factory=list)
+    #: Straight-line bodies of the leaf procedures (``jr $ra`` implied).
+    leaves: List[List[str]] = field(default_factory=list)
+    next_uid: int = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def new_uid(self) -> int:
+        self.next_uid += 1
+        return self.next_uid
+
+    def clone(self) -> "ProgramSpec":
+        return ProgramSpec.from_dict(self.to_dict())
+
+    def estimated_cost(self, max_instructions: int = 1_000_000) -> int:
+        """Upper bound on dynamic instructions (loops fully executed)."""
+
+        def cost(node: Node) -> int:
+            if isinstance(node, Ops):
+                return len(node.lines)
+            if isinstance(node, Call):
+                body = self.leaves[node.target] if \
+                    node.target < len(self.leaves) else []
+                return len(body) + 2
+            per_iter = sum(cost(child) for child in node.body) + 3
+            return 2 + node.trips * per_iter
+
+        total = 12 + sum(cost(node) for node in self.blocks)
+        return min(total, max_instructions)
+
+    def loop_count(self) -> int:
+        return len(self._loops())
+
+    def _loops(self) -> List[Loop]:
+        found: List[Loop] = []
+
+        def walk(nodes: List[Node]) -> None:
+            for node in nodes:
+                if isinstance(node, Loop):
+                    found.append(node)
+                    walk(node.body)
+
+        walk(self.blocks)
+        return found
+
+    def _bodies(self) -> List[List[Node]]:
+        """Every mutable node list: the top level and each loop body."""
+        return [self.blocks] + [loop.body for loop in self._loops()]
+
+    def _max_depth(self, nodes: List[Node]) -> int:
+        depth = 0
+        for node in nodes:
+            if isinstance(node, Loop):
+                depth = max(depth, 1 + self._max_depth(node.body))
+        return depth
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        def node_dict(node: Node) -> Dict[str, Any]:
+            if isinstance(node, Ops):
+                return {"op": "ops", "lines": list(node.lines)}
+            if isinstance(node, Call):
+                return {"op": "call", "target": node.target}
+            return {"op": "loop", "trips": node.trips, "uid": node.uid,
+                    "body": [node_dict(child) for child in node.body]}
+
+        return {
+            "blocks": [node_dict(node) for node in self.blocks],
+            "leaves": [list(body) for body in self.leaves],
+            "next_uid": self.next_uid,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ProgramSpec":
+        def node_from(entry: Dict[str, Any]) -> Node:
+            if entry["op"] == "ops":
+                return Ops(list(entry["lines"]))
+            if entry["op"] == "call":
+                return Call(entry["target"])
+            return Loop(entry["trips"],
+                        [node_from(child) for child in entry["body"]],
+                        entry["uid"])
+
+        return cls(
+            blocks=[node_from(entry) for entry in payload["blocks"]],
+            leaves=[list(body) for body in payload["leaves"]],
+            next_uid=payload["next_uid"],
+        )
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render(spec: ProgramSpec) -> str:
+    """Render a spec to assembly source."""
+    lines: List[str] = [".data", f"scratch: .space {SCRATCH_BYTES}",
+                        ".text", "main:"]
+    for index, reg in enumerate(INT_POOL):
+        lines.append(f"    li {reg}, {index * 3 + 1}")
+    lines.append(f"    la {SCRATCH_REG}, scratch")
+
+    def emit(nodes: List[Node], depth: int) -> None:
+        for node in nodes:
+            if isinstance(node, Ops):
+                lines.extend(f"    {line}" for line in node.lines)
+            elif isinstance(node, Call):
+                lines.append(f"    jal leaf_{node.target}")
+            else:
+                index_reg, bound_reg = LOOP_COUNTERS[depth]
+                label = f"loop_{node.uid}"
+                lines.append(f"    li {bound_reg}, {node.trips}")
+                lines.append(f"    li {index_reg}, 0")
+                lines.append(f"{label}:")
+                emit(node.body, depth + 1)
+                lines.append(f"    addiu {index_reg}, {index_reg}, 1")
+                lines.append(f"    slt $at, {index_reg}, {bound_reg}")
+                lines.append(f"    bne $at, $zero, {label}")
+
+    emit(spec.blocks, 0)
+    lines.append("    halt")
+    for index, body in enumerate(spec.leaves):
+        lines.append(f"leaf_{index}:")
+        lines.extend(f"    {line}" for line in body)
+        lines.append("    jr $ra")
+    return "\n".join(lines) + "\n"
+
+
+# -- instruction generation ---------------------------------------------------
+
+
+def random_line(rng: random.Random) -> str:
+    """One random instruction from the body pool (never a control flow)."""
+    kind = rng.randrange(8)
+    rd = rng.choice(INT_POOL)
+    rs = rng.choice(INT_POOL)
+    rt = rng.choice(INT_POOL)
+    if kind == 0:
+        op = rng.choice(("addu", "subu", "and", "or", "xor", "slt", "sltu"))
+        return f"{op} {rd}, {rs}, {rt}"
+    if kind == 1:
+        op = rng.choice(("addiu", "slti", "andi", "ori"))
+        imm = rng.randint(-100, 100)
+        return f"{op} {rd}, {rs}, {imm if op != 'andi' else abs(imm)}"
+    if kind == 2:
+        op = rng.choice(("sll", "srl", "sra"))
+        return f"{op} {rd}, {rs}, {rng.randrange(32)}"
+    if kind == 3:
+        op = rng.choice(("mult", "div"))
+        return f"{op} {rd}, {rs}, {rt}"
+    if kind == 4:
+        fd, fs, ft = (rng.choice(FP_POOL) for _ in range(3))
+        op = rng.choice(("add.d", "sub.d", "mul.d"))
+        return f"{op} {fd}, {fs}, {ft}"
+    if kind == 5:
+        return f"itof {rng.choice(FP_POOL)}, {rs}"
+    offset = rng.randrange(SCRATCH_BYTES // 8) * 8
+    if kind == 6:
+        if rng.random() < 0.5:
+            return f"sw {rd}, {offset}({SCRATCH_REG})"
+        return f"s.d {rng.choice(FP_POOL)}, {offset}({SCRATCH_REG})"
+    if rng.random() < 0.5:
+        return f"lw {rd}, {offset}({SCRATCH_REG})"
+    return f"l.d {rng.choice(FP_POOL)}, {offset}({SCRATCH_REG})"
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class MutationEngine:
+    """Generates seed specs and applies random structural mutations."""
+
+    def __init__(self, rng: random.Random,
+                 max_cost: int = DEFAULT_MAX_COST):
+        self.rng = rng
+        self.max_cost = max_cost
+
+    # -- seeds -------------------------------------------------------------
+
+    def seed_specs(self) -> List[ProgramSpec]:
+        """A deterministic archetype ladder the first corpus grows from.
+
+        One spec per controller regime: straight-line code, a plain
+        counted loop, a nested loop (inner-loop revoke + NBLT), a loop
+        with a leaf call (call-depth tracking), a memory loop, and a
+        short-trip loop (mid-buffering exit).
+        """
+        rng = self.rng
+        specs: List[ProgramSpec] = []
+
+        straight = ProgramSpec()
+        straight.blocks.append(Ops([random_line(rng) for _ in range(8)]))
+        specs.append(straight)
+
+        simple = ProgramSpec()
+        simple.blocks.append(Loop(
+            trips=12, uid=simple.new_uid(),
+            body=[Ops([random_line(rng) for _ in range(5)])]))
+        specs.append(simple)
+
+        nested = ProgramSpec()
+        inner = Loop(trips=6, uid=nested.new_uid(),
+                     body=[Ops([random_line(rng) for _ in range(3)])])
+        nested.blocks.append(Loop(
+            trips=4, uid=nested.new_uid(),
+            body=[Ops([random_line(rng) for _ in range(2)]), inner]))
+        specs.append(nested)
+
+        calling = ProgramSpec()
+        calling.leaves.append([random_line(rng) for _ in range(4)])
+        calling.blocks.append(Loop(
+            trips=10, uid=calling.new_uid(),
+            body=[Ops([random_line(rng) for _ in range(2)]), Call(0)]))
+        specs.append(calling)
+
+        memory = ProgramSpec()
+        memory.blocks.append(Loop(
+            trips=16, uid=memory.new_uid(),
+            body=[Ops([f"lw $t0, 0({SCRATCH_REG})",
+                       "addiu $t0, $t0, 1",
+                       f"sw $t0, 0({SCRATCH_REG})",
+                       random_line(rng)])]))
+        specs.append(memory)
+
+        short = ProgramSpec()
+        short.blocks.append(Loop(
+            trips=2, uid=short.new_uid(),
+            body=[Ops([random_line(rng) for _ in range(4)])]))
+        short.blocks.append(Loop(
+            trips=2, uid=short.new_uid(),
+            body=[Ops([random_line(rng) for _ in range(4)])]))
+        specs.append(short)
+
+        return specs
+
+    # -- mutation ----------------------------------------------------------
+
+    def mutate(self, parent: ProgramSpec,
+               attempts: int = 12) -> ProgramSpec:
+        """One structural mutation of ``parent`` (parent is not touched).
+
+        Draws mutation kinds until one applies and keeps the spec within
+        the cost and depth caps; falls back to appending a fresh ops
+        block, which always applies.
+        """
+        for _ in range(attempts):
+            child = parent.clone()
+            mutator = self.rng.choice(self._MUTATORS)
+            if mutator(self, child) and self._valid(child):
+                return child
+        child = parent.clone()
+        child.blocks.append(Ops([random_line(self.rng)]))
+        if not self._valid(child):
+            child = parent.clone()
+        return child
+
+    def _valid(self, spec: ProgramSpec) -> bool:
+        return (spec.estimated_cost() <= self.max_cost
+                and spec._max_depth(spec.blocks) <= MAX_DEPTH
+                and bool(spec.blocks))
+
+    # individual mutators: return True when they changed the spec
+
+    def _mut_perturb_line(self, spec: ProgramSpec) -> bool:
+        ops = [node for body in spec._bodies() for node in body
+               if isinstance(node, Ops) and node.lines]
+        if not ops:
+            return False
+        target = self.rng.choice(ops)
+        target.lines[self.rng.randrange(len(target.lines))] = \
+            random_line(self.rng)
+        return True
+
+    def _mut_insert_line(self, spec: ProgramSpec) -> bool:
+        ops = [node for body in spec._bodies() for node in body
+               if isinstance(node, Ops)]
+        if not ops:
+            spec.blocks.append(Ops([random_line(self.rng)]))
+            return True
+        target = self.rng.choice(ops)
+        target.lines.insert(self.rng.randint(0, len(target.lines)),
+                            random_line(self.rng))
+        return True
+
+    def _mut_remove_line(self, spec: ProgramSpec) -> bool:
+        ops = [node for body in spec._bodies() for node in body
+               if isinstance(node, Ops) and len(node.lines) > 1]
+        if not ops:
+            return False
+        target = self.rng.choice(ops)
+        del target.lines[self.rng.randrange(len(target.lines))]
+        return True
+
+    def _mut_resize_trips(self, spec: ProgramSpec) -> bool:
+        loops = spec._loops()
+        if not loops:
+            return False
+        loop = self.rng.choice(loops)
+        nested = any(isinstance(child, Loop) for child in loop.body) \
+            or loop not in spec.blocks
+        cap = MAX_TRIPS_NESTED if nested else MAX_TRIPS_OUTER
+        loop.trips = self.rng.randint(1, cap)
+        return True
+
+    def _mut_duplicate(self, spec: ProgramSpec) -> bool:
+        """Duplicate one node in place (loop bodies grow, blocks repeat)."""
+        bodies = [body for body in spec._bodies() if body]
+        if not bodies:
+            return False
+        body = self.rng.choice(bodies)
+        index = self.rng.randrange(len(body))
+        copy = _clone_node(body[index], spec)
+        body.insert(index + 1, copy)
+        return True
+
+    def _mut_splice(self, spec: ProgramSpec) -> bool:
+        """Copy a node from one body into another."""
+        bodies = spec._bodies()
+        sources = [body for body in bodies if body]
+        if not sources:
+            return False
+        source = self.rng.choice(sources)
+        node = _clone_node(self.rng.choice(source), spec)
+        dest = self.rng.choice(bodies)
+        dest.insert(self.rng.randint(0, len(dest)), node)
+        return True
+
+    def _mut_remove_block(self, spec: ProgramSpec) -> bool:
+        bodies = [body for body in spec._bodies() if len(body) > 1]
+        if not bodies:
+            return False
+        body = self.rng.choice(bodies)
+        del body[self.rng.randrange(len(body))]
+        return True
+
+    def _mut_nest(self, spec: ProgramSpec) -> bool:
+        """Wrap one node in a fresh counted loop."""
+        bodies = [body for body in spec._bodies() if body]
+        if not bodies:
+            return False
+        body = self.rng.choice(bodies)
+        index = self.rng.randrange(len(body))
+        wrapped = body[index]
+        loop = Loop(trips=self.rng.randint(1, MAX_TRIPS_NESTED),
+                    body=[wrapped], uid=spec.new_uid())
+        body[index] = loop
+        return True
+
+    def _mut_unnest(self, spec: ProgramSpec) -> bool:
+        """Replace one loop with its body."""
+        for body in spec._bodies():
+            loops = [i for i, node in enumerate(body)
+                     if isinstance(node, Loop)]
+            if loops:
+                index = self.rng.choice(loops)
+                loop = body[index]
+                body[index:index + 1] = loop.body
+                return True
+        return False
+
+    def _mut_insert_call(self, spec: ProgramSpec) -> bool:
+        if not spec.leaves or (len(spec.leaves) < MAX_LEAVES
+                               and self.rng.random() < 0.3):
+            spec.leaves.append(
+                [random_line(self.rng)
+                 for _ in range(self.rng.randint(1, 5))])
+        target = self.rng.randrange(len(spec.leaves))
+        body = self.rng.choice(spec._bodies())
+        body.insert(self.rng.randint(0, len(body)), Call(target))
+        return True
+
+    def _mut_perturb_leaf(self, spec: ProgramSpec) -> bool:
+        leaves = [body for body in spec.leaves if body]
+        if not leaves:
+            return False
+        body = self.rng.choice(leaves)
+        body[self.rng.randrange(len(body))] = random_line(self.rng)
+        return True
+
+    _MUTATORS = (
+        _mut_perturb_line,
+        _mut_insert_line,
+        _mut_remove_line,
+        _mut_resize_trips,
+        _mut_duplicate,
+        _mut_splice,
+        _mut_remove_block,
+        _mut_nest,
+        _mut_unnest,
+        _mut_insert_call,
+        _mut_perturb_leaf,
+    )
+
+
+def _clone_node(node: Node, spec: ProgramSpec) -> Node:
+    """Deep-copy one node, assigning fresh uids to any copied loops."""
+    if isinstance(node, Ops):
+        return Ops(list(node.lines))
+    if isinstance(node, Call):
+        return Call(node.target)
+    return Loop(node.trips,
+                [_clone_node(child, spec) for child in node.body],
+                spec.new_uid())

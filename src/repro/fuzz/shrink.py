@@ -1,0 +1,164 @@
+"""Divergence minimization.
+
+Once the campaign finds a diverging mutant, the raw program is usually
+noisy: dozens of irrelevant instructions around the two or three that
+actually drive the controller into the buggy path.  :func:`shrink`
+greedily reduces the *spec* (not the text) while a caller-supplied
+predicate keeps reproducing a divergence, so the corpus entry that lands
+in the regression suite is a minimal reproducer.
+
+The reduction passes, most aggressive first:
+
+1. drop whole top-level blocks,
+2. replace a loop by its body (de-loop) or shrink its trip count,
+3. drop nodes inside loop bodies,
+4. drop individual instructions from ops runs and leaf procedures.
+
+Every candidate that still reproduces restarts the pass list, classic
+greedy delta debugging.  The predicate evaluation count is capped, so a
+pathological mutant cannot stall a campaign; the shrinker is fully
+deterministic (no randomness, fixed pass order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List
+
+from repro.fuzz.mutate import Loop, Node, Ops, ProgramSpec
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    spec: ProgramSpec
+    #: Predicate evaluations spent.
+    evaluations: int
+    #: True when at least one reduction was accepted.
+    reduced: bool
+    #: True when the pass list ran to fixpoint within the budget.
+    complete: bool
+
+
+def _candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """Yield simplified clones of ``spec``, most aggressive first."""
+    # 1: drop a top-level block
+    for index in range(len(spec.blocks) - 1, -1, -1):
+        if len(spec.blocks) == 1:
+            break
+        clone = spec.clone()
+        del clone.blocks[index]
+        yield clone
+
+    # 2: de-loop / shrink trip counts
+    for path_index, loop in enumerate(_loops(spec)):
+        clone = spec.clone()
+        body, index = _locate(clone, path_index)
+        body[index:index + 1] = body[index].body
+        yield clone
+        for trips in (1, 2, loop.trips // 2):
+            if 0 < trips < loop.trips:
+                clone = spec.clone()
+                body, index = _locate(clone, path_index)
+                body[index].trips = trips
+                yield clone
+
+    # 3: drop nodes inside loop bodies
+    for path_index, loop in enumerate(_loops(spec)):
+        for node_index in range(len(loop.body) - 1, -1, -1):
+            if len(loop.body) == 1:
+                break
+            clone = spec.clone()
+            body, index = _locate(clone, path_index)
+            del body[index].body[node_index]
+            yield clone
+
+    # 4: drop single instructions
+    for ops_index, ops in enumerate(_ops_runs(spec)):
+        for line_index in range(len(ops.lines) - 1, -1, -1):
+            clone = spec.clone()
+            target = _ops_runs(clone)[ops_index]
+            del target.lines[line_index]
+            if not target.lines:
+                _drop_empty_ops(clone)
+            if clone.blocks:
+                yield clone
+    for leaf_index, leaf in enumerate(spec.leaves):
+        for line_index in range(len(leaf) - 1, -1, -1):
+            if len(leaf) == 1:
+                continue
+            clone = spec.clone()
+            del clone.leaves[leaf_index][line_index]
+            yield clone
+
+
+def _loops(spec: ProgramSpec) -> List[Loop]:
+    return spec._loops()
+
+
+def _locate(spec: ProgramSpec, loop_index: int):
+    """(containing body, index) of the ``loop_index``-th loop in ``spec``.
+
+    Enumerates loops in the same pre-order as :meth:`ProgramSpec._loops`,
+    so an index into one is valid for the other on an identical clone.
+    """
+    counter = [0]
+
+    def walk(body: List[Node]):
+        for index, node in enumerate(body):
+            if isinstance(node, Loop):
+                if counter[0] == loop_index:
+                    return body, index
+                counter[0] += 1
+                found = walk(node.body)
+                if found is not None:
+                    return found
+        return None
+
+    located = walk(spec.blocks)
+    if located is None:
+        raise IndexError(loop_index)
+    return located
+
+
+def _ops_runs(spec: ProgramSpec) -> List[Ops]:
+    return [node for body in spec._bodies() for node in body
+            if isinstance(node, Ops)]
+
+
+def _drop_empty_ops(spec: ProgramSpec) -> None:
+    def prune(body: List[Node]) -> None:
+        body[:] = [node for node in body
+                   if not (isinstance(node, Ops) and not node.lines)]
+        for node in body:
+            if isinstance(node, Loop):
+                prune(node.body)
+
+    prune(spec.blocks)
+
+
+def shrink(spec: ProgramSpec,
+           reproduces: Callable[[ProgramSpec], bool],
+           max_evaluations: int = 250) -> ShrinkResult:
+    """Minimize ``spec`` while ``reproduces`` stays true.
+
+    ``reproduces`` must be a pure function of the spec (typically: render,
+    run the three-way oracle, report whether any divergence remains).
+    """
+    evaluations = 0
+    reduced = False
+    progress = True
+    while progress:
+        progress = False
+        for candidate in _candidates(spec):
+            if evaluations >= max_evaluations:
+                return ShrinkResult(spec, evaluations, reduced,
+                                    complete=False)
+            evaluations += 1
+            if reproduces(candidate):
+                spec = candidate
+                reduced = True
+                progress = True
+                break
+    return ShrinkResult(spec, evaluations, reduced, complete=True)

@@ -25,7 +25,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
-from repro.runner.executor import JobExecutor, default_job_count, execute_job
+from repro.runner.executor import (
+    JobExecutor,
+    default_job_count,
+    execute_job,
+    run_tasks,
+)
 from repro.runner.jobs import SimJob, job_key
 from repro.runner.progress import ProgressReporter, RunEvent
 
@@ -38,6 +43,7 @@ __all__ = [
     "JobExecutor",
     "default_job_count",
     "execute_job",
+    "run_tasks",
     "ProgressReporter",
     "RunEvent",
     "build_runner",

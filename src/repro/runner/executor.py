@@ -68,6 +68,107 @@ def default_job_count() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+def run_tasks(fn, payloads: Sequence,
+              jobs: int = 1,
+              timeout: Optional[float] = None,
+              progress: Optional[ProgressReporter] = None,
+              label: str = "task") -> List:
+    """Generic deterministic process fan-out with serial fallback.
+
+    Runs ``fn(payload)`` for every payload and returns the results **in
+    submission order** regardless of completion order, so callers that
+    fold results into evolving state (the fuzzing campaign's coverage map
+    and corpus) behave identically at any ``--jobs`` level.  ``fn`` must
+    be a picklable module-level function of one picklable argument.
+
+    Semantics mirror :class:`JobExecutor`'s simulation path: pool start
+    failure, pool breakage and per-task stalls degrade to in-process
+    serial execution, and every state change is emitted through the
+    shared :class:`~repro.runner.progress.ProgressReporter` event
+    vocabulary.  A task whose function raises (in a worker *or* serially)
+    contributes its exception object in place of a result -- the caller
+    decides whether that is fatal.
+    """
+    reporter = progress or ProgressReporter(verbose=False)
+    results: List = [None] * len(payloads)
+    workers = (jobs if jobs else default_job_count())
+    pending = list(range(len(payloads)))
+    if workers > 1 and len(pending) > 1:
+        pending = _run_tasks_parallel(fn, payloads, pending, results,
+                                      workers, timeout, reporter, label)
+    for index in pending:
+        reporter.emit("started", job=f"{label} #{index}")
+        start = time.time()
+        try:
+            results[index] = fn(payloads[index])
+        except Exception as exc:
+            reporter.emit("failed", job=f"{label} #{index}",
+                          detail=str(exc))
+            results[index] = exc
+            continue
+        reporter.emit("done", job=f"{label} #{index}",
+                      wall_time=time.time() - start)
+    return results
+
+
+def _run_tasks_parallel(fn, payloads: Sequence, pending: List[int],
+                        results: List, workers: int,
+                        timeout: Optional[float],
+                        reporter: ProgressReporter,
+                        label: str) -> List[int]:
+    """Pool leg of :func:`run_tasks`; returns indices still unresolved."""
+    try:
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)))
+    except (OSError, ValueError, ImportError) as exc:
+        reporter.emit("fallback",
+                      detail=f"process pool unavailable: {exc}")
+        return pending
+    failed: List[int] = []
+    try:
+        starts = {}
+        futures = {}
+        for index in pending:
+            reporter.emit("started", job=f"{label} #{index}")
+            starts[index] = time.time()
+            futures[pool.submit(fn, payloads[index])] = index
+        remaining = dict(futures)
+        while remaining:
+            done, _ = concurrent.futures.wait(
+                remaining, timeout=timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            if not done:
+                for index in remaining.values():
+                    reporter.emit("failed", job=f"{label} #{index}",
+                                  detail=f"timeout after {timeout}s")
+                failed.extend(remaining.values())
+                for future in remaining:
+                    future.cancel()
+                break
+            for future in done:
+                index = remaining.pop(future)
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    reporter.emit("failed", job=f"{label} #{index}",
+                                  detail=str(exc))
+                    failed.append(index)
+                    continue
+                reporter.emit("done", job=f"{label} #{index}",
+                              wall_time=time.time() - starts[index])
+    except concurrent.futures.process.BrokenProcessPool as exc:
+        reporter.emit("fallback", detail=f"process pool broke: {exc}")
+        failed = [index for index in pending
+                  if results[index] is None and index not in failed]
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    if failed:
+        reporter.emit("fallback",
+                      detail=f"{len(failed)} task(s) falling back "
+                             f"to serial")
+    return sorted(failed)
+
+
 class JobExecutor:
     """Resolves job batches through cache, pool and serial fallback."""
 

@@ -6,9 +6,32 @@ session-scoped so the many tests that touch them pay once.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.arch.config import MachineConfig
+
+# -- hypothesis profiles ----------------------------------------------------
+#
+# Property tests pick their example budget from a named profile so the
+# same suite runs in three gears:
+#
+#   fast     local development default        (25 examples)
+#   ci       pull-request CI                  (50 examples)
+#   nightly  the nightly fuzz-smoke workflow  (250 examples, 10x fast)
+#
+# Select with REPRO_HYPOTHESIS_PROFILE=ci|nightly; see docs/fuzzing.md.
+_PROFILE_EXAMPLES = {"fast": 25, "ci": 50, "nightly": 250}
+for _name, _examples in _PROFILE_EXAMPLES.items():
+    settings.register_profile(
+        _name,
+        max_examples=_examples,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "fast"))
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,15 @@
+.text
+main:
+    li $t0, 0
+    li $t1, 10
+loop:
+    jal leaf
+    addu $t2, $t2, $t0
+    addiu $t0, $t0, 1
+    slt $at, $t0, $t1
+    bne $at, $zero, loop
+    halt
+leaf:
+    xor $t5, $t5, $t6
+    addu $t6, $t6, $t5
+    jr $ra

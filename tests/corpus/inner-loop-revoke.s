@@ -1,0 +1,18 @@
+.text
+
+    li $s2, 0
+    li $s3, 3
+outer0:
+    li $t0, 0
+    li $t1, 12
+inner0:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner0
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer0
+
+    halt

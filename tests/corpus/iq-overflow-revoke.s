@@ -1,0 +1,33 @@
+.text
+main:
+    li $t5, 0
+    li $t6, 12
+loop:
+    jal leaf
+    addu $t2, $t2, $t5
+    addiu $t5, $t5, 1
+    slt $at, $t5, $t6
+    bne $at, $zero, loop
+    halt
+leaf:
+    addu $s0, $s0, $t0
+    addu $s0, $s0, $t1
+    addu $s0, $s0, $t2
+    addu $s0, $s0, $t3
+    addu $s0, $s0, $t0
+    addu $s0, $s0, $t1
+    addu $s0, $s0, $t2
+    addu $s0, $s0, $t3
+    addu $s0, $s0, $t0
+    addu $s0, $s0, $t1
+    addu $s0, $s0, $t2
+    addu $s0, $s0, $t3
+    addu $s0, $s0, $t0
+    addu $s0, $s0, $t1
+    addu $s0, $s0, $t2
+    addu $s0, $s0, $t3
+    addu $s0, $s0, $t0
+    addu $s0, $s0, $t1
+    addu $s0, $s0, $t2
+    addu $s0, $s0, $t3
+    jr $ra

@@ -1,0 +1,11 @@
+.text
+main:
+    li $t0, 0
+    li $t1, 2
+loop:
+    addu $t2, $t2, $t3
+    xor $t4, $t2, $t0
+    addiu $t0, $t0, 1
+    slt $at, $t0, $t1
+    bne $at, $zero, loop
+    halt

@@ -1,0 +1,175 @@
+.text
+
+    li $s2, 0
+    li $s3, 3
+outer0:
+    li $t0, 0
+    li $t1, 6
+inner0:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner0
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer0
+
+    li $s2, 0
+    li $s3, 3
+outer1:
+    li $t0, 0
+    li $t1, 6
+inner1:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner1
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer1
+
+    li $s2, 0
+    li $s3, 3
+outer2:
+    li $t0, 0
+    li $t1, 6
+inner2:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner2
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer2
+
+    li $s2, 0
+    li $s3, 3
+outer3:
+    li $t0, 0
+    li $t1, 6
+inner3:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner3
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer3
+
+    li $s2, 0
+    li $s3, 3
+outer4:
+    li $t0, 0
+    li $t1, 6
+inner4:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner4
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer4
+
+    li $s2, 0
+    li $s3, 3
+outer5:
+    li $t0, 0
+    li $t1, 6
+inner5:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner5
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer5
+
+    li $s2, 0
+    li $s3, 3
+outer6:
+    li $t0, 0
+    li $t1, 6
+inner6:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner6
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer6
+
+    li $s2, 0
+    li $s3, 3
+outer7:
+    li $t0, 0
+    li $t1, 6
+inner7:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner7
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer7
+
+    li $s2, 0
+    li $s3, 3
+outer8:
+    li $t0, 0
+    li $t1, 6
+inner8:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner8
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer8
+
+    li $s2, 0
+    li $s3, 3
+outer9:
+    li $t0, 0
+    li $t1, 6
+inner9:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner9
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer9
+
+    li $s4, 0
+    li $s5, 2
+again:
+
+    li $s2, 0
+    li $s3, 3
+outer99:
+    li $t0, 0
+    li $t1, 6
+inner99:
+    addiu $t2, $t2, 1
+    slt $t3, $t0, $t1
+    addiu $t0, $t0, 1
+    slt $t3, $t0, $t1
+    bne $t3, $zero, inner99
+    addiu $s2, $s2, 1
+    slt $t4, $s2, $s3
+    bne $t4, $zero, outer99
+
+    addiu $s4, $s4, 1
+    slt $t9, $s4, $s5
+    bne $t9, $zero, again
+    halt

@@ -1,0 +1,16 @@
+.data
+scratch: .space 64
+.text
+main:
+    la $s7, scratch
+    li $t0, 0
+    li $t1, 14
+loop:
+    sw $t2, 0($s7)
+    lw $t3, 0($s7)
+    addu $t2, $t2, $t3
+    sw $t2, 8($s7)
+    addiu $t0, $t0, 1
+    slt $at, $t0, $t1
+    bne $at, $zero, loop
+    halt

@@ -1,0 +1,12 @@
+.text
+main:
+    li $t0, 0
+    li $t1, 12
+    sub.d $f2, $f2, $f2
+loop:
+    add.d $f2, $f2, $f2
+    addu $t2, $t2, $t0
+    addiu $t0, $t0, 1
+    slt $at, $t0, $t1
+    bne $at, $zero, loop
+    halt

@@ -1,20 +1,13 @@
-"""Shared assertion helpers for the test suite."""
+"""Shared assertion helpers for the test suite.
+
+The differential-state assertion graduated into the fuzzing subsystem
+(:mod:`repro.fuzz.oracle`) so the fuzzer's three-way oracle and the unit
+tests agree byte-for-byte on what "architecturally equal" means.  This
+module keeps the historical import path alive.
+"""
 
 from __future__ import annotations
 
+from repro.fuzz.oracle import assert_matches_oracle
 
-def assert_matches_oracle(pipeline, oracle):
-    """Assert a finished pipeline's architectural state equals the oracle's.
-
-    Checks committed instruction count, all 64 registers, and every memory
-    page the oracle touched.
-    """
-    assert pipeline.stats.committed == oracle.instructions_executed, (
-        f"committed {pipeline.stats.committed} vs oracle "
-        f"{oracle.instructions_executed}")
-    pipe_regs = pipeline.architectural_registers()
-    for index, (got, want) in enumerate(zip(pipe_regs, oracle.regs)):
-        assert got == want, f"register {index}: {got!r} != {want!r}"
-    for page_addr, page in oracle.memory._pages.items():
-        got = pipeline.mem_image.read_bytes(page_addr << 12, len(page))
-        assert got == bytes(page), f"memory page {page_addr:#x} differs"
+__all__ = ["assert_matches_oracle"]

@@ -1,0 +1,103 @@
+"""The mutation engine's structural guarantees.
+
+Every mutant must assemble, terminate quickly (loops are counted, calls
+are leaf-only), and stay inside the cost/depth caps -- these properties
+are what makes the fuzzing campaign safe to run unattended.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fuzz.mutate import (
+    DEFAULT_MAX_COST,
+    LOOP_COUNTERS,
+    MAX_DEPTH,
+    MutationEngine,
+    ProgramSpec,
+    render,
+)
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+
+_MUTANTS_PER_RUN = 25
+
+
+def _mutant_stream(seed, count=_MUTANTS_PER_RUN):
+    """Seeds followed by ``count`` corpus-style mutants, rendered."""
+    rng = random.Random(seed)
+    engine = MutationEngine(rng)
+    specs = list(engine.seed_specs())
+    pool = list(specs)
+    for _ in range(count):
+        child = engine.mutate(rng.choice(pool))
+        pool.append(child)
+        specs.append(child)
+    return specs
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = [render(s) for s in _mutant_stream(7)]
+        second = [render(s) for s in _mutant_stream(7)]
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        first = [render(s) for s in _mutant_stream(7)]
+        second = [render(s) for s in _mutant_stream(8)]
+        assert first != second
+
+    def test_mutate_leaves_parent_untouched(self):
+        rng = random.Random(3)
+        engine = MutationEngine(rng)
+        parent = engine.seed_specs()[1]
+        before = parent.to_dict()
+        for _ in range(10):
+            engine.mutate(parent)
+        assert parent.to_dict() == before
+
+
+class TestAlwaysTerminating:
+    def test_every_mutant_assembles_and_halts(self):
+        for index, spec in enumerate(_mutant_stream(0)):
+            program = assemble(render(spec), name=f"mutant-{index}")
+            # cost is an upper bound on dynamic instructions; add the
+            # harness slack and the interpreter must halt within it
+            budget = spec.estimated_cost() + 100
+            oracle = run_program(program, max_instructions=budget)
+            assert oracle.instructions_executed <= budget
+
+    def test_caps_hold_across_mutation(self):
+        for spec in _mutant_stream(1):
+            assert spec.estimated_cost() <= DEFAULT_MAX_COST
+            assert spec._max_depth(spec.blocks) <= MAX_DEPTH
+            assert spec.blocks
+
+    def test_bodies_never_touch_loop_counters(self):
+        reserved = {reg for pair in LOOP_COUNTERS for reg in pair}
+        for spec in _mutant_stream(2):
+            for line in _body_lines(spec):
+                written = line.replace(",", " ").split()[1:2]
+                assert not (set(written) & reserved), \
+                    f"body line clobbers a loop counter: {line}"
+
+
+def _body_lines(spec):
+    def walk(nodes):
+        for node in nodes:
+            if hasattr(node, "lines"):
+                yield from node.lines
+            elif hasattr(node, "body"):
+                yield from walk(node.body)
+
+    yield from walk(spec.blocks)
+    for leaf in spec.leaves:
+        yield from leaf
+
+
+class TestSerialization:
+    def test_spec_roundtrips(self):
+        for spec in _mutant_stream(4, count=10):
+            clone = ProgramSpec.from_dict(spec.to_dict())
+            assert clone.to_dict() == spec.to_dict()
+            assert render(clone) == render(spec)

@@ -1,0 +1,73 @@
+"""The fuzzer's own smoke alarm: it must find a bug we know is there.
+
+``repro.core.controller._INJECTED_BUG = "skip-lrl-update"`` makes the
+reuse pointer wrap to slot 1 instead of slot 0, silently dropping the
+first buffered instruction from every reuse iteration after the first --
+exactly the class of subtle controller bug the fuzzer exists to catch.
+A bounded smoke campaign must find it, shrink it to a minimal
+reproducer, and leave the injection flag clean afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.core import controller as controller_module
+from repro.fuzz import CampaignConfig, FuzzCampaign
+from repro.fuzz.mutate import ProgramSpec, render
+from repro.fuzz.oracle import run_differential
+from repro.isa.assembler import assemble
+
+#: Bounded smoke budget: the injected bug fires on any promoted loop
+#: with >= 2 reuse iterations, so 40 mutants is ample headroom.
+_BUDGET = 40
+
+
+def _campaign_report():
+    config = CampaignConfig(seed=1, programs=_BUDGET, time_budget=0.0,
+                            inject_bug="skip-lrl-update")
+    return FuzzCampaign(config).run()
+
+
+class TestInjectedBugIsFound:
+    def test_campaign_finds_and_shrinks_the_bug(self):
+        report = _campaign_report()
+        assert report["findings"], \
+            f"injected controller bug survived {_BUDGET} mutants"
+        assert report["unshrunk_findings"] == 0
+        for finding in report["findings"]:
+            divergence = finding["divergence"]
+            assert divergence["mode"] == "reuse", \
+                "the injected bug lives in the reuse path only"
+            assert divergence["kind"] in ("committed", "register",
+                                          "memory")
+            assert finding["shrunk_cost"] <= finding["original_cost"]
+            assert finding["shrink_complete"]
+
+    def test_flag_is_reset_after_the_campaign(self):
+        _campaign_report()
+        assert controller_module._INJECTED_BUG is None
+
+    def test_shrunk_reproducer_still_reproduces(self):
+        report = _campaign_report()
+        finding = report["findings"][0]
+        spec = ProgramSpec.from_dict(finding["spec"])
+        program = assemble(render(spec), name="shrunk")
+        config = CampaignConfig(inject_bug="skip-lrl-update")
+        controller_module._INJECTED_BUG = "skip-lrl-update"
+        try:
+            outcome = run_differential(program, config.machine_config(),
+                                       collect_coverage=False)
+        finally:
+            controller_module._INJECTED_BUG = None
+        assert outcome.divergence is not None
+        assert outcome.divergence.mode == "reuse"
+
+    def test_baseline_is_immune_to_the_injection(self):
+        report = _campaign_report()
+        for finding in report["findings"]:
+            assert finding["divergence"]["mode"] != "baseline"
+
+
+def test_without_injection_the_same_campaign_is_clean():
+    config = CampaignConfig(seed=1, programs=_BUDGET, time_budget=0.0)
+    report = FuzzCampaign(config).run()
+    assert report["findings"] == []

@@ -7,7 +7,7 @@ stay inside a scratch buffer, and every program ends in ``halt``.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arch.config import MachineConfig
@@ -23,11 +23,10 @@ INT_REGS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
             "$s0", "$s1"]
 FP_REGS = ["$f2", "$f4", "$f6", "$f8", "$f10"]
 
-_SETTINGS = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+# Example budget, deadline and health-check policy come from the active
+# hypothesis profile (registered in tests/conftest.py, selected via
+# REPRO_HYPOTHESIS_PROFILE): 25 examples locally, 50 in CI, 250 nightly.
+_SETTINGS = settings()
 
 
 @st.composite
