@@ -1,0 +1,49 @@
+# saxpy: y[i] = a * x[i] + y[i] over 32 elements.
+#
+# The canonical telemetry demo kernel: a tight, bufferable inner loop
+# that the reuse controller detects, buffers and promotes, gating the
+# front end for most of the run.  Try:
+#
+#     repro trace examples/saxpy.s --out trace.json --metrics metrics.json
+#
+# and load trace.json into https://ui.perfetto.dev -- the controller
+# state track shows the NORMAL -> BUFFERING -> REUSE transitions and the
+# front-end gate track shows the power-saving windows.
+
+.data
+x: .space 128
+y: .space 128
+
+.text
+main:
+    la   $s0, x
+    la   $s1, y
+    li   $t0, 0               # i
+    li   $t1, 32              # n
+    li   $s2, 3               # a
+
+init:                         # fill x[i] = i, y[i] = 2i
+    sll  $t2, $t0, 2
+    addu $t3, $s0, $t2
+    sw   $t0, 0($t3)
+    addu $t4, $t0, $t0
+    addu $t5, $s1, $t2
+    sw   $t4, 0($t5)
+    addiu $t0, $t0, 1
+    slt  $at, $t0, $t1
+    bne  $at, $zero, init
+
+    li   $t0, 0
+saxpy:                        # y[i] = a * x[i] + y[i]
+    sll  $t2, $t0, 2
+    addu $t3, $s0, $t2
+    lw   $t6, 0($t3)
+    mult $t6, $t6, $s2
+    addu $t5, $s1, $t2
+    lw   $t7, 0($t5)
+    addu $t7, $t7, $t6
+    sw   $t7, 0($t5)
+    addiu $t0, $t0, 1
+    slt  $at, $t0, $t1
+    bne  $at, $zero, saxpy
+    halt

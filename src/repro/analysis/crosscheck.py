@@ -59,23 +59,38 @@ REASON_TO_HAZARD: Dict[str, str] = {
 class ControllerEventProbe(PipelineProbe):
     """Cycle probe collecting the controller's event log.
 
-    The controller appends events as decisions happen; this probe copies
-    the new ones into :attr:`events` at the end of every cycle, stamping
-    each with that cycle.  A cursor (rather than clearing the log) keeps
-    the probe passive, as the probe contract requires.
+    The controller appends events as decisions happen, stamping each with
+    the cycle it was taken in; this probe copies the new ones into
+    :attr:`events` at the end of every cycle through the controller's
+    :meth:`~repro.core.controller.ReuseController.iter_events_since`
+    cursor helper.  A cursor (rather than clearing the log) keeps the
+    probe passive, as the probe contract requires.
     """
 
     def __init__(self) -> None:
-        self.events: List[Tuple[int, ControllerEvent]] = []
+        self.events: List[ControllerEvent] = []
         self._cursor = 0
 
     def on_cycle(self, pipeline: Any) -> None:
-        log = pipeline.controller.events
-        if len(log) > self._cursor:
-            cycle = pipeline.cycle
-            self.events.extend(
-                (cycle, event) for event in log[self._cursor:])
-            self._cursor = len(log)
+        fresh, self._cursor = \
+            pipeline.controller.iter_events_since(self._cursor)
+        self.events.extend(fresh)
+
+    @property
+    def timestamped(self) -> List[Tuple[int, ControllerEvent]]:
+        """Deprecated ``(cycle, event)`` view of :attr:`events`.
+
+        Kept for one release: events carry :attr:`ControllerEvent.cycle`
+        directly now (same shim as
+        :func:`repro.core.controller.timestamped_events`).
+        """
+        import warnings
+
+        warnings.warn(
+            "ControllerEventProbe.timestamped is deprecated: events "
+            "carry their cycle directly (event.cycle)",
+            DeprecationWarning, stacklevel=2)
+        return [(event.cycle, event) for event in self.events]
 
 
 @dataclass(frozen=True)
@@ -98,8 +113,8 @@ class CrosscheckResult:
 
     program: str
     iq_size: int
-    #: Timestamped controller events observed during the run.
-    events: List[Tuple[int, ControllerEvent]]
+    #: Controller events observed during the run (each carries its cycle).
+    events: List[ControllerEvent]
     #: Static loops keyed by tail pc.
     static_loops: Dict[int, StaticLoop]
     #: Disagreements (empty = full concordance).
@@ -228,14 +243,15 @@ def crosscheck(program: Program, config: MachineConfig,
     iq_size = config.iq_size
     violations: List[ConcordanceViolation] = []
     counts: Dict[str, int] = {}
-    for cycle, event in probe.events:
+    for event in probe.events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
         if event.kind == "buffer_start":
-            _check_buffer_start(event, cycle, static, iq_size, violations)
+            _check_buffer_start(event, event.cycle, static, iq_size,
+                                violations)
         elif event.kind == "promote":
-            _check_promote(event, cycle, static, iq_size, violations)
+            _check_promote(event, event.cycle, static, iq_size, violations)
         elif event.kind == "revoke":
-            _check_revoke(event, cycle, static, iq_size, violations)
+            _check_revoke(event, event.cycle, static, iq_size, violations)
     return CrosscheckResult(
         program=program.name,
         iq_size=iq_size,

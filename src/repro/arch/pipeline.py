@@ -243,6 +243,7 @@ class Pipeline:
         stats.cycles += 1
         self._dcache_ports_used = 0
         controller = self.controller
+        controller.now = self.cycle
         state = controller.state
         if state is IQState.NORMAL:
             stats.cycles_normal += 1

@@ -8,39 +8,44 @@ integer attributes keeps the simulator's hot loop cheap.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
+
+#: Counter catalog: group name -> counters in that group.  This is the
+#: one authoritative enumeration of the simulator's activity counters;
+#: the telemetry metric registry (:meth:`PipelineStats.to_registry`) and
+#: the docs metric catalog are both generated from it.
+COUNTER_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "global": ("cycles", "committed", "fetched", "decoded", "dispatched",
+               "issued", "squashed"),
+    "control_flow": ("branches_committed", "cond_branches_committed",
+                     "mispredicts", "reuse_mispredicts"),
+    "front_end": ("icache_fetch_cycles", "btb_bubbles",
+                  "fetch_stall_cycles", "predecoded_supplied"),
+    "reuse": ("gated_cycles", "cycles_normal", "cycles_buffering",
+              "cycles_reuse", "loop_detections", "buffering_started",
+              "promotions", "revokes", "buffering_revokes",
+              "revokes_inner_loop", "revokes_exit", "revokes_iq_full",
+              "revokes_mispredict", "nblt_lookups", "nblt_hits",
+              "nblt_inserts", "reuse_supplied", "buffered_instructions",
+              "buffered_iterations"),
+    "issue_queue": ("iq_inserts", "iq_removes", "iq_wakeups",
+                    "iq_partial_updates", "lrl_writes", "lrl_reads"),
+    "backend": ("rob_writes", "rob_reads", "lsq_inserts", "lsq_searches",
+                "lsq_forwards", "regfile_reads", "regfile_writes",
+                "fu_int_ops", "fu_mult_ops", "fu_fp_ops", "fu_fpmult_ops",
+                "resultbus_writes", "rename_lookups", "rename_writes",
+                "dcache_load_accesses", "dcache_store_accesses",
+                "load_blocked_cycles"),
+}
 
 
 class PipelineStats:
     """Counters for one simulation run."""
 
-    __slots__ = (
-        # -- global ---------------------------------------------------------
-        "cycles", "committed", "fetched", "decoded", "dispatched", "issued",
-        "squashed",
-        # -- control flow ---------------------------------------------------
-        "branches_committed", "cond_branches_committed", "mispredicts",
-        "reuse_mispredicts",
-        # -- front end --------------------------------------------------------
-        "icache_fetch_cycles", "btb_bubbles", "fetch_stall_cycles",
-        "predecoded_supplied",
-        # -- reuse mechanism ---------------------------------------------------
-        "gated_cycles", "cycles_normal", "cycles_buffering", "cycles_reuse",
-        "loop_detections", "buffering_started", "promotions", "revokes",
-        "buffering_revokes",
-        "revokes_inner_loop", "revokes_exit", "revokes_iq_full",
-        "revokes_mispredict", "nblt_lookups", "nblt_hits", "nblt_inserts",
-        "reuse_supplied", "buffered_instructions", "buffered_iterations",
-        # -- issue queue events ------------------------------------------------
-        "iq_inserts", "iq_removes", "iq_wakeups", "iq_partial_updates",
-        "lrl_writes", "lrl_reads",
-        # -- backend events ------------------------------------------------------
-        "rob_writes", "rob_reads", "lsq_inserts", "lsq_searches",
-        "lsq_forwards", "regfile_reads", "regfile_writes", "fu_int_ops",
-        "fu_mult_ops", "fu_fp_ops", "fu_fpmult_ops", "resultbus_writes",
-        "rename_lookups", "rename_writes", "dcache_load_accesses",
-        "dcache_store_accesses", "load_blocked_cycles",
-    )
+    # The slot layout is generated from the catalog so the two can never
+    # drift apart; attribute access stays a plain slot lookup.
+    __slots__ = tuple(name for group in COUNTER_GROUPS.values()
+                      for name in group)
 
     def __init__(self):
         for name in self.__slots__:
@@ -71,6 +76,32 @@ class PipelineStats:
     def as_dict(self) -> Dict[str, int]:
         """All counters as a plain dict (for reports and tests)."""
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def to_registry(self, registry=None, **labels):
+        """Export every counter into a telemetry metric registry.
+
+        Each counter becomes a ``sim_<name>`` Counter labelled with its
+        catalog ``group`` (plus any extra ``labels``); IPC and the gated
+        fraction are exported as gauges.  Imports lazily so the hot
+        timing path never touches :mod:`repro.telemetry`.
+        """
+        from repro.telemetry.metrics import MetricRegistry
+
+        registry = registry if registry is not None else MetricRegistry()
+        for group, names in COUNTER_GROUPS.items():
+            for name in names:
+                registry.counter(
+                    f"sim_{name}",
+                    help=f"pipeline counter {name} ({group} group)",
+                ).inc(getattr(self, name), group=group, **labels)
+        registry.gauge(
+            "sim_ipc", help="committed instructions per cycle",
+        ).set(self.ipc, **labels)
+        registry.gauge(
+            "sim_gated_fraction",
+            help="fraction of cycles with the front-end gated",
+        ).set(self.gated_fraction, **labels)
+        return registry
 
     def __repr__(self) -> str:
         return (

@@ -44,6 +44,16 @@ Subcommands
     run, ``--jobs`` fans mutants out over processes, ``--corpus-dir``
     collects replayable reproducers (see ``docs/fuzzing.md``).
 
+``trace TARGET``
+    Simulate one kernel (a ``.s`` file or a Table 2 benchmark name,
+    reuse machine by default) with the telemetry session attached and
+    export a Chrome trace-event JSON timeline (``--out``) viewable in
+    Perfetto, plus an optional metric snapshot (``--metrics``).
+    ``--stride`` thins the occupancy counter series; ``--stages`` adds
+    per-instruction stage spans (see ``docs/telemetry.md``).  ``run``
+    and ``reproduce`` accept ``--trace-out`` for the same timeline of,
+    respectively, the simulated run and the runner's job schedule.
+
 ``disasm FILE.s``
     Assemble a file and print the disassembly listing with labels.
 """
@@ -169,30 +179,58 @@ def _build_runner_from_args(args, **runner_kwargs):
         raise SystemExit(f"error: {exc}")
 
 
+def _telemetry_session(args):
+    """A TelemetrySession when ``--trace-out`` asked for one, else None."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.telemetry import TelemetrySession
+    return TelemetrySession(stride=getattr(args, "stride", 1),
+                            stages=getattr(args, "stages", False))
+
+
 def _cmd_run(args) -> int:
     program = _load_program(args.file)
     config = _machine_config(args)
+    session = _telemetry_session(args)
     if args.compare:
         baseline = simulate(program, config.replace(reuse_enabled=False))
-        reuse = simulate(program, config.replace(reuse_enabled=True))
-        return _emit_comparison(RunComparison(baseline, reuse), args)
+        # with --compare the timeline shows the reuse run (the one whose
+        # controller behaviour is worth looking at)
+        reuse = simulate(program, config.replace(reuse_enabled=True),
+                         telemetry=session)
+        status = _emit_comparison(RunComparison(baseline, reuse), args)
     else:
-        result = simulate(program, config)
+        result = simulate(program, config, telemetry=session)
+        status = 0
         if args.json:
             print(to_json(result))
-            return 0
-        _print_result(result, "reuse" if config.reuse_enabled
-                      else "baseline")
-        if args.stats:
-            print()
-            print(render_stats(result))
-    return 0
+        else:
+            _print_result(result, "reuse" if config.reuse_enabled
+                          else "baseline")
+            if args.stats:
+                print()
+                print(render_stats(result))
+    if session is not None:
+        session.write_trace(args.trace_out)
+    return status
 
 
 def _write_manifest(args, runner) -> None:
     """Export the run manifest when ``--manifest PATH`` was given."""
     if getattr(args, "manifest", None):
         runner.executor.progress.write_manifest(args.manifest)
+
+
+def _write_runner_timeline(args, runner) -> None:
+    """Export the runner's job-schedule timeline for ``--trace-out``."""
+    if not getattr(args, "trace_out", None):
+        return
+    from repro.telemetry import runner_timeline, validate_trace
+    payload = runner_timeline(runner.executor.progress)
+    validate_trace(payload)
+    with open(args.trace_out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
 
 
 def _cmd_reproduce(args) -> int:
@@ -203,6 +241,7 @@ def _cmd_reproduce(args) -> int:
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     _write_manifest(args, runner)
+    _write_runner_timeline(args, runner)
     return 0
 
 
@@ -220,6 +259,17 @@ def _cmd_bench(args) -> int:
     results = executor.run(jobs)
     comparison = RunComparison(results[jobs[0]], results[jobs[1]])
     status = _emit_comparison(comparison, args)
+    if args.metrics_out:
+        # both modes merged into one snapshot, split by the mode label;
+        # activity records are deterministic, so the bytes written here
+        # are identical at any --jobs level / cache temperature (the CI
+        # telemetry-smoke job asserts exactly this)
+        from repro.telemetry.metrics import registry_from_activity
+        registry = registry_from_activity(comparison.baseline.activity,
+                                          mode="baseline")
+        registry_from_activity(comparison.reuse.activity, registry,
+                               mode="reuse")
+        registry.write(args.metrics_out)
     _write_manifest(args, runner)
     return status
 
@@ -383,6 +433,38 @@ def _cmd_fuzz(args) -> int:
     return 1 if report["findings"] else 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.telemetry import TelemetrySession
+
+    target = args.target
+    if target in BENCHMARK_NAMES:
+        program = WorkloadSuite().program(target, optimize=args.optimize)
+    elif target.endswith(".s"):
+        program = _load_program(target)
+    else:
+        raise SystemExit(
+            f"error: unknown trace target {target!r}; pass a benchmark "
+            f"name ({', '.join(BENCHMARK_NAMES)}) or a .s file")
+    if args.stride < 1:
+        raise SystemExit("error: --stride must be >= 1")
+    config = _machine_config(args)
+    if args.baseline:
+        config = config.replace(reuse_enabled=False)
+    session = TelemetrySession(stride=args.stride, stages=args.stages)
+    result = simulate(program, config, telemetry=session)
+    session.write_trace(args.out)
+    mode = "reuse" if config.reuse_enabled else "baseline"
+    if args.metrics:
+        session.write_metrics(args.metrics, mode=mode)
+    summary = session.sampler.summary()
+    print(f"[trace] {program.name} ({mode}): {result.cycles} cycles, "
+          f"{summary['samples']} samples @ stride {args.stride}, "
+          f"{summary['state_intervals']} state intervals, "
+          f"{summary['gating_windows']} gating windows -> {args.out}",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     program = _load_program(args.file)
     print(program.listing())
@@ -405,6 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the full statistics dump")
     run.add_argument("--json", action="store_true",
                      help="emit machine-readable JSON instead of text")
+    run.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write a Chrome trace-event timeline of the "
+                          "run (with --compare: of the reuse run)")
     _add_machine_options(run)
     run.set_defaults(func=_cmd_run)
 
@@ -413,6 +498,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
                      help=f"subset to run (default: all of "
                           f"{' '.join(EXPERIMENT_NAMES)})")
+    rep.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write a Chrome trace-event timeline of the "
+                          "runner's job schedule")
     _add_runner_options(rep)
     rep.set_defaults(func=_cmd_reproduce)
 
@@ -425,6 +513,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full statistics dump")
     bench.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+    bench.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write a telemetry metric snapshot of both "
+                            "modes (byte-identical at any --jobs level)")
     _add_machine_options(bench)
     _add_runner_options(bench)
     bench.set_defaults(func=_cmd_bench)
@@ -517,6 +608,34 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--inject-bug", default=None,
                       help=argparse.SUPPRESS)
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate a kernel and export a Perfetto-viewable timeline")
+    trace.add_argument("target",
+                       help="a .s source file or a Table 2 benchmark "
+                            "name")
+    trace.add_argument("--out", metavar="PATH", default="trace.json",
+                       help="trace-event JSON output path "
+                            "(default: trace.json)")
+    trace.add_argument("--metrics", metavar="PATH", default=None,
+                       help="also write a metric snapshot to PATH")
+    trace.add_argument("--stride", type=int, default=1, metavar="N",
+                       help="sample the occupancy counter series every "
+                            "N cycles (state/gating intervals stay "
+                            "exact; default 1)")
+    trace.add_argument("--stages", action="store_true",
+                       help="include per-instruction stage spans "
+                            "(bounded tracer; adds async slices)")
+    trace.add_argument("--baseline", action="store_true",
+                       help="trace the baseline machine instead of the "
+                            "reuse machine")
+    trace.add_argument("--optimize", action="store_true",
+                       help="use the loop-distributed kernel variant")
+    _add_machine_options(trace)
+    # the interesting timeline is the reuse machine's -- default it on
+    # (--baseline flips it back off)
+    trace.set_defaults(func=_cmd_trace, reuse=True)
 
     dis = sub.add_parser("disasm", help="assemble and list a program")
     dis.add_argument("file", help="assembly source file")

@@ -68,6 +68,26 @@ class ControllerEvent:
     nblt_insert: bool = False
     #: Iterations captured (promote events only).
     iterations: int = 0
+    #: Cycle the decision was taken in (0 for events synthesized outside
+    #: a pipeline, e.g. in unit tests that drive the controller directly).
+    cycle: int = 0
+
+
+def timestamped_events(events):
+    """Deprecated ``(cycle, event)`` tuple view of an event list.
+
+    Events carry their own :attr:`ControllerEvent.cycle` now; this shim
+    reproduces the tuple shape the pre-telemetry probes exposed (cycles
+    used to be zipped in externally by each consumer) and will be removed
+    in the next release.
+    """
+    import warnings
+
+    warnings.warn(
+        "timestamped_events() is deprecated: ControllerEvent carries "
+        "its cycle directly (event.cycle)",
+        DeprecationWarning, stacklevel=2)
+    return [(event.cycle, event) for event in events]
 
 
 class ReuseController:
@@ -109,6 +129,30 @@ class ReuseController:
         self.transitions: List = []
         #: Decision log for probes (see :class:`ControllerEvent`).
         self.events: List[ControllerEvent] = []
+        #: Current pipeline cycle, written by the pipeline at the top of
+        #: every step so events can stamp the cycle they happened in.
+        self.now = 0
+
+    # -- event log ----------------------------------------------------------
+
+    def iter_events_since(self, cursor: int):
+        """New events appended since ``cursor``, plus the new cursor.
+
+        The event log is append-only; passive probes keep a private
+        cursor instead of draining it (probed and probe-free runs must
+        stay bit-identical).  Typical consumer::
+
+            fresh, self._cursor = controller.iter_events_since(self._cursor)
+            for event in fresh:
+                ...
+
+        Returns ``(events, new_cursor)``; ``events`` is empty when
+        nothing was appended.
+        """
+        log = self.events
+        if cursor >= len(log):
+            return (), cursor
+        return log[cursor:], len(log)
 
     # -- state transitions ---------------------------------------------------
 
@@ -146,7 +190,8 @@ class ReuseController:
         self.events.append(ControllerEvent(
             kind="buffer_start",
             head_pc=candidate.head_pc,
-            tail_pc=candidate.tail_pc))
+            tail_pc=candidate.tail_pc,
+            cycle=self.now))
         self.stats.buffering_started += 1
         self.session_id += 1
         self._undispatched_candidates = 0
@@ -248,7 +293,8 @@ class ReuseController:
             kind="promote",
             head_pc=self.loop_head_pc,
             tail_pc=self.loop_tail_pc,
-            iterations=self.iterations_buffered))
+            iterations=self.iterations_buffered,
+            cycle=self.now))
         self.stats.promotions += 1
         self.stats.buffered_iterations += self.iterations_buffered
         self.pending_promote = False
@@ -323,7 +369,8 @@ class ReuseController:
             tail_pc=self.loop_tail_pc,
             reason=reason,
             nblt_insert=inserted,
-            iterations=self.iterations_buffered))
+            iterations=self.iterations_buffered,
+            cycle=self.now))
         if inserted:
             self.nblt.insert(self.loop_tail_pc)
             self.stats.nblt_inserts += 1

@@ -53,9 +53,10 @@ def occupancy_bucket(occupancy: int, capacity: int) -> int:
 class CoverageProbe(PipelineProbe):
     """Passive cycle probe distilling a run into coverage signatures.
 
-    Keeps private cursors over the controller's append-only event log and
-    the NBLT hit counter instead of mutating either, as the probe contract
-    requires (probed and probe-free runs stay bit-identical).
+    Keeps a private cursor over the controller's append-only event log
+    (:meth:`~repro.core.controller.ReuseController.iter_events_since`)
+    and the NBLT hit counter instead of mutating either, as the probe
+    contract requires (probed and probe-free runs stay bit-identical).
     """
 
     def __init__(self) -> None:
@@ -76,14 +77,13 @@ class CoverageProbe(PipelineProbe):
         state = controller.state.name
         depth = min(controller.call_depth, CALL_DEPTH_SATURATION)
         self._add(f"cycle state={state} occ={occ} depth={depth}")
-        log = controller.events
-        if len(log) > self._event_cursor:
-            for event in log[self._event_cursor:]:
-                reason = event.reason or "-"
-                self._add(f"event state={state} kind={event.kind} "
-                          f"reason={reason} occ={occ} "
-                          f"nblt={int(event.nblt_insert)}")
-            self._event_cursor = len(log)
+        fresh, self._event_cursor = \
+            controller.iter_events_since(self._event_cursor)
+        for event in fresh:
+            reason = event.reason or "-"
+            self._add(f"event state={state} kind={event.kind} "
+                      f"reason={reason} occ={occ} "
+                      f"nblt={int(event.nblt_insert)}")
         hits = controller.nblt.hits
         if hits > self._nblt_hits:
             self._add(f"nblt hit occ={occ}")

@@ -7,6 +7,15 @@ stderr (stdout is reserved for the tables, which must stay byte-identical
 regardless of parallelism or caching) while accumulating a machine-
 readable *run manifest*: every event plus a summary with wall time and
 cache hit rate, exportable as JSON for dashboards and regression tracking.
+
+Event timestamps use :func:`time.monotonic` so intervals between events
+are immune to wall-clock steps (NTP slews, suspend/resume); the manifest
+carries one ``started_at`` epoch timestamp for anchoring the run in
+calendar time.  The reporter also feeds every event through a telemetry
+:class:`~repro.telemetry.metrics.MetricRegistry`
+(``runner_events_total`` counter per kind, ``runner_job_seconds``
+histogram of job wall times), embedded in the manifest under
+``metrics``.
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TextIO
 
+from repro.telemetry.metrics import MetricRegistry
+
 #: Event kinds emitted by the executor, in lifecycle order.
 EVENT_KINDS = ("queued", "cache-hit", "started", "done", "failed",
                "retry", "fallback")
@@ -24,14 +35,18 @@ EVENT_KINDS = ("queued", "cache-hit", "started", "done", "failed",
 
 @dataclass
 class RunEvent:
-    """One state change of one job (or of the run itself)."""
+    """One state change of one job (or of the run itself).
+
+    ``timestamp`` is a :func:`time.monotonic` reading: meaningful only
+    relative to other events of the same process, never as an epoch.
+    """
 
     kind: str
     job: str = ""
     key: str = ""
     wall_time: Optional[float] = None
     detail: str = ""
-    timestamp: float = field(default_factory=time.time)
+    timestamp: float = field(default_factory=time.monotonic)
 
     def as_dict(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -57,7 +72,9 @@ class ProgressReporter:
         self.stream = stream if stream is not None else sys.stderr
         self.verbose = verbose
         self.events: List[RunEvent] = []
-        self._start = time.time()
+        self.metrics = MetricRegistry()
+        self._start = time.monotonic()
+        self._started_at = time.time()
 
     # -- event intake ------------------------------------------------------
 
@@ -67,6 +84,14 @@ class ProgressReporter:
         event = RunEvent(kind=kind, job=job, key=key,
                          wall_time=wall_time, detail=detail)
         self.events.append(event)
+        self.metrics.counter(
+            "runner_events_total",
+            help="progress events emitted by the executor").inc(kind=kind)
+        if wall_time is not None and kind == "done":
+            self.metrics.histogram(
+                "runner_job_seconds", unit="seconds",
+                help="wall time of simulated (non-cached) jobs").observe(
+                wall_time)
         if self.verbose and kind != "queued":
             self._render(event)
 
@@ -85,14 +110,15 @@ class ProgressReporter:
 
     def count(self, kind: str) -> int:
         """Number of events of one kind."""
-        return sum(1 for event in self.events if event.kind == kind)
+        return self.metrics.counter("runner_events_total").value(kind=kind)
 
     def summary(self) -> Dict[str, Any]:
-        """Aggregate counts: jobs, hits, hit rate, wall time."""
+        """Aggregate counts: jobs, hits, hit rate, wall times."""
         queued = self.count("queued")
         hits = self.count("cache-hit")
         simulated = self.count("done")
         resolved = hits + simulated
+        job_seconds = self.metrics.histogram("runner_job_seconds")
         return {
             "jobs": queued,
             "cache_hits": hits,
@@ -100,7 +126,9 @@ class ProgressReporter:
             "failed": self.count("failed"),
             "retries": self.count("retry"),
             "hit_rate": hits / resolved if resolved else 0.0,
-            "wall_time": round(time.time() - self._start, 3),
+            "wall_time": round(time.monotonic() - self._start, 3),
+            "job_wall_time": round(job_seconds.sum(), 6),
+            "started_at": self._started_at,
         }
 
     def render_summary(self) -> None:
@@ -117,10 +145,11 @@ class ProgressReporter:
     # -- manifest ----------------------------------------------------------
 
     def manifest(self) -> Dict[str, Any]:
-        """The full run manifest (summary + every event)."""
+        """The full run manifest (summary + events + metric snapshot)."""
         return {
             "summary": self.summary(),
             "events": [event.as_dict() for event in self.events],
+            "metrics": self.metrics.snapshot(),
         }
 
     def write_manifest(self, path) -> None:

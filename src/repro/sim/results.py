@@ -52,6 +52,10 @@ class SimulationResult:
     params: PowerParams = DEFAULT_PARAMS
     pipeline: Optional[object] = field(default=None, repr=False,
                                        compare=False)
+    #: The run's :class:`~repro.telemetry.TelemetrySession`, when one was
+    #: threaded through the simulation (``simulate(..., telemetry=...)``).
+    telemetry: Optional[object] = field(default=None, repr=False,
+                                        compare=False)
     _energies: Optional[Dict[str, ComponentEnergy]] = field(
         default=None, init=False, repr=False, compare=False)
 

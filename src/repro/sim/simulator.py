@@ -33,19 +33,38 @@ from repro.sim.results import SimulationResult
 def run_timing(program: Program, config: MachineConfig,
                max_cycles: Optional[int] = None,
                probes: Iterable = (),
-               keep_pipeline: bool = False):
+               keep_pipeline: bool = False,
+               telemetry=None):
     """Run ``program`` to its committed ``halt``; timing only.
 
     Returns the run's :class:`~repro.power.activity.ActivityRecord`.
     ``probes`` are attached to the pipeline before it runs (tracers,
-    invariant checkers, ...).  With ``keep_pipeline=True`` the return
-    value is a ``(record, pipeline)`` pair instead.
+    invariant checkers, ...).  ``telemetry`` is an optional
+    :class:`~repro.telemetry.TelemetrySession`: its probes are attached
+    too, its self-profiler times the build/run/capture phases, and it
+    absorbs the finished run so trace/metric artifacts can be exported
+    afterwards (see ``docs/telemetry.md``).  With ``keep_pipeline=True``
+    the return value is a ``(record, pipeline)`` pair instead.
     """
-    pipeline = Pipeline(program, config)
-    for probe in probes:
-        pipeline.attach_probe(probe)
-    pipeline.run(max_cycles=max_cycles)
-    record = ActivityRecord.capture(pipeline)
+    if telemetry is None:
+        pipeline = Pipeline(program, config)
+        for probe in probes:
+            pipeline.attach_probe(probe)
+        pipeline.run(max_cycles=max_cycles)
+        record = ActivityRecord.capture(pipeline)
+    else:
+        profiler = telemetry.profiler
+        with profiler.phase("build-pipeline"):
+            pipeline = Pipeline(program, config)
+            for probe in probes:
+                pipeline.attach_probe(probe)
+            for probe in telemetry.probes:
+                pipeline.attach_probe(probe)
+        with profiler.phase("run-timing"):
+            pipeline.run(max_cycles=max_cycles)
+        with profiler.phase("capture-record"):
+            record = ActivityRecord.capture(pipeline)
+            telemetry.absorb(pipeline, record)
     if keep_pipeline:
         return record, pipeline
     return record
@@ -72,7 +91,8 @@ def evaluate_power(record: ActivityRecord, config: MachineConfig,
 def simulate(program: Program, config: MachineConfig,
              params: PowerParams = DEFAULT_PARAMS,
              max_cycles: Optional[int] = None,
-             keep_pipeline: bool = False) -> SimulationResult:
+             keep_pipeline: bool = False,
+             telemetry=None) -> SimulationResult:
     """Run ``program`` to its committed ``halt`` on ``config``.
 
     Parameters
@@ -90,10 +110,14 @@ def simulate(program: Program, config: MachineConfig,
     keep_pipeline:
         Attach the finished :class:`~repro.arch.pipeline.Pipeline` to the
         result (for tests that inspect microarchitectural state).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetrySession` threaded
+        through the timing run and attached to the result.
     """
     record, pipeline = run_timing(program, config, max_cycles=max_cycles,
-                                  keep_pipeline=True)
+                                  keep_pipeline=True, telemetry=telemetry)
     result = evaluate_power(record, config, params)
+    result.telemetry = telemetry
     if keep_pipeline:
         result.pipeline = pipeline
     return result

@@ -1,0 +1,310 @@
+"""Typed metric registry: the repo's one vocabulary for named numbers.
+
+Three metric kinds, deliberately mirroring the Prometheus data model so
+the names and semantics are familiar:
+
+* :class:`Counter` -- a monotonically non-decreasing count of events
+  (committed instructions, cache hits, revokes).
+* :class:`Gauge` -- a point-in-time value that can move both ways
+  (IQ occupancy, IPC, hit rate).
+* :class:`Histogram` -- a distribution over fixed bucket bounds with
+  total count and sum (job wall times, sampled occupancies).
+
+Every metric supports **labels**: keyword dimensions that split one
+metric name into independent sample streams (``mode="reuse"``,
+``kind="cache-hit"``).  A metric used without labels has exactly one
+(unlabelled) sample.
+
+A :class:`MetricRegistry` owns a namespace of metrics and serializes
+them as a schema-versioned, deterministically ordered JSON *snapshot*
+(:data:`METRICS_SCHEMA_VERSION`): metrics sorted by name, samples sorted
+by label items, so two runs that observed the same values produce
+byte-identical snapshots regardless of insertion or execution order --
+the property the CI telemetry-smoke job asserts across ``--jobs``
+levels.
+
+This module is dependency-free on purpose: the simulator's hot loop
+keeps its plain-integer :class:`~repro.arch.stats.PipelineStats`
+counters and *exports* them into a registry after the run
+(:meth:`~repro.arch.stats.PipelineStats.to_registry`); the runner's
+progress reporter feeds its event stream through a registry as events
+happen.  See ``docs/telemetry.md`` for the full metric catalog.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Version stamped on every snapshot payload.  Bump when the snapshot
+#: layout (not the metric values) changes shape.
+METRICS_SCHEMA_VERSION = 1
+
+#: Internal key for one labelled sample: sorted (name, value) items.
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: a named family of labelled samples of one kind."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", unit: str = ""):
+        if not name or not all(c.isalnum() or c == "_" for c in name):
+            raise ValueError(
+                f"metric name must be non-empty [A-Za-z0-9_]+, "
+                f"got {name!r}")
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self._samples: Dict[_LabelKey, Any] = {}
+
+    # -- querying ----------------------------------------------------------
+
+    def labelsets(self) -> List[Dict[str, str]]:
+        """Every label combination observed so far, sorted."""
+        return [dict(key) for key in sorted(self._samples)]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _sample_payloads(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready export of this metric family."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+        }
+        if self.help:
+            payload["help"] = self.help
+        if self.unit:
+            payload["unit"] = self.unit
+        payload["samples"] = self._sample_payloads()
+        return payload
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name} "
+                f"({len(self._samples)} sample(s))>")
+
+
+class Counter(Metric):
+    """Monotonically non-decreasing event count."""
+
+    kind = "counter"
+
+    def inc(self, amount: int = 1, **labels: Any) -> None:
+        """Add ``amount`` (>= 0) to the sample selected by ``labels``."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> int:
+        """Current count of one labelled sample (0 if never touched)."""
+        return self._samples.get(_label_key(labels), 0)
+
+    def total(self) -> int:
+        """Sum over every labelled sample."""
+        return sum(self._samples.values())
+
+    def _sample_payloads(self) -> List[Dict[str, Any]]:
+        return [{"labels": dict(key), "value": value}
+                for key, value in sorted(self._samples.items())]
+
+
+class Gauge(Metric):
+    """Point-in-time value; settable and adjustable in both directions."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Overwrite the sample selected by ``labels``."""
+        self._samples[_label_key(labels)] = value
+
+    def adjust(self, delta: float, **labels: Any) -> None:
+        """Add ``delta`` (either sign) to the selected sample."""
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0) + delta
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one labelled sample (0 if never set)."""
+        return self._samples.get(_label_key(labels), 0)
+
+    def _sample_payloads(self) -> List[Dict[str, Any]]:
+        return [{"labels": dict(key), "value": value}
+                for key, value in sorted(self._samples.items())]
+
+
+#: Default histogram bucket upper bounds (seconds-ish scale; callers
+#: with other units pass their own bounds).
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+
+class Histogram(Metric):
+    """Distribution over fixed, sorted bucket upper bounds.
+
+    Cumulative bucket semantics: ``buckets[i]`` counts observations
+    ``<= bounds[i]``; observations above the last bound land only in
+    ``count`` / ``sum`` (the implicit ``+Inf`` bucket).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", unit: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help=help, unit=unit)
+        bounds = tuple(buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name}: bucket bounds must be non-empty, "
+                f"strictly increasing (got {buckets!r})")
+        self.bounds = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Fold one observation into the selected sample."""
+        key = _label_key(labels)
+        sample = self._samples.get(key)
+        if sample is None:
+            sample = {"buckets": [0] * len(self.bounds),
+                      "count": 0, "sum": 0.0}
+            self._samples[key] = sample
+        sample["count"] += 1
+        sample["sum"] += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                sample["buckets"][index] += 1
+
+    def count(self, **labels: Any) -> int:
+        """Observations folded into one labelled sample."""
+        sample = self._samples.get(_label_key(labels))
+        return sample["count"] if sample else 0
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observations of one labelled sample."""
+        sample = self._samples.get(_label_key(labels))
+        return sample["sum"] if sample else 0.0
+
+    def _sample_payloads(self) -> List[Dict[str, Any]]:
+        payloads = []
+        for key, sample in sorted(self._samples.items()):
+            payloads.append({
+                "labels": dict(key),
+                "bounds": list(self.bounds),
+                "buckets": list(sample["buckets"]),
+                "count": sample["count"],
+                "sum": sample["sum"],
+            })
+        return payloads
+
+
+class MetricRegistry:
+    """A namespace of metrics with a deterministic JSON snapshot.
+
+    Accessor methods are idempotent: asking for an existing name returns
+    the existing metric (asking with a *different kind* is an error, the
+    registry is typed).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, requested {cls.kind}")
+            return metric
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                unit: str = "") -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help=help, unit=unit)
+
+    def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help=help, unit=unit)
+
+    def histogram(self, name: str, help: str = "", unit: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help=help, unit=unit,
+                                   buckets=buckets)
+
+    # -- querying ----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Schema-versioned, deterministically ordered export."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "metrics": [metric.to_payload() for metric in self],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as canonical JSON text (sorted keys, newline)."""
+        return json.dumps(self.snapshot(), indent=indent,
+                          sort_keys=True) + "\n"
+
+    def write(self, path) -> None:
+        """Serialise the snapshot to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+
+def registry_from_activity(record, registry: Optional[MetricRegistry] = None,
+                           **labels: Any) -> MetricRegistry:
+    """Export an :class:`~repro.power.activity.ActivityRecord` (or any
+    counter mapping) into a registry.
+
+    Every counter becomes a ``sim_<name>`` :class:`Counter` sample under
+    ``labels``; the derived rates the paper reports (IPC, gated
+    fraction) become gauges.  Labels let one registry hold many runs
+    side by side (``mode="base"`` vs ``mode="reuse"``), which is how the
+    CLI's ``--metrics-out`` merges a comparison into one snapshot.
+    """
+    registry = registry if registry is not None else MetricRegistry()
+    for name in sorted(record):
+        registry.counter(f"sim_{name}",
+                         help="simulator activity counter "
+                              "(see docs/telemetry.md)").inc(
+            int(record[name]), **labels)
+    cycles = int(record["cycles"])
+    committed = int(record["committed"])
+    gated = int(record["gated_cycles"])
+    registry.gauge("sim_ipc", help="committed instructions per cycle").set(
+        committed / cycles if cycles else 0.0, **labels)
+    registry.gauge("sim_gated_fraction",
+                   help="fraction of cycles with the front-end "
+                        "clock-gated (Figure 5)").set(
+        gated / cycles if cycles else 0.0, **labels)
+    return registry

@@ -1,0 +1,424 @@
+"""Chrome trace-event timeline export (Perfetto / ``chrome://tracing``).
+
+Everything the repo can observe over time is rendered into one JSON
+object in the Chrome trace-event format, loadable in
+https://ui.perfetto.dev or ``chrome://tracing``:
+
+* **controller state intervals** (Normal / Buffering / Reuse) as
+  complete (``"ph": "X"``) slices on the *controller* track,
+* **front-end gating windows** on the *front-end gate* track -- the
+  paper's power saving, directly visible as the shaded spans,
+* **per-loop buffering episodes** (``buffer_start`` ->
+  ``promote``/``revoke``) with the revoke reason, captured iterations
+  and NBLT registration in the slice args,
+* **occupancy counters** (IQ split buffered/conventional, ROB, LSQ,
+  NBLT fill) as counter (``"ph": "C"``) tracks from a
+  :class:`~repro.telemetry.sampler.SamplingProbe`,
+* optionally **per-instruction stage spans** from a
+  :class:`~repro.arch.trace.PipelineTracer` as async (``"b"``/``"e"``)
+  slices -- reuse-supplied instructions visibly start at dispatch, with
+  no fetch/decode span,
+* **host wall-clock phases** from the :class:`PhaseProfiler` on a
+  second process track, so simulator hot spots (assemble, the timing
+  loop, export) appear in the same timeline.
+
+Simulated time maps one cycle to one microsecond (trace-event ``ts`` is
+in microseconds); host phases use real microseconds on their own
+process, so the two clock domains never visually interleave.
+
+:func:`validate_trace` is the schema checker the tests and the CI
+telemetry-smoke job run over every produced file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Process ids of the two clock domains.
+PID_SIM = 1
+PID_HOST = 2
+
+#: Thread ids (= Perfetto tracks) inside the simulated-core process.
+TID_COUNTERS = 0
+TID_CONTROLLER = 1
+TID_GATE = 2
+TID_BUFFERING = 3
+
+#: Simulated-cycle to trace-timestamp scale (1 cycle = 1 us).
+CYCLE_US = 1.0
+
+#: Event phases the validator accepts.
+_ALLOWED_PHASES = frozenset("XCMbei")
+
+
+class PhaseProfiler:
+    """Pure-python wall-clock profiler for coarse host phases.
+
+    Wrap each phase of interest in :meth:`phase`; the recorded spans
+    export as trace events on the host process track.  Nesting is
+    allowed and renders nested in Perfetto (outer spans strictly contain
+    inner ones on the same track).
+    """
+
+    def __init__(self) -> None:
+        #: Recorded ``(name, start_seconds, duration_seconds, depth)``.
+        self.phases: List[Tuple[str, float, float, int]] = []
+        self._origin = time.perf_counter()
+        self._depth = 0
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one named phase."""
+        depth = self._depth
+        self._depth += 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._depth = depth
+            self.phases.append(
+                (name, start - self._origin,
+                 time.perf_counter() - start, depth))
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every phase recorded under ``name``."""
+        return sum(duration for phase, _, duration, _ in self.phases
+                   if phase == name)
+
+    def trace_events(self, pid: int = PID_HOST) -> List[Dict[str, Any]]:
+        """The phases as complete slices on the host process track."""
+        events: List[Dict[str, Any]] = []
+        for name, start, duration, depth in sorted(self.phases,
+                                                   key=lambda p: p[1]):
+            events.append({
+                "name": name,
+                "cat": "host",
+                "ph": "X",
+                "pid": pid,
+                "tid": depth,
+                "ts": start * 1e6,
+                "dur": max(duration * 1e6, 1.0),
+            })
+        return events
+
+
+class TimelineBuilder:
+    """Accumulates trace events and serializes the trace JSON."""
+
+    def __init__(self, program_name: str = ""):
+        self.program_name = program_name
+        self.events: List[Dict[str, Any]] = []
+        self._named_threads: Dict[Tuple[int, int], str] = {}
+        self._name_process(PID_SIM, "simulated core"
+                           + (f" ({program_name})" if program_name else ""))
+        self._name_thread(PID_SIM, TID_CONTROLLER, "controller state")
+        self._name_thread(PID_SIM, TID_GATE, "front-end gate")
+        self._name_thread(PID_SIM, TID_BUFFERING, "buffering episodes")
+
+    # -- metadata ----------------------------------------------------------
+
+    def _name_process(self, pid: int, name: str) -> None:
+        self.events.append({"name": "process_name", "ph": "M",
+                            "pid": pid, "tid": 0,
+                            "args": {"name": name}})
+
+    def _name_thread(self, pid: int, tid: int, name: str) -> None:
+        if (pid, tid) in self._named_threads:
+            return
+        self._named_threads[(pid, tid)] = name
+        self.events.append({"name": "thread_name", "ph": "M",
+                            "pid": pid, "tid": tid,
+                            "args": {"name": name}})
+
+    # -- simulated-core tracks ---------------------------------------------
+
+    def add_controller_states(
+            self, intervals: Iterable[Tuple[str, int, int]]) -> None:
+        """Complete slices for ``(state, first_cycle, last_cycle)``."""
+        for state, first, last in intervals:
+            self.events.append({
+                "name": state,
+                "cat": "controller",
+                "ph": "X",
+                "pid": PID_SIM,
+                "tid": TID_CONTROLLER,
+                "ts": first * CYCLE_US,
+                "dur": (last - first + 1) * CYCLE_US,
+                "args": {"first_cycle": first, "last_cycle": last},
+            })
+
+    def add_gating_windows(
+            self, windows: Iterable[Tuple[int, int]]) -> None:
+        """Complete slices for the front-end clock-gating windows."""
+        for first, last in windows:
+            self.events.append({
+                "name": "front-end gated",
+                "cat": "gating",
+                "ph": "X",
+                "pid": PID_SIM,
+                "tid": TID_GATE,
+                "ts": first * CYCLE_US,
+                "dur": (last - first + 1) * CYCLE_US,
+                "args": {"cycles": last - first + 1},
+            })
+
+    def add_buffering_episodes(self, controller_events: Iterable) -> None:
+        """Pair ``buffer_start`` with its ``promote``/``revoke``.
+
+        ``controller_events`` is an ordered iterable of cycle-stamped
+        :class:`~repro.core.controller.ControllerEvent`; each episode
+        becomes one slice whose args carry the loop bounds, the outcome
+        and -- for revokes -- the reason and NBLT registration.
+        """
+        open_episode: Optional[Any] = None
+        for event in controller_events:
+            if event.kind == "buffer_start":
+                open_episode = event
+            elif event.kind in ("promote", "revoke"):
+                start_cycle = (open_episode.cycle
+                               if open_episode is not None else event.cycle)
+                args: Dict[str, Any] = {
+                    "outcome": event.kind,
+                    "iterations": event.iterations,
+                }
+                if event.head_pc is not None:
+                    args["head_pc"] = f"{event.head_pc:#x}"
+                if event.tail_pc is not None:
+                    args["tail_pc"] = f"{event.tail_pc:#x}"
+                if event.kind == "revoke":
+                    args["reason"] = event.reason
+                    args["nblt_insert"] = event.nblt_insert
+                tail = (f"@{event.tail_pc:#x}"
+                        if event.tail_pc is not None else "")
+                name = (f"buffering {tail}" if event.kind == "promote"
+                        else f"revoked {tail}")
+                # promote events only end the *fill* phase; reuse itself
+                # shows on the controller-state track
+                self.events.append({
+                    "name": name,
+                    "cat": "buffering",
+                    "ph": "X",
+                    "pid": PID_SIM,
+                    "tid": TID_BUFFERING,
+                    "ts": start_cycle * CYCLE_US,
+                    "dur": max((event.cycle - start_cycle + 1)
+                               * CYCLE_US, CYCLE_US),
+                    "args": args,
+                })
+                # a revoke after a promote (the reuse exit) anchors at
+                # its own cycle -- the reuse span itself is on the
+                # controller-state track
+                open_episode = None
+
+    def add_counters(self, sampler) -> None:
+        """Counter tracks from a :class:`SamplingProbe`'s series."""
+        samples = sampler.samples
+        cycles = samples["cycle"]
+        occupancy = samples["iq_occupancy"]
+        buffered = samples["iq_buffered"]
+        rob = samples["rob_occupancy"]
+        lsq = samples["lsq_occupancy"]
+        nblt = samples["nblt_fill"]
+        for index, cycle in enumerate(cycles):
+            ts = cycle * CYCLE_US
+            base = {"ph": "C", "pid": PID_SIM, "tid": TID_COUNTERS,
+                    "ts": ts}
+            self.events.append(dict(
+                base, name="iq occupancy",
+                args={"buffered": buffered[index],
+                      "conventional": occupancy[index] - buffered[index]}))
+            self.events.append(dict(
+                base, name="rob occupancy",
+                args={"entries": rob[index]}))
+            self.events.append(dict(
+                base, name="lsq occupancy",
+                args={"entries": lsq[index]}))
+            self.events.append(dict(
+                base, name="nblt fill",
+                args={"entries": nblt[index]}))
+
+    def add_instruction_spans(self, tracer) -> None:
+        """Async slices for every traced instruction lifecycle.
+
+        Spans run from the instruction's first recorded stage to its
+        last; args carry the per-stage cycles, so clicking a slice in
+        Perfetto shows the full lifecycle.  Reuse-supplied instructions
+        (no fetch/decode) are categorized ``instruction-reuse`` so they
+        can be isolated with one query.
+        """
+        for trace in sorted(tracer.traces.values(), key=lambda t: t.seq):
+            if not trace.events:
+                continue
+            first, last = trace.first_cycle, trace.last_cycle
+            cat = "instruction-reuse" if trace.from_reuse \
+                else "instruction"
+            common = {
+                "name": trace.disasm,
+                "cat": cat,
+                "pid": PID_SIM,
+                "id": trace.seq,
+            }
+            args = {stage: cycle for stage, cycle
+                    in sorted(trace.events.items(), key=lambda e: e[1])}
+            args["pc"] = f"{trace.pc:#x}"
+            args["squashed"] = trace.squashed
+            self.events.append(dict(common, ph="b",
+                                    ts=first * CYCLE_US, args=args))
+            self.events.append(dict(common, ph="e",
+                                    ts=(last + 1) * CYCLE_US))
+
+    # -- host track --------------------------------------------------------
+
+    def add_host_phases(self, profiler: PhaseProfiler) -> None:
+        """The self-profiler's wall-clock phases on the host process."""
+        events = profiler.trace_events()
+        if events:
+            self._name_process(PID_HOST, "simulator host (wall clock)")
+            for depth in sorted({event["tid"] for event in events}):
+                self._name_thread(PID_HOST, depth,
+                                  "phases" if depth == 0
+                                  else f"phases (depth {depth})")
+            self.events.extend(events)
+
+    # -- output ------------------------------------------------------------
+
+    def build(self) -> Dict[str, Any]:
+        """The complete trace JSON object."""
+        return {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "program": self.program_name,
+                "cycle_us": CYCLE_US,
+                "generator": "repro.telemetry.timeline",
+            },
+        }
+
+    def write(self, path) -> None:
+        """Serialise the trace to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.build(), handle, indent=1)
+            handle.write("\n")
+
+
+def runner_timeline(reporter) -> Dict[str, Any]:
+    """A trace of one runner invocation from its progress events.
+
+    Pairs each job's ``started`` event with its ``done``/``failed`` end
+    (using the events' monotonic timestamps), so a ``--jobs N`` sweep
+    renders as N lanes of overlapping job slices -- runner overhead and
+    pool stalls become visible instead of inferred.  Cache hits appear
+    as instant events.
+    """
+    builder = TimelineBuilder()
+    builder._name_process(PID_HOST, "experiment runner")
+    builder._name_thread(PID_HOST, 0, "jobs")
+    events = reporter.events
+    if not events:
+        return builder.build()
+    origin = min(event.timestamp for event in events)
+    open_jobs: Dict[str, float] = {}
+    for event in events:
+        ts_us = (event.timestamp - origin) * 1e6
+        if event.kind == "started":
+            open_jobs[event.job] = event.timestamp
+        elif event.kind in ("done", "failed"):
+            started = open_jobs.pop(event.job, None)
+            start_ts = ((started - origin) * 1e6
+                        if started is not None
+                        else ts_us - (event.wall_time or 0.0) * 1e6)
+            builder.events.append({
+                "name": event.job,
+                "cat": f"runner-{event.kind}",
+                "ph": "X",
+                "pid": PID_HOST,
+                "tid": 0,
+                "ts": start_ts,
+                "dur": max(ts_us - start_ts, 1.0),
+                "args": {"kind": event.kind, "detail": event.detail,
+                         "key": event.key,
+                         "wall_time": event.wall_time},
+            })
+        elif event.kind in ("cache-hit", "retry", "fallback"):
+            builder.events.append({
+                "name": f"{event.kind}: {event.job or event.detail}",
+                "cat": f"runner-{event.kind}",
+                "ph": "i",
+                "s": "p",
+                "pid": PID_HOST,
+                "tid": 0,
+                "ts": ts_us,
+            })
+    return builder.build()
+
+
+def validate_trace(payload: Any) -> None:
+    """Validate a trace object against the Chrome trace-event schema.
+
+    Checks the subset of the format this package emits (and Perfetto
+    requires): raises :class:`ValueError` naming the first offending
+    event.  Used by the tests and the CI telemetry-smoke job.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"trace must be a JSON object, "
+                         f"got {type(payload).__name__}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace object must carry a 'traceEvents' list")
+    open_async: Dict[Tuple[Any, Any, Any], int] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: event must be an object")
+        phase = event.get("ph")
+        if phase not in _ALLOWED_PHASES:
+            raise ValueError(f"{where}: unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}: missing or empty 'name'")
+        if not isinstance(event.get("pid"), int):
+            raise ValueError(f"{where}: missing integer 'pid'")
+        if phase == "M":
+            if not isinstance(event.get("args"), dict):
+                raise ValueError(f"{where}: metadata event needs args")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: missing non-negative 'ts'")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(
+                    f"{where}: complete event needs 'dur' >= 0")
+        elif phase == "C":
+            args = event.get("args")
+            if (not isinstance(args, dict) or not args
+                    or not all(isinstance(v, (int, float))
+                               for v in args.values())):
+                raise ValueError(
+                    f"{where}: counter event needs numeric args")
+        elif phase in "be":
+            if "id" not in event:
+                raise ValueError(f"{where}: async event needs an 'id'")
+            key = (event["pid"], event.get("cat"), event["id"])
+            if phase == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if not open_async.get(key):
+                    raise ValueError(
+                        f"{where}: async end without matching begin "
+                        f"for id {event['id']!r}")
+                open_async[key] -= 1
+    dangling = sum(count for count in open_async.values() if count)
+    if dangling:
+        raise ValueError(f"{dangling} async event(s) never ended")
+
+
+def validate_trace_file(path) -> Dict[str, Any]:
+    """Load ``path`` and validate it; returns the parsed trace."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_trace(payload)
+    return payload

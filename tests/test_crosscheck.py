@@ -36,7 +36,7 @@ class TestEventLog:
         program = assemble(TINY_LOOP, name="tiny")
         probe = ControllerEventProbe()
         run_timing(program, _config(64), probes=(probe,))
-        kinds = [event.kind for _, event in probe.events]
+        kinds = [event.kind for event in probe.events]
         assert "buffer_start" in kinds
         assert "promote" in kinds
         # the loop eventually exits during reuse -> at least one revoke
@@ -46,7 +46,7 @@ class TestEventLog:
         program = assemble(TINY_LOOP, name="tiny")
         probe = ControllerEventProbe()
         run_timing(program, _config(64), probes=(probe,))
-        start = next(e for _, e in probe.events
+        start = next(e for e in probe.events
                      if e.kind == "buffer_start")
         assert start.head_pc == program.labels["top"]
 
@@ -54,7 +54,7 @@ class TestEventLog:
         program = assemble(TINY_LOOP, name="tiny")
         probe = ControllerEventProbe()
         run_timing(program, _config(64), probes=(probe,))
-        cycles = [cycle for cycle, _ in probe.events]
+        cycles = [event.cycle for event in probe.events]
         assert cycles == sorted(cycles)
 
     def test_probe_is_passive(self):

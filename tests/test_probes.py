@@ -217,3 +217,74 @@ class TestOverridesHook:
 
         assert overrides_hook(DuckTracer(), "record")
         assert not overrides_hook(DuckTracer(), "on_cycle")
+
+
+class FailingProbe(PipelineProbe):
+    """Cycle probe that raises once a chosen cycle is reached."""
+
+    def __init__(self, fail_at):
+        self.fail_at = fail_at
+
+    def on_cycle(self, pipeline):
+        if pipeline.cycle >= self.fail_at:
+            raise RuntimeError("probe failure")
+
+
+class TestProbeLifecycleMidRun:
+    """The satellite contract: probes can come and go *during* a run,
+    and a misbehaving probe must not corrupt architectural state."""
+
+    def test_attach_and_detach_mid_run(self):
+        plain = make_pipeline()
+        plain.run()
+
+        # the first ~180 cycles are the cold icache miss; probe the
+        # window where instructions actually flow
+        pipeline = make_pipeline()
+        for _ in range(150):
+            pipeline.step()
+        tracer, counter = PipelineTracer(), CountingCycleProbe()
+        pipeline.attach_probe(tracer)
+        pipeline.attach_probe(counter)
+        for _ in range(60):
+            pipeline.step()
+        pipeline.detach_probe(tracer)
+        pipeline.detach_probe(counter)
+        assert pipeline._record is None          # fast path restored
+        pipeline.run()
+        assert counter.cycles == 60              # only the probed window
+        assert len(tracer.traces) > 0
+        assert pipeline.stats.as_dict() == plain.stats.as_dict()
+        assert pipeline.architectural_registers() \
+            == plain.architectural_registers()
+
+    def test_probe_exception_leaves_pipeline_resumable(self):
+        plain = make_pipeline()
+        plain.run()
+
+        pipeline = make_pipeline()
+        probe = FailingProbe(fail_at=190)
+        pipeline.attach_probe(probe)
+        with pytest.raises(RuntimeError):
+            pipeline.run()
+        # the cycle's architectural work completed before the probe ran:
+        # detaching the culprit and resuming must converge on the same
+        # final state as an unprobed run
+        assert pipeline.cycle == 190
+        pipeline.detach_probe(probe)
+        pipeline.run()
+        assert pipeline.stats.as_dict() == plain.stats.as_dict()
+        assert pipeline.architectural_registers() \
+            == plain.architectural_registers()
+
+    def test_sampling_probe_attachable_mid_run(self):
+        from repro.telemetry import SamplingProbe
+
+        pipeline = make_pipeline()
+        for _ in range(10):
+            pipeline.step()
+        probe = SamplingProbe(stride=1)
+        pipeline.attach_probe(probe)
+        pipeline.run()
+        assert probe.samples["cycle"][0] == 11
+        assert probe.last_cycle == pipeline.cycle

@@ -317,7 +317,7 @@ class TestProgressManifest:
         path = tmp_path / "manifest.json"
         runner.executor.progress.write_manifest(path)
         manifest = json.loads(path.read_text())
-        assert set(manifest) == {"summary", "events"}
+        assert set(manifest) == {"summary", "events", "metrics"}
         kinds = {event["kind"] for event in manifest["events"]}
         assert "queued" in kinds
         assert "cache-hit" in kinds
