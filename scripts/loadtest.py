@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Load-test harness for the simulation service's warm-cache path.
+
+Phase 1 submits the target sweep once and waits for it to complete (a
+cold run populates the result cache; on an already-warm cache this is
+instant).  Phase 2 spins up ``--clients`` concurrent asyncio clients
+that hammer ``POST /api/sweeps`` with the *same* sweep for
+``--duration`` seconds: every request after the first is a pure cache
+read, so the numbers measure the service front door -- parsing,
+admission, cache probing, response marshalling -- not the simulator.
+
+Reports throughput and p50/p90/p99 latency, plus how often the server
+pushed back (429/503).  ``--out`` writes the report as JSON in the shape
+committed as ``benchmarks/BENCH_service.json``, the perf trajectory CI
+tracks.
+
+Usage (against a running ``repro serve``)::
+
+    python scripts/loadtest.py --host 127.0.0.1 --port 8642 \
+        --benchmarks tsf --iq-sizes 32 --clients 8 --duration 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+
+def percentile(samples, fraction):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def hammer(host, port, client_id, payload, deadline, latencies,
+                 counters):
+    async with ServiceClient(host, port, client_id=client_id) as client:
+        loop = asyncio.get_event_loop()
+        while loop.time() < deadline:
+            start = loop.time()
+            try:
+                receipt = await client.request("POST", "/api/sweeps",
+                                               payload)
+            except ServiceError as exc:
+                if exc.status == 429:
+                    counters["rate_limited"] += 1
+                    await asyncio.sleep(min(exc.retry_after or 0.05,
+                                            deadline - loop.time()))
+                    continue
+                if exc.status == 503:
+                    counters["backpressure"] += 1
+                    await asyncio.sleep(min(exc.retry_after or 0.05,
+                                            deadline - loop.time()))
+                    continue
+                raise
+            except (ConnectionError, asyncio.IncompleteReadError):
+                counters["errors"] += 1
+                continue
+            latencies.append(loop.time() - start)
+            counters["requests"] += 1
+            if receipt["enqueued"]:
+                counters["cold"] += 1
+
+
+async def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="hammer the service's warm-cache submit path")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument("--benchmarks", nargs="+", default=["tsf"])
+    parser.add_argument("--iq-sizes", nargs="+", type=int, default=[32])
+    parser.add_argument("--modes", nargs="+",
+                        default=["baseline", "reuse"],
+                        choices=("baseline", "reuse"))
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        metavar="SECONDS")
+    parser.add_argument("--warmup-timeout", type=float, default=600.0,
+                        help="deadline for the phase-1 cold run")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the JSON report to PATH")
+    args = parser.parse_args()
+
+    payload = {"benchmarks": args.benchmarks,
+               "iq_sizes": args.iq_sizes,
+               "modes": args.modes}
+
+    # -- phase 1: warm the cache -----------------------------------------
+    async with ServiceClient(args.host, args.port,
+                             client_id="loadtest-warmup") as client:
+        receipt = await client.submit_sweep(**payload)
+        sweep_id = receipt["sweep_id"]
+        print(f"[loadtest] warmup sweep {sweep_id}: "
+              f"{receipt['total']} jobs, {receipt['cache_hits']} hits, "
+              f"{receipt['enqueued']} enqueued", file=sys.stderr)
+        status = await client.wait_complete(
+            sweep_id, timeout=args.warmup_timeout)
+        if status["failed"]:
+            print(f"[loadtest] warmup failed: {status}", file=sys.stderr)
+            return 1
+        print(f"[loadtest] warm: {status['manifest']}", file=sys.stderr)
+
+    # -- phase 2: hammer the warm path -----------------------------------
+    latencies: list = []
+    counters = {"requests": 0, "rate_limited": 0, "backpressure": 0,
+                "errors": 0, "cold": 0}
+    loop = asyncio.get_event_loop()
+    started = loop.time()
+    deadline = started + args.duration
+    await asyncio.gather(*[
+        hammer(args.host, args.port, f"loadtest-{index}", payload,
+               deadline, latencies, counters)
+        for index in range(args.clients)])
+    elapsed = loop.time() - started
+
+    report = {
+        "schema": 1,
+        "benchmark": "service_warm_cache_submit",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                      time.gmtime()),
+        "sweep": payload,
+        "clients": args.clients,
+        "duration_seconds": round(elapsed, 3),
+        "requests": counters["requests"],
+        "requests_per_second": round(
+            counters["requests"] / elapsed, 2) if elapsed else 0.0,
+        "latency_seconds": {
+            "p50": round(percentile(latencies, 0.50), 6),
+            "p90": round(percentile(latencies, 0.90), 6),
+            "p99": round(percentile(latencies, 0.99), 6),
+            "mean": round(statistics.fmean(latencies), 6)
+            if latencies else 0.0,
+        },
+        "rate_limited": counters["rate_limited"],
+        "backpressure": counters["backpressure"],
+        "connection_errors": counters["errors"],
+        "cold_submissions": counters["cold"],
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n", encoding="utf-8")
+    print(text)
+    ok = counters["requests"] > 0 and counters["cold"] == 0
+    if not ok:
+        print("[loadtest] FAILED: expected warm-cache requests only",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))

@@ -54,6 +54,17 @@ Subcommands
     and ``reproduce`` accept ``--trace-out`` for the same timeline of,
     respectively, the simulated run and the runner's job schedule.
 
+``serve``
+    Run the simulation service: an asyncio HTTP job server over the
+    runner (submit sweep -> job id -> poll/stream progress -> fetch
+    results), with a crash-recoverable journal queue, a sharded worker
+    pool, cache-first admission, per-client rate limiting and a
+    ``/metrics`` telemetry endpoint (see ``docs/service.md``).
+
+``cache``
+    Inspect (``stats``) or clean (``purge``) the persistent result
+    cache the runner and the service share.
+
 ``disasm FILE.s``
     Assemble a file and print the disassembly listing with labels.
 """
@@ -465,6 +476,59 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, serve
+
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    if args.max_queue_depth < 1:
+        raise SystemExit("error: --max-queue-depth must be >= 1")
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        state_dir=args.state_dir,
+        max_queue_depth=args.max_queue_depth,
+        rate=args.rate,
+        burst=args.burst,
+        per_job_timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"cache directory  {stats['directory']}")
+            print(f"payload schema   {stats['schema']}")
+            print(f"entries          {stats['entries']}")
+            print(f"bytes            {stats['bytes']}")
+    else:  # purge
+        removed = cache.purge_stale()
+        if args.json:
+            print(json.dumps({"evicted": removed}, indent=2,
+                             sort_keys=True))
+        else:
+            print(f"evicted {removed} stale cache "
+                  f"entr{'y' if removed == 1 else 'ies'} from "
+                  f"{cache.cache_dir}")
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     program = _load_program(args.file)
     print(program.listing())
@@ -636,6 +700,57 @@ def build_parser() -> argparse.ArgumentParser:
     # the interesting timeline is the reuse machine's -- default it on
     # (--baseline flips it back off)
     trace.set_defaults(func=_cmd_trace, reuse=True)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the simulation service (async HTTP job server)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="bind port (default 8642; 0 = ephemeral)")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="worker lanes sharding the job-key space; "
+                          "each runs simulations in its own child "
+                          "process (default 2)")
+    srv.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="persistent result cache directory "
+                          "(default: $REPRO_CACHE_DIR or "
+                          "~/.cache/repro-sim)")
+    srv.add_argument("--state-dir", metavar="DIR",
+                     default=".repro-service",
+                     help="directory for the job journal "
+                          "(default .repro-service)")
+    srv.add_argument("--max-queue-depth", type=int, default=256,
+                     metavar="N",
+                     help="reject submissions that would push the "
+                          "queue past N jobs with 503 (default 256)")
+    srv.add_argument("--rate", type=float, default=0.0, metavar="R",
+                     help="per-client token-bucket refill rate in "
+                          "requests/second (0 disables; default 0)")
+    srv.add_argument("--burst", type=float, default=20.0, metavar="B",
+                     help="per-client token-bucket capacity "
+                          "(default 20)")
+    srv.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-job simulation timeout; a job past it "
+                          "fails instead of wedging a worker lane")
+    srv.add_argument("--retries", type=int, default=1, metavar="N",
+                     help="failed-job retry budget (default 1)")
+    srv.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clean the persistent result cache")
+    cache.add_argument("action", choices=("stats", "purge"),
+                       help="'stats' prints an inventory; 'purge' "
+                            "evicts stale-schema entries")
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-sim)")
+    cache.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of "
+                            "text")
+    cache.set_defaults(func=_cmd_cache)
 
     dis = sub.add_parser("disasm", help="assemble and list a program")
     dis.add_argument("file", help="assembly source file")

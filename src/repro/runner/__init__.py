@@ -30,6 +30,7 @@ from repro.runner.executor import (
     default_job_count,
     execute_job,
     run_tasks,
+    worker_suite,
 )
 from repro.runner.jobs import SimJob, job_key
 from repro.runner.progress import ProgressReporter, RunEvent
@@ -47,6 +48,7 @@ __all__ = [
     "ProgressReporter",
     "RunEvent",
     "build_runner",
+    "worker_suite",
 ]
 
 

@@ -84,7 +84,8 @@ class ResultCache:
                 entry = json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, ValueError):
+        except (OSError, ValueError, RecursionError):
+            # unreadable, truncated, malformed or pathologically nested
             self._evict(path)
             return None
         try:
@@ -93,7 +94,9 @@ class ResultCache:
             if entry["repro_version"] != __version__:
                 raise ValueError("written by a different repro version")
             return ActivityRecord.from_payload(entry["record"])
-        except (KeyError, TypeError, ValueError, AttributeError):
+        except Exception:
+            # nothing a cache file contains may raise out of load():
+            # whatever shape the entry is in, it is evicted and re-run
             self._evict(path)
             return None
 
@@ -151,6 +154,31 @@ class ResultCache:
                 self._evict(path)
                 removed += 1
         return removed
+
+    def stats(self) -> dict:
+        """Point-in-time inventory of the store (``repro cache stats``).
+
+        Counts only current-schema ``.json`` entries; a missing directory
+        reads as an empty cache.  Never raises.
+        """
+        entries = 0
+        total_bytes = 0
+        try:
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        except OSError:
+            pass
+        return {
+            "directory": str(self.cache_dir),
+            "schema": SCHEMA_VERSION,
+            "entries": entries,
+            "bytes": total_bytes,
+            "evictions": self.evictions,
+        }
 
     def _evict(self, path: pathlib.Path) -> None:
         self.evictions += 1

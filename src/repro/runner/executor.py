@@ -50,6 +50,16 @@ def _worker_suite() -> WorkloadSuite:
     return _WORKER_SUITE
 
 
+def worker_suite() -> WorkloadSuite:
+    """The process-wide shared workload suite.
+
+    Parents that compile programs through this instance (the service's
+    key computation does) hand fork-started pool workers the compiled
+    suite for free.
+    """
+    return _worker_suite()
+
+
 def execute_job(job: SimJob) -> dict:
     """Run one job's timing simulation; returns the record payload.
 
@@ -72,7 +82,9 @@ def run_tasks(fn, payloads: Sequence,
               jobs: int = 1,
               timeout: Optional[float] = None,
               progress: Optional[ProgressReporter] = None,
-              label: str = "task") -> List:
+              label: str = "task",
+              force_pool: bool = False,
+              serial_fallback: bool = True) -> List:
     """Generic deterministic process fan-out with serial fallback.
 
     Runs ``fn(payload)`` for every payload and returns the results **in
@@ -88,14 +100,34 @@ def run_tasks(fn, payloads: Sequence,
     vocabulary.  A task whose function raises (in a worker *or* serially)
     contributes its exception object in place of a result -- the caller
     decides whether that is fatal.
+
+    Two knobs exist for callers that need child-process *isolation*
+    rather than throughput (the simulation service's worker lanes run
+    one job at a time but must survive a wedged or crashing simulation):
+
+    * ``force_pool`` uses the process pool even for a single payload /
+      single worker, so ``fn`` runs out-of-process;
+    * ``serial_fallback=False`` converts pool-leg failures (worker
+      exception, per-task stall, pool breakage) into exception results
+      instead of re-running the task in the calling process -- a task
+      that timed out once must *fail*, not hang the caller's thread.
     """
     reporter = progress or ProgressReporter(verbose=False)
     results: List = [None] * len(payloads)
     workers = (jobs if jobs else default_job_count())
     pending = list(range(len(payloads)))
-    if workers > 1 and len(pending) > 1:
+    pooled = bool(pending) and (force_pool
+                                or (workers > 1 and len(pending) > 1))
+    if pooled:
         pending = _run_tasks_parallel(fn, payloads, pending, results,
                                       workers, timeout, reporter, label)
+    if pooled and not serial_fallback:
+        for index in pending:
+            if not isinstance(results[index], Exception):
+                results[index] = TimeoutError(
+                    f"{label} #{index} did not complete in the worker "
+                    f"pool (timeout {timeout}s)")
+        return results
     for index in pending:
         reporter.emit("started", job=f"{label} #{index}")
         start = time.time()
@@ -152,6 +184,10 @@ def _run_tasks_parallel(fn, payloads: Sequence, pending: List[int],
                 except Exception as exc:
                     reporter.emit("failed", job=f"{label} #{index}",
                                   detail=str(exc))
+                    # keep the exception as the provisional result so a
+                    # serial_fallback=False caller sees the real error;
+                    # the serial retry leg overwrites it on success
+                    results[index] = exc
                     failed.append(index)
                     continue
                 reporter.emit("done", job=f"{label} #{index}",
@@ -236,6 +272,8 @@ class JobExecutor:
             else:
                 # the group leader runs the timing simulation; _finish
                 # fans the record out to the whole group
+                self.progress.emit("cache-miss", job=group[0].describe(),
+                                   key=key)
                 pending.append((group[0], key))
 
         if pending:
@@ -254,6 +292,13 @@ class JobExecutor:
                 failed = self._run_serial(failed, results,
                                           raise_errors=round_index
                                           == self.retries - 1)
+        if self.cache is not None:
+            # surface evictions (corrupt/stale entries dropped by the
+            # store) in the manifest next to the hit/miss counts
+            self.progress.metrics.gauge(
+                "runner_cache_evictions",
+                help="cache entries evicted as corrupt or stale").set(
+                self.cache.evictions)
         self.progress.render_summary()
         return results
 

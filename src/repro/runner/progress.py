@@ -29,8 +29,8 @@ from typing import Any, Dict, List, Optional, TextIO
 from repro.telemetry.metrics import MetricRegistry
 
 #: Event kinds emitted by the executor, in lifecycle order.
-EVENT_KINDS = ("queued", "cache-hit", "started", "done", "failed",
-               "retry", "fallback")
+EVENT_KINDS = ("queued", "cache-hit", "cache-miss", "started", "done",
+               "failed", "retry", "fallback")
 
 
 @dataclass
@@ -113,15 +113,21 @@ class ProgressReporter:
         return self.metrics.counter("runner_events_total").value(kind=kind)
 
     def summary(self) -> Dict[str, Any]:
-        """Aggregate counts: jobs, hits, hit rate, wall times."""
+        """Aggregate counts: jobs, hits/misses, hit rate, wall times."""
         queued = self.count("queued")
         hits = self.count("cache-hit")
         simulated = self.count("done")
         resolved = hits + simulated
         job_seconds = self.metrics.histogram("runner_job_seconds")
+        evictions = self.metrics.gauge("runner_cache_evictions")
         return {
             "jobs": queued,
             "cache_hits": hits,
+            # misses are counted per timing-run *group* (the unit that
+            # probes the cache), so hits + misses need not equal jobs:
+            # params variants collapse onto one probed key
+            "cache_misses": self.count("cache-miss"),
+            "cache_evictions": int(evictions.value()),
             "simulated": simulated,
             "failed": self.count("failed"),
             "retries": self.count("retry"),

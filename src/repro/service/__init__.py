@@ -1,0 +1,68 @@
+"""Simulation-as-a-service: async job server over the runner subsystem.
+
+Turns the simulator into a multi-tenant service: many clients submit
+parameter sweeps over HTTP, a persistent journal-backed queue survives
+crashes, a sharded worker pool executes timing runs out of process
+through :mod:`repro.runner`, and the content-addressed
+:class:`~repro.runner.cache.ResultCache` makes every warm sweep a pure
+cache read -- zero simulations.  Stdlib only, like the rest of the
+project.
+
+=====================================  =================================
+:mod:`repro.service.http`              hand-rolled asyncio HTTP/1.1
+                                       framework (router, keep-alive,
+                                       chunked streaming)
+:mod:`repro.service.jobqueue`          append-only JSONL journal +
+                                       crash-recoverable job table
+:mod:`repro.service.workers`           sharded lanes -> out-of-process
+                                       simulation via ``run_tasks``
+:mod:`repro.service.ratelimit`         per-client token buckets
+:mod:`repro.service.app`               :class:`SimService` (routes,
+                                       admission, telemetry), ``serve``
+:mod:`repro.service.client`            asyncio client (tests + load
+                                       test share it)
+=====================================  =================================
+
+See ``docs/service.md`` for the API and operational model.
+"""
+
+from repro.service.app import (
+    MAX_SWEEP_JOBS,
+    ServiceConfig,
+    SimService,
+    serve,
+    sweep_id_for,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import HttpError, Request, Response, Router
+from repro.service.jobqueue import (
+    JOB_STATES,
+    JobQueue,
+    JobSpec,
+    QueuedJob,
+    shard_of,
+)
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "MAX_SWEEP_JOBS",
+    "ServiceConfig",
+    "SimService",
+    "serve",
+    "sweep_id_for",
+    "ServiceClient",
+    "ServiceError",
+    "HttpError",
+    "Request",
+    "Response",
+    "Router",
+    "JOB_STATES",
+    "JobQueue",
+    "JobSpec",
+    "QueuedJob",
+    "shard_of",
+    "RateLimiter",
+    "TokenBucket",
+    "WorkerPool",
+]

@@ -1,0 +1,252 @@
+"""Thin asyncio client for the simulation service.
+
+Used by the test suite and the load-test harness
+(``scripts/loadtest.py``) alike, so both talk to the server through the
+exact protocol real clients would: raw HTTP/1.1 over an asyncio stream
+with keep-alive, JSON bodies, and honest handling of 429/503
+``Retry-After`` backpressure.
+
+One :class:`ServiceClient` holds one connection and issues one request
+at a time (HTTP/1.1 without pipelining); open several clients for
+concurrency -- that is precisely what the load test does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+
+class ServiceError(Exception):
+    """A non-2xx response; carries status, payload and retry hint."""
+
+    def __init__(self, status: int, payload: Any,
+                 retry_after: Optional[float] = None):
+        message = payload.get("error", str(payload)) \
+            if isinstance(payload, dict) else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Minimal keep-alive HTTP/1.1 client bound to one server."""
+
+    def __init__(self, host: str, port: int,
+                 client_id: str = "", timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    # -- connection -------------------------------------------------------
+
+    async def _connect(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- raw HTTP ---------------------------------------------------------
+
+    def _request_bytes(self, method: str, path: str,
+                       payload: Any = None) -> bytes:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        headers = [f"{method} {path} HTTP/1.1",
+                   f"Host: {self.host}:{self.port}",
+                   "Accept: application/json"]
+        if self.client_id:
+            headers.append(f"X-Client-Id: {self.client_id}")
+        if body:
+            headers.append("Content-Type: application/json")
+        headers.append(f"Content-Length: {len(body)}")
+        return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") \
+            + body
+
+    async def _read_head(self) -> Tuple[int, Dict[str, str]]:
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def _read_body(self, headers: Dict[str, str]) -> bytes:
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            chunks = []
+            async for chunk in self._iter_chunks():
+                chunks.append(chunk)
+            return b"".join(chunks)
+        length = int(headers.get("content-length", 0))
+        return await self._reader.readexactly(length) if length else b""
+
+    async def _iter_chunks(self) -> AsyncIterator[bytes]:
+        while True:
+            size_line = await self._reader.readline()
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await self._reader.readline()  # trailing CRLF
+                return
+            chunk = await self._reader.readexactly(size)
+            await self._reader.readexactly(2)  # CRLF after the chunk
+            yield chunk
+
+    async def request(self, method: str, path: str,
+                      payload: Any = None) -> Any:
+        """One request/response; raises :class:`ServiceError` on non-2xx.
+
+        Retries once through a fresh connection when the server closed a
+        kept-alive socket between requests.
+        """
+        for attempt in (0, 1):
+            await self._connect()
+            try:
+                self._writer.write(self._request_bytes(method, path,
+                                                       payload))
+                await self._writer.drain()
+                status, headers, body = await asyncio.wait_for(
+                    self._read_response(), timeout=self.timeout)
+                break
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.close()
+                if attempt:
+                    raise
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        parsed: Any = None
+        if body:
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                parsed = body.decode("utf-8", "replace")
+        if status >= 400:
+            retry_after = None
+            if "retry-after" in headers:
+                try:
+                    retry_after = float(headers["retry-after"])
+                except ValueError:
+                    pass
+            raise ServiceError(status, parsed, retry_after)
+        return parsed
+
+    async def _read_response(self) -> Tuple[int, Dict[str, str], bytes]:
+        status, headers = await self._read_head()
+        body = await self._read_body(headers)
+        return status, headers, body
+
+    # -- API --------------------------------------------------------------
+
+    async def submit_sweep(self,
+                           benchmarks: Optional[List[str]] = None,
+                           iq_sizes: Optional[List[int]] = None,
+                           modes: Optional[List[str]] = None,
+                           **extra: Any) -> Dict[str, Any]:
+        """POST a sweep; returns the submission receipt."""
+        payload: Dict[str, Any] = dict(extra)
+        if benchmarks is not None:
+            payload["benchmarks"] = benchmarks
+        payload["iq_sizes"] = iq_sizes or [64]
+        if modes is not None:
+            payload["modes"] = modes
+        return await self.request("POST", "/api/sweeps", payload)
+
+    async def status(self, sweep_id: str) -> Dict[str, Any]:
+        return await self.request("GET", f"/api/sweeps/{sweep_id}")
+
+    async def events(self, sweep_id: str, since: int = 0,
+                     wait: float = 0.0) -> Dict[str, Any]:
+        return await self.request(
+            "GET", f"/api/sweeps/{sweep_id}/events?since={since}"
+                   f"&wait={wait}")
+
+    async def results(self, sweep_id: str) -> Dict[str, Any]:
+        return await self.request("GET",
+                                  f"/api/sweeps/{sweep_id}/results")
+
+    async def job(self, key: str) -> Dict[str, Any]:
+        return await self.request("GET", f"/api/jobs/{key}")
+
+    async def metrics(self) -> Dict[str, Any]:
+        return await self.request("GET", "/metrics")
+
+    async def health(self) -> Dict[str, Any]:
+        return await self.request("GET", "/healthz")
+
+    async def wait_complete(self, sweep_id: str,
+                            timeout: float = 300.0,
+                            poll_wait: float = 5.0) -> Dict[str, Any]:
+        """Long-poll events until the sweep completes; returns status.
+
+        Raises :class:`ServiceError` 409-shaped failure via status when
+        jobs failed, and :class:`asyncio.TimeoutError` on deadline.
+        """
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        since = 0
+        while True:
+            status = await self.status(sweep_id)
+            if status["complete"] or status["failed"]:
+                return status
+            if loop.time() >= deadline:
+                raise asyncio.TimeoutError(
+                    f"sweep {sweep_id} incomplete after {timeout}s")
+            page = await self.events(sweep_id, since=since,
+                                     wait=poll_wait)
+            since = page["next_since"]
+
+    async def stream(self, sweep_id: str,
+                     since: int = 0) -> AsyncIterator[Dict[str, Any]]:
+        """Yield live NDJSON progress events until the sweep ends.
+
+        Consumes the connection; the client reconnects on the next
+        ordinary request.
+        """
+        await self._connect()
+        self._writer.write(self._request_bytes(
+            "GET", f"/api/sweeps/{sweep_id}/stream?since={since}"))
+        await self._writer.drain()
+        status, headers = await self._read_head()
+        if status >= 400:
+            body = await self._read_body(headers)
+            await self.close()
+            raise ServiceError(status, json.loads(body or b"{}"))
+        buffer = b""
+        try:
+            async for chunk in self._iter_chunks():
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            # streaming responses are Connection: close
+            await self.close()

@@ -1,0 +1,98 @@
+"""Per-client token-bucket rate limiting.
+
+Each client (``X-Client-Id`` header, falling back to the peer address)
+owns one bucket of ``burst`` tokens refilled at ``rate`` tokens per
+second.  A request costs one token; an empty bucket answers 429 with a
+``Retry-After`` telling the client exactly when one token will exist
+again.  The clock is injectable so tests are instant and deterministic.
+
+Buckets are pruned once they have been idle long enough to be full
+again, so a service hammered by many short-lived clients does not grow
+an unbounded bucket table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """One client's bucket: capacity ``burst``, refill ``rate``/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated_at = now
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Try to spend one token; returns (allowed, retry_after)."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        # seconds until one whole token has dripped back in
+        return False, (1.0 - self.tokens) / self.rate
+
+    def idle_full(self, now: float) -> bool:
+        """True once the bucket would be full again (prunable)."""
+        return (now - self.updated_at) * self.rate >= self.burst
+
+
+class RateLimiter:
+    """Bucket table keyed by client identity.
+
+    ``rate <= 0`` disables limiting entirely (every request allowed) --
+    the tests' and the trusted-localhost default is an explicit opt-in
+    via ``repro serve --rate``.
+    """
+
+    def __init__(self, rate: float = 0.0, burst: float = 10.0,
+                 clock: Optional[Callable[[], float]] = None):
+        if rate > 0 and burst < 1:
+            raise ValueError("burst must be >= 1 when limiting")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock or time.monotonic
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.denied = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client: str) -> Tuple[bool, float]:
+        """Charge one request to ``client``; (allowed, retry_after)."""
+        if not self.enabled:
+            return True, 0.0
+        now = self.clock()
+        self._prune(now)
+        client = bucket_key(client)
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket
+        allowed, retry_after = bucket.take(now)
+        if not allowed:
+            self.denied += 1
+        return allowed, retry_after
+
+    def _prune(self, now: float) -> None:
+        if len(self._buckets) < 1024:
+            return
+        for client in [c for c, b in self._buckets.items()
+                       if b.idle_full(now)]:
+            del self._buckets[client]
+
+
+def bucket_key(client: str) -> str:
+    """Normalise a client identity into a bucket key."""
+    return client.strip() or "anonymous"

@@ -1,0 +1,166 @@
+"""Sharded worker pool executing queued jobs through the runner.
+
+``N`` asyncio *lanes* each own a deterministic slice of the content-hash
+key space (:func:`~repro.service.jobqueue.shard_of`), so one job key is
+only ever executed by one lane and concurrent identical submissions can
+never race a simulation.  Each lane pulls the oldest pending job of its
+shard, re-probes the :class:`~repro.runner.cache.ResultCache` (cheap, and
+a restart may find results that arrived since the job was journaled),
+and otherwise runs the timing simulation **out of process** via
+:func:`repro.runner.executor.run_tasks` with ``force_pool=True`` and
+``serial_fallback=False``: the simulation gets a real child process, a
+per-job timeout that *fails* the job instead of hanging the lane, and
+isolation from interpreter-killing crashes.
+
+Failures are retried up to ``max_retries`` times (journaled as ``retry``
+attempts), then parked as ``failed``.  Shutdown is a graceful drain:
+admission stops, each lane finishes the job it is on, and only then does
+:meth:`WorkerPool.stop` return.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+from repro.power.activity import ActivityRecord
+from repro.runner.cache import ResultCache
+from repro.runner.executor import execute_job, run_tasks
+from repro.runner.jobs import SimJob
+from repro.service.jobqueue import JobQueue, QueuedJob
+
+#: ``events(kind, job)`` callback signature: the service turns these
+#: into client-visible progress events and telemetry counters.
+EventCallback = Callable[[str, QueuedJob], None]
+
+
+def _simulate_out_of_process(job: SimJob,
+                             timeout: Optional[float]) -> dict:
+    """Run one timing simulation in a child process; returns the payload.
+
+    Raises whatever the simulation raised, or :class:`TimeoutError` when
+    it missed the per-job deadline (`serial_fallback=False` turns pool
+    stalls into exception results instead of in-thread re-runs).
+    """
+    result = run_tasks(execute_job, [job], jobs=1, timeout=timeout,
+                       label=job.describe(), force_pool=True,
+                       serial_fallback=False)[0]
+    if isinstance(result, Exception):
+        raise result
+    return result
+
+
+class WorkerPool:
+    """N sharded lanes draining the queue through the runner."""
+
+    def __init__(self, queue: JobQueue, cache: ResultCache,
+                 workers: int = 2,
+                 per_job_timeout: Optional[float] = None,
+                 max_retries: int = 1,
+                 events: Optional[EventCallback] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.queue = queue
+        self.cache = cache
+        self.workers = workers
+        self.per_job_timeout = per_job_timeout
+        self.max_retries = max_retries
+        self.events = events or (lambda kind, job: None)
+        self._threads = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-lane")
+        self._wakeup = asyncio.Event()
+        self._stopping = False
+        self._lanes: list = []
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the lane tasks (idempotent)."""
+        if self._lanes:
+            return
+        self._stopping = False
+        self._lanes = [asyncio.ensure_future(self._lane(index))
+                       for index in range(self.workers)]
+        self.kick()
+
+    def kick(self) -> None:
+        """Tell idle lanes that new work may exist."""
+        self._wakeup.set()
+
+    async def stop(self) -> None:
+        """Graceful drain: finish in-flight jobs, then stop the lanes."""
+        self._stopping = True
+        self.kick()
+        if self._lanes:
+            await asyncio.gather(*self._lanes, return_exceptions=True)
+            self._lanes = []
+        self._threads.shutdown(wait=False)
+
+    @property
+    def draining(self) -> bool:
+        return self._stopping
+
+    # -- lanes ------------------------------------------------------------
+
+    async def _lane(self, shard: int) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            job = self.queue.next_pending(shard, self.workers)
+            if job is None:
+                if self._stopping:
+                    return
+                # sleep until kicked; re-check periodically so a kick
+                # raced between next_pending and wait cannot strand us
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(),
+                                           timeout=0.5)
+                except asyncio.TimeoutError:
+                    pass
+                else:
+                    self._wakeup.clear()
+                continue
+            await self._execute(loop, job)
+            if self._stopping and \
+                    self.queue.next_pending(shard, self.workers) is None:
+                return
+
+    async def _execute(self, loop, job: QueuedJob) -> None:
+        key = job.key
+        self.queue.transition(key, "running", attempts=job.attempts + 1)
+        self.events("started", job)
+        sim_job = job.spec.to_sim_job()
+        start = loop.time()
+        # a pending job may have gained a result since admission (server
+        # restart with a warm cache): serve it without simulating
+        record = await loop.run_in_executor(
+            self._threads, self.cache.load, key)
+        if record is not None:
+            self.queue.transition(key, "done", source="cache",
+                                  wall_time=loop.time() - start)
+            self.events("cache-hit", self.queue.jobs[key])
+            return
+        try:
+            payload = await loop.run_in_executor(
+                self._threads, _simulate_out_of_process, sim_job,
+                self.per_job_timeout)
+        except Exception as exc:
+            await self._handle_failure(job, f"{exc}")
+            return
+        record = ActivityRecord.from_payload(payload)
+        await loop.run_in_executor(
+            self._threads, self.cache.store, key, sim_job, record)
+        self.queue.transition(key, "done", source="sim",
+                              wall_time=loop.time() - start)
+        self.events("done", self.queue.jobs[key])
+
+    async def _handle_failure(self, job: QueuedJob, error: str) -> None:
+        if job.attempts <= self.max_retries:
+            self.queue.transition(job.key, "pending", error=error)
+            self.events("retry", self.queue.jobs[job.key])
+            self.kick()
+        else:
+            self.queue.transition(job.key, "failed", error=error)
+            self.events("failed", self.queue.jobs[job.key])

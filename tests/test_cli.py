@@ -87,6 +87,39 @@ class TestParser:
         assert args.no_cache
         assert args.manifest == "m.json"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.workers == 2
+        assert args.state_dir == ".repro-service"
+        assert args.max_queue_depth == 256
+        assert args.rate == 0.0
+        assert args.timeout is None
+
+    def test_serve_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4",
+             "--rate", "2.5", "--burst", "5",
+             "--max-queue-depth", "8", "--timeout", "30",
+             "--retries", "0", "--state-dir", "/tmp/svc"])
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.rate == 2.5
+        assert args.burst == 5.0
+        assert args.max_queue_depth == 8
+        assert args.timeout == 30.0
+        assert args.retries == 0
+        assert args.state_dir == "/tmp/svc"
+
+    def test_serve_rejects_zero_workers(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workers", "0"])
+
+    def test_cache_requires_known_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
     def test_power_rejects_unknown_style(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["power", "--style", "cc9"])
@@ -172,6 +205,52 @@ class TestReproduceCommand:
         parsed = json.loads(manifest.read_text())
         assert set(parsed) == {"summary", "events", "metrics"}
         assert parsed["metrics"]["schema"] == 1
+
+
+class TestCacheCommand:
+    def _store_one(self, cache_dir):
+        from repro.arch.config import MachineConfig
+        from repro.runner import SimJob
+        from repro.runner.cache import ResultCache
+        from repro.sim.simulator import run_timing
+        from repro.workloads.suite import WorkloadSuite
+
+        program = WorkloadSuite().program("tsf")
+        config = MachineConfig().with_iq_size(32)
+        record = run_timing(program, config)
+        ResultCache(cache_dir).store(
+            "cafe" * 10, SimJob("tsf", config), record)
+
+    def test_stats_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "nowhere")]) == 0
+        out = capsys.readouterr().out
+        assert "entries          0" in out
+
+    def test_stats_json_counts_entries(self, tmp_path, capsys):
+        import json
+        self._store_one(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["directory"] == str(tmp_path)
+
+    def test_purge_reports_eviction_count(self, tmp_path, capsys):
+        import json
+        self._store_one(tmp_path)
+        stale = tmp_path / ("dead" * 10 + ".json")
+        stale.write_text(json.dumps({"schema": 1, "key": stale.stem}))
+        assert main(["cache", "purge", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 stale cache entry" in out
+        assert not stale.exists()
+        # the valid entry survives
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
 
 
 class TestPowerCommand:

@@ -163,6 +163,23 @@ class TestPersistentCache:
         # the re-run re-stored a valid entry
         assert json.loads(victim.read_text())["schema"] == SCHEMA_VERSION
 
+    def test_truncated_entry_is_evicted_not_raised(self, cache_dir,
+                                                   serial_table,
+                                                   first_parallel_run):
+        # a crash (or full disk) mid-write leaves a prefix of valid JSON
+        victim = sorted(cache_dir.glob("*.json"))[0]
+        text = victim.read_text(encoding="utf-8")
+        victim.write_text(text[:len(text) // 2], encoding="utf-8")
+        cache = ResultCache(cache_dir)
+        assert cache.load(victim.stem) is None   # miss, never a raise
+        assert cache.evictions == 1
+        assert not victim.exists()               # evicted for re-store
+        # the runner then transparently re-simulates just the victim
+        runner = build_runner(jobs=1, cache_dir=cache_dir,
+                              benchmarks=BENCHMARKS, iq_sizes=IQ_SIZES)
+        assert runner.figure5_gating() == serial_table
+        assert runner.executor.progress.summary()["simulated"] == 1
+
     def test_version_mismatch_is_evicted_and_rerun(self, cache_dir,
                                                    serial_table,
                                                    first_parallel_run):
@@ -322,3 +339,24 @@ class TestProgressManifest:
         assert "queued" in kinds
         assert "cache-hit" in kinds
         assert manifest["summary"]["jobs"] == 2
+
+    def test_manifest_counts_hits_and_misses(self, tmp_path, cache_dir,
+                                             serial_table,
+                                             first_parallel_run):
+        # the cold fixture run probed an empty cache: all misses
+        _, cold = first_parallel_run
+        assert cold["cache_misses"] == cold["simulated"]
+        assert cold["cache_hits"] == 0
+        # a warm run against the same cache is all hits, zero misses
+        runner = build_runner(jobs=1, cache_dir=cache_dir,
+                              benchmarks=BENCHMARKS, iq_sizes=IQ_SIZES)
+        runner.figure5_gating()
+        path = tmp_path / "warm-manifest.json"
+        runner.executor.progress.write_manifest(path)
+        summary = json.loads(path.read_text())["summary"]
+        assert summary["cache_hits"] == summary["jobs"] == 2
+        assert summary["cache_misses"] == 0
+        assert summary["cache_evictions"] == 0
+        assert {event["kind"]
+                for event in json.loads(path.read_text())["events"]} \
+            == {"queued", "cache-hit"}
