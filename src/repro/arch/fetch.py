@@ -35,6 +35,12 @@ from repro.isa.program import INSTRUCTION_BYTES, Program
 class FetchUnit:
     """Fetch stage with fetch queue, I-cache timing and fetch-time prediction."""
 
+    __slots__ = (
+        "record_stage", "program", "config", "hierarchy", "predictor",
+        "next_seq", "stats", "pc", "queue", "stall_until", "_line_mask",
+        "loop_cache", "_loop_cache_decoded",
+    )
+
     def __init__(self, program: Program, config: MachineConfig,
                  hierarchy: MemoryHierarchy, predictor: BranchPredictor,
                  seq_allocator: Callable[[], int], stats: PipelineStats):

@@ -26,6 +26,8 @@ NON_PIPELINED_OPS = frozenset(
 class FunctionalUnitPool:
     """All functional units, grouped by :class:`~repro.isa.opcodes.FuClass`."""
 
+    __slots__ = ("_next_free", "issues")
+
     def __init__(self, config: MachineConfig):
         self._next_free: Dict[FuClass, List[int]] = {
             FuClass.IALU: [0] * config.num_ialu,

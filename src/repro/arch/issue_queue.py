@@ -70,6 +70,8 @@ class IQEntry:
 class IssueQueue:
     """Unified collapsing issue queue with reuse augmentation hooks."""
 
+    __slots__ = ("capacity", "entries", "_ready_heap", "_heap_counter")
+
     def __init__(self, capacity: int):
         self.capacity = capacity
         self.entries: Set[IQEntry] = set()

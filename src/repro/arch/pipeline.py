@@ -76,6 +76,16 @@ class SimulationTimeout(Exception):
 class Pipeline:
     """Cycle-level out-of-order core executing one program."""
 
+    __slots__ = (
+        "program", "config", "stats", "mem_image", "hierarchy",
+        "predictor", "regfile", "rename", "rob", "iq", "lsq", "fus",
+        "fetch_unit", "controller", "decoded", "pending_loads",
+        "pending_stores", "cycle", "halted",
+        "_stage_probes", "_cycle_probes", "_record", "_record_squash",
+        "_seq", "_inflight", "_inflight_push", "_dcache_ports_used",
+        "_decode_buffer_cap",
+    )
+
     def __init__(self, program: Program, config: MachineConfig,
                  memory: Optional[SparseMemory] = None,
                  tracer: Optional[PipelineTracer] = None):

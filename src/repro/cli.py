@@ -38,7 +38,8 @@ Subcommands
 ``fuzz``
     Coverage-guided differential fuzzing campaign over mutated
     always-terminating programs: interpreter vs. baseline pipeline vs.
-    reuse pipeline, steered by a controller-behaviour coverage map.
+    reuse pipeline (vs. the array-core reuse pipeline with the default
+    ``--engine array``), steered by a controller-behaviour coverage map.
     Prints a deterministic JSON campaign report; exits non-zero when any
     divergence was found.  ``--programs`` / ``--time-budget`` bound the
     run, ``--jobs`` fans mutants out over processes, ``--corpus-dir``
@@ -76,6 +77,7 @@ import dataclasses
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.crosscheck import crosscheck
@@ -100,6 +102,15 @@ def _machine_config(args) -> MachineConfig:
         buffering_strategy=args.strategy,
         nblt_size=args.nblt,
     )
+
+
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=("object", "array"),
+                        default="object",
+                        help="pipeline-core engine: 'object' is the "
+                             "reference core, 'array' the flat-state "
+                             "fast path (bit-exact; see "
+                             "docs/pipeline.md); default object")
 
 
 def _add_machine_options(parser: argparse.ArgumentParser) -> None:
@@ -204,14 +215,16 @@ def _cmd_run(args) -> int:
     config = _machine_config(args)
     session = _telemetry_session(args)
     if args.compare:
-        baseline = simulate(program, config.replace(reuse_enabled=False))
+        baseline = simulate(program, config.replace(reuse_enabled=False),
+                            engine=args.engine)
         # with --compare the timeline shows the reuse run (the one whose
         # controller behaviour is worth looking at)
         reuse = simulate(program, config.replace(reuse_enabled=True),
-                         telemetry=session)
+                         telemetry=session, engine=args.engine)
         status = _emit_comparison(RunComparison(baseline, reuse), args)
     else:
-        result = simulate(program, config, telemetry=session)
+        result = simulate(program, config, telemetry=session,
+                          engine=args.engine)
         status = 0
         if args.json:
             print(to_json(result))
@@ -265,11 +278,21 @@ def _cmd_bench(args) -> int:
     config = _machine_config(args)
     jobs = [SimJob(benchmark=args.name,
                    config=config.replace(reuse_enabled=reuse),
-                   optimize=args.optimize)
+                   optimize=args.optimize,
+                   engine=args.engine)
             for reuse in (False, True)]
+    start = time.perf_counter()
     results = executor.run(jobs)
+    wall = time.perf_counter() - start
     comparison = RunComparison(results[jobs[0]], results[jobs[1]])
     status = _emit_comparison(comparison, args)
+    if not args.json:
+        cycles = (comparison.baseline.stats.cycles
+                  + comparison.reuse.stats.cycles)
+        print(f"[{args.engine} engine] {args.name}: {cycles} cycles in "
+              f"{wall:.2f}s wall -> {cycles / wall:,.0f} cycles/sec "
+              f"(both modes; includes runner + cache overhead -- see "
+              f"scripts/bench_core.py for the no-overhead comparison)")
     if args.metrics_out:
         # both modes merged into one snapshot, split by the mode label;
         # activity records are deterministic, so the bytes written here
@@ -423,6 +446,7 @@ def _cmd_fuzz(args) -> int:
         minimize=args.minimize,
         corpus_dir=args.corpus_dir,
         inject_bug=args.inject_bug,
+        engine=args.engine,
     )
     reporter = ProgressReporter(verbose=not args.quiet)
     campaign = FuzzCampaign(config, progress=reporter)
@@ -555,6 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Chrome trace-event timeline of the "
                           "run (with --compare: of the reuse run)")
     _add_machine_options(run)
+    _add_engine_option(run)
     run.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser("reproduce",
@@ -581,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a telemetry metric snapshot of both "
                             "modes (byte-identical at any --jobs level)")
     _add_machine_options(bench)
+    _add_engine_option(bench)
     _add_runner_options(bench)
     bench.set_defaults(func=_cmd_bench)
 
@@ -661,6 +687,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--strategy", choices=("single", "multi"),
                       default="multi",
                       help="buffering strategy (default: multi)")
+    fuzz.add_argument("--engine", choices=("object", "array"),
+                      default="array",
+                      help="oracle engine: 'array' (default) runs the "
+                           "four-way oracle including the flat-state "
+                           "fast core, 'object' the historical "
+                           "three-way oracle")
     fuzz.add_argument("--report", metavar="PATH", default=None,
                       help="write the JSON campaign report to PATH "
                            "instead of stdout")

@@ -5,7 +5,8 @@ One :class:`FuzzCampaign` run is a deterministic function of its
 
 1. the mutation engine's archetype seeds start the in-memory corpus,
 2. each round picks a corpus parent, mutates it, renders it, and runs the
-   three-way oracle (:func:`repro.fuzz.oracle.run_differential`) over it
+   differential oracle (:func:`repro.fuzz.oracle.run_differential`;
+   four-way with the default ``engine="array"``) over it
    -- fanned out across processes through the runner's generic
    :func:`~repro.runner.executor.run_tasks` when ``jobs > 1``,
 3. a mutant producing any unseen coverage signature enters the corpus;
@@ -68,6 +69,9 @@ class CampaignConfig:
     shrink_budget: int = 250
     #: Fault-injection switch forwarded to the controller (self-test).
     inject_bug: Optional[str] = None
+    #: Oracle engine: ``array`` (default) runs the four-way oracle with
+    #: the reuse-array leg, ``object`` the historical three-way one.
+    engine: str = "array"
 
     def machine_config(self) -> MachineConfig:
         return MachineConfig().with_iq_size(self.iq_size).replace(
@@ -105,7 +109,7 @@ class Finding:
 
 
 def _evaluate(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker body: assemble + three-way oracle for one rendered mutant.
+    """Worker body: assemble + differential oracle for one mutant.
 
     Module-level and a pure function of its payload, so it can run
     in-process or in a pool worker interchangeably.  The fault-injection
@@ -120,7 +124,8 @@ def _evaluate(payload: Dict[str, Any]) -> Dict[str, Any]:
             program = assemble(payload["source"], name=payload["name"])
         except AssemblerError as exc:
             return {"invalid": str(exc)}
-        outcome = run_differential(program, config)
+        outcome = run_differential(program, config,
+                                   engine=payload.get("engine", "object"))
     finally:
         controller_module._INJECTED_BUG = None
     return {
@@ -193,6 +198,7 @@ class FuzzCampaign:
             "nblt_size": config.nblt_size,
             "buffering_strategy": config.buffering_strategy,
             "inject_bug": config.inject_bug,
+            "engine": config.engine,
         }
 
     def _fold(self, spec: ProgramSpec, result: Any) -> None:
@@ -285,6 +291,7 @@ class FuzzCampaign:
                 "buffering_strategy": config.buffering_strategy,
                 "minimize": config.minimize,
                 "inject_bug": config.inject_bug,
+                "engine": config.engine,
             },
             "stopped_by": stopped_by,
             "programs_run": self.executed,

@@ -9,12 +9,17 @@ register by name, or an 8-byte memory word by address) instead of dumping
 full state; :func:`assert_matches_oracle` wraps it as the assertion helper
 the test suite has always used (``tests/helpers.py`` re-exports it).
 
-:func:`run_differential` is the fuzzer's three-way oracle: one interpreter
-run, one baseline pipeline run, one reuse pipeline run (with a
-:class:`~repro.fuzz.coverage.CoverageProbe` attached), folded into a
-:class:`DifferentialOutcome` -- the first divergence across both modes (a
+:func:`run_differential` is the fuzzer's differential oracle: one
+interpreter run, one baseline pipeline run, one reuse pipeline run (with
+a :class:`~repro.fuzz.coverage.CoverageProbe` attached), folded into a
+:class:`DifferentialOutcome` -- the first divergence across the modes (a
 state mismatch, a simulator crash, or a cycle-budget timeout all count),
 the reuse run's coverage signatures, and its controller-event counts.
+With ``engine="array"`` (the campaign default) the three-way oracle
+becomes **four-way**: a probe-free
+:class:`~repro.arch.fastcore.FastPipeline` reuse run is added as mode
+``reuse-array``, so every mutant also cross-checks the array core's
+flat-state fast path against the interpreter.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.arch.config import MachineConfig
+from repro.arch.fastcore import FastPipeline
 from repro.arch.pipeline import Pipeline, SimulationTimeout
 from repro.fuzz.coverage import CoverageProbe
 from repro.isa.interpreter import Interpreter, run_program
@@ -40,7 +46,8 @@ CYCLE_LIMIT_PER_INSTRUCTION = 30
 class Divergence:
     """One architectural disagreement between a pipeline and the oracle."""
 
-    #: Which pipeline diverged (``baseline`` or ``reuse``).
+    #: Which pipeline diverged (``baseline``, ``reuse`` or
+    #: ``reuse-array``).
     mode: str
     #: ``committed`` | ``register`` | ``memory`` | ``timeout`` | ``crash``.
     kind: str
@@ -121,9 +128,9 @@ def assert_matches_oracle(pipeline: Any, oracle: Interpreter) -> None:
 
 @dataclass
 class DifferentialOutcome:
-    """Result of one three-way oracle run."""
+    """Result of one differential oracle run (three- or four-way)."""
 
-    #: First divergence across both pipeline modes (None = all agree).
+    #: First divergence across the pipeline modes (None = all agree).
     divergence: Optional[Divergence]
     #: Coverage signatures observed on the reuse run.
     signatures: Tuple[str, ...]
@@ -150,24 +157,41 @@ def cycle_limit_for(oracle_instructions: int) -> int:
 
 def run_differential(program: Program, config: MachineConfig,
                      max_instructions: int = 1_000_000,
-                     collect_coverage: bool = True) -> DifferentialOutcome:
-    """Run the three-way oracle on one program.
+                     collect_coverage: bool = True,
+                     engine: str = "object") -> DifferentialOutcome:
+    """Run the differential oracle on one program.
 
-    Both pipeline modes run from the given ``config`` (its
-    ``reuse_enabled`` field is overridden per mode).  The reuse run
-    carries a :class:`~repro.fuzz.coverage.CoverageProbe` unless
-    ``collect_coverage`` is False.  Any crash inside a pipeline is
-    reported as a ``crash`` divergence for that mode, never raised.
+    All pipeline modes run from the given ``config`` (its
+    ``reuse_enabled`` field is overridden per mode).  The object-core
+    reuse run carries a :class:`~repro.fuzz.coverage.CoverageProbe`
+    unless ``collect_coverage`` is False; coverage signatures and
+    controller-event counts always come from that run.  Any crash inside
+    a pipeline is reported as a ``crash`` divergence for that mode,
+    never raised.
+
+    ``engine="object"`` is the historical three-way oracle.
+    ``engine="array"`` appends a fourth leg -- a probe-free
+    :class:`~repro.arch.fastcore.FastPipeline` reuse run, mode label
+    ``reuse-array`` -- checked against the same interpreter state.
+    (Ordering matters for the self-test: an injected controller bug is
+    reported against mode ``reuse`` first, the array leg only ever adds
+    findings of its own.)
     """
     oracle = run_program(program, max_instructions=max_instructions)
     limit = cycle_limit_for(oracle.instructions_executed)
     divergence: Optional[Divergence] = None
     signatures: Tuple[str, ...] = ()
     event_counts: Dict[str, int] = {}
-    for mode, reuse in (("baseline", False), ("reuse", True)):
-        pipeline = Pipeline(program, config.replace(reuse_enabled=reuse))
+    legs = [("baseline", Pipeline, False), ("reuse", Pipeline, True)]
+    if engine == "array":
+        legs.append(("reuse-array", FastPipeline, True))
+    elif engine != "object":
+        raise ValueError(f"unknown engine {engine!r}; "
+                         f"choose 'object' or 'array'")
+    for mode, core, reuse in legs:
+        pipeline = core(program, config.replace(reuse_enabled=reuse))
         probe = None
-        if reuse and collect_coverage:
+        if mode == "reuse" and collect_coverage:
             probe = CoverageProbe()
             pipeline.attach_probe(probe)
         found: Optional[Divergence] = None
@@ -181,7 +205,7 @@ def run_differential(program: Program, config: MachineConfig,
                                f"{type(exc).__name__}: {exc}", "no crash")
         else:
             found = first_divergence(pipeline, oracle, mode)
-        if reuse:
+        if mode == "reuse":
             if probe is not None:
                 signatures = tuple(probe.signatures)
             for event in pipeline.controller.events:

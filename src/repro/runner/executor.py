@@ -69,7 +69,7 @@ def execute_job(job: SimJob) -> dict:
     parent from the returned activity record.
     """
     program = _worker_suite().program(job.benchmark, optimize=job.optimize)
-    record = run_timing(program, job.config)
+    record = run_timing(program, job.config, engine=job.engine)
     return record.to_payload()
 
 

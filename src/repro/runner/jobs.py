@@ -41,12 +41,20 @@ class SimJob:
     #: Power-model parameters (evaluation-time only; never part of the
     #: cache key, so any params variant reuses the same timing run).
     params: PowerParams = field(default=DEFAULT_PARAMS)
+    #: Pipeline-core engine the timing run executes on (``object`` or
+    #: ``array``; see :data:`repro.sim.simulator.ENGINES`).  Part of the
+    #: cache key: the engines are proven bit-exact, but a cached record
+    #: must always say which core actually produced it, so an engine
+    #: bug can never hide behind the other engine's cache entries.
+    engine: str = "object"
 
     def describe(self) -> str:
         """Short human-readable label for progress lines."""
         mode = "reuse" if self.config.reuse_enabled else "base"
         opt = " opt" if self.optimize else ""
         extras = []
+        if self.engine != "object":
+            extras.append(self.engine)
         if self.config.nblt_size != 8:
             extras.append(f"nblt={self.config.nblt_size}")
         if self.config.buffering_strategy != "multi":
@@ -88,10 +96,13 @@ def job_key(job: SimJob, program: Program) -> str:
     timing input re-simulates instead of hitting a stale entry.  The
     power parameters are excluded on purpose: the cached artifact is an
     activity record, valid under every parameterization, so jobs
-    differing only in params collapse onto one key.
+    differing only in params collapse onto one key.  The engine *is*
+    included -- array and object runs never share cache entries, even
+    though they are bit-exact by construction (schema 4).
     """
     sha = hashlib.sha256()
     for part in (job.benchmark, "opt" if job.optimize else "orig",
+                 job.engine,
                  program_digest(program), config_digest(job.config)):
         sha.update(part.encode("utf-8"))
         sha.update(b"\0")
@@ -103,6 +114,7 @@ def job_to_dict(job: SimJob) -> Dict[str, Any]:
     return {
         "benchmark": job.benchmark,
         "optimize": job.optimize,
+        "engine": job.engine,
         "iq_size": job.config.iq_size,
         "reuse_enabled": job.config.reuse_enabled,
         "buffering_strategy": job.config.buffering_strategy,

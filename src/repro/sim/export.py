@@ -44,8 +44,10 @@ __all__ = [
 #: entries with a different version are evicted and recomputed.
 #: History: 2 carried a full result (stats + energies under one parameter
 #: set); 3 carries the activity record only, so one cached timing run
-#: serves every power parameterization.
-SCHEMA_VERSION = 3
+#: serves every power parameterization; 4 adds the pipeline-core engine
+#: to the job content-hash key (array/object runs never share entries),
+#: invalidating every pre-engine cache entry.
+SCHEMA_VERSION = 4
 
 
 def config_to_dict(config) -> Dict[str, Any]:

@@ -23,18 +23,39 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.arch.config import MachineConfig
+from repro.arch.fastcore import FastPipeline
 from repro.arch.pipeline import Pipeline
 from repro.isa.program import Program
 from repro.power.activity import ActivityRecord
 from repro.power.params import DEFAULT_PARAMS, PowerParams
 from repro.sim.results import SimulationResult
 
+#: The selectable pipeline-core engines (see ``docs/pipeline.md``).
+#: Both implement :class:`repro.arch.interface.CoreInterface` and
+#: produce byte-identical activity records; ``array`` is the no-probe
+#: fast path, ``object`` the reference implementation.
+ENGINES = {
+    "object": Pipeline,
+    "array": FastPipeline,
+}
+
+
+def core_for(engine: str):
+    """The pipeline-core class registered under ``engine``."""
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from "
+            f"{', '.join(sorted(ENGINES))}") from None
+
 
 def run_timing(program: Program, config: MachineConfig,
                max_cycles: Optional[int] = None,
                probes: Iterable = (),
                keep_pipeline: bool = False,
-               telemetry=None):
+               telemetry=None,
+               engine: str = "object"):
     """Run ``program`` to its committed ``halt``; timing only.
 
     Returns the run's :class:`~repro.power.activity.ActivityRecord`.
@@ -45,9 +66,16 @@ def run_timing(program: Program, config: MachineConfig,
     absorbs the finished run so trace/metric artifacts can be exported
     afterwards (see ``docs/telemetry.md``).  With ``keep_pipeline=True``
     the return value is a ``(record, pipeline)`` pair instead.
+
+    ``engine`` selects the pipeline core (:data:`ENGINES`): the two
+    engines leave identical records, so the choice only affects wall
+    time.  Attaching any probe (including telemetry) to the ``array``
+    engine makes it fall back to a delegate object core internally --
+    observability always wins over speed.
     """
+    core = core_for(engine)
     if telemetry is None:
-        pipeline = Pipeline(program, config)
+        pipeline = core(program, config)
         for probe in probes:
             pipeline.attach_probe(probe)
         pipeline.run(max_cycles=max_cycles)
@@ -55,7 +83,7 @@ def run_timing(program: Program, config: MachineConfig,
     else:
         profiler = telemetry.profiler
         with profiler.phase("build-pipeline"):
-            pipeline = Pipeline(program, config)
+            pipeline = core(program, config)
             for probe in probes:
                 pipeline.attach_probe(probe)
             for probe in telemetry.probes:
@@ -92,7 +120,8 @@ def simulate(program: Program, config: MachineConfig,
              params: PowerParams = DEFAULT_PARAMS,
              max_cycles: Optional[int] = None,
              keep_pipeline: bool = False,
-             telemetry=None) -> SimulationResult:
+             telemetry=None,
+             engine: str = "object") -> SimulationResult:
     """Run ``program`` to its committed ``halt`` on ``config``.
 
     Parameters
@@ -113,9 +142,13 @@ def simulate(program: Program, config: MachineConfig,
     telemetry:
         Optional :class:`~repro.telemetry.TelemetrySession` threaded
         through the timing run and attached to the result.
+    engine:
+        Pipeline-core engine (``object`` or ``array``; see
+        :data:`ENGINES` and ``docs/pipeline.md``).
     """
     record, pipeline = run_timing(program, config, max_cycles=max_cycles,
-                                  keep_pipeline=True, telemetry=telemetry)
+                                  keep_pipeline=True, telemetry=telemetry,
+                                  engine=engine)
     result = evaluate_power(record, config, params)
     result.telemetry = telemetry
     if keep_pipeline:

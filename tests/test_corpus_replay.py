@@ -30,15 +30,18 @@ def test_corpus_is_populated():
     assert len(_ENTRIES) >= 7
 
 
+@pytest.mark.parametrize("engine", ["object", "array"])
 @pytest.mark.parametrize(
     "entry", _ENTRIES, ids=[entry.name for entry in _ENTRIES])
-def test_corpus_entry_replays(entry):
+def test_corpus_entry_replays(entry, engine):
+    """Every entry replays clean on the three-way oracle (``object``)
+    and on the four-way oracle including the array core (``array``)."""
     assert entry.expect == "match", (
         f"{entry.name}: unfixed divergence entries do not belong under "
         f"tests/corpus (see docs/fuzzing.md triage workflow)")
     program = assemble(entry.source, name=entry.name)
     outcome = run_differential(program, entry.machine_config(),
-                               collect_coverage=False)
+                               collect_coverage=False, engine=engine)
     assert outcome.divergence is None, (
         f"{entry.name}: {outcome.divergence.describe()}")
     for kind, floor in sorted(entry.min_events.items()):
