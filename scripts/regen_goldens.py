@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden analysis reports.
+
+Two golden families live under ``tests/golden/``:
+
+* ``lint/<kernel>.json`` -- ``repro lint <kernel> --format json`` at the
+  default issue-queue size (64), one file per Table 2 kernel,
+* ``analyze/<kernel>.json`` -- ``repro analyze <kernel> --format json
+  --iq 32 64 96 128``, the static reuse-benefit predictions across the
+  paper's sweep sizes.
+
+Both are produced by the exact CLI entry points CI diffs against, so a
+regenerated file is byte-identical to what ``python -m repro.cli``
+prints.  Neither path touches the runner or any simulation, so the
+bytes are independent of ``--jobs`` levels, cache temperature and host
+-- see ``docs/analysis.md``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_goldens.py            # rewrite
+    PYTHONPATH=src python scripts/regen_goldens.py --check    # diff only
+
+``--check`` exits non-zero when any committed golden differs from the
+current analyzer output (the same comparison the lint-kernels CI job
+makes), without writing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.cli import main as cli_main                       # noqa: E402
+from repro.workloads.suite import BENCHMARK_NAMES            # noqa: E402
+
+GOLDEN_ROOT = os.path.join(REPO_ROOT, "tests", "golden")
+
+#: Golden family -> CLI argv template (kernel name appended first).
+FAMILIES = {
+    "lint": ["lint", "--format", "json"],
+    "analyze": ["analyze", "--format", "json",
+                "--iq", "32", "64", "96", "128"],
+}
+
+
+def _render(family: str, kernel: str) -> str:
+    """The CLI's stdout for one golden file."""
+    argv = [FAMILIES[family][0], kernel] + FAMILIES[family][1:]
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        status = cli_main(argv)
+    if status != 0:
+        raise SystemExit(f"error: {' '.join(argv)} exited {status}")
+    return buffer.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="diff against the committed goldens instead "
+                             "of rewriting them; exit 1 on drift")
+    parser.add_argument("--family", choices=sorted(FAMILIES), default=None,
+                        help="regenerate only one golden family")
+    args = parser.parse_args(argv)
+
+    families = [args.family] if args.family else sorted(FAMILIES)
+    drift = []
+    for family in families:
+        directory = os.path.join(GOLDEN_ROOT, family)
+        os.makedirs(directory, exist_ok=True)
+        for kernel in BENCHMARK_NAMES:
+            path = os.path.join(directory, f"{kernel}.json")
+            fresh = _render(family, kernel)
+            if args.check:
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        committed = handle.read()
+                except OSError:
+                    committed = None
+                if committed != fresh:
+                    drift.append(path)
+                    print(f"DRIFT {os.path.relpath(path, REPO_ROOT)}")
+                else:
+                    print(f"ok    {os.path.relpath(path, REPO_ROOT)}")
+            else:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(fresh)
+                print(f"wrote {os.path.relpath(path, REPO_ROOT)}")
+    if drift:
+        print(f"{len(drift)} golden file(s) out of date; rerun "
+              f"scripts/regen_goldens.py without --check", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

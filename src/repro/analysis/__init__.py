@@ -14,24 +14,50 @@ same properties statically:
 * :mod:`repro.analysis.dataflow` -- def/use and initialization analysis
   over the 64 logical registers, plus constant tracking for static store
   addresses,
-* :mod:`repro.analysis.lint` -- the rule framework (B001-B006) with text,
+* :mod:`repro.analysis.absint` -- interprocedural abstract interpretation:
+  value-range (interval) domain per register, loop trip-count inference,
+  a conservative memory region/alias pass, and static ineffectuality
+  detection (no-op moves, dead writes, silent stores),
+* :mod:`repro.analysis.predict` -- the static reuse-benefit predictor:
+  per-loop and per-instruction-type predicted buffered fraction and
+  front-end energy delta under the paper's cost model,
+* :mod:`repro.analysis.lint` -- the rule framework (B001-B010) with text,
   JSON and SARIF reports,
 * :mod:`repro.analysis.crosscheck` -- runs a program through the timing
   simulator and asserts concordance between the static predictions and
-  the dynamic controller's behaviour.
+  the dynamic controller's behaviour, plus the prediction-error harness
+  validating the predictor against dynamic runs on both engines.
 
-``python -m repro.cli lint`` is the command-line surface.
+``python -m repro.cli lint`` / ``analyze`` are the command-line surface.
 """
 
+from repro.analysis.absint import (
+    Ineffectual,
+    Interval,
+    IntervalAnalysis,
+    MemoryRef,
+    TripCount,
+    find_ineffectual,
+    infer_trip_counts,
+    may_alias,
+    memory_refs,
+)
 from repro.analysis.cfg import BasicBlock, ControlFlowGraph, Procedure, build_cfg
 from repro.analysis.crosscheck import (
     ControllerEventProbe,
     CrosscheckResult,
+    HarnessResult,
+    LoopComparison,
+    PredictionCheck,
+    check_prediction,
     crosscheck,
+    kendall_tau,
+    prediction_harness,
 )
 from repro.analysis.dataflow import (
     RegisterFootprint,
     loop_footprint,
+    procedure_must_writes,
     resolve_static_stores,
     undefined_reads,
 )
@@ -44,6 +70,13 @@ from repro.analysis.lint import (
     run_lint,
 )
 from repro.analysis.loops import StaticLoop, analyze_loops
+from repro.analysis.predict import (
+    LoopPrediction,
+    PredictionReport,
+    execution_counts,
+    predict_grid,
+    predict_reuse,
+)
 
 __all__ = [
     "BasicBlock",
@@ -51,17 +84,38 @@ __all__ = [
     "ControllerEventProbe",
     "CrosscheckResult",
     "Finding",
+    "HarnessResult",
+    "Ineffectual",
+    "Interval",
+    "IntervalAnalysis",
     "LintReport",
+    "LoopComparison",
+    "LoopPrediction",
+    "MemoryRef",
+    "PredictionCheck",
+    "PredictionReport",
     "Procedure",
     "RegisterFootprint",
     "RuleSpec",
     "RULES",
     "Severity",
     "StaticLoop",
+    "TripCount",
     "analyze_loops",
     "build_cfg",
+    "check_prediction",
     "crosscheck",
+    "execution_counts",
+    "find_ineffectual",
+    "infer_trip_counts",
+    "kendall_tau",
     "loop_footprint",
+    "may_alias",
+    "memory_refs",
+    "predict_grid",
+    "predict_reuse",
+    "prediction_harness",
+    "procedure_must_writes",
     "resolve_static_stores",
     "run_lint",
     "undefined_reads",

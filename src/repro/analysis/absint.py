@@ -1,0 +1,1080 @@
+"""Abstract interpretation over the interprocedural supergraph.
+
+Four cooperating analyses, all purely static and all built on the
+:class:`~repro.analysis.cfg.ControlFlowGraph`:
+
+* :class:`IntervalAnalysis` -- a classic value-range (interval) domain
+  over the integer register file, computed to fixpoint with widening.
+  This generalizes the sparse constant lattice of
+  :func:`~repro.analysis.dataflow.resolve_static_stores`: a register can
+  now be known to lie *within a range* (e.g. a loop counter) instead of
+  being either one constant or nothing.
+* :func:`infer_trip_counts` -- loop trip-count inference.  For every
+  backward-branch candidate it pattern-matches the loop-ending test (a
+  counted induction register compared against a bound) and combines it
+  with the interval state at loop entry, yielding an exact count for
+  constant counters and a ``[min, max]`` band for range-bounded ones.
+* :func:`memory_refs` / :func:`may_alias` -- a conservative memory
+  region and alias pass: every load/store gets an address interval from
+  the interval state at its program point, classified into the text,
+  data and stack segments.  Two references may alias unless their byte
+  ranges provably miss each other.
+* :func:`find_ineffectual` -- static ineffectuality: no-op moves,
+  discarded results, dead writes (backward liveness) and block-local
+  silent stores.  These are exactly the architecturally wasted slots
+  that a buffered loop body keeps replaying every iteration.
+
+Together these are the substrate of the static reuse-benefit predictor
+(:mod:`repro.analysis.predict`) and of lint rules B007-B010.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import (EDGE_TAKEN, BasicBlock, ControlFlowGraph)
+from repro.analysis.loops import StaticLoop
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode
+from repro.isa.program import DATA_BASE, STACK_TOP, TEXT_BASE, Program
+from repro.isa.registers import NUM_LOGICAL_REGS, REG_SP, REG_ZERO
+from repro.isa.semantics import sign_extend_16, to_s32, zero_extend_16
+
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+
+#: Fixpoint visits of one block before joins start widening.
+WIDEN_AFTER = 8
+
+
+# -- the interval domain ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed signed 32-bit range ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        """The singleton interval ``[value, value]``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def top() -> "Interval":
+        """The full signed 32-bit range (no information)."""
+        return TOP
+
+    @property
+    def is_const(self) -> bool:
+        """True when the range is a single value."""
+        return self.lo == self.hi
+
+    @property
+    def is_top(self) -> bool:
+        """True when the range carries no information."""
+        return self.lo <= INT_MIN and self.hi >= INT_MAX
+
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound (interval hull)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Standard widening: jump any unstable bound to the extreme."""
+        lo = self.lo if other.lo >= self.lo else INT_MIN
+        hi = self.hi if other.hi <= self.hi else INT_MAX
+        return Interval(lo, hi)
+
+    def __repr__(self) -> str:
+        if self.is_const:
+            return f"[{self.lo}]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+TOP = Interval(INT_MIN, INT_MAX)
+
+#: Abstract register state: missing key means TOP (unknown).
+AbstractState = Dict[int, Interval]
+
+
+def _clamped(lo: int, hi: int) -> Interval:
+    """An interval, degraded to TOP when it escapes signed 32-bit range.
+
+    Escaping the representable range means the concrete machine would
+    wrap; rather than model modular intervals we drop to TOP, which is
+    sound and keeps every downstream consumer simple.
+    """
+    if lo < INT_MIN or hi > INT_MAX:
+        return TOP
+    return Interval(lo, hi)
+
+
+def _read(state: AbstractState, reg: Optional[int]) -> Interval:
+    if reg is None:
+        return TOP
+    if reg == REG_ZERO:
+        return Interval(0, 0)
+    return state.get(reg, TOP)
+
+
+def _write(state: AbstractState, dest: Optional[int],
+           value: Interval) -> None:
+    if dest is None:
+        return
+    if value.is_top:
+        state.pop(dest, None)
+    else:
+        state[dest] = value
+
+
+def _eval(state: AbstractState, inst: Instruction) -> Interval:
+    """Abstract value produced by one register-writing instruction."""
+    op = inst.op
+    if op is Opcode.LUI:
+        return Interval.const(to_s32(zero_extend_16(inst.imm) << 16))
+    if op is Opcode.ADDIU:
+        src = _read(state, inst.rs)
+        imm = sign_extend_16(inst.imm)
+        return _clamped(src.lo + imm, src.hi + imm)
+    if op is Opcode.ADDU:
+        a, b = _read(state, inst.rs), _read(state, inst.rt)
+        return _clamped(a.lo + b.lo, a.hi + b.hi)
+    if op is Opcode.SUBU:
+        a, b = _read(state, inst.rs), _read(state, inst.rt)
+        return _clamped(a.lo - b.hi, a.hi - b.lo)
+    if op is Opcode.ORI:
+        src = _read(state, inst.rs)
+        imm = zero_extend_16(inst.imm)
+        if src.is_const and src.lo >= 0:
+            return Interval.const(src.lo | imm)
+        return TOP
+    if op is Opcode.OR:
+        a, b = _read(state, inst.rs), _read(state, inst.rt)
+        if a.is_const and b.is_const and a.lo >= 0 and b.lo >= 0:
+            return Interval.const(a.lo | b.lo)
+        return TOP
+    if op in (Opcode.SLT, Opcode.SLTU, Opcode.SLT_D, Opcode.SLE_D,
+              Opcode.SEQ_D):
+        return Interval(0, 1)
+    if op is Opcode.SLTI:
+        src = _read(state, inst.rs)
+        bound = sign_extend_16(inst.imm)
+        if src.hi < bound:
+            return Interval.const(1)
+        if src.lo >= bound:
+            return Interval.const(0)
+        return Interval(0, 1)
+    if op is Opcode.SLTIU:
+        return Interval(0, 1)
+    if op is Opcode.ANDI:
+        imm = zero_extend_16(inst.imm)
+        src = _read(state, inst.rs)
+        if src.is_const and src.lo >= 0:
+            return Interval.const(src.lo & imm)
+        return Interval(0, imm)
+    if op is Opcode.AND:
+        a, b = _read(state, inst.rs), _read(state, inst.rt)
+        if a.is_const and b.is_const and a.lo >= 0 and b.lo >= 0:
+            return Interval.const(a.lo & b.lo)
+        return TOP
+    if op is Opcode.SLL:
+        src = _read(state, inst.rt)
+        shift = inst.imm & 31
+        if src.lo >= 0:
+            return _clamped(src.lo << shift, src.hi << shift)
+        return TOP
+    if op in (Opcode.SRL, Opcode.SRA):
+        src = _read(state, inst.rt)
+        shift = inst.imm & 31
+        if src.lo >= 0:
+            return Interval(src.lo >> shift, src.hi >> shift)
+        return TOP
+    if op is Opcode.MULT:
+        a, b = _read(state, inst.rs), _read(state, inst.rt)
+        if a.is_const and b.is_const:
+            return _clamped(a.lo * b.lo, a.lo * b.lo)
+        if a.lo >= 0 and b.lo >= 0 and not a.is_top and not b.is_top:
+            return _clamped(a.lo * b.lo, a.hi * b.hi)
+        return TOP
+    if op is Opcode.JAL or op is Opcode.JALR:
+        if inst.pc is not None:
+            return Interval.const(inst.pc + 4)
+        return TOP
+    # Loads, divisions, floating point and anything unmodelled.
+    return TOP
+
+
+def transfer(state: AbstractState, inst: Instruction) -> None:
+    """Apply one instruction to an abstract state, in place."""
+    if inst.is_call and inst.is_indirect_control:
+        state.clear()                   # unknown callee clobbers everything
+        return
+    if inst.dest is None:
+        return
+    _write(state, inst.dest, _eval(state, inst))
+
+
+def join_states(left: AbstractState, right: AbstractState,
+                widen: bool = False) -> AbstractState:
+    """Pointwise join (or widen) of two abstract states."""
+    merged: AbstractState = {}
+    for reg, value in left.items():
+        other = right.get(reg)
+        if other is None:
+            continue
+        joined = value.widen(other) if widen else value.join(other)
+        if not joined.is_top:
+            merged[reg] = joined
+    return merged
+
+
+def _intersect(value: Interval, constraint: Interval) -> Optional[Interval]:
+    """Meet of two intervals; None when they are disjoint."""
+    lo, hi = max(value.lo, constraint.lo), min(value.hi, constraint.hi)
+    if lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
+def entry_state() -> AbstractState:
+    """The architectural reset state: only ``$zero`` and ``$sp`` defined."""
+    return {REG_ZERO: Interval(0, 0), REG_SP: Interval.const(STACK_TOP)}
+
+
+class IntervalAnalysis:
+    """Fixpoint value-range analysis over the interprocedural supergraph.
+
+    Call edges flow into the callee and return edges flow back to every
+    return site, merging across call sites -- imprecise but sound, and
+    exactly the view :func:`~repro.analysis.dataflow.undefined_reads`
+    already uses.  States at unreached blocks are reported as empty
+    (everything TOP).
+    """
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        self._in_states: Dict[int, AbstractState] = {}
+        self._thresholds = self._collect_thresholds()
+        self._run()
+
+    def _collect_thresholds(self) -> List[int]:
+        """Widening landmarks: every comparison bound in the program.
+
+        Jumping an unstable bound to the nearest branch-comparison
+        constant (instead of straight to infinity) lets a counted loop
+        stabilize at its actual bound: the back edge's refinement then
+        caps the counter below the threshold and the join stops moving.
+        """
+        bounds: Set[int] = {0}
+        for inst in self.cfg.program.instructions:
+            if inst.op in (Opcode.SLTI, Opcode.SLTIU):
+                bounds.add(sign_extend_16(inst.imm))
+        return sorted(bounds)
+
+    def _widen(self, old: Interval, new: Interval) -> Interval:
+        lo, hi = old.lo, old.hi
+        if new.lo < lo:
+            below = [t for t in self._thresholds if t <= new.lo]
+            lo = below[-1] if below else INT_MIN
+        if new.hi > hi:
+            above = [t for t in self._thresholds if t >= new.hi]
+            hi = above[0] if above else INT_MAX
+        return Interval(lo, hi)
+
+    def _join(self, known: AbstractState, incoming: AbstractState,
+              widen: bool) -> AbstractState:
+        merged: AbstractState = {}
+        for reg, value in known.items():
+            other = incoming.get(reg)
+            if other is None:
+                continue
+            joined = (self._widen(value, value.join(other)) if widen
+                      else value.join(other))
+            if not joined.is_top:
+                merged[reg] = joined
+        return merged
+
+    def _run(self) -> None:
+        cfg = self.cfg
+        entry = cfg.entry_block.index
+        self._in_states[entry] = entry_state()
+        visits: Dict[int, int] = {}
+        worklist: List[int] = [entry]
+        while worklist:
+            index = worklist.pop()
+            visits[index] = visits.get(index, 0) + 1
+            block = cfg.blocks[index]
+            insts = cfg.instructions(block)
+            out = dict(self._in_states[index])
+            for inst in insts:
+                transfer(out, inst)
+            for succ, edge_out in self._edge_states(block, insts, out):
+                known = self._in_states.get(succ)
+                if known is None:
+                    self._in_states[succ] = dict(edge_out)
+                    worklist.append(succ)
+                    continue
+                widen = visits.get(succ, 0) >= WIDEN_AFTER
+                merged = self._join(known, edge_out, widen=widen)
+                if merged != known:
+                    self._in_states[succ] = merged
+                    worklist.append(succ)
+
+    def _edge_states(self, block: BasicBlock, insts: List[Instruction],
+                     out: AbstractState,
+                     ) -> List[Tuple[int, AbstractState]]:
+        """Successor in-flows, refined by the branch condition if any."""
+        if not insts or not insts[-1].is_conditional_branch:
+            return [(succ, out)
+                    for succ in self.cfg.supergraph_successors(block)]
+        edges: List[Tuple[int, AbstractState]] = []
+        for succ, kind in block.successors:
+            constraint = _edge_constraint(insts, out,
+                                          taken=(kind == EDGE_TAKEN))
+            if constraint is None:
+                edges.append((succ, out))
+                continue
+            reg, allowed = constraint
+            refined_value = _intersect(_read(out, reg), allowed)
+            if refined_value is None:
+                # The edge is statically infeasible; propagating the
+                # unrefined state keeps the analysis sound and simple.
+                edges.append((succ, out))
+                continue
+            refined = dict(out)
+            _write(refined, reg, refined_value)
+            edges.append((succ, refined))
+        return edges
+
+    # -- queries -------------------------------------------------------------
+
+    def block_entry(self, block_index: int) -> AbstractState:
+        """The abstract state on entry to one block."""
+        return dict(self._in_states.get(block_index, {}))
+
+    def block_exit(self, block_index: int) -> AbstractState:
+        """The abstract state after the last instruction of one block."""
+        state = self.block_entry(block_index)
+        block = self.cfg.blocks[block_index]
+        for inst in self.cfg.instructions(block):
+            transfer(state, inst)
+        return state
+
+    def state_before(self, pc: int) -> AbstractState:
+        """The abstract state just before the instruction at ``pc``."""
+        block = self.cfg.block_at_pc(pc)
+        if block is None:
+            return {}
+        state = self.block_entry(block.index)
+        for inst in self.cfg.instructions(block):
+            if inst.pc == pc:
+                break
+            transfer(state, inst)
+        return state
+
+    def value_of(self, pc: int, reg: int) -> Interval:
+        """The interval a register holds just before ``pc``."""
+        return _read(self.state_before(pc), reg)
+
+
+_BR1_TAKEN: Dict[Opcode, Interval] = {
+    Opcode.BLEZ: Interval(INT_MIN, 0),
+    Opcode.BGTZ: Interval(1, INT_MAX),
+    Opcode.BLTZ: Interval(INT_MIN, -1),
+    Opcode.BGEZ: Interval(0, INT_MAX),
+}
+_BR1_FALL: Dict[Opcode, Interval] = {
+    Opcode.BLEZ: Interval(1, INT_MAX),
+    Opcode.BGTZ: Interval(INT_MIN, 0),
+    Opcode.BLTZ: Interval(0, INT_MAX),
+    Opcode.BGEZ: Interval(INT_MIN, -1),
+}
+
+
+def _block_compare(insts: List[Instruction],
+                   flag: int) -> Optional[Instruction]:
+    """The compare producing ``flag`` at the block's terminator.
+
+    The last in-block write of the flag register, provided it is a
+    ``slti`` whose compared register is not redefined afterwards -- the
+    shape the code generator emits for every counted loop test.
+    """
+    cmp: Optional[Instruction] = None
+    position = -1
+    for index, inst in enumerate(insts[:-1]):
+        if inst.dest == flag:
+            cmp, position = inst, index
+    if cmp is None or cmp.op is not Opcode.SLTI:
+        return None
+    reg = cmp.rs
+    if reg is None or reg == REG_ZERO:
+        return None
+    for inst in insts[position + 1:]:
+        if inst.dest == reg:
+            return None
+    return cmp
+
+
+def _edge_constraint(insts: List[Instruction], out: AbstractState,
+                     taken: bool) -> Optional[Tuple[int, Interval]]:
+    """The interval a register is known to lie in along one branch edge."""
+    term = insts[-1]
+    op = term.op
+    if op in _BR1_TAKEN:
+        reg = term.rs
+        if reg is None or reg == REG_ZERO:
+            return None
+        return reg, (_BR1_TAKEN if taken else _BR1_FALL)[op]
+    if op not in (Opcode.BNE, Opcode.BEQ):
+        return None
+    rs, rt = term.rs, term.rt
+    if rs is None or rt is None:
+        return None
+    for flag, other in ((rs, rt), (rt, rs)):
+        if other != REG_ZERO or flag == REG_ZERO:
+            continue
+        nonzero = (op is Opcode.BNE) == taken
+        cmp = _block_compare(insts, flag)
+        if cmp is not None and cmp.rs is not None:
+            bound = sign_extend_16(cmp.imm)
+            if nonzero:                 # flag set: reg < bound held
+                return cmp.rs, Interval(INT_MIN, bound - 1)
+            return cmp.rs, Interval(bound, INT_MAX)
+        if not nonzero:
+            return flag, Interval(0, 0)
+        # flag != 0: an interval can only express that by trimming an
+        # endpoint that sits exactly at zero.
+        value = _read(out, flag)
+        if value.lo == 0 and value.hi > 0:
+            return flag, Interval(1, value.hi)
+        if value.hi == 0 and value.lo < 0:
+            return flag, Interval(value.lo, -1)
+        return None
+    return None
+
+
+# -- trip-count inference -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TripCount:
+    """Static trip-count verdict for one loop candidate.
+
+    ``min_trips``/``max_trips`` bound the number of body executions per
+    entry into the loop; both ``None`` means the pattern matcher could
+    not establish a bound (an unknown or potentially unbounded loop).
+    """
+
+    #: Tail pc of the loop this verdict describes.
+    tail_pc: int
+    #: Counted induction register, when one was identified.
+    induction_reg: Optional[int]
+    #: Per-iteration increment of the induction register.
+    step: Optional[int]
+    #: Lower bound on body executions per loop entry (None = unknown).
+    min_trips: Optional[int]
+    #: Upper bound on body executions per loop entry (None = unknown).
+    max_trips: Optional[int]
+    #: How the bound was derived: ``constant-counter``,
+    #: ``range-counter`` or ``unknown``.
+    kind: str
+
+    @property
+    def exact(self) -> Optional[int]:
+        """The exact trip count when the bounds coincide."""
+        if self.min_trips is not None and self.min_trips == self.max_trips:
+            return self.min_trips
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (stable keys, hex tail address)."""
+        return {
+            "tail_pc": f"{self.tail_pc:#x}",
+            "induction_reg": self.induction_reg,
+            "step": self.step,
+            "min_trips": self.min_trips,
+            "max_trips": self.max_trips,
+            "kind": self.kind,
+        }
+
+
+def _unknown(tail_pc: int) -> TripCount:
+    return TripCount(tail_pc=tail_pc, induction_reg=None, step=None,
+                     min_trips=None, max_trips=None, kind="unknown")
+
+
+def _range_instructions(program: Program,
+                        loop: StaticLoop) -> List[Instruction]:
+    """Instructions in the contiguous ``head..tail`` pc range."""
+    lo = program.index_of(loop.head_pc)
+    hi = program.index_of(loop.tail_pc)
+    if lo is None or hi is None:
+        return []
+    return program.instructions[lo:hi + 1]
+
+
+def _callee_writes(cfg: ControlFlowGraph, loop: StaticLoop) -> Set[int]:
+    """Registers any callee reachable from the loop body may write."""
+    written: Set[int] = set()
+    seen: Set[int] = set()
+    worklist: List[int] = []
+    program = cfg.program
+    for pc in loop.call_sites:
+        index = program.index_of(pc)
+        if index is None:
+            continue
+        inst = program.instructions[index]
+        if inst.target is not None:
+            worklist.append(inst.target)
+        else:
+            return set(range(NUM_LOGICAL_REGS))   # indirect: assume all
+    while worklist:
+        entry_pc = worklist.pop()
+        if entry_pc in seen:
+            continue
+        seen.add(entry_pc)
+        proc = cfg.procedures.get(entry_pc)
+        if proc is None:
+            return set(range(NUM_LOGICAL_REGS))
+        for block_index in proc.blocks:
+            for inst in cfg.instructions(cfg.blocks[block_index]):
+                if inst.dest is not None:
+                    written.add(inst.dest)
+        for site in proc.call_sites:
+            if site.target is None:
+                return set(range(NUM_LOGICAL_REGS))
+            worklist.append(site.target)
+    return written
+
+
+def _loop_entry_state(cfg: ControlFlowGraph, loop: StaticLoop,
+                      analysis: IntervalAnalysis) -> AbstractState:
+    """Join of the states flowing into the head from outside the loop."""
+    head = cfg.block_at_pc(loop.head_pc)
+    if head is None:
+        return {}
+    state: Optional[AbstractState] = None
+    for pred in head.predecessors:
+        pred_block = cfg.blocks[pred]
+        terminator_pc = cfg.terminator(pred_block).pc
+        if (terminator_pc is not None
+                and loop.head_pc <= terminator_pc <= loop.tail_pc):
+            continue                    # back edge or in-loop branch
+        out = analysis.block_exit(pred)
+        state = out if state is None else join_states(state, out)
+    return state if state is not None else {}
+
+
+def _branch_predicate(tail: Instruction, tail_block: List[Instruction],
+                      range_insts: List[Instruction],
+                      induction: Dict[int, Instruction],
+                      entry: AbstractState,
+                      written_in_range: Set[int],
+                      ) -> Optional[Tuple[int, str, Interval, int]]:
+    """Decode the loop-ending test into ``(reg, relation, bound, cmp_pc)``.
+
+    The relation describes the *continue* condition: the loop re-enters
+    while ``reg <relation> bound`` holds, evaluated on the value the
+    comparison observes at ``cmp_pc``.  Returns None when the tail does
+    not match a supported counted-loop shape.
+    """
+    op = tail.op
+    tail_pc = tail.pc if tail.pc is not None else 0
+    if op in (Opcode.BLEZ, Opcode.BGTZ, Opcode.BLTZ, Opcode.BGEZ):
+        reg = tail.rs
+        if reg is None or reg not in induction:
+            return None
+        relation = {Opcode.BLEZ: "<=", Opcode.BGTZ: ">",
+                    Opcode.BLTZ: "<", Opcode.BGEZ: ">="}[op]
+        return reg, relation, Interval.const(0), tail_pc
+    if op not in (Opcode.BNE, Opcode.BEQ):
+        return None
+    rs, rt = tail.rs, tail.rt
+    if rs is None or rt is None:
+        return None
+    # Form 1: the codegen idiom -- bne/beq of a comparison flag vs $zero,
+    # the flag set by a compare over the induction register in the tail's
+    # own block (nested loops share flag registers across the range, so
+    # only the tail block's defining compare is authoritative).
+    for flag, other in ((rs, rt), (rt, rs)):
+        if other != REG_ZERO or flag == REG_ZERO:
+            continue
+        cmp = _tail_compare(tail_block, flag, induction, written_in_range,
+                            entry)
+        if cmp is None:
+            continue
+        reg, bound, cmp_pc = cmp
+        # bne flag, $zero: continue while (reg < bound); beq inverts.
+        relation = "<" if op is Opcode.BNE else ">="
+        return reg, relation, bound, cmp_pc
+    # Form 2: direct compare of the induction register against an
+    # invariant register (or $zero): bne r, limit / beq r, limit.
+    for reg, limit_reg in ((rs, rt), (rt, rs)):
+        if reg not in induction:
+            continue
+        if limit_reg != REG_ZERO and limit_reg in written_in_range:
+            continue
+        bound = _read(entry, limit_reg) if limit_reg != REG_ZERO \
+            else Interval.const(0)
+        if bound.is_top:
+            continue
+        relation = "!=" if op is Opcode.BNE else "=="
+        return reg, relation, bound, tail_pc
+    return None
+
+
+def _tail_compare(tail_block: List[Instruction], flag: int,
+                  induction: Dict[int, Instruction],
+                  written_in_range: Set[int], entry: AbstractState,
+                  ) -> Optional[Tuple[int, Interval, int]]:
+    """Resolve the flag's defining ``slt``/``slti`` in the tail block."""
+    cmp: Optional[Instruction] = None
+    position = -1
+    for index, inst in enumerate(tail_block[:-1]):
+        if inst.dest == flag:
+            cmp, position = inst, index
+    if cmp is None or cmp.pc is None:
+        return None
+    reg = cmp.rs
+    if reg is None or reg not in induction:
+        return None
+    for inst in tail_block[position + 1:-1]:
+        if inst.dest == reg:
+            return None                 # counter moves after the compare
+    if cmp.op is Opcode.SLTI:
+        return reg, Interval.const(sign_extend_16(cmp.imm)), cmp.pc
+    if cmp.op is Opcode.SLT:
+        limit_reg = cmp.rt
+        if limit_reg is None or limit_reg in written_in_range:
+            return None                 # bound is not loop-invariant
+        bound = _read(entry, limit_reg)
+        if bound.is_top:
+            return None
+        return reg, bound, cmp.pc
+    return None
+
+
+def _ceil_div(num: int, den: int) -> int:
+    return -(-num // den)
+
+
+def _trips_for(entry_value: int, step: int, relation: str, bound: int,
+               observes_increment: bool) -> Optional[int]:
+    """Body executions of a do-while counted loop, or None if unbounded.
+
+    The loop body always runs once; at the end of iteration ``j`` the
+    test observes ``entry + j*step`` (when the increment precedes the
+    comparison) or ``entry + (j-1)*step`` otherwise, and the loop exits
+    on the first iteration whose continue-predicate is false.
+    """
+    shift = 0 if observes_increment else -1
+
+    def observed(j: int) -> int:
+        return entry_value + (j + shift) * step
+
+    if relation in ("<", "<="):
+        limit = bound if relation == "<" else bound + 1
+        if step <= 0:
+            return None if observed(1) < limit else 1
+        # smallest j >= 1 with observed(j) >= limit
+        raw = _ceil_div(limit - entry_value, step) - shift
+        return max(1, raw)
+    if relation in (">", ">="):
+        limit = bound if relation == ">" else bound - 1
+        if step >= 0:
+            return None if observed(1) > limit else 1
+        raw = _ceil_div(limit - entry_value, step) - shift
+        return max(1, raw)
+    if relation == "!=":
+        delta = bound - observed(1)
+        if step == 0:
+            return 1 if delta == 0 else None
+        if delta % step != 0 or delta // step < 0:
+            return None
+        return delta // step + 1
+    # "==": continue only while equal; a moving counter breaks equality
+    # by the second test.
+    if observed(1) != bound:
+        return 1
+    return 2 if step != 0 else None
+
+
+def infer_trip_counts(
+        cfg: ControlFlowGraph,
+        loops: Iterable[StaticLoop],
+        analysis: Optional[IntervalAnalysis] = None,
+) -> Dict[int, TripCount]:
+    """Trip-count verdicts for every loop candidate, keyed by tail pc.
+
+    Matches the counted-loop shapes the code generator emits (a single
+    ``addiu r, r, step`` induction write tested by ``slt``/``slti``
+    against an invariant bound, or a direct branch on the counter) and
+    evaluates them against the interval state at loop entry.  Loops
+    whose tail is an unconditional jump, whose counter the matcher
+    cannot identify, or whose bound/entry value is unknown come back as
+    ``kind="unknown"`` with open bounds.
+    """
+    if analysis is None:
+        analysis = IntervalAnalysis(cfg)
+    program = cfg.program
+    verdicts: Dict[int, TripCount] = {}
+    for loop in loops:
+        tail_index = program.index_of(loop.tail_pc)
+        if tail_index is None:
+            verdicts[loop.tail_pc] = _unknown(loop.tail_pc)
+            continue
+        tail = program.instructions[tail_index]
+        if not tail.is_conditional_branch:
+            # ``j`` back edges never fall out: statically unbounded.
+            verdicts[loop.tail_pc] = _unknown(loop.tail_pc)
+            continue
+        range_insts = _range_instructions(program, loop)
+        callee_written = _callee_writes(cfg, loop)
+        written_in_range: Set[int] = {
+            inst.dest for inst in range_insts if inst.dest is not None}
+        written_in_range |= callee_written
+        # Counted induction registers: exactly one in-range write, and
+        # that write is ``addiu r, r, step`` (callees must not touch r).
+        writes: Dict[int, List[Instruction]] = {}
+        for inst in range_insts:
+            if inst.dest is not None:
+                writes.setdefault(inst.dest, []).append(inst)
+        induction: Dict[int, Instruction] = {}
+        for reg, reg_writes in writes.items():
+            if len(reg_writes) != 1 or reg in callee_written:
+                continue
+            inc = reg_writes[0]
+            if (inc.op is Opcode.ADDIU and inc.rs == reg
+                    and sign_extend_16(inc.imm) != 0):
+                induction[reg] = inc
+        entry = _loop_entry_state(cfg, loop, analysis)
+        tail_block_owner = cfg.block_at_pc(loop.tail_pc)
+        tail_block = (cfg.instructions(tail_block_owner)
+                      if tail_block_owner is not None else [tail])
+        predicate = _branch_predicate(tail, tail_block, range_insts,
+                                      induction, entry, written_in_range)
+        if predicate is None:
+            verdicts[loop.tail_pc] = _unknown(loop.tail_pc)
+            continue
+        reg, relation, bound, cmp_pc = predicate
+        inc = induction[reg]
+        step = sign_extend_16(inc.imm)
+        start = _read(entry, reg)
+        if start.is_top or bound.is_top:
+            verdicts[loop.tail_pc] = TripCount(
+                tail_pc=loop.tail_pc, induction_reg=reg, step=step,
+                min_trips=None, max_trips=None, kind="unknown")
+            continue
+        # Which value does the test observe: post- or pre-increment?
+        observes_increment = (inc.pc is not None and inc.pc < cmp_pc)
+        corners: List[Optional[int]] = []
+        for entry_value in (start.lo, start.hi):
+            for bound_value in (bound.lo, bound.hi):
+                corners.append(_trips_for(entry_value, step, relation,
+                                          bound_value, observes_increment))
+        if any(corner is None for corner in corners):
+            min_trips, max_trips = None, None
+            kind = "unknown"
+        else:
+            counts = [corner for corner in corners if corner is not None]
+            min_trips, max_trips = min(counts), max(counts)
+            kind = ("constant-counter"
+                    if start.is_const and bound.is_const
+                    else "range-counter")
+        verdicts[loop.tail_pc] = TripCount(
+            tail_pc=loop.tail_pc, induction_reg=reg, step=step,
+            min_trips=min_trips, max_trips=max_trips, kind=kind)
+    return verdicts
+
+
+# -- memory regions and aliasing ----------------------------------------------
+
+REGION_TEXT = "text"
+REGION_DATA = "data"
+REGION_STACK = "stack"
+REGION_UNKNOWN = "unknown"
+
+#: Bytes accessed per memory opcode.
+ACCESS_SIZE: Dict[Opcode, int] = {
+    Opcode.LW: 4, Opcode.SW: 4,
+    Opcode.LH: 2, Opcode.LHU: 2, Opcode.SH: 2,
+    Opcode.LB: 1, Opcode.LBU: 1, Opcode.SB: 1,
+    Opcode.L_D: 8, Opcode.S_D: 8,
+}
+
+#: The data segment is open-ended upward; everything at or above the
+#: initial stack pointer minus this window counts as stack.
+STACK_WINDOW = 1 << 20
+
+
+@dataclass(frozen=True)
+class MemoryRef:
+    """One load/store with its abstract byte range."""
+
+    #: Byte address of the instruction.
+    pc: int
+    #: True for stores.
+    is_store: bool
+    #: Lowest byte the access may touch (None = unknown base).
+    lo: Optional[int]
+    #: Highest byte the access may touch, inclusive (None = unknown).
+    hi: Optional[int]
+    #: Segment verdict: text / data / stack / unknown.
+    region: str
+    #: Access width in bytes.
+    width: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary."""
+        return {
+            "pc": f"{self.pc:#x}",
+            "is_store": self.is_store,
+            "lo": None if self.lo is None else f"{self.lo:#x}",
+            "hi": None if self.hi is None else f"{self.hi:#x}",
+            "region": self.region,
+            "width": self.width,
+        }
+
+
+def _classify(lo: int, hi: int, text_end: int) -> str:
+    if TEXT_BASE <= lo and hi < text_end:
+        return REGION_TEXT
+    if DATA_BASE <= lo and hi < STACK_TOP - STACK_WINDOW:
+        return REGION_DATA
+    if STACK_TOP - STACK_WINDOW <= lo and hi <= STACK_TOP + 8:
+        return REGION_STACK
+    return REGION_UNKNOWN
+
+
+def memory_refs(cfg: ControlFlowGraph,
+                analysis: Optional[IntervalAnalysis] = None,
+                ) -> List[MemoryRef]:
+    """Every reachable load/store with its address interval and region.
+
+    Sorted by pc.  Unreachable blocks are skipped (rule B004 owns
+    those); an access whose base register is unknown gets open bounds
+    and the ``unknown`` region.
+    """
+    if analysis is None:
+        analysis = IntervalAnalysis(cfg)
+    refs: List[MemoryRef] = []
+    text_end = cfg.program.text_end
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        state = analysis.block_entry(block.index)
+        for inst in cfg.instructions(block):
+            if inst.is_mem and inst.pc is not None:
+                width = ACCESS_SIZE.get(inst.op, 4)
+                base = _read(state, inst.rs)
+                offset = sign_extend_16(inst.imm)
+                if base.is_top:
+                    refs.append(MemoryRef(pc=inst.pc, is_store=inst.is_store,
+                                          lo=None, hi=None,
+                                          region=REGION_UNKNOWN, width=width))
+                else:
+                    lo = base.lo + offset
+                    hi = base.hi + offset + width - 1
+                    refs.append(MemoryRef(pc=inst.pc, is_store=inst.is_store,
+                                          lo=lo, hi=hi,
+                                          region=_classify(lo, hi, text_end),
+                                          width=width))
+            transfer(state, inst)
+    refs.sort(key=lambda ref: ref.pc)
+    return refs
+
+
+def may_alias(left: MemoryRef, right: MemoryRef) -> bool:
+    """True unless the two byte ranges provably miss each other."""
+    if left.lo is None or left.hi is None:
+        return True
+    if right.lo is None or right.hi is None:
+        return True
+    return left.lo <= right.hi and right.lo <= left.hi
+
+
+# -- static ineffectuality ----------------------------------------------------
+
+KIND_NOOP_MOVE = "no-op-move"
+KIND_DISCARDED = "discarded-result"
+KIND_DEAD_WRITE = "dead-write"
+KIND_SILENT_STORE = "silent-store"
+
+
+@dataclass(frozen=True)
+class Ineffectual:
+    """One statically wasted instruction."""
+
+    #: Byte address of the instruction.
+    pc: int
+    #: One of the ``KIND_*`` tags.
+    kind: str
+    #: Human-readable explanation.
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary."""
+        return {"pc": f"{self.pc:#x}", "kind": self.kind,
+                "message": self.message}
+
+
+def _is_noop_move(inst: Instruction) -> bool:
+    op = inst.op
+    dest = inst.dest
+    if dest is None:
+        return False
+    if op in (Opcode.ADDU, Opcode.OR):
+        return ((inst.rs == dest and inst.rt == REG_ZERO)
+                or (inst.rt == dest and inst.rs == REG_ZERO))
+    if op is Opcode.ADDIU:
+        return inst.rs == dest and sign_extend_16(inst.imm) == 0
+    if op is Opcode.ORI:
+        return inst.rs == dest and zero_extend_16(inst.imm) == 0
+    if op in (Opcode.SLL, Opcode.SRL, Opcode.SRA):
+        return inst.rt == dest and (inst.imm & 31) == 0
+    if op is Opcode.MOV_D:
+        return inst.rs == dest
+    return False
+
+
+_ALL_LIVE = frozenset(range(NUM_LOGICAL_REGS))
+
+
+def _liveness(cfg: ControlFlowGraph) -> Dict[int, Set[int]]:
+    """Backward may-live fixpoint: block index -> live-out registers.
+
+    Conservative at every boundary the analysis cannot see through:
+    returns and halts export everything (the final register file is the
+    program's functional output), and calls demand everything (unknown
+    callee argument conventions).
+    """
+    live_out: Dict[int, Set[int]] = {
+        block.index: set() for block in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            terminator = cfg.terminator(block)
+            if terminator.is_return or terminator.is_halt \
+                    or not block.successors:
+                out: Set[int] = set(_ALL_LIVE)
+            else:
+                out = set()
+                for succ, _kind in block.successors:
+                    out |= _live_in(cfg, cfg.blocks[succ], live_out[succ])
+            if out != live_out[block.index]:
+                live_out[block.index] = out
+                changed = True
+    return live_out
+
+
+def _live_in(cfg: ControlFlowGraph, block: BasicBlock,
+             live_out: Set[int]) -> Set[int]:
+    live = set(live_out)
+    for inst in reversed(cfg.instructions(block)):
+        if inst.is_call or (inst.is_indirect_control
+                            and not inst.is_return):
+            live = set(_ALL_LIVE)
+            continue
+        if inst.dest is not None:
+            live.discard(inst.dest)
+        live.update(inst.srcs)
+    return live
+
+
+def _dead_writes(cfg: ControlFlowGraph) -> List[Ineffectual]:
+    live_out = _liveness(cfg)
+    found: List[Ineffectual] = []
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        live = set(live_out[block.index])
+        for inst in reversed(cfg.instructions(block)):
+            if inst.is_call or (inst.is_indirect_control
+                                and not inst.is_return):
+                live = set(_ALL_LIVE)
+                continue
+            dest = inst.dest
+            if dest is not None:
+                if dest not in live and inst.pc is not None \
+                        and not _is_noop_move(inst):
+                    found.append(Ineffectual(
+                        pc=inst.pc, kind=KIND_DEAD_WRITE,
+                        message=(f"result in r{dest} is overwritten on "
+                                 f"every path before any read")))
+                live.discard(dest)
+            live.update(inst.srcs)
+    return found
+
+
+def _silent_stores(cfg: ControlFlowGraph) -> List[Ineffectual]:
+    """Block-local store-back of a value just loaded from the same slot."""
+    found: List[Ineffectual] = []
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        # (base reg, offset) -> register currently holding that slot
+        loaded: Dict[Tuple[int, int], int] = {}
+        for inst in cfg.instructions(block):
+            if inst.is_call or inst.is_indirect_control:
+                loaded.clear()
+                continue
+            if inst.is_store and inst.rs is not None \
+                    and inst.rt is not None:
+                key = (inst.rs, sign_extend_16(inst.imm))
+                if loaded.get(key) == inst.rt and inst.pc is not None:
+                    found.append(Ineffectual(
+                        pc=inst.pc, kind=KIND_SILENT_STORE,
+                        message=(f"stores the value just loaded from "
+                                 f"{sign_extend_16(inst.imm)}(r{inst.rs}) "
+                                 f"back unchanged")))
+                # any other slot may alias the stored one (conservative)
+                loaded = {k: v for k, v in loaded.items() if k == key}
+                loaded[key] = inst.rt
+                continue
+            if inst.dest is not None:
+                loaded = {k: v for k, v in loaded.items()
+                          if v != inst.dest and k[0] != inst.dest}
+                if inst.is_load and inst.rs is not None:
+                    loaded[(inst.rs, sign_extend_16(inst.imm))] = inst.dest
+    return found
+
+
+def find_ineffectual(cfg: ControlFlowGraph) -> List[Ineffectual]:
+    """Every statically ineffectual instruction, sorted by pc then kind.
+
+    Four detectors: architectural no-op moves (a register moved onto
+    itself), discarded results (a value-producing opcode writing
+    ``$zero``), dead writes (backward liveness proves no read can see
+    the value) and block-local silent stores.  ``nop`` itself is not
+    reported -- it is the assembler's explicit filler.
+    """
+    found: List[Ineffectual] = []
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        for inst in cfg.instructions(block):
+            if inst.pc is None:
+                continue
+            if _is_noop_move(inst):
+                found.append(Ineffectual(
+                    pc=inst.pc, kind=KIND_NOOP_MOVE,
+                    message=f"{inst.op.mnemonic} moves a register onto "
+                            f"itself"))
+            elif (inst.dest is None and not inst.is_control
+                  and not inst.is_store and not inst.is_halt
+                  and inst.op is not Opcode.NOP
+                  and inst.op.fmt in (Format.R3, Format.R2I, Format.SHIFT,
+                                      Format.LUI, Format.LOAD,
+                                      Format.FCMP)):
+                found.append(Ineffectual(
+                    pc=inst.pc, kind=KIND_DISCARDED,
+                    message=f"{inst.op.mnemonic} writes $zero; the result "
+                            f"is discarded"))
+    found.extend(_dead_writes(cfg))
+    found.extend(_silent_stores(cfg))
+    found.sort(key=lambda item: (item.pc, item.kind))
+    return found

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.cfg import EDGE_CALL_RETURN, ControlFlowGraph
 from repro.analysis.loops import StaticLoop
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
@@ -56,8 +56,83 @@ def _must_init_transfer(block_insts: List[Instruction], mask: int,
     return mask
 
 
+def procedure_must_writes(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Per-procedure must-write summaries, ``entry_pc -> register mask``.
+
+    A register is in a procedure's summary when *every* entry-to-return
+    path writes it -- including transitively through direct calls; an
+    indirect call counts as writing everything (the unknown callee
+    assumption :func:`_must_init_transfer` already makes).  A procedure
+    with no return block never returns, so its summary is vacuously the
+    full mask.  Recursion is handled by starting optimistic (full mask)
+    and iterating to the greatest fixpoint, which is exact for the
+    terminating executions the analysis describes.
+    """
+    summaries: Dict[int, int] = {entry: _ALL_MASK
+                                 for entry in cfg.procedures}
+    changed = True
+    while changed:
+        changed = False
+        for entry_pc, proc in cfg.procedures.items():
+            new = _summary_of(cfg, entry_pc, proc.return_blocks, summaries)
+            if new != summaries[entry_pc]:
+                summaries[entry_pc] = new
+                changed = True
+    return summaries
+
+
+def _summary_of(cfg: ControlFlowGraph, entry_pc: int,
+                return_blocks: Tuple[int, ...],
+                summaries: Dict[int, int]) -> int:
+    """One procedure's must-write mask under the current summaries."""
+    entry_index = cfg.program.index_of(entry_pc)
+    if entry_index is None:
+        return _ALL_MASK
+    entry_block = cfg.block_at_index(entry_index).index
+    in_state: Dict[int, int] = {entry_block: 0}
+    worklist = [entry_block]
+    while worklist:
+        index = worklist.pop()
+        block = cfg.blocks[index]
+        out = _must_init_transfer(cfg.instructions(block),
+                                  in_state[index], None)
+        term = cfg.terminator(block)
+        if term.is_call and term.target is not None:
+            # the callee's guaranteed writes take effect on the
+            # call-return edge; unknown callees already forced the full
+            # mask inside the transfer
+            out |= summaries.get(term.target, _ALL_MASK)
+        for succ in block.successor_indices():
+            if succ not in in_state:
+                in_state[succ] = out
+                worklist.append(succ)
+            else:
+                merged = in_state[succ] & out
+                if merged != in_state[succ]:
+                    in_state[succ] = merged
+                    worklist.append(succ)
+    result = _ALL_MASK      # no reachable return: vacuously everything
+    for index in return_blocks:
+        if index not in in_state:
+            continue
+        result &= _must_init_transfer(cfg.instructions(cfg.blocks[index]),
+                                      in_state[index], None)
+    return result
+
+
 def _must_init_states(cfg: ControlFlowGraph) -> Dict[int, int]:
-    """Fixpoint block-entry masks of definitely-initialized registers."""
+    """Fixpoint block-entry masks of definitely-initialized registers.
+
+    Interprocedural hybrid: a direct call flows its state both *into*
+    the callee's entry (so reads inside the callee are checked under the
+    meet of every call-site state) and *across* to the return site
+    augmented with the callee's must-write summary.  Flowing the summary
+    -- rather than routing the state through the callee's body and back
+    out of its return blocks -- keeps one caller's initializations from
+    being merged away by another caller's, the context-insensitivity
+    false positive the summaries exist to remove.
+    """
+    summaries = procedure_must_writes(cfg)
     entry = cfg.entry_block.index
     in_state: Dict[int, int] = {entry: _ENTRY_MASK}
     worklist = [entry]
@@ -66,12 +141,26 @@ def _must_init_states(cfg: ControlFlowGraph) -> Dict[int, int]:
         block = cfg.blocks[index]
         out = _must_init_transfer(cfg.instructions(block),
                                   in_state[index], None)
-        for succ in cfg.supergraph_successors(block):
+        term = cfg.terminator(block)
+        targets: List[Tuple[int, int]] = []
+        if term.is_call and term.target is not None \
+                and term.target in cfg.procedures:
+            for succ in cfg.supergraph_successors(block):
+                targets.append((succ, out))       # callee entry
+            summary_out = out | summaries[term.target]
+            for succ, kind in block.successors:
+                if kind == EDGE_CALL_RETURN:
+                    targets.append((succ, summary_out))
+        elif term.is_return:
+            targets = []          # caller side is covered by summaries
+        else:
+            targets = [(succ, out) for succ in block.successor_indices()]
+        for succ, mask in targets:
             if succ not in in_state:
-                in_state[succ] = out
+                in_state[succ] = mask
                 worklist.append(succ)
             else:
-                merged = in_state[succ] & out
+                merged = in_state[succ] & mask
                 if merged != in_state[succ]:
                     in_state[succ] = merged
                     worklist.append(succ)

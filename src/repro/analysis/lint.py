@@ -27,6 +27,24 @@ B006   store-to-text-segment     error     a store's statically resolved
                                            address lands inside the text
                                            segment (self-modifying code; the
                                            pipeline fetches stale text)
+B007   trip-count-too-low        note      a capturable loop's static trip
+                                           count is too low to reach reuse
+                                           mode; every entry pays the
+                                           buffering energy for zero supplies
+B008   ineffectual-in-candidate  note      a statically ineffectual
+                                           instruction (no-op move, dead
+                                           write, silent store) sits inside a
+                                           reuse candidate and is replayed
+                                           every buffered iteration
+B009   may-alias-store-revoke    warning   a store inside a reuse candidate
+                                           may write the text segment (the
+                                           address interval overlaps it or is
+                                           unknown), which would leave stale
+                                           buffered copies
+B010   negative-reuse-benefit    warning   the static predictor expects the
+                                           loop's buffering overhead to
+                                           exceed its reuse savings at the
+                                           configured queue size
 =====  ========================  ========  =====================================
 
 :func:`run_lint` produces a :class:`LintReport` with deterministic
@@ -40,6 +58,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.absint import (
+    IntervalAnalysis,
+    find_ineffectual,
+    infer_trip_counts,
+    memory_refs,
+)
 from repro.analysis.cfg import ControlFlowGraph, build_cfg
 from repro.analysis.dataflow import (
     loop_footprint,
@@ -115,6 +139,18 @@ RULES: Dict[str, RuleSpec] = {
         RuleSpec("B006", "store-to-text-segment", Severity.ERROR,
                  "A store's statically resolved address falls inside "
                  "the text segment."),
+        RuleSpec("B007", "trip-count-too-low", Severity.NOTE,
+                 "A capturable loop's trip count is too low to reach "
+                 "reuse mode; buffering energy is wasted every entry."),
+        RuleSpec("B008", "ineffectual-in-candidate", Severity.NOTE,
+                 "A statically ineffectual instruction inside a reuse "
+                 "candidate is replayed every buffered iteration."),
+        RuleSpec("B009", "may-alias-store-revoke", Severity.WARNING,
+                 "A store inside a reuse candidate may write the text "
+                 "segment, leaving stale buffered copies."),
+        RuleSpec("B010", "negative-reuse-benefit", Severity.WARNING,
+                 "The static predictor expects buffering overhead to "
+                 "exceed reuse savings for this loop."),
     )
 }
 
@@ -379,6 +415,101 @@ def _dataflow_rules(cfg: ControlFlowGraph) -> List[Finding]:
     return findings
 
 
+def _absint_rules(cfg: ControlFlowGraph, loops: List[StaticLoop],
+                  config: MachineConfig) -> List[Finding]:
+    """Rules backed by the abstract-interpretation layer (B007-B010)."""
+    from repro.analysis.predict import BLOCK_SHORT_TRIP, predict_reuse
+
+    iq = config.iq_size
+    findings: List[Finding] = []
+    analysis = IntervalAnalysis(cfg)
+    trip_counts = infer_trip_counts(cfg, loops, analysis)
+    prediction = predict_reuse(cfg.program, iq, cfg=cfg, loops=loops,
+                               trip_counts=trip_counts, analysis=analysis)
+    for loop, pred in zip(loops, prediction.loops):
+        span = dict(pc=loop.head_pc, end_pc=loop.tail_pc)
+        if pred.blocked == BLOCK_SHORT_TRIP:
+            trips = pred.trip.exact
+            findings.append(Finding(
+                rule="B007",
+                message=(f"loop at {loop.tail_pc:#x} iterates {trips} "
+                         f"time(s); buffering captures every iteration "
+                         f"before promotion, so reuse never engages and "
+                         f"the capture energy is wasted each of the "
+                         f"{pred.sessions} predicted entries"),
+                fix="unroll or lengthen the loop so more than "
+                    "floor(iq/iteration) + 1 iterations run per entry",
+                data={"trips": trips, "iq_size": iq,
+                      "iteration_length": pred.iteration_length,
+                      "sessions": pred.sessions}, **span))
+        elif pred.predicted_supplied > 0 and pred.energy_delta > 0:
+            findings.append(Finding(
+                rule="B010",
+                message=(f"loop at {loop.tail_pc:#x} is predicted to "
+                         f"supply {pred.predicted_supplied} instructions "
+                         f"but still cost "
+                         f"{pred.energy_delta:.0f} pJ net: the per-entry "
+                         f"capture overhead exceeds the reuse savings"),
+                fix="increase the trip count per entry or disable reuse "
+                    "for this queue size",
+                data={"predicted_supplied": pred.predicted_supplied,
+                      "energy_delta": round(pred.energy_delta, 3),
+                      "iq_size": iq}, **span))
+    candidates = [loop for loop in loops if loop.fits(iq)]
+
+    def innermost(pc: int) -> Optional[StaticLoop]:
+        owners = [loop for loop in candidates
+                  if loop.head_pc <= pc <= loop.tail_pc]
+        if not owners:
+            return None
+        return max(owners, key=lambda loop: loop.depth)
+
+    for item in find_ineffectual(cfg):
+        owner = innermost(item.pc)
+        if owner is None:
+            continue
+        findings.append(Finding(
+            rule="B008",
+            message=(f"{item.kind} at {item.pc:#x} inside the reuse "
+                     f"candidate at {owner.tail_pc:#x}: {item.message}; "
+                     f"the wasted slot is replayed every buffered "
+                     f"iteration"),
+            pc=item.pc,
+            fix="remove the ineffectual instruction to shrink the "
+                "buffered loop body",
+            data={"kind": item.kind,
+                  "loop_tail_pc": f"{owner.tail_pc:#x}"}))
+    text_base, text_end = cfg.program.text_base, cfg.program.text_end
+    for ref in memory_refs(cfg, analysis):
+        if not ref.is_store:
+            continue
+        owner = innermost(ref.pc)
+        if owner is None:
+            continue
+        if ref.lo is None or ref.hi is None:
+            overlaps, definite = True, False
+        else:
+            overlaps = ref.lo < text_end and ref.hi >= text_base
+            definite = ref.lo >= text_base and ref.hi < text_end
+        if overlaps and not definite:   # definite hits are B006 errors
+            where = ("unknown" if ref.lo is None or ref.hi is None
+                     else f"interval [{ref.lo:#x}, {ref.hi:#x}]")
+            findings.append(Finding(
+                rule="B009",
+                message=(f"store at {ref.pc:#x} inside the reuse "
+                         f"candidate at {owner.tail_pc:#x} may write the "
+                         f"text segment (address {where}); a hit would "
+                         f"leave stale buffered copies"),
+                pc=ref.pc,
+                fix="derive the store address from a data-segment base "
+                    "the analysis can bound",
+                data={"region": ref.region,
+                      "lo": None if ref.lo is None else f"{ref.lo:#x}",
+                      "hi": None if ref.hi is None else f"{ref.hi:#x}",
+                      "loop_tail_pc": f"{owner.tail_pc:#x}"}))
+    return findings
+
+
 def _loop_summaries(cfg: ControlFlowGraph, loops: List[StaticLoop],
                     config: MachineConfig) -> List[Dict[str, object]]:
     summaries = []
@@ -402,6 +533,7 @@ def run_lint(program: Program,
     findings.extend(_loop_rules(cfg, loops, config))
     findings.extend(_block_rules(cfg))
     findings.extend(_dataflow_rules(cfg))
+    findings.extend(_absint_rules(cfg, loops, config))
     findings.sort(key=lambda f: (f.pc if f.pc is not None else -1, f.rule))
     return LintReport(
         program=program.name,

@@ -1,0 +1,470 @@
+"""Static reuse-benefit prediction.
+
+Predicts, from the program text alone, what the reuse-capable issue
+queue will do at run time: which loops buffer, how many instructions
+each supplies from the reuse buffer, the committed buffered-instruction
+fraction, and the front-end energy delta under the paper's cost model.
+
+The prediction composes three static facts with one calibrated model of
+the controller:
+
+* loop structure and bufferability from
+  :func:`~repro.analysis.loops.analyze_loops`,
+* trip counts from :func:`~repro.analysis.absint.infer_trip_counts`,
+* per-pc execution counts from :func:`execution_counts` (loop nests
+  multiply, procedures run once per predicted call).
+
+The session model mirrors the controller's observable behaviour:
+
+* Detection fires on the loop's *first* tail decode of every entry into
+  the loop (the bimodal predictor initializes weakly taken, so the
+  backward branch is predicted taken immediately).  One entry into the
+  loop is one *session*.
+* Buffering then captures ``k = floor(iq_size / L)`` further iterations
+  (``L`` = decoded instructions per iteration, callees inlined) before
+  the queue cannot hold another iteration and the controller promotes
+  to reuse mode.
+* The remaining ``N - 1 - k`` iterations of an ``N``-trip session are
+  supplied from the buffer: ``(N - 1 - k) * L`` committed instructions
+  per session.
+* The loop's exit mispredicts out of reuse mode without registering the
+  loop in the non-bufferable loop table, so every session re-buffers.
+* A loop containing another candidate loop is revoked once (``inner
+  loop``) and NBLT-blocked for the rest of the run; a loop whose
+  iteration cannot fit the queue is revoked once (``iq full``);
+  a loop whose backward distance exceeds the queue never detects.
+
+Everything is emitted as a JSON-ready :class:`PredictionReport`; the
+``repro analyze`` CLI serializes it next to the B007-B010 lint findings
+(the SARIF side), and ``repro lint --crosscheck``'s prediction-error
+harness (:mod:`repro.analysis.crosscheck`) validates the fractions
+against the dynamic :class:`~repro.core.controller.ControllerEvent`
+log.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.absint import IntervalAnalysis, TripCount, \
+    infer_trip_counts
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dataflow import _loop_instructions
+from repro.analysis.loops import StaticLoop, analyze_loops
+from repro.arch.stats import REUSE_BUCKET_OF, REUSE_TYPE_BUCKETS
+from repro.isa.program import TEXT_BASE, Program
+from repro.power.params import PowerParams
+
+#: Why a loop is predicted to supply nothing.
+BLOCK_TOO_LARGE = "too-large"          # backward distance exceeds the queue
+BLOCK_INNER_LOOP = "inner-loop"        # an inner candidate revokes + NBLT
+BLOCK_OVERFLOW = "iq-overflow"         # one iteration cannot fit the queue
+BLOCK_SHORT_TRIP = "short-trip"        # loop exits before promotion
+BLOCK_UNKNOWN_TRIP = "unknown-trip"    # no static trip count
+
+
+# -- execution counts ---------------------------------------------------------
+
+
+def _loop_multiplier(pc: int, loops: List[StaticLoop],
+                     trip_counts: Dict[int, TripCount]) -> Tuple[int, bool]:
+    """Product of enclosing trip counts; True when any count is unknown."""
+    multiplier = 1
+    approximate = False
+    for loop in loops:
+        if loop.head_pc <= pc <= loop.tail_pc:
+            trips = trip_counts.get(loop.tail_pc)
+            exact = trips.exact if trips is not None else None
+            if exact is None:
+                approximate = True
+            else:
+                multiplier *= exact
+    return multiplier, approximate
+
+
+def execution_counts(cfg: ControlFlowGraph, loops: List[StaticLoop],
+                     trip_counts: Dict[int, TripCount],
+                     ) -> Tuple[Dict[int, int], bool]:
+    """Predicted commit count per instruction pc.
+
+    Loop nests multiply (pc-interval containment; an unknown trip count
+    contributes a factor of 1 and flags the result approximate), and a
+    procedure's body runs once per predicted execution of its call
+    sites, propagated in call-graph dependency order.  Returns
+    ``(counts, approximate)``; unreachable blocks are excluded.
+    """
+    approximate = False
+    # Procedure entry counts in call-graph dependency order.
+    proc_counts: Dict[int, int] = {}
+    order: List[int] = []
+    visiting: Dict[int, int] = {}      # 0 = in progress, 1 = done
+
+    def visit(entry_pc: int) -> None:
+        nonlocal approximate
+        state = visiting.get(entry_pc)
+        if state == 1:
+            return
+        if state == 0:                 # recursion: no static bound
+            approximate = True
+            return
+        visiting[entry_pc] = 0
+        for callee in sorted(cfg.call_graph.get(entry_pc, frozenset())):
+            visit(callee)
+        visiting[entry_pc] = 1
+        order.append(entry_pc)
+
+    entry = cfg.program.entry_point
+    visit(entry)
+    for proc_entry in cfg.procedures:
+        visit(proc_entry)
+
+    proc_counts[entry] = 1
+    # Propagate caller counts to callees, callers first.
+    for proc_entry in reversed(order):
+        proc = cfg.procedures.get(proc_entry)
+        if proc is None:
+            continue
+        caller_count = proc_counts.get(proc_entry, 0)
+        for site in proc.call_sites:
+            if site.target is None:
+                approximate = True
+                continue
+            multiplier, approx = _loop_multiplier(site.pc, loops,
+                                                  trip_counts)
+            approximate = approximate or approx
+            proc_counts[site.target] = (proc_counts.get(site.target, 0)
+                                        + caller_count * multiplier)
+
+    counts: Dict[int, int] = {}
+    for proc_entry, proc in cfg.procedures.items():
+        base = proc_counts.get(proc_entry, 0)
+        for block_index in proc.blocks:
+            if block_index not in cfg.reachable:
+                continue
+            block = cfg.blocks[block_index]
+            for inst in cfg.instructions(block):
+                if inst.pc is None:
+                    continue
+                multiplier, approx = _loop_multiplier(inst.pc, loops,
+                                                      trip_counts)
+                approximate = approximate or approx
+                counts[inst.pc] = base * multiplier
+    return counts, approximate
+
+
+# -- per-loop prediction ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoopPrediction:
+    """Predicted reuse behaviour of one loop at one queue size."""
+
+    #: The static loop (tail pc identifies it everywhere).
+    tail_pc: int
+    head_pc: int
+    #: Backward distance head..tail, in instructions.
+    size: int
+    #: Decoded instructions per iteration, callees inlined.
+    iteration_length: Optional[int]
+    #: Static trip-count verdict.
+    trip: TripCount
+    #: Predicted entries into the loop over the whole run.
+    sessions: int
+    #: Iterations captured per session before promotion.
+    buffered_iterations: int
+    #: Committed instructions supplied from the buffer, whole run.
+    predicted_supplied: int
+    #: Why the prediction is zero, when it is.
+    blocked: Optional[str]
+    #: Supplied instructions per type bucket (whole run).
+    type_supplied: Dict[str, int] = field(default_factory=dict)
+    #: Predicted front-end energy delta, pJ (negative = net saving).
+    energy_delta: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (stable keys, hex addresses)."""
+        return {
+            "tail_pc": f"{self.tail_pc:#x}",
+            "head_pc": f"{self.head_pc:#x}",
+            "size": self.size,
+            "iteration_length": self.iteration_length,
+            "trip": self.trip.to_dict(),
+            "sessions": self.sessions,
+            "buffered_iterations": self.buffered_iterations,
+            "predicted_supplied": self.predicted_supplied,
+            "blocked": self.blocked,
+            "type_supplied": {bucket: self.type_supplied[bucket]
+                              for bucket in sorted(self.type_supplied)},
+            "energy_delta": round(self.energy_delta, 3),
+        }
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Whole-program static reuse prediction at one queue size."""
+
+    program: str
+    iq_size: int
+    loops: List[LoopPrediction]
+    #: Predicted architectural commit count (halt included).
+    predicted_committed: int
+    #: Predicted committed instructions supplied from the reuse buffer.
+    predicted_supplied: int
+    #: True when any trip count, call target or recursion was unknown.
+    approximate: bool
+    #: Supplied instructions per type bucket, whole program.
+    type_supplied: Dict[str, int] = field(default_factory=dict)
+    #: Net predicted front-end energy delta, pJ (negative = saving).
+    energy_delta: float = 0.0
+
+    @property
+    def predicted_fraction(self) -> float:
+        """Predicted committed buffered-instruction fraction."""
+        if self.predicted_committed <= 0:
+            return 0.0
+        return self.predicted_supplied / self.predicted_committed
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready report (stable keys and ordering)."""
+        return {
+            "program": self.program,
+            "iq_size": self.iq_size,
+            "predicted_committed": self.predicted_committed,
+            "predicted_supplied": self.predicted_supplied,
+            "predicted_fraction": round(self.predicted_fraction, 6),
+            "approximate": self.approximate,
+            "energy_delta": round(self.energy_delta, 3),
+            "type_supplied": {bucket: self.type_supplied.get(bucket, 0)
+                              for bucket in REUSE_TYPE_BUCKETS},
+            "loops": [loop.to_dict() for loop in self.loops],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Deterministic JSON export."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def to_sarif(self) -> Dict[str, object]:
+        """A minimal SARIF 2.1.0 log with one run (one program/IQ cell).
+
+        Every loop becomes one note-level result: either
+        ``predict/supply`` (the loop is predicted to feed the pipeline
+        from the reuse buffer) or ``predict/blocked-<reason>``.  Region
+        lines are 1-based instruction indices, the same stand-in for
+        source lines :meth:`repro.analysis.lint.LintReport.to_sarif`
+        uses, so both logs overlay on the same listing.
+        """
+        artifact = f"{self.program}.s"
+        results = []
+        for loop in self.loops:
+            if loop.blocked is None:
+                rule = "predict/supply"
+                message = (
+                    f"loop predicted to supply {loop.predicted_supplied} "
+                    f"committed instruction(s) from the reuse buffer "
+                    f"({loop.buffered_iterations} buffered iteration(s) "
+                    f"x {loop.sessions} session(s)); front-end energy "
+                    f"delta {loop.energy_delta:+.1f} pJ")
+            else:
+                rule = f"predict/blocked-{loop.blocked}"
+                message = (
+                    f"loop predicted not to supply: {loop.blocked} "
+                    f"(size {loop.size}, iteration length "
+                    f"{loop.iteration_length}, trip {loop.trip.kind}); "
+                    f"front-end energy delta {loop.energy_delta:+.1f} pJ")
+            results.append({
+                "ruleId": rule,
+                "level": "note",
+                "message": {"text": message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": artifact},
+                        "region": {
+                            "startLine":
+                                (loop.head_pc - TEXT_BASE) // 4 + 1,
+                            "endLine":
+                                (loop.tail_pc - TEXT_BASE) // 4 + 1,
+                        },
+                    }
+                }],
+            })
+        rule_ids = ["predict/supply"] + [
+            f"predict/blocked-{reason}"
+            for reason in (BLOCK_TOO_LARGE, BLOCK_INNER_LOOP,
+                           BLOCK_OVERFLOW, BLOCK_UNKNOWN_TRIP,
+                           BLOCK_SHORT_TRIP)
+        ]
+        return {
+            "version": "2.1.0",
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro-analyze",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/analysis.md",
+                    "rules": [
+                        {"id": rule_id,
+                         "defaultConfiguration": {"level": "note"}}
+                        for rule_id in rule_ids
+                    ],
+                }},
+                "results": results,
+                "properties": {
+                    "iq_size": self.iq_size,
+                    "predicted_fraction":
+                        round(self.predicted_fraction, 6),
+                    "energy_delta": round(self.energy_delta, 3),
+                    "approximate": self.approximate,
+                },
+            }],
+        }
+
+
+def _session_energy(params: PowerParams, iq_size: int,
+                    iteration_length: int, buffered: int,
+                    supplied_per_session: int, nblt_inserts: int,
+                    sessions: int) -> float:
+    """Front-end energy delta of one loop's predicted reuse activity.
+
+    Negative means the mechanism saves energy.  Per supplied
+    instruction the front end skips the icache read, decode, rename
+    lookup and full queue insert, paying a logical-register-list read
+    and a partial queue update instead; per session the buffering pass
+    pays one LRL write per captured entry and a detector/NBLT lookup at
+    the tail.  Queue-port energies scale with the configured size the
+    same way :meth:`~repro.power.params.PowerParams.iq_scale` does.
+    """
+    scale = (iq_size / params.ref_iq_size) ** 0.7
+    saved = (params.e_icache_access + params.e_decode
+             + params.e_rename_lookup + params.e_iq_insert * scale)
+    paid = params.e_lrl_read + params.e_iq_partial_update * scale
+    per_supplied = paid - saved
+    capture_cost = (params.e_lrl_write * iteration_length * (1 + buffered)
+                    + params.e_nblt_lookup + params.e_detector
+                    * iteration_length * (1 + buffered))
+    return (per_supplied * supplied_per_session * sessions
+            + capture_cost * sessions
+            + params.e_nblt_insert * nblt_inserts)
+
+
+def _bucket_counts(cfg: ControlFlowGraph,
+                   loop: StaticLoop) -> Dict[str, int]:
+    """Instruction-type histogram of one iteration (callees inlined)."""
+    buckets = {bucket: 0 for bucket in REUSE_TYPE_BUCKETS}
+    for inst in _loop_instructions(cfg, loop):
+        buckets[REUSE_BUCKET_OF[inst.op.icls]] += 1
+    return buckets
+
+
+def predict_reuse(program: Program, iq_size: int,
+                  params: Optional[PowerParams] = None,
+                  cfg: Optional[ControlFlowGraph] = None,
+                  loops: Optional[List[StaticLoop]] = None,
+                  trip_counts: Optional[Dict[int, TripCount]] = None,
+                  analysis: Optional[IntervalAnalysis] = None,
+                  ) -> PredictionReport:
+    """Predict the program's reuse behaviour at one queue size.
+
+    All analysis inputs are optional and recomputed when omitted;
+    passing them lets callers (the CLI, the prediction harness) share
+    one CFG/interval fixpoint across queue sizes.
+    """
+    if params is None:
+        params = PowerParams()
+    if cfg is None:
+        cfg = build_cfg(program)
+    if loops is None:
+        loops = analyze_loops(cfg)
+    if analysis is None:
+        analysis = IntervalAnalysis(cfg)
+    if trip_counts is None:
+        trip_counts = infer_trip_counts(cfg, loops, analysis)
+
+    counts, approximate = execution_counts(cfg, loops, trip_counts)
+    predicted_committed = sum(counts.values())
+
+    predictions: List[LoopPrediction] = []
+    total_supplied = 0
+    total_types = {bucket: 0 for bucket in REUSE_TYPE_BUCKETS}
+    total_energy = 0.0
+    for loop in loops:
+        trip = trip_counts[loop.tail_pc]
+        length = loop.max_iteration_length
+        tail_count = counts.get(loop.tail_pc, 0)
+        trips = trip.exact
+        if trips is not None and trips > 0:
+            sessions = tail_count // trips
+        else:
+            sessions = 1 if tail_count else 0
+
+        blocked: Optional[str] = None
+        buffered = 0
+        supplied = 0
+        type_supplied = {bucket: 0 for bucket in REUSE_TYPE_BUCKETS}
+        energy = 0.0
+        nblt_inserts = 0
+        if not loop.fits(iq_size):
+            blocked = BLOCK_TOO_LARGE
+        elif loop.inner_tail_pcs:
+            # The inner candidate's detection revokes the first session
+            # and the NBLT blocks every later one.
+            blocked = BLOCK_INNER_LOOP
+            nblt_inserts = 1 if sessions else 0
+            energy = (params.e_nblt_insert * nblt_inserts
+                      + params.e_nblt_lookup * sessions)
+        elif length is None or length > iq_size:
+            # Buffering starts but one iteration overflows the queue.
+            blocked = BLOCK_OVERFLOW
+            nblt_inserts = 1 if sessions else 0
+            energy = (params.e_nblt_insert * nblt_inserts
+                      + params.e_nblt_lookup * sessions)
+        elif trips is None:
+            blocked = BLOCK_UNKNOWN_TRIP
+        else:
+            buffered = min(iq_size // length, trips - 1)
+            reusable = trips - 1 - buffered
+            if reusable <= 0:
+                # Exits (mispredict revoke, no NBLT) before promotion:
+                # the capture energy is paid again every session.
+                blocked = BLOCK_SHORT_TRIP
+                energy = _session_energy(params, iq_size, length, buffered,
+                                         0, 0, sessions)
+            else:
+                per_session = reusable * length
+                supplied = per_session * sessions
+                histogram = _bucket_counts(cfg, loop)
+                for bucket, count in histogram.items():
+                    type_supplied[bucket] = count * reusable * sessions
+                energy = _session_energy(params, iq_size, length, buffered,
+                                         per_session, 0, sessions)
+        predictions.append(LoopPrediction(
+            tail_pc=loop.tail_pc, head_pc=loop.head_pc, size=loop.size,
+            iteration_length=length, trip=trip, sessions=sessions,
+            buffered_iterations=buffered, predicted_supplied=supplied,
+            blocked=blocked, type_supplied=type_supplied,
+            energy_delta=energy))
+        total_supplied += supplied
+        total_energy += energy
+        for bucket, count in type_supplied.items():
+            total_types[bucket] += count
+
+    return PredictionReport(
+        program=program.name, iq_size=iq_size, loops=predictions,
+        predicted_committed=predicted_committed,
+        predicted_supplied=total_supplied, approximate=approximate,
+        type_supplied=total_types, energy_delta=total_energy)
+
+
+def predict_grid(program: Program, iq_sizes: Iterable[int],
+                 params: Optional[PowerParams] = None,
+                 ) -> List[PredictionReport]:
+    """Predictions across queue sizes, sharing one static analysis."""
+    cfg = build_cfg(program)
+    loops = analyze_loops(cfg)
+    analysis = IntervalAnalysis(cfg)
+    trip_counts = infer_trip_counts(cfg, loops, analysis)
+    return [predict_reuse(program, iq_size, params=params, cfg=cfg,
+                          loops=loops, trip_counts=trip_counts,
+                          analysis=analysis)
+            for iq_size in iq_sizes]

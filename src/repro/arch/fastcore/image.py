@@ -20,6 +20,7 @@ import weakref
 from struct import pack_into, unpack_from
 
 from repro.arch.functional_units import NON_PIPELINED_OPS
+from repro.arch.stats import REUSE_BUCKET_INDEX
 from repro.isa.memory import _PAGE_SHIFT, _PAGE_SIZE
 from repro.isa.opcodes import FuClass, InstrClass, Opcode
 from repro.isa.program import INSTRUCTION_BYTES, Program
@@ -368,7 +369,7 @@ class CoreImage:
         "insts", "ops", "flags", "ctrl", "fu", "lat", "busy",
         "dest", "src0", "src1", "nsrc", "ea_imm", "target",
         "loop_size", "memsize", "exec_fn", "br_fn", "ld_fn", "st_fn",
-        "pcs",
+        "pcs", "bucket",
     )
 
     def __init__(self, program: Program):
@@ -394,6 +395,7 @@ class CoreImage:
         loop_size = [0] * n
         memsize = [0] * n
         pcs = [0] * n
+        bucket = [0] * n        # REUSE_TYPE_BUCKETS index per slot
         exec_fn = [None] * n
         br_fn = [None] * n
         ld_fn = [None] * n
@@ -448,6 +450,7 @@ class CoreImage:
             if inst.target is not None:
                 target[i] = inst.target
             pcs[i] = inst.pc
+            bucket[i] = REUSE_BUCKET_INDEX[icls]
             flags[i] = f
             if not (f & (F_CONTROL | F_MEM | F_NOPHALT)):
                 exec_fn[i] = _exec_closure(op, inst.imm)
@@ -469,6 +472,7 @@ class CoreImage:
         self.ld_fn = ld_fn
         self.st_fn = st_fn
         self.pcs = pcs
+        self.bucket = bucket
 
 
 _IMAGES: "weakref.WeakKeyDictionary[Program, CoreImage]" = \

@@ -177,7 +177,7 @@ class FastPipeline:
         "_c_call_depth", "_c_iter_counter", "_c_last_size",
         "_c_iters_buffered", "_c_pending_promote", "_c_promote_slot",
         "_c_promote_seq", "_c_ptr", "_c_next_eid", "_c_session",
-        "_c_undispatched", "_transitions", "_events",
+        "_c_undispatched", "_c_supplied", "_transitions", "_events",
     )
 
     def __init__(self, program: Program, config: MachineConfig,
@@ -297,6 +297,7 @@ class FastPipeline:
         self._c_next_eid = 0
         self._c_session = 0
         self._c_undispatched = 0
+        self._c_supplied = 0
         self._transitions: List = []
         self._events: List[ControllerEvent] = []
 
@@ -399,6 +400,7 @@ class FastPipeline:
         s_dest = img.dest
         s_memsize = img.memsize
         s_pcs = img.pcs
+        s_bucket = img.bucket
         s_exec = img.exec_fn
         s_br = img.br_fn
         s_ld = img.ld_fn
@@ -557,6 +559,8 @@ class FastPipeline:
         n_iqrem = 0
         n_iqins = 0
         n_reuse = 0             # reuse_supplied == iq_partial_updates
+        n_rcomm = 0             # reuse_committed
+        n_rtype = [0, 0, 0, 0, 0, 0, 0, 0]   # per REUSE_TYPE_BUCKETS index
         n_decoded = 0           # == lrl_reads
         n_predec = 0
         n_fetched = 0
@@ -613,6 +617,8 @@ class FastPipeline:
                         rob.popleft()
                         d_committed[ds] = 1
                         n_comm += 1
+                        if d_from_reuse[ds]:
+                            n_rcomm += 1
                         dreg = s_dest[idx]
                         if dreg >= 0:
                             regv[dreg] = d_value[ds]
@@ -645,6 +651,8 @@ class FastPipeline:
                     rob.popleft()
                     d_committed[ds] = 1
                     n_comm += 1
+                    if d_from_reuse[ds]:
+                        n_rcomm += 1
                     if f & F_MEM:
                         lsq.popleft()
                         if f & F_STORE:
@@ -1018,6 +1026,8 @@ class FastPipeline:
                             else:
                                 ptr = 0
                         n_reuse += 1
+                        n_rtype[s_bucket[idx]] += 1
+                        self._c_supplied += 1
                         budget -= 1
                     self._c_ptr = ptr
                 elif decoded:
@@ -1302,6 +1312,15 @@ class FastPipeline:
             stats.reuse_supplied += n_reuse
             stats.iq_partial_updates += n_reuse
             stats.lrl_reads += n_reuse
+            stats.reuse_committed += n_rcomm
+            stats.reuse_supplied_ialu += n_rtype[0]
+            stats.reuse_supplied_imul += n_rtype[1]
+            stats.reuse_supplied_fpalu += n_rtype[2]
+            stats.reuse_supplied_fpmul += n_rtype[3]
+            stats.reuse_supplied_load += n_rtype[4]
+            stats.reuse_supplied_store += n_rtype[5]
+            stats.reuse_supplied_control += n_rtype[6]
+            stats.reuse_supplied_other += n_rtype[7]
             stats.decoded += n_decoded
             stats.predecoded_supplied += n_predec
             stats.fetched += n_fetched
@@ -1436,6 +1455,7 @@ class FastPipeline:
         self._c_pending_promote = False
         self._c_promote_slot = -1
         self._c_promote_seq = -1
+        self._c_supplied = 0
 
     def _buffering_decode(self, ds: int) -> None:
         if self._c_pending_promote:
@@ -1556,7 +1576,8 @@ class FastPipeline:
         self._events.append(ControllerEvent(
             kind="revoke", head_pc=self._c_head, tail_pc=tail,
             reason=reason, nblt_insert=inserted,
-            iterations=self._c_iters_buffered, cycle=self.cycle))
+            iterations=self._c_iters_buffered, cycle=self.cycle,
+            supplied=self._c_supplied))
         if inserted:
             self.nblt.insert(tail)
             stats.nblt_inserts += 1

@@ -51,7 +51,7 @@ from repro.arch.regfile import RegisterFile
 from repro.arch.probe import overrides_hook
 from repro.arch.rename import RenameMap
 from repro.arch.rob import ReorderBuffer
-from repro.arch.stats import PipelineStats
+from repro.arch.stats import REUSE_COUNTER_OF, PipelineStats
 from repro.arch.trace import PipelineTracer
 from repro.core.controller import ReuseController
 from repro.core.states import IQState
@@ -301,6 +301,8 @@ class Pipeline:
             if self._record is not None:
                 self._record("commit", dyn, self.cycle)
             stats.committed += 1
+            if dyn.from_reuse:
+                stats.reuse_committed += 1
             stats.rob_reads += 1
             if inst.is_mem:
                 self.lsq.release(dyn)
@@ -601,6 +603,8 @@ class Pipeline:
                 self.iq.mark_ready(entry)
             controller.advance_reuse()
             stats.reuse_supplied += 1
+            counter = REUSE_COUNTER_OF[inst.op.icls]
+            setattr(stats, counter, getattr(stats, counter) + 1)
             stats.iq_partial_updates += 1
             stats.lrl_reads += 1
             budget -= 1

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.isa.opcodes import InstrClass
+
 #: Counter catalog: group name -> counters in that group.  This is the
 #: one authoritative enumeration of the simulator's activity counters;
 #: the telemetry metric registry (:meth:`PipelineStats.to_registry`) and
@@ -28,6 +30,11 @@ COUNTER_GROUPS: Dict[str, Tuple[str, ...]] = {
               "revokes_mispredict", "nblt_lookups", "nblt_hits",
               "nblt_inserts", "reuse_supplied", "buffered_instructions",
               "buffered_iterations"),
+    "reuse_types": ("reuse_committed", "reuse_supplied_ialu",
+                    "reuse_supplied_imul", "reuse_supplied_fpalu",
+                    "reuse_supplied_fpmul", "reuse_supplied_load",
+                    "reuse_supplied_store", "reuse_supplied_control",
+                    "reuse_supplied_other"),
     "issue_queue": ("iq_inserts", "iq_removes", "iq_wakeups",
                     "iq_partial_updates", "lrl_writes", "lrl_reads"),
     "backend": ("rob_writes", "rob_reads", "lsq_inserts", "lsq_searches",
@@ -36,6 +43,47 @@ COUNTER_GROUPS: Dict[str, Tuple[str, ...]] = {
                 "resultbus_writes", "rename_lookups", "rename_writes",
                 "dcache_load_accesses", "dcache_store_accesses",
                 "load_blocked_cycles"),
+}
+
+
+#: Instruction-type buckets for the per-type reuse-contribution
+#: breakdown.  Multiplies and divides share a bucket (both are rare and
+#: long-latency), as do the five control-flow classes; NOP/HALT land in
+#: ``other``.  The static predictor in :mod:`repro.analysis.predict`
+#: bins candidate loop bodies with the same table so static and dynamic
+#: breakdowns are directly comparable.
+REUSE_TYPE_BUCKETS: Tuple[str, ...] = (
+    "ialu", "imul", "fpalu", "fpmul", "load", "store", "control", "other")
+
+#: InstrClass -> bucket name.
+REUSE_BUCKET_OF: Dict[InstrClass, str] = {
+    InstrClass.IALU: "ialu",
+    InstrClass.IMUL: "imul",
+    InstrClass.IDIV: "imul",
+    InstrClass.FPALU: "fpalu",
+    InstrClass.FPMUL: "fpmul",
+    InstrClass.FPDIV: "fpmul",
+    InstrClass.LOAD: "load",
+    InstrClass.STORE: "store",
+    InstrClass.BRANCH: "control",
+    InstrClass.JUMP: "control",
+    InstrClass.CALL: "control",
+    InstrClass.IJUMP: "control",
+    InstrClass.ICALL: "control",
+    InstrClass.NOP: "other",
+    InstrClass.HALT: "other",
+}
+
+#: InstrClass -> PipelineStats counter attribute (hot-path table).
+REUSE_COUNTER_OF: Dict[InstrClass, str] = {
+    cls: f"reuse_supplied_{bucket}" for cls, bucket in REUSE_BUCKET_OF.items()
+}
+
+#: InstrClass -> bucket index into :data:`REUSE_TYPE_BUCKETS` (the array
+#: engine predecodes this into a per-slot column).
+REUSE_BUCKET_INDEX: Dict[InstrClass, int] = {
+    cls: REUSE_TYPE_BUCKETS.index(bucket)
+    for cls, bucket in REUSE_BUCKET_OF.items()
 }
 
 

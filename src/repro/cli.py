@@ -28,12 +28,22 @@ Subcommands
     ``--manifest``).
 
 ``lint [TARGET ...]``
-    Static bufferability analysis (rules B001-B006) over kernel names
+    Static bufferability analysis (rules B001-B010) over kernel names
     and/or ``.s`` files (default: the whole Table 2 suite).  ``--iq``
     sweeps issue-queue sizes, ``--format`` selects text/JSON/SARIF,
     ``--fail-on`` sets the exit-code threshold and ``--crosscheck``
     additionally verifies static predictions against the dynamic
-    controller (see ``docs/analysis.md``).
+    controller on the engine picked by ``--engine`` (see
+    ``docs/analysis.md``).
+
+``analyze [TARGET ...]``
+    Static reuse-benefit prediction over the same targets: per-loop and
+    per-instruction-type predicted buffered fraction plus the front-end
+    energy delta under the paper's cost model, as JSON (default) or
+    SARIF.  ``--check`` validates each prediction against a dynamic run
+    on the ``--engine`` of choice (buffered fraction within
+    ``--tolerance``, zero bufferability contradictions) and exits
+    non-zero on any miss (see ``docs/analysis.md``).
 
 ``fuzz``
     Coverage-guided differential fuzzing campaign over mutated
@@ -401,7 +411,8 @@ def _cmd_lint(args) -> int:
                 failed = True
             if args.crosscheck:
                 result = crosscheck(
-                    program, config.replace(reuse_enabled=True))
+                    program, config.replace(reuse_enabled=True),
+                    engine=args.engine)
                 checks.append(result)
                 if not result.ok:
                     failed = True
@@ -424,6 +435,80 @@ def _cmd_lint(args) -> int:
             print(f"crosscheck {result.program} iq={result.iq_size}: "
                   f"{verdict} {dict(sorted(result.counts.items()))}")
             for violation in result.violations:
+                print(f"  {violation.check} @ cycle {violation.cycle}: "
+                      f"{violation.message}")
+    return 1 if failed else 0
+
+
+def _render_prediction(report) -> str:
+    """Human-readable block for one program/IQ prediction cell."""
+    lines = [f"analyze {report.program} iq={report.iq_size}: "
+             f"predicted buffered fraction "
+             f"{report.predicted_fraction:.2%} "
+             f"({report.predicted_supplied}/{report.predicted_committed} "
+             f"committed), energy delta {report.energy_delta:+.1f} pJ"
+             f"{' [approximate]' if report.approximate else ''}"]
+    for loop in report.loops:
+        if loop.blocked is None:
+            verdict = (f"supplies {loop.predicted_supplied} "
+                       f"({loop.buffered_iterations} buffered it x "
+                       f"{loop.sessions} sessions)")
+        else:
+            verdict = f"blocked: {loop.blocked}"
+        lines.append(
+            f"  loop @{loop.tail_pc:#x} size={loop.size} "
+            f"len={loop.iteration_length} trip={loop.trip.kind} "
+            f"-> {verdict}")
+    return "\n".join(lines)
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.crosscheck import check_prediction
+    from repro.analysis.predict import predict_grid
+
+    programs = _lint_programs(args)
+    iq_sizes = args.iq or [64]
+    params = _load_params_file(args.params) if args.params else None
+    pairs = []
+    for program in programs:
+        for report in predict_grid(program, iq_sizes, params=params):
+            pairs.append((program, report))
+    checks = []
+    failed = False
+    if args.check:
+        for program, report in pairs:
+            config = MachineConfig().with_iq_size(report.iq_size)
+            cell = check_prediction(program,
+                                    config.replace(reuse_enabled=True),
+                                    engine=args.engine,
+                                    prediction=report)
+            checks.append(cell)
+            if not cell.ok(args.tolerance):
+                failed = True
+    if args.format == "json":
+        payload = {"reports": [report.to_dict() for _, report in pairs]}
+        if args.check:
+            payload["checks"] = [cell.to_dict() for cell in checks]
+        print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        logs = [report.to_sarif() for _, report in pairs]
+        merged = logs[0]
+        for log in logs[1:]:
+            merged["runs"].extend(log["runs"])
+        print(json.dumps(merged, indent=2))
+    else:
+        for _, report in pairs:
+            print(_render_prediction(report))
+        for cell in checks:
+            verdict = "ok" if cell.ok(args.tolerance) else "FAIL"
+            print(f"check {cell.program} iq={cell.iq_size} "
+                  f"engine={cell.engine}: {verdict} "
+                  f"predicted={cell.predicted_fraction:.2%} "
+                  f"dynamic={cell.dynamic_fraction:.2%} "
+                  f"|err|={cell.abs_error:.4f}")
+            for message in cell.contradictions:
+                print(f"  contradiction: {message}")
+            for violation in cell.violations:
                 print(f"  {violation.check} @ cycle {violation.cycle}: "
                       f"{violation.message}")
     return 1 if failed else 0
@@ -631,7 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static bufferability analysis (rules B001-B006)")
+        help="static bufferability analysis (rules B001-B010)")
     lint.add_argument("targets", nargs="*", metavar="TARGET",
                       help="benchmark names and/or .s files "
                            "(default: the whole suite)")
@@ -653,7 +738,39 @@ def build_parser() -> argparse.ArgumentParser:
                            "concordance")
     lint.add_argument("--optimize", action="store_true",
                       help="lint the loop-distributed kernel variants")
+    _add_engine_option(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static reuse-benefit prediction (buffered fraction, "
+             "energy delta)")
+    analyze.add_argument("targets", nargs="*", metavar="TARGET",
+                         help="benchmark names and/or .s files "
+                              "(default: the whole suite)")
+    analyze.add_argument("--iq", nargs="+", type=int, metavar="N",
+                         default=None,
+                         help="issue-queue size(s) to predict at "
+                              "(default: 64)")
+    analyze.add_argument("--format", choices=("json", "sarif", "text"),
+                         default="json",
+                         help="report format (default: json)")
+    analyze.add_argument("--params", metavar="FILE", default=None,
+                         help="JSON file of PowerParams field overrides "
+                              "for the energy model")
+    analyze.add_argument("--check", action="store_true",
+                         help="validate each prediction against a "
+                              "dynamic timing run and exit non-zero on "
+                              "any miss")
+    analyze.add_argument("--tolerance", type=float, default=0.05,
+                         metavar="F",
+                         help="max absolute buffered-fraction error "
+                              "--check accepts (default 0.05)")
+    analyze.add_argument("--optimize", action="store_true",
+                         help="analyze the loop-distributed kernel "
+                              "variants")
+    _add_engine_option(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
 
     fuzz = sub.add_parser(
         "fuzz",

@@ -71,6 +71,10 @@ class ControllerEvent:
     #: Cycle the decision was taken in (0 for events synthesized outside
     #: a pipeline, e.g. in unit tests that drive the controller directly).
     cycle: int = 0
+    #: Instructions supplied from the buffer during this buffering
+    #: session, stamped on ``revoke`` events (0 for the other kinds --
+    #: the session is still supplying when they are logged).
+    supplied: int = 0
 
 
 def timestamped_events(events):
@@ -121,6 +125,9 @@ class ReuseController:
         self._next_entry_id = 0
         #: Monotonic buffering-session id (guards stale candidates).
         self.session_id = 0
+        #: Instructions supplied from the buffer this session (stamped on
+        #: the session's revoke event for per-loop reuse accounting).
+        self.session_supplied = 0
         # candidates marked at decode but not yet dispatched into the queue
         # (decode runs ahead of dispatch; the buffering-continuation check
         # must count them against the free entries)
@@ -204,6 +211,7 @@ class ReuseController:
         self.iterations_buffered = 0
         self.pending_promote = False
         self._promote_waiting_for = None
+        self.session_supplied = 0
 
     def _buffering_decode(self, dyn: DynInst) -> None:
         if self.pending_promote:
@@ -333,6 +341,7 @@ class ReuseController:
 
     def advance_reuse(self) -> None:
         """Advance the reuse pointer (wraps at the last buffered entry)."""
+        self.session_supplied += 1
         self.reuse_pointer += 1
         if self.reuse_pointer >= len(self.buffered):
             if _INJECTED_BUG == "skip-lrl-update" \
@@ -370,7 +379,8 @@ class ReuseController:
             reason=reason,
             nblt_insert=inserted,
             iterations=self.iterations_buffered,
-            cycle=self.now))
+            cycle=self.now,
+            supplied=self.session_supplied))
         if inserted:
             self.nblt.insert(self.loop_tail_pc)
             self.stats.nblt_inserts += 1

@@ -35,7 +35,9 @@ from repro.arch.stats import PipelineStats
 #: Version of the activity-record payload.  Bump whenever a counter is
 #: added, removed or changes meaning; persisted records with a different
 #: version (or a different counter key set) are treated as stale.
-ACTIVITY_SCHEMA_VERSION = 1
+#: (v2: the ``reuse_types`` counter group -- per-instruction-type reuse
+#: supply plus the committed-from-reuse count.)
+ACTIVITY_SCHEMA_VERSION = 2
 
 #: Counters harvested from structures outside ``PipelineStats``, in the
 #: order they are captured.  Together with ``PipelineStats.__slots__``

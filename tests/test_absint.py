@@ -1,0 +1,246 @@
+"""Tests for the abstract-interpretation layer.
+
+Covers the four analyses in :mod:`repro.analysis.absint`: the interval
+domain with threshold widening, loop trip-count inference, the memory
+region/alias pass, and static ineffectuality detection.
+"""
+
+from repro.analysis.absint import (
+    KIND_DEAD_WRITE,
+    KIND_DISCARDED,
+    KIND_NOOP_MOVE,
+    KIND_SILENT_STORE,
+    REGION_DATA,
+    REGION_STACK,
+    REGION_UNKNOWN,
+    TOP,
+    Interval,
+    IntervalAnalysis,
+    MemoryRef,
+    find_ineffectual,
+    infer_trip_counts,
+    may_alias,
+    memory_refs,
+)
+from repro.analysis.cfg import build_cfg
+from repro.analysis.loops import analyze_loops
+from repro.isa.assembler import assemble
+
+INT_MAX = 2 ** 31 - 1
+
+
+def _cfg(source, name="test"):
+    return build_cfg(assemble(source, name=name))
+
+
+def _trips(source):
+    cfg = _cfg(source)
+    return list(infer_trip_counts(cfg, analyze_loops(cfg)).values())
+
+
+COUNTED = """
+.text
+    li $t0, 0
+top:
+    addiu $t0, $t0, 1
+    slti $t2, $t0, 10
+    bne $t2, $zero, top
+    halt
+"""
+
+
+class TestIntervalDomain:
+    def test_const_and_top(self):
+        assert Interval.const(5).is_const
+        assert not Interval.const(5).is_top
+        assert TOP.is_top
+
+    def test_join_is_hull(self):
+        assert Interval(0, 3).join(Interval(5, 9)) == Interval(0, 9)
+
+    def test_widen_jumps_unstable_bounds(self):
+        widened = Interval(0, 5).widen(Interval(0, 8))
+        assert widened.lo == 0
+        assert widened.hi == INT_MAX
+
+    def test_threshold_widening_bounds_counted_loop(self):
+        # the slti immediate is a widening landmark, so the induction
+        # register stabilizes near the loop bound instead of INT_MAX
+        cfg = _cfg(COUNTED)
+        analysis = IntervalAnalysis(cfg)
+        value = analysis.value_of(0x400008, 8)    # $t0 entering the slti
+        assert not value.is_top
+        assert 0 <= value.lo and value.hi <= 11
+
+    def test_exit_edge_refines_flag(self):
+        # on the fall-through (exit) edge the branch flag is exactly 0
+        source = """
+        .text
+            li $t0, 0
+            li $t1, 10
+        top:
+            addiu $t0, $t0, 1
+            slt $t2, $t0, $t1
+            bne $t2, $zero, top
+            halt
+        """
+        analysis = IntervalAnalysis(_cfg(source))
+        assert analysis.value_of(0x400014, 10) == Interval.const(0)
+
+
+class TestTripCounts:
+    def test_constant_counter(self):
+        (trip,) = _trips(COUNTED)
+        assert trip.kind == "constant-counter"
+        assert trip.exact == 10
+        assert trip.induction_reg == 8
+        assert trip.step == 1
+
+    def test_register_compare_resolves_via_intervals(self):
+        # slt against a register limit: the analysis substitutes the
+        # limit's constant value
+        (trip,) = _trips("""
+        .text
+            li $t0, 0
+            li $t1, 10
+        top:
+            addiu $t0, $t0, 1
+            slt $t2, $t0, $t1
+            bne $t2, $zero, top
+            halt
+        """)
+        assert trip.exact == 10
+
+    def test_range_counter_from_branchy_limit(self):
+        (trip,) = _trips("""
+        .text
+            bne $a0, $zero, big
+            li $t1, 5
+            j go
+        big:
+            li $t1, 10
+        go:
+            li $t0, 0
+        top:
+            addiu $t0, $t0, 1
+            slt $t2, $t0, $t1
+            bne $t2, $zero, top
+            halt
+        """)
+        assert trip.kind == "range-counter"
+        assert (trip.min_trips, trip.max_trips) == (5, 10)
+        assert trip.exact is None
+
+    def test_data_dependent_limit_is_unknown(self):
+        (trip,) = _trips("""
+        .data
+        lim: .word 7
+        .text
+            la $s0, lim
+            lw $t1, 0($s0)
+            li $t0, 0
+        top:
+            addiu $t0, $t0, 1
+            slt $t2, $t0, $t1
+            bne $t2, $zero, top
+            halt
+        """)
+        assert trip.kind == "unknown"
+        assert trip.min_trips is None and trip.max_trips is None
+
+    def test_suite_trip_counts_are_exact(self):
+        from repro.workloads.suite import WorkloadSuite
+        suite = WorkloadSuite()
+        for name in ("aps", "tsf", "wss"):
+            cfg = build_cfg(suite.program(name))
+            trips = infer_trip_counts(cfg, analyze_loops(cfg))
+            assert trips, name
+            assert all(t.exact is not None for t in trips.values()), name
+
+
+class TestMemoryRefs:
+    SOURCE = """
+    .data
+    pad: .word 0
+    buf: .word 1, 2, 3, 4
+    .text
+        la $s0, buf
+        addiu $sp, $sp, -8
+        sw $ra, 4($sp)
+        lw $t4, 0($s0)
+        lw $t5, 0($t4)
+        sw $t5, 8($s0)
+        halt
+    """
+
+    def test_region_classification(self):
+        refs = {ref.pc: ref for ref in memory_refs(_cfg(self.SOURCE))}
+        regions = {pc: ref.region for pc, ref in refs.items()}
+        assert REGION_STACK in regions.values()
+        assert REGION_UNKNOWN in regions.values()
+        assert sum(1 for r in regions.values() if r == REGION_DATA) == 2
+
+    def test_static_ranges(self):
+        refs = [ref for ref in memory_refs(_cfg(self.SOURCE))
+                if ref.region == REGION_DATA]
+        first, second = sorted(refs, key=lambda r: r.lo)
+        assert first.lo == 0x10000004          # buf after the pad word
+        assert second.lo == 0x1000000c         # buf + 8
+        assert all(ref.width == 4 for ref in refs)
+
+    def test_may_alias(self):
+        a = MemoryRef(pc=0, is_store=True, lo=100, hi=103,
+                      region=REGION_DATA, width=4)
+        b = MemoryRef(pc=4, is_store=False, lo=102, hi=105,
+                      region=REGION_DATA, width=4)
+        c = MemoryRef(pc=8, is_store=False, lo=104, hi=107,
+                      region=REGION_DATA, width=4)
+        unknown = MemoryRef(pc=12, is_store=True, lo=None, hi=None,
+                            region=REGION_UNKNOWN, width=4)
+        assert may_alias(a, b)
+        assert not may_alias(a, c)
+        assert may_alias(a, unknown)
+
+
+class TestIneffectual:
+    def test_all_four_kinds(self):
+        source = """
+        .data
+        pad: .word 0
+        buf: .word 3
+        .text
+        main:
+            addu $t0, $t0, $zero
+            addu $zero, $t1, $t2
+            addiu $t3, $zero, 1
+            addiu $t3, $zero, 2
+            la $s0, buf
+            lw $t4, 0($s0)
+            sw $t4, 0($s0)
+            halt
+        """
+        found = {(item.pc, item.kind)
+                 for item in find_ineffectual(_cfg(source))}
+        assert (0x400000, KIND_NOOP_MOVE) in found
+        assert (0x400004, KIND_DISCARDED) in found
+        assert (0x400008, KIND_DEAD_WRITE) in found
+        assert (0x40001c, KIND_SILENT_STORE) in found
+
+    def test_final_register_file_is_live(self):
+        # halt exports every register: a write never read afterwards is
+        # still architectural output, not a dead write
+        source = """
+        .text
+            addiu $t3, $zero, 1
+            halt
+        """
+        assert find_ineffectual(_cfg(source)) == []
+
+    def test_kernels_have_no_dead_writes(self):
+        from repro.workloads.suite import WorkloadSuite
+        suite = WorkloadSuite()
+        for name in ("aps", "tsf"):
+            cfg = build_cfg(suite.program(name))
+            kinds = {item.kind for item in find_ineffectual(cfg)}
+            assert KIND_DEAD_WRITE not in kinds, name
+            assert KIND_SILENT_STORE not in kinds, name

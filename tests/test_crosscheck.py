@@ -1,12 +1,18 @@
 """Static/dynamic concordance tests (the analyzer as a simulator oracle)."""
 
+import dataclasses
+
 import pytest
 
 from repro.analysis.crosscheck import (
     REASON_TO_HAZARD,
     ControllerEventProbe,
+    check_prediction,
     crosscheck,
+    kendall_tau,
+    prediction_harness,
 )
+from repro.analysis.predict import BLOCK_TOO_LARGE, predict_reuse
 from repro.arch.config import MachineConfig
 from repro.isa.assembler import assemble
 from repro.sim.simulator import run_timing
@@ -113,3 +119,78 @@ class TestKernelConcordance:
             result = crosscheck(suite.program(name), _config(64))
             promotes += result.counts.get("promote", 0)
         assert promotes > 0
+
+    def test_array_engine_is_concordant_too(self):
+        program = WorkloadSuite().program("aps")
+        result = crosscheck(program, _config(64), engine="array")
+        assert result.ok, result.violations
+        assert result.counts.get("promote", 0) >= 1
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([(1, 10), (2, 20), (3, 30)]) == 1.0
+
+    def test_perfect_inversion(self):
+        assert kendall_tau([(1, 30), (2, 20), (3, 10)]) == -1.0
+
+    def test_degenerate_inputs_count_as_agreement(self):
+        assert kendall_tau([]) == 1.0
+        assert kendall_tau([(5, 7)]) == 1.0
+        assert kendall_tau([(1, 1), (1, 1), (1, 1)]) == 1.0
+
+    def test_ties_use_tau_b_normalization(self):
+        # one tie on each side, one concordant pair
+        tau = kendall_tau([(1, 1), (1, 2), (2, 2)])
+        assert 0.0 < tau < 1.0
+
+
+class TestPredictionCheck:
+    def test_tiny_loop_prediction_matches_run(self):
+        program = assemble(TINY_LOOP, name="tiny")
+        cell = check_prediction(program, _config(64))
+        assert cell.ok(), cell.to_dict()
+        assert cell.abs_error <= 0.05
+        assert cell.contradictions == []
+        assert cell.predicted_committed == cell.dynamic_committed
+
+    def test_doctored_prediction_contradicts(self):
+        # force a structurally-blocked verdict onto a loop the machine
+        # demonstrably promotes: the harness must call it a contradiction
+        program = assemble(TINY_LOOP, name="tiny")
+        prediction = predict_reuse(program, 64)
+        doctored = dataclasses.replace(
+            prediction,
+            loops=[dataclasses.replace(loop, blocked=BLOCK_TOO_LARGE,
+                                       predicted_supplied=0)
+                   for loop in prediction.loops])
+        cell = check_prediction(program, _config(64), prediction=doctored)
+        assert cell.contradictions
+        assert not cell.ok()
+
+
+class TestPredictionHarness:
+    """The headline contract on a reduced grid (full grid runs in CI)."""
+
+    def test_small_grid_meets_acceptance(self):
+        suite = WorkloadSuite()
+        programs = [suite.program("aps"), suite.program("tsf")]
+        result = prediction_harness(programs, MachineConfig(),
+                                    iq_sizes=(32, 64),
+                                    engines=("object", "array"))
+        assert len(result.cells) == 8
+        assert result.max_abs_error <= 0.05, result.to_dict()
+        assert result.tau >= 0.8
+        assert result.contradiction_count == 0
+        assert result.violation_count == 0
+        assert result.ok
+
+    def test_result_serializes(self):
+        import json
+        suite = WorkloadSuite()
+        result = prediction_harness([suite.program("aps")], MachineConfig(),
+                                    iq_sizes=(64,), engines=("object",))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["ok"] is True
+        assert payload["cells"] == 1
+        assert payload["results"][0]["engine"] == "object"

@@ -1,0 +1,253 @@
+"""Dataflow corner cases: interprocedural B005, constants, footprints.
+
+The must-initialized analysis behind rule B005 flows call-site state
+into callees (reads inside a callee are judged under the meet of every
+caller's state) but crosses call sites with per-procedure *must-write
+summaries* -- the classic context-insensitive alternative of routing
+state through the callee's return blocks merges one caller's
+initializations away with another's and reports phantom uninitialized
+reads.  These tests pin both directions: the summary precision and the
+preserved true positives.
+"""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    loop_footprint,
+    procedure_must_writes,
+    resolve_static_stores,
+    undefined_reads,
+)
+from repro.analysis.loops import analyze_loops
+from repro.isa.assembler import assemble
+from repro.isa.registers import REG_RA
+
+
+def _cfg(source, name="test"):
+    return build_cfg(assemble(source, name=name))
+
+
+def _mask_regs(mask):
+    return {reg for reg in range(64) if (mask >> reg) & 1}
+
+
+TWO_CALLERS = """
+.text
+main:
+    addiu $t0, $zero, 7
+    jal f
+    addu $t2, $t0, $zero      # $t0 init'd by main, not by f or other_caller
+    jal other_caller
+    halt
+f:
+    addiu $t1, $zero, 1
+    jr $ra
+other_caller:
+    addiu $sp, $sp, -4
+    sw $ra, 0($sp)
+    jal f
+    lw $ra, 0($sp)
+    addiu $sp, $sp, 4
+    jr $ra
+"""
+
+
+class TestInterproceduralMustInit:
+    def test_no_false_positive_across_call(self):
+        # main initializes $t0 before calling f; other_caller calls f
+        # without it.  A context-insensitive merge through f's return
+        # block would flag main's read of $t0 after the call.
+        assert undefined_reads(_cfg(TWO_CALLERS)) == []
+
+    def test_true_positive_inside_callee(self):
+        source = """
+        .text
+        main:
+            jal g
+            halt
+        g:
+            addu $t3, $t5, $zero   # $t5 never written on any path
+            jr $ra
+        """
+        cfg = _cfg(source)
+        reads = undefined_reads(cfg)
+        assert len(reads) == 1
+        (pc, reg) = reads[0]
+        assert reg == 13          # $t5
+
+    def test_callee_checked_under_meet_of_call_paths(self):
+        # f reads $t4, which is initialized on only one path to the call
+        # site -- the read inside f must be flagged (callee entry takes
+        # the meet over everything flowing into the call).
+        source = """
+        .text
+        main:
+            bne $a0, $zero, skip
+            addiu $t4, $zero, 1
+        skip:
+            jal f
+            halt
+        f:
+            addu $t6, $t4, $zero
+            jr $ra
+        """
+        reads = undefined_reads(_cfg(source))
+        assert (0x400010, 12) in reads    # $t4 read inside f
+
+    def test_uninit_after_non_writing_callee(self):
+        # the callee does not write $t7, so reading it after the call
+        # is still undefined -- the summary must not over-promise.
+        source = """
+        .text
+        main:
+            jal f
+            addu $t2, $t7, $zero
+            halt
+        f:
+            addiu $t1, $zero, 1
+            jr $ra
+        """
+        reads = undefined_reads(_cfg(source))
+        assert [reg for _, reg in reads] == [15]  # $t7
+
+
+class TestProcedureMustWrites:
+    def test_transitive_through_calls(self):
+        cfg = _cfg(TWO_CALLERS)
+        by_name = {proc.name: entry
+                   for entry, proc in cfg.procedures.items()}
+        summaries = procedure_must_writes(cfg)
+        assert _mask_regs(summaries[by_name["f"]]) == {9}  # $t1
+        # other_caller writes $t1 through f, plus $ra via jal
+        assert {9, REG_RA} <= _mask_regs(summaries[by_name["other_caller"]])
+
+    def test_branchy_callee_intersects_paths(self):
+        # only the registers written on *both* arms are guaranteed
+        source = """
+        .text
+        main:
+            addiu $a0, $zero, 1
+            jal f
+            halt
+        f:
+            beq $a0, $zero, else
+            addiu $t0, $zero, 1
+            addiu $t1, $zero, 1
+            jr $ra
+        else:
+            addiu $t1, $zero, 2
+            jr $ra
+        """
+        cfg = _cfg(source)
+        by_name = {proc.name: entry
+                   for entry, proc in cfg.procedures.items()}
+        written = _mask_regs(procedure_must_writes(cfg)[by_name["f"]])
+        assert 9 in written       # $t1: both arms
+        assert 8 not in written   # $t0: taken arm only
+
+
+class TestConstantCornerCases:
+    def test_constants_survive_back_to_back_calls(self):
+        # la builds a static address, then two calls run before the
+        # store; neither callee touches the base register, so the store
+        # address must still resolve.
+        source = """
+        .data
+        buf: .word 0
+        .text
+        main:
+            la $s0, buf
+            jal f
+            jal f
+            sw $zero, 0($s0)
+            halt
+        f:
+            addiu $t1, $zero, 1
+            jr $ra
+        """
+        stores = resolve_static_stores(_cfg(source))
+        # the sw through $s0 resolves; $ra spills are not expected here
+        assert any(addr >= 0x10000000 for _, addr in stores)
+
+    def test_clobbering_callee_kills_constant(self):
+        source = """
+        .data
+        buf: .word 0
+        .text
+        main:
+            la $s0, buf
+            jal f
+            sw $zero, 0($s0)
+            halt
+        f:
+            addiu $s0, $zero, 0    # kills the constant base
+            jr $ra
+        """
+        stores = resolve_static_stores(_cfg(source))
+        assert all(addr < 0x10000000 for _, addr in stores)
+
+
+class TestIrreducibleJoin:
+    def test_must_init_meets_at_join(self):
+        # two jumps into the same join block: one path initializes $t3,
+        # the other does not -- the read at the join is undefined.
+        source = """
+        .text
+        main:
+            bne $a0, $zero, side
+            addiu $t3, $zero, 5
+            j join
+        side:
+            j join
+        join:
+            addu $t4, $t3, $zero
+            halt
+        """
+        reads = undefined_reads(_cfg(source))
+        assert (0x400010, 11) in reads    # $t3 read at 'join'
+
+    def test_both_paths_initialized_is_clean(self):
+        source = """
+        .text
+        main:
+            bne $a0, $zero, side
+            addiu $t3, $zero, 5
+            j join
+        side:
+            addiu $t3, $zero, 6
+            j join
+        join:
+            addu $t4, $t3, $zero
+            halt
+        """
+        assert all(reg != 11 for _, reg in undefined_reads(_cfg(source)))
+
+
+class TestSharedHeaderFootprints:
+    def test_nested_loops_sharing_a_header(self):
+        # two back edges to the same head: the short inner back branch
+        # and the outer one.  Loop detection reports one loop per tail;
+        # the outer footprint must contain the inner's.
+        source = """
+        .text
+        main:
+            addiu $s0, $zero, 0
+        head:
+            addiu $t0, $t0, 1
+            slti $t1, $t0, 4
+            bne $t1, $zero, head
+            addiu $s0, $s0, 1
+            mult $t2, $s0, $s0
+            slti $t1, $s0, 3
+            bne $t1, $zero, head
+            halt
+        """
+        cfg = _cfg(source)
+        loops = analyze_loops(cfg)
+        sharing = [loop for loop in loops if loop.head_pc == 0x400004]
+        assert len(sharing) == 2
+        inner, outer = sorted(sharing, key=lambda l: l.tail_pc)
+        fp_inner = loop_footprint(cfg, inner)
+        fp_outer = loop_footprint(cfg, outer)
+        assert fp_inner.registers <= fp_outer.registers
+        assert 16 in fp_outer.writes       # $s0 only in the outer body
+        assert 16 not in fp_inner.writes

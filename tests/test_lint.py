@@ -19,7 +19,7 @@ from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
 CLEAN_LOOP = """
 .text
     li $t0, 0
-    li $t1, 10
+    li $t1, 100
 top:
     addiu $t0, $t0, 1
     slt $t2, $t0, $t1
@@ -113,15 +113,20 @@ def _rules(report):
 
 
 class TestRuleCatalog:
-    def test_all_six_rules_defined(self):
+    def test_all_ten_rules_defined(self):
         assert sorted(RULES) == \
-            ["B001", "B002", "B003", "B004", "B005", "B006"]
+            ["B001", "B002", "B003", "B004", "B005", "B006",
+             "B007", "B008", "B009", "B010"]
 
     def test_severities(self):
         assert RULES["B001"].severity is Severity.NOTE
         assert RULES["B004"].severity is Severity.WARNING
         assert RULES["B005"].severity is Severity.ERROR
         assert RULES["B006"].severity is Severity.ERROR
+        assert RULES["B007"].severity is Severity.NOTE
+        assert RULES["B008"].severity is Severity.NOTE
+        assert RULES["B009"].severity is Severity.WARNING
+        assert RULES["B010"].severity is Severity.WARNING
 
     def test_parse_severity(self):
         assert parse_severity("warning") is Severity.WARNING

@@ -1,0 +1,232 @@
+"""Tests for the static reuse-benefit predictor.
+
+The calibrated session model: detection fires at the first tail
+retirement, a session buffers ``k = floor(iq / L)`` iterations (``L`` =
+decoded instructions per iteration, callees inlined), and each of the
+remaining ``N - 1 - k`` iterations commits ``L`` instructions out of the
+reuse buffer.  These tests pin the closed form, every blocking verdict,
+the energy-model sign, the golden JSON, and agreement with a real
+dynamic run.
+"""
+
+import json
+import os
+
+from repro.analysis.predict import (
+    BLOCK_INNER_LOOP,
+    BLOCK_OVERFLOW,
+    BLOCK_SHORT_TRIP,
+    BLOCK_TOO_LARGE,
+    BLOCK_UNKNOWN_TRIP,
+    execution_counts,
+    predict_grid,
+    predict_reuse,
+)
+from repro.analysis.cfg import build_cfg
+from repro.analysis.loops import analyze_loops
+from repro.analysis.absint import infer_trip_counts
+from repro.cli import main
+from repro.isa.assembler import assemble
+from repro.workloads.suite import WorkloadSuite
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden", "analyze")
+
+SUPPLY = """
+.text
+    li $t0, 0
+top:
+    addiu $t0, $t0, 1
+    slti $t2, $t0, 100
+    bne $t2, $zero, top
+    halt
+"""
+
+
+def _program(source, name="test"):
+    return assemble(source, name=name)
+
+
+class TestClosedForm:
+    def test_session_arithmetic(self):
+        report = predict_reuse(_program(SUPPLY), 32)
+        (loop,) = report.loops
+        assert loop.blocked is None
+        assert loop.iteration_length == 3
+        assert loop.buffered_iterations == 10      # floor(32 / 3)
+        assert loop.sessions == 1
+        # (N - 1 - k) * L = (99 - 10) * 3
+        assert loop.predicted_supplied == 267
+        assert report.predicted_supplied == 267
+
+    def test_per_type_histogram(self):
+        report = predict_reuse(_program(SUPPLY), 32)
+        (loop,) = report.loops
+        # body = addiu (ialu), slti (ialu), bne (control)
+        assert loop.type_supplied["ialu"] == 178
+        assert loop.type_supplied["control"] == 89
+        assert sum(loop.type_supplied.values()) == 267
+
+    def test_supplying_loop_saves_energy(self):
+        report = predict_reuse(_program(SUPPLY), 32)
+        assert report.energy_delta < 0
+
+    def test_grid_shares_analysis(self):
+        program = _program(SUPPLY)
+        grid = predict_grid(program, (32, 64))
+        assert [r.iq_size for r in grid] == [32, 64]
+        assert all(r.program == "test" for r in grid)
+
+
+class TestBlockingVerdicts:
+    def test_too_large(self):
+        report = predict_reuse(_program(SUPPLY), 2)
+        assert report.loops[0].blocked == BLOCK_TOO_LARGE
+        assert report.predicted_supplied == 0
+
+    def test_short_trip_wastes_capture_energy(self):
+        short = SUPPLY.replace("slti $t2, $t0, 100", "slti $t2, $t0, 10")
+        report = predict_reuse(_program(short), 64)
+        (loop,) = report.loops
+        assert loop.blocked == BLOCK_SHORT_TRIP
+        assert loop.predicted_supplied == 0
+        assert loop.energy_delta > 0       # buffering pass buys nothing
+
+    def test_inner_loop_blocks_outer(self):
+        nested = """
+        .text
+            li $s0, 0
+        outer:
+            li $t0, 0
+        inner:
+            addiu $t0, $t0, 1
+            slti $t1, $t0, 40
+            bne $t1, $zero, inner
+            addiu $s0, $s0, 1
+            slti $t1, $s0, 30
+            bne $t1, $zero, outer
+            halt
+        """
+        report = predict_reuse(_program(nested), 64)
+        verdicts = {loop.tail_pc: loop.blocked for loop in report.loops}
+        assert BLOCK_INNER_LOOP in verdicts.values()
+        assert None in verdicts.values()   # the inner loop supplies
+
+    def test_iteration_overflow(self):
+        overflow = """
+        .text
+            li $t0, 0
+        top:
+            jal fat
+            addiu $t0, $t0, 1
+            slti $t2, $t0, 50
+            bne $t2, $zero, top
+            halt
+        fat:
+        """ + "    addiu $t4, $t4, 1\n" * 30 + """
+            jr $ra
+        """
+        report = predict_reuse(_program(overflow), 16)
+        (loop,) = report.loops
+        assert loop.blocked == BLOCK_OVERFLOW
+        assert loop.size <= 16             # fits, but the iteration spills
+
+    def test_unknown_trip(self):
+        unknown = """
+        .data
+        lim: .word 7
+        .text
+            la $s0, lim
+            lw $t1, 0($s0)
+            li $t0, 0
+        top:
+            addiu $t0, $t0, 1
+            slt $t2, $t0, $t1
+            bne $t2, $zero, top
+            halt
+        """
+        report = predict_reuse(_program(unknown), 64)
+        assert report.loops[0].blocked == BLOCK_UNKNOWN_TRIP
+        assert report.approximate
+
+    def test_net_energy_loss_is_predictable(self):
+        # 3-instruction body, 44 trips, iq=128: one reused iteration
+        # cannot repay capturing 42 -- supplies, but at a net cost
+        costly = SUPPLY.replace("slti $t2, $t0, 100", "slti $t2, $t0, 44")
+        report = predict_reuse(_program(costly), 128)
+        (loop,) = report.loops
+        assert loop.blocked is None
+        assert loop.predicted_supplied > 0
+        assert loop.energy_delta > 0
+
+
+class TestExecutionCounts:
+    def test_nested_loops_multiply(self):
+        nested = """
+        .text
+            li $s0, 0
+        outer:
+            li $t0, 0
+        inner:
+            addiu $t0, $t0, 1
+            slti $t1, $t0, 4
+            bne $t1, $zero, inner
+            addiu $s0, $s0, 1
+            slti $t1, $s0, 3
+            bne $t1, $zero, outer
+            halt
+        """
+        cfg = build_cfg(_program(nested))
+        loops = analyze_loops(cfg)
+        trips = infer_trip_counts(cfg, loops)
+        counts, approximate = execution_counts(cfg, loops, trips)
+        assert not approximate
+        inner_body_pc = 0x400008           # addiu inside the inner loop
+        outer_only_pc = 0x400014           # addiu $s0 after the inner
+        assert counts[inner_body_pc] == 12  # 3 outer x 4 inner
+        assert counts[outer_only_pc] == 3
+
+
+class TestAgainstDynamicRun:
+    def test_predicted_committed_is_exact(self):
+        from repro.arch.config import MachineConfig
+        from repro.sim.simulator import run_timing
+
+        program = WorkloadSuite().program("aps")
+        report = predict_reuse(program, 64)
+        record = run_timing(program,
+                            MachineConfig().with_iq_size(64).replace(
+                                reuse_enabled=True))
+        assert report.predicted_committed == int(record["committed"])
+        dynamic = (int(record["reuse_committed"])
+                   / int(record["committed"]))
+        assert abs(report.predicted_fraction - dynamic) <= 0.05
+
+
+class TestGoldenReports:
+    def test_cli_matches_goldens(self, capsys):
+        for kernel in ("aps", "adi", "vpenta"):
+            assert main(["analyze", kernel, "--format", "json",
+                         "--iq", "32", "64", "96", "128"]) == 0
+            out = capsys.readouterr().out
+            with open(os.path.join(GOLDEN_DIR, f"{kernel}.json")) as fh:
+                assert json.loads(out) == json.load(fh)
+
+    def test_sarif_shape(self):
+        report = predict_reuse(_program(SUPPLY), 32)
+        sarif = report.to_sarif()
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        (result,) = run["results"]
+        assert result["ruleId"] == "predict/supply"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] <= region["endLine"]
+        assert run["properties"]["iq_size"] == 32
+
+    def test_check_flag_passes_on_kernel(self, capsys):
+        assert main(["analyze", "tsf", "--check", "--engine", "array",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (check,) = payload["checks"]
+        assert check["abs_error"] <= 0.05
+        assert check["contradictions"] == []
