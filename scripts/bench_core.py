@@ -49,9 +49,9 @@ DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "benchmarks", "BENCH_core.json")
 
 
-def _bench_config() -> MachineConfig:
+def _bench_config(reuse_mode: str = "loop") -> MachineConfig:
     """The benchmarked machine: the paper's reuse machine at IQ 64."""
-    return MachineConfig(reuse_enabled=True)
+    return MachineConfig(reuse_enabled=True, reuse_mode=reuse_mode)
 
 
 def _record_json(pipeline) -> str:
@@ -108,6 +108,10 @@ def main(argv=None) -> int:
     parser.add_argument("--kernels", nargs="+", metavar="NAME",
                         default=list(BENCHMARK_NAMES),
                         help="kernels to benchmark (default: all)")
+    parser.add_argument("--reuse-mode", default="loop",
+                        choices=("loop", "trace"), dest="reuse_mode",
+                        help="reuse controller variant the benchmarked "
+                             "machine runs (default: loop)")
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.quick else 3)
 
@@ -117,7 +121,7 @@ def main(argv=None) -> int:
                          f"{', '.join(BENCHMARK_NAMES)}")
 
     suite = WorkloadSuite()
-    config = _bench_config()
+    config = _bench_config(args.reuse_mode)
     kernels = {}
     speedups = []
     for name in args.kernels:
@@ -160,6 +164,7 @@ def main(argv=None) -> int:
         "machine": {
             "iq_size": config.iq_size,
             "reuse_enabled": config.reuse_enabled,
+            "reuse_mode": config.reuse_mode,
         },
         "method": {
             "repeats": repeats,

@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""Head-to-head reuse ablation: loop reuse vs trace reuse vs loop cache.
+
+Runs every workload on four machine variants -- reuse off (the
+normalization baseline), the paper's loop-reuse controller
+(``--reuse loop``), the trace-reuse controller (``--reuse trace``, see
+``docs/trace_reuse.md``) and the related-work fetch-stage loop cache
+(``loop_cache_size`` = IQ size, reuse off) -- across the IQ sweep
+32/64/96/128, re-costs every timing run through the power path, and
+writes ``benchmarks/BENCH_reuse_ablation.json``.
+
+The workload set is the 8 Table 2 kernels plus programs whose hot path
+is *not* a tight PC-contiguous loop -- the shapes the trace controller
+exists for:
+
+* ``synth-skip``: a loop whose body jumps over a 48-instruction cold
+  block (static span > IQ at 32, dynamic path ~10 instructions);
+* ``synth-bias``: a loop with a biased conditional whose rare arm lives
+  outside the head..tail range (a side exit the loop controller keeps
+  revoking on);
+* two deterministic fuzz-generated programs (``MutationEngine`` seed
+  archetypes under a pinned seed), exactly as a campaign would emit.
+
+``--check`` is the CI mode: it additionally runs every cell on *both*
+engines, asserts the activity records are byte-identical, and enforces
+the ablation's acceptance criterion -- on every cell where the loop
+controller captures nothing (the hot path is not a tight loop at that
+IQ size), the trace controller must supply at least as many
+instructions.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_reuse_ablation.py
+        [--kernels NAME ...] [--iq N ...] [--engine {object,array}]
+        [--check] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.arch.config import MachineConfig  # noqa: E402
+from repro.fuzz.mutate import MutationEngine, render  # noqa: E402
+from repro.isa.assembler import assemble  # noqa: E402
+from repro.power.activity import ActivityRecord  # noqa: E402
+from repro.sim.simulator import ENGINES, simulate  # noqa: E402
+from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks", "BENCH_reuse_ablation.json")
+
+IQ_SIZES = (32, 64, 96, 128)
+
+#: Pinned seed for the fuzz-generated workloads (any campaign run with
+#: this seed regenerates the identical programs).
+FUZZ_SEED = 1234
+
+_COLD_BLOCK = "\n".join(f"    addu $s{i % 4}, $s{i % 4}, $t7"
+                        for i in range(48))
+
+#: A hot loop that jumps over a cold block: static head..tail span of
+#: ~56 instructions (never capturable by the loop controller at IQ 32),
+#: dynamic path of ~10 (trivially capturable by the trace controller).
+SYNTH_SKIP = f"""
+.text
+    li $t0, 0
+    li $t1, 400
+top:
+    addiu $t2, $t0, 3
+    sll   $t3, $t2, 1
+    beq   $zero, $zero, hot
+{_COLD_BLOCK}
+hot:
+    subu  $t4, $t3, $t0
+    xor   $t5, $t5, $t4
+    addiu $t0, $t0, 1
+    slt   $t6, $t0, $t1
+    bne   $t6, $zero, top
+    halt
+"""
+
+#: A loop with a biased conditional whose rare arm (1 trip in 16) lives
+#: outside the head..tail range: a side exit the loop controller keeps
+#: revoking on, while the trace controller pins the hot path.
+SYNTH_BIAS = """
+.text
+    li $t0, 0
+    li $t1, 400
+    li $s7, 0
+top:
+    andi  $t2, $t0, 15
+    beq   $t2, $zero, rare
+    addiu $t3, $t0, 7
+    xor   $t4, $t4, $t3
+join:
+    addiu $t0, $t0, 1
+    slt   $t5, $t0, $t1
+    bne   $t5, $zero, top
+    halt
+rare:
+    addu  $s7, $s7, $t0
+    addu  $s7, $s7, $t3
+    addu  $s7, $s7, $t4
+    addu  $s7, $s7, $t0
+    beq   $zero, $zero, join
+"""
+
+
+def build_workloads():
+    """Name -> assembled program, in report order."""
+    suite = WorkloadSuite()
+    workloads = {name: suite.program(name) for name in BENCHMARK_NAMES}
+    workloads["synth-skip"] = assemble(SYNTH_SKIP, name="synth-skip")
+    workloads["synth-bias"] = assemble(SYNTH_BIAS, name="synth-bias")
+    engine = MutationEngine(random.Random(FUZZ_SEED))
+    seeds = engine.seed_specs()
+    # the nested-loop and leaf-call archetypes: the shapes whose reuse
+    # behaviour differs most between the two controllers
+    for label, spec in (("fuzz-nested", seeds[2]), ("fuzz-call", seeds[3])):
+        name = f"{label}-s{FUZZ_SEED}"
+        workloads[name] = assemble(render(spec), name=name)
+    return workloads
+
+
+def variant_config(mode: str, iq: int) -> MachineConfig:
+    """The machine for one ablation arm at one IQ size."""
+    if mode == "base":
+        return MachineConfig(reuse_enabled=False).with_iq_size(iq)
+    if mode in ("loop", "trace"):
+        return MachineConfig(reuse_enabled=True,
+                             reuse_mode=mode).with_iq_size(iq)
+    if mode == "loopcache":
+        # capacity matched to the IQ so the comparison is capacity-fair
+        return MachineConfig(reuse_enabled=False,
+                             loop_cache_size=iq).with_iq_size(iq)
+    raise ValueError(f"unknown ablation arm {mode!r}")
+
+
+MODES = ("base", "loop", "trace", "loopcache")
+
+
+def run_cell(program, config, engine: str, check: bool):
+    """Simulate one (program, config) cell; returns the metrics dict.
+
+    Under ``check`` the cell runs on *both* engines and the activity
+    records must be byte-identical.
+    """
+    result = simulate(program, config, engine=engine, keep_pipeline=check)
+    if check:
+        payload = json.dumps(
+            ActivityRecord.capture(result.pipeline).to_payload(),
+            sort_keys=True)
+        other = next(name for name in ENGINES if name != engine)
+        other_result = simulate(program, config, engine=other,
+                                keep_pipeline=True)
+        other_payload = json.dumps(
+            ActivityRecord.capture(other_result.pipeline).to_payload(),
+            sort_keys=True)
+        if payload != other_payload:
+            raise SystemExit(
+                f"FATAL: {program.name} iq={config.iq_size} "
+                f"reuse={config.reuse_mode if config.reuse_enabled else 'off'}"
+                f" lc={config.loop_cache_size}: activity records differ "
+                f"between engines")
+    stats = result.stats
+    supplied = stats.reuse_supplied
+    if config.loop_cache_size:
+        # the loop cache counts fetch cycles it served, not instructions
+        supplied = int(result.activity["loopcache_supplied_cycles"])
+    return {
+        "cycles": result.cycles,
+        "ipc": round(result.ipc, 4),
+        "supplied": supplied,
+        "total_energy": round(result.total_energy, 1),
+        "avg_power": round(result.avg_power, 4),
+        "gated_fraction": round(result.gated_fraction, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernels", nargs="+", metavar="NAME", default=None,
+                        help="workload subset (default: all 12)")
+    parser.add_argument("--iq", nargs="+", type=int, metavar="N",
+                        default=list(IQ_SIZES),
+                        help="IQ sizes to sweep (default: 32 64 96 128)")
+    parser.add_argument("--engine", default="array",
+                        choices=sorted(ENGINES),
+                        help="pipeline-core engine (default: array)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: cross-check both engines per cell "
+                             "and enforce the trace>=loop criterion")
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH",
+                        help="report path (default benchmarks/"
+                             "BENCH_reuse_ablation.json)")
+    args = parser.parse_args(argv)
+
+    workloads = build_workloads()
+    if args.kernels:
+        unknown = [k for k in args.kernels if k not in workloads]
+        if unknown:
+            parser.error(f"unknown workloads {unknown}; choose from "
+                         f"{', '.join(workloads)}")
+        workloads = {k: workloads[k] for k in args.kernels}
+
+    programs = {}
+    criterion_cells = []      # cells where the loop controller got nothing
+    trace_wins = []           # cells where trace strictly out-supplied loop
+    for name, program in workloads.items():
+        per_iq = {}
+        for iq in args.iq:
+            row = {}
+            for mode in MODES:
+                row[mode] = run_cell(program, variant_config(mode, iq),
+                                     args.engine, args.check)
+            base_energy = row["base"]["total_energy"]
+            for mode in MODES[1:]:
+                row[mode]["energy_vs_base"] = round(
+                    row[mode]["total_energy"] / base_energy, 4)
+            loop_n = row["loop"]["supplied"]
+            trace_n = row["trace"]["supplied"]
+            if loop_n == 0:
+                criterion_cells.append((name, iq, loop_n, trace_n))
+            if trace_n > loop_n:
+                trace_wins.append((name, iq, loop_n, trace_n))
+            per_iq[str(iq)] = row
+            print(f"{name:16s} iq={iq:<3d} "
+                  f"loop {loop_n:>6d} ({row['loop']['energy_vs_base']:.3f}) "
+                  f"trace {trace_n:>6d} ({row['trace']['energy_vs_base']:.3f}) "
+                  f"lcache ({row['loopcache']['energy_vs_base']:.3f})")
+        programs[name] = per_iq
+
+    violations = [(n, iq, ln, tn) for n, iq, ln, tn in criterion_cells
+                  if tn < ln]
+    report = {
+        "schema": 1,
+        "description": "reuse-controller ablation: loop reuse vs trace "
+                       "reuse vs fetch-stage loop cache, energy via the "
+                       "power path (see docs/trace_reuse.md)",
+        "machine": {
+            "iq_sizes": list(args.iq),
+            "modes": list(MODES),
+            "loop_cache_capacity": "matched to IQ size",
+            "engine": args.engine,
+        },
+        "method": {
+            "timed_region": "construct + run() to halt, power re-costed "
+                            "from the activity record",
+            "fuzz_seed": FUZZ_SEED,
+            "python": platform.python_version(),
+            "energy_vs_base": "variant total_energy / reuse-off "
+                              "total_energy at the same IQ size",
+        },
+        "programs": programs,
+        "summary": {
+            "workloads": len(programs),
+            "cells_per_workload": len(args.iq) * len(MODES),
+            "non_tight_cells": [
+                {"program": n, "iq": iq, "loop_supplied": ln,
+                 "trace_supplied": tn}
+                for n, iq, ln, tn in criterion_cells],
+            "trace_wins": [
+                {"program": n, "iq": iq, "loop_supplied": ln,
+                 "trace_supplied": tn}
+                for n, iq, ln, tn in trace_wins],
+            "trace_ge_loop_on_non_tight": not violations,
+        },
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"{len(trace_wins)} trace-win cell(s), "
+          f"{len(criterion_cells)} non-tight cell(s) -> {args.out}")
+
+    if violations:
+        print("FAIL: trace controller supplied fewer instructions than "
+              "the loop controller on a non-tight-loop cell:",
+              file=sys.stderr)
+        for n, iq, ln, tn in violations:
+            print(f"  {n} iq={iq}: loop {ln} > trace {tn}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

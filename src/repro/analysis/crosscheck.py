@@ -79,6 +79,12 @@ REASON_TO_HAZARD: Dict[str, str] = {
     "exit at tail": HAZARD_EXIT,
     "inner loop": HAZARD_INNER_LOOP,
     "issue queue full": HAZARD_IQ_OVERFLOW,
+    # trace-reuse controller only: the buffered path stopped repeating.
+    # Statically this is an exit from the traced path, but it carries no
+    # per-loop hazard claim (any control in the body can diverge), so
+    # the hazard-subset check is skipped in trace mode (see
+    # _check_revoke).
+    "trace divergence": HAZARD_EXIT,
 }
 
 
@@ -175,7 +181,8 @@ class CrosscheckResult:
 
 def _check_buffer_start(event: ControllerEvent, cycle: int,
                         loops: Dict[int, StaticLoop], iq_size: int,
-                        out: List[ConcordanceViolation]) -> None:
+                        out: List[ConcordanceViolation],
+                        mode: str = "loop") -> None:
     loop = loops.get(event.tail_pc) if event.tail_pc is not None else None
     if loop is None:
         out.append(ConcordanceViolation(
@@ -188,6 +195,19 @@ def _check_buffer_start(event: ControllerEvent, cycle: int,
             "buffer_start", cycle, event.tail_pc,
             f"head mismatch: dynamic {event.head_pc:#x} vs static "
             f"{loop.head_pc:#x}"))
+    if mode == "trace":
+        # the trace controller buffers one dynamic path through the
+        # body, which may be much shorter than the static head..tail
+        # distance; the static claim that must hold is that the
+        # *shortest* path fits the queue
+        if (loop.min_iteration_length is not None
+                and loop.min_iteration_length > iq_size):
+            out.append(ConcordanceViolation(
+                "buffer_start", cycle, event.tail_pc,
+                f"trace buffering started on a loop whose shortest "
+                f"iteration ({loop.min_iteration_length} instructions) "
+                f"cannot fit the {iq_size}-entry queue"))
+        return
     if not loop.fits(iq_size):
         out.append(ConcordanceViolation(
             "buffer_start", cycle, event.tail_pc,
@@ -197,7 +217,8 @@ def _check_buffer_start(event: ControllerEvent, cycle: int,
 
 def _check_promote(event: ControllerEvent, cycle: int,
                    loops: Dict[int, StaticLoop], iq_size: int,
-                   out: List[ConcordanceViolation]) -> None:
+                   out: List[ConcordanceViolation],
+                   mode: str = "loop") -> None:
     loop = loops.get(event.tail_pc) if event.tail_pc is not None else None
     if loop is None:
         out.append(ConcordanceViolation(
@@ -205,7 +226,10 @@ def _check_promote(event: ControllerEvent, cycle: int,
             f"promoted loop {event.tail_pc!r} has no static candidate"))
         return
     verdict = loop.classify(iq_size)
-    if verdict in (CLASS_TOO_LARGE, CLASS_OVERFLOW):
+    if mode != "trace" and verdict in (CLASS_TOO_LARGE, CLASS_OVERFLOW):
+        # the trace controller legitimately promotes loops the loop
+        # classifier rejects: a statically-too-large body whose hot path
+        # is short, or a variable-length body pinned to one path
         out.append(ConcordanceViolation(
             "promote", cycle, event.tail_pc,
             f"loop statically classified {verdict!r} was promoted to "
@@ -226,7 +250,8 @@ def _check_promote(event: ControllerEvent, cycle: int,
 
 def _check_revoke(event: ControllerEvent, cycle: int,
                   loops: Dict[int, StaticLoop], iq_size: int,
-                  out: List[ConcordanceViolation]) -> None:
+                  out: List[ConcordanceViolation],
+                  mode: str = "loop") -> None:
     if not event.nblt_insert:
         return                 # mispredict / reuse exit: no static claim
     reason = event.reason or ""
@@ -243,6 +268,11 @@ def _check_revoke(event: ControllerEvent, cycle: int,
             f"NBLT insert for {event.tail_pc!r} with no static "
             f"candidate"))
         return
+    if mode == "trace":
+        # a traced path can diverge (or exit) at any control in the
+        # body whether or not the loop analyzer flagged a hazard, so
+        # trace-mode revokes carry no hazard-subset claim
+        return
     if hazard not in loop.hazards(iq_size):
         out.append(ConcordanceViolation(
             "revoke", cycle, event.tail_pc,
@@ -253,19 +283,27 @@ def _check_revoke(event: ControllerEvent, cycle: int,
 
 def _concordance(events: List[ControllerEvent],
                  static: Dict[int, StaticLoop], iq_size: int,
+                 mode: str = "loop",
                  ) -> Tuple[List[ConcordanceViolation], Dict[str, int]]:
-    """Run every concordance check over one event log."""
+    """Run every concordance check over one event log.
+
+    ``mode`` is the controller variant that produced the log
+    (``MachineConfig.reuse_mode``); trace-mode logs relax the checks
+    that assume the buffered region is the full static loop body.
+    """
     violations: List[ConcordanceViolation] = []
     counts: Dict[str, int] = {}
     for event in events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
         if event.kind == "buffer_start":
             _check_buffer_start(event, event.cycle, static, iq_size,
-                                violations)
+                                violations, mode)
         elif event.kind == "promote":
-            _check_promote(event, event.cycle, static, iq_size, violations)
+            _check_promote(event, event.cycle, static, iq_size, violations,
+                           mode)
         elif event.kind == "revoke":
-            _check_revoke(event, event.cycle, static, iq_size, violations)
+            _check_revoke(event, event.cycle, static, iq_size, violations,
+                          mode)
     return violations, counts
 
 
@@ -290,7 +328,8 @@ def crosscheck(program: Program, config: MachineConfig,
                                    keep_pipeline=True, engine=engine)
     events = list(pipeline.controller.events)
     iq_size = config.iq_size
-    violations, counts = _concordance(events, static, iq_size)
+    violations, counts = _concordance(events, static, iq_size,
+                                      config.reuse_mode)
     return CrosscheckResult(
         program=program.name,
         iq_size=iq_size,

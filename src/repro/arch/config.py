@@ -111,8 +111,17 @@ class MachineConfig:
     # -- the paper's mechanism -------------------------------------------------
     #: Master switch for the reuse-capable issue queue.
     reuse_enabled: bool = False
+    #: Controller variant: "loop" is the paper's backward-branch tight-loop
+    #: detector; "trace" generalizes detection to arbitrary hot traces via
+    #: a trace-head table keyed on start PC + branch-outcome signature
+    #: (see ``docs/trace_reuse.md``).  Ignored when ``reuse_enabled`` is
+    #: False.
+    reuse_mode: str = "loop"
     #: Non-bufferable loop table entries (0 disables the NBLT).
     nblt_size: int = 8
+    #: Trace-head table entries for the trace-reuse controller (FIFO;
+    #: 0 disables trace detection entirely).  Unused in "loop" mode.
+    tht_size: int = 16
     #: "multi" buffers whole iterations while free entries remain (the
     #: strategy the paper chooses); "single" buffers exactly one iteration.
     buffering_strategy: str = "multi"
@@ -141,8 +150,14 @@ class MachineConfig:
                      "rob_size", "lsq_size"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.reuse_mode not in ("loop", "trace"):
+            raise ValueError(
+                f"reuse_mode must be 'loop' or 'trace', "
+                f"got {self.reuse_mode!r}")
         if self.nblt_size < 0:
             raise ValueError("nblt_size must be >= 0")
+        if self.tht_size < 0:
+            raise ValueError("tht_size must be >= 0")
         if self.loop_cache_size < 0:
             raise ValueError("loop_cache_size must be >= 0")
         if self.loop_cache_decoded and not self.loop_cache_size:

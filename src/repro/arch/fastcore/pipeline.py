@@ -73,6 +73,7 @@ from repro.core.controller import ControllerEvent
 from repro.core.lrl import LogicalRegisterList
 from repro.core.nblt import NonBufferableLoopTable
 from repro.core.states import IQState, check_transition
+from repro.core.trace_controller import TraceHeadTable
 from repro.isa.memory import SparseMemory
 from repro.isa.program import INSTRUCTION_BYTES, Program
 from repro.isa.semantics import forwarded_value
@@ -138,6 +139,10 @@ class FastControllerView:
         return self._core.nblt
 
     @property
+    def tht(self) -> TraceHeadTable:
+        return self._core._tht
+
+    @property
     def lrl(self) -> LogicalRegisterList:
         return self._core.lrl
 
@@ -178,6 +183,8 @@ class FastPipeline:
         "_c_iters_buffered", "_c_pending_promote", "_c_promote_slot",
         "_c_promote_seq", "_c_ptr", "_c_next_eid", "_c_session",
         "_c_undispatched", "_c_supplied", "_transitions", "_events",
+        "_tht", "_t_obs_head", "_t_obs", "_t_obs_len", "_t_ref",
+        "_t_ref_idx",
     )
 
     def __init__(self, program: Program, config: MachineConfig,
@@ -300,6 +307,14 @@ class FastPipeline:
         self._c_supplied = 0
         self._transitions: List = []
         self._events: List[ControllerEvent] = []
+        # trace-reuse controller state (reuse_mode="trace"; see
+        # repro.core.trace_controller.TraceReuseController)
+        self._tht = TraceHeadTable(config.tht_size)
+        self._t_obs_head: Optional[int] = None
+        self._t_obs: List = []
+        self._t_obs_len = 0
+        self._t_ref: tuple = ()
+        self._t_ref_idx = 0
 
         if tracer is not None:
             self.attach_probe(tracer)
@@ -325,8 +340,12 @@ class FastPipeline:
         if self._delegate is None:
             if self._started:
                 raise RuntimeError(
-                    "cannot attach a probe to a started array core; attach "
-                    "before the first cycle (or use engine='object')")
+                    f"cannot attach a probe to the array core after it "
+                    f"has started (cycle {self.cycle}): the array core "
+                    f"only swaps in its observable delegate before the "
+                    f"first cycle; attach earlier, or build the pipeline "
+                    f"with engine='object' which accepts probes at any "
+                    f"cycle")
             delegate = Pipeline(self.program, self.config,
                                 memory=self.mem_image)
             self._delegate = delegate
@@ -514,6 +533,7 @@ class FastPipeline:
         dcache_ports = config.dcache_ports
         il1_hit = config.il1.hit_latency
         reuse_on = config.reuse_enabled
+        trace_on = reuse_on and config.reuse_mode == "trace"
         slot_bits = self._slot_bits
         smask = self._smask
         FSH = _FSHIFT
@@ -1154,11 +1174,16 @@ class FastPipeline:
                         if reuse_on:
                             st = self._state
                             if st is ST_N:
-                                if (s_flags[d_idx[ds]] & F_BACKWARD
+                                if trace_on:
+                                    self._trace_observe(ds)
+                                elif (s_flags[d_idx[ds]] & F_BACKWARD
                                         and d_pred_taken[ds]):
                                     self._try_start_buffering(ds)
                             elif st is ST_B:
-                                self._buffering_decode(ds)
+                                if trace_on:
+                                    self._trace_buffering_decode(ds)
+                                else:
+                                    self._buffering_decode(ds)
                             if self._gated:
                                 break
                         budget -= 1
@@ -1416,6 +1441,12 @@ class FastPipeline:
             elif state is _ST_REUSE:
                 stats.reuse_mispredicts += 1
                 self._revoke("reuse exit", register_nblt=False)
+            elif self.config.reuse_mode == "trace":
+                # the squash invalidated part of the observed decode
+                # stream; the window no longer describes a real path
+                self._t_obs_head = None
+                self._t_obs = []
+                self._t_obs_len = 0
 
     # -- controller (the object core's ReuseController, on slot handles) --
 
@@ -1501,6 +1532,138 @@ class FastPipeline:
         self._c_last_size = self._c_iter_counter
         self._c_iter_counter = 0
         self._c_iters_buffered += 1
+        if self.config.buffering_strategy == "single":
+            self._promote(ds)
+            return
+        effective_free = ((self.config.iq_size - len(self._iq_set))
+                          - self._c_undispatched)
+        if effective_free >= self._c_last_size:
+            return
+        self._promote(ds)
+
+    # -- trace controller (TraceReuseController, on slot handles) ----------
+
+    def _trace_observe(self, ds: int) -> None:
+        """Normal-state observation hook (reuse_mode="trace" only)."""
+        if self._tht.size <= 0:
+            return
+        idx = self._d_idx[ds]
+        f = self._img.flags[idx]
+        if f & F_BACKWARD and self._d_pred_taken[ds]:
+            self._trace_observe_tail(ds, idx)
+            return
+        if self._t_obs_head is None:
+            return
+        self._t_obs_len += 1
+        if self._t_obs_len >= self.config.iq_size:
+            # the path from the anchor no longer fits head..tail inclusive
+            # in the issue queue; abandon and wait for the next anchor
+            self._t_obs_head = None
+            self._t_obs = []
+            self._t_obs_len = 0
+            return
+        if f & F_CONTROL:
+            self._t_obs.append(
+                (self._d_pc[ds], self._d_pred_taken[ds],
+                 self._d_pred_target[ds]))
+
+    def _trace_observe_tail(self, ds: int, idx: int) -> None:
+        stats = self.stats
+        head = self._img.target[idx]
+        tail = self._d_pc[ds]
+        if self._t_obs_head == head:
+            signature = tuple(self._t_obs) + (
+                (tail, self._d_pred_taken[ds], self._d_pred_target[ds]),)
+            stats.trace_detections += 1
+            stats.tht_lookups += 1
+            stored = self._tht.get(head)
+            if stored == signature:
+                stats.tht_hits += 1
+                stats.loop_detections += 1
+                if self.nblt.lookup(tail):
+                    stats.nblt_lookups += 1
+                    stats.nblt_hits += 1
+                else:
+                    stats.nblt_lookups += 1
+                    self._trace_start_buffering(head, tail, signature)
+                    return
+            else:
+                self._tht.put(head, signature)
+        # re-anchor at this tail's target; the traversal that just ended
+        # (or a partial window) doubles as the start of the next one
+        self._t_obs_head = head
+        self._t_obs = []
+        self._t_obs_len = 0
+
+    def _trace_start_buffering(self, head: int, tail: int,
+                               signature: tuple) -> None:
+        stats = self.stats
+        self._transition(_ST_BUFFERING, "capturable loop detected")
+        self._events.append(ControllerEvent(
+            kind="buffer_start", head_pc=head, tail_pc=tail,
+            cycle=self.cycle))
+        stats.buffering_started += 1
+        self._c_session += 1
+        self._c_undispatched = 0
+        self._c_head = head
+        self._c_tail = tail
+        self._c_buffered = []
+        self._c_call_depth = 0
+        self._c_iter_counter = 0
+        self._c_last_size = 0
+        self._c_iters_buffered = 0
+        self._c_pending_promote = False
+        self._c_promote_slot = -1
+        self._c_promote_seq = -1
+        self._c_supplied = 0
+        self._t_ref = signature
+        self._t_ref_idx = 0
+        self._t_obs_head = None
+        self._t_obs = []
+        self._t_obs_len = 0
+
+    def _trace_buffering_decode(self, ds: int) -> None:
+        if self._c_pending_promote:
+            # the gate is already up; an instruction still in flight
+            # through decode this cycle is simply left alone
+            return
+        stats = self.stats
+        if self._img.flags[self._d_idx[ds]] & F_CONTROL:
+            ref = self._t_ref[self._t_ref_idx]
+            pc = self._d_pc[ds]
+            taken = self._d_pred_taken[ds]
+            if (pc, taken, self._d_pred_target[ds]) != ref:
+                last = self._t_ref_idx == len(self._t_ref) - 1
+                if last and pc == ref[0] and not taken:
+                    # the trace ends here: execution exits during
+                    # buffering (the paper's exit-at-tail rule)
+                    self._d_session[ds] = self._c_session
+                    self._c_undispatched += 1
+                    self._c_iter_counter += 1
+                    self._revoke("exit at tail", register_nblt=True)
+                    stats.revokes_exit += 1
+                    return
+                self._revoke("trace divergence", register_nblt=True)
+                stats.revokes_divergence += 1
+                return
+            if self._t_ref_idx == len(self._t_ref) - 1:
+                self._trace_iteration_boundary(ds)
+                return
+            self._t_ref_idx += 1
+        # non-control instructions need no check: the path between two
+        # controls is fully determined by the previous control's outcome
+        self._d_session[ds] = self._c_session
+        self._c_undispatched += 1
+        self._c_iter_counter += 1
+
+    def _trace_iteration_boundary(self, ds: int) -> None:
+        self._d_session[ds] = self._c_session
+        self._c_undispatched += 1
+        self._c_iter_counter += 1
+        self._c_last_size = self._c_iter_counter
+        self._c_iter_counter = 0
+        self._c_iters_buffered += 1
+        self._t_ref_idx = 0
         if self.config.buffering_strategy == "single":
             self._promote(ds)
             return
@@ -1610,4 +1773,9 @@ class FastPipeline:
         self._gated = False
         self._c_head = None
         self._c_tail = None
+        self._t_ref = ()
+        self._t_ref_idx = 0
+        self._t_obs_head = None
+        self._t_obs = []
+        self._t_obs_len = 0
         self._transition(_ST_NORMAL, reason)

@@ -53,7 +53,7 @@ from repro.arch.rename import RenameMap
 from repro.arch.rob import ReorderBuffer
 from repro.arch.stats import REUSE_COUNTER_OF, PipelineStats
 from repro.arch.trace import PipelineTracer
-from repro.core.controller import ReuseController
+from repro.core import controller_for
 from repro.core.states import IQState
 from repro.isa.memory import SparseMemory
 from repro.isa.opcodes import FuClass, InstrClass
@@ -112,7 +112,8 @@ class Pipeline:
         self.lsq = LoadStoreQueue(config.lsq_size)
         self.iq = IssueQueue(config.iq_size)
         self.fus = FunctionalUnitPool(config)
-        self.controller = ReuseController(config, self.iq, self.stats)
+        self.controller = controller_for(config.reuse_mode)(
+            config, self.iq, self.stats)
         self._seq = 0
         self.fetch_unit = FetchUnit(program, config, self.hierarchy,
                                     self.predictor, self._next_seq,

@@ -35,6 +35,9 @@ COUNTER_GROUPS: Dict[str, Tuple[str, ...]] = {
                     "reuse_supplied_fpmul", "reuse_supplied_load",
                     "reuse_supplied_store", "reuse_supplied_control",
                     "reuse_supplied_other"),
+    # trace-reuse controller (reuse_mode="trace"; all zero in loop mode)
+    "trace": ("trace_detections", "tht_lookups", "tht_hits",
+              "revokes_divergence"),
     "issue_queue": ("iq_inserts", "iq_removes", "iq_wakeups",
                     "iq_partial_updates", "lrl_writes", "lrl_reads"),
     "backend": ("rob_writes", "rob_reads", "lsq_inserts", "lsq_searches",
@@ -142,6 +145,13 @@ class PipelineStats:
                     f"sim_{name}",
                     help=f"pipeline counter {name} ({group} group)",
                 ).inc(getattr(self, name), group=group, **labels)
+        contribution = registry.counter(
+            "sim_reuse_contribution",
+            help="instructions supplied from the reuse buffer, split by "
+                 "instruction-type bucket (see docs/trace_reuse.md)")
+        for bucket in REUSE_TYPE_BUCKETS:
+            contribution.inc(getattr(self, f"reuse_supplied_{bucket}"),
+                             type=bucket, **labels)
         registry.gauge(
             "sim_ipc", help="committed instructions per cycle",
         ).set(self.ipc, **labels)

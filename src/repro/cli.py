@@ -107,8 +107,16 @@ from repro.workloads.suite import BENCHMARK_NAMES, WorkloadSuite
 
 def _machine_config(args) -> MachineConfig:
     config = MachineConfig().with_iq_size(args.iq)
+    # --reuse is a three-way selector; the bare flag and the legacy
+    # boolean default map onto the paper's loop controller
+    mode = getattr(args, "reuse", "off")
+    if mode is True:
+        mode = "loop"
+    elif mode in (False, None):
+        mode = "off"
     return config.replace(
-        reuse_enabled=args.reuse,
+        reuse_enabled=mode != "off",
+        reuse_mode=mode if mode != "off" else "loop",
         buffering_strategy=args.strategy,
         nblt_size=args.nblt,
     )
@@ -127,8 +135,13 @@ def _add_machine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--iq", type=int, default=64,
                         help="issue-queue entries (ROB=IQ, LSQ=IQ/2); "
                              "default 64")
-    parser.add_argument("--reuse", action="store_true",
-                        help="enable the reuse-capable issue queue")
+    parser.add_argument("--reuse", nargs="?", const="loop", default="off",
+                        choices=("loop", "trace", "off"),
+                        help="reuse-capable issue queue controller: "
+                             "'loop' (the paper's tight-loop detector; "
+                             "also what a bare --reuse selects), 'trace' "
+                             "(hot-trace generalization, see "
+                             "docs/trace_reuse.md) or 'off' (default)")
     parser.add_argument("--strategy", choices=("single", "multi"),
                         default="multi",
                         help="buffering strategy (default: multi)")
@@ -532,6 +545,7 @@ def _cmd_fuzz(args) -> int:
         corpus_dir=args.corpus_dir,
         inject_bug=args.inject_bug,
         engine=args.engine,
+        reuse_mode=args.reuse_mode,
     )
     reporter = ProgressReporter(verbose=not args.quiet)
     campaign = FuzzCampaign(config, progress=reporter)
@@ -582,7 +596,24 @@ def _cmd_trace(args) -> int:
           f"{summary['state_intervals']} state intervals, "
           f"{summary['gating_windows']} gating windows -> {args.out}",
           file=sys.stderr)
+    if config.reuse_enabled:
+        _print_reuse_contribution(result.stats, config.reuse_mode)
     return 0
+
+
+def _print_reuse_contribution(stats, reuse_mode: str) -> None:
+    """Per-instruction-type reuse-contribution table (``trace`` output)."""
+    from repro.arch.stats import REUSE_TYPE_BUCKETS
+
+    supplied = stats.reuse_supplied
+    print(f"[trace] reuse contribution by instruction type "
+          f"(controller={reuse_mode}, supplied={supplied}):",
+          file=sys.stderr)
+    for bucket in REUSE_TYPE_BUCKETS:
+        count = getattr(stats, f"reuse_supplied_{bucket}")
+        share = count / supplied if supplied else 0.0
+        print(f"[trace]   {bucket:8s} {count:10d}  {share:6.1%}",
+              file=sys.stderr)
 
 
 def _cmd_serve(args) -> int:
@@ -804,6 +835,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--strategy", choices=("single", "multi"),
                       default="multi",
                       help="buffering strategy (default: multi)")
+    fuzz.add_argument("--reuse-mode", choices=("loop", "trace"),
+                      default="loop", dest="reuse_mode",
+                      help="controller variant the reuse oracle legs "
+                           "run (default: loop; see docs/trace_reuse.md)")
     fuzz.add_argument("--engine", choices=("object", "array"),
                       default="array",
                       help="oracle engine: 'array' (default) runs the "
@@ -848,7 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_options(trace)
     # the interesting timeline is the reuse machine's -- default it on
     # (--baseline flips it back off)
-    trace.set_defaults(func=_cmd_trace, reuse=True)
+    trace.set_defaults(func=_cmd_trace, reuse="loop")
 
     srv = sub.add_parser(
         "serve",

@@ -72,11 +72,15 @@ class CampaignConfig:
     #: Oracle engine: ``array`` (default) runs the four-way oracle with
     #: the reuse-array leg, ``object`` the historical three-way one.
     engine: str = "array"
+    #: Controller variant the reuse legs run ("loop" or "trace"; see
+    #: docs/trace_reuse.md).
+    reuse_mode: str = "loop"
 
     def machine_config(self) -> MachineConfig:
         return MachineConfig().with_iq_size(self.iq_size).replace(
             nblt_size=self.nblt_size,
-            buffering_strategy=self.buffering_strategy)
+            buffering_strategy=self.buffering_strategy,
+            reuse_mode=self.reuse_mode)
 
 
 @dataclass
@@ -118,6 +122,7 @@ def _evaluate(payload: Dict[str, Any]) -> Dict[str, Any]:
     config = MachineConfig().with_iq_size(payload["iq_size"]).replace(
         nblt_size=payload["nblt_size"],
         buffering_strategy=payload["buffering_strategy"])
+    reuse_mode = payload.get("reuse_mode", "loop")
     controller_module._INJECTED_BUG = payload.get("inject_bug")
     try:
         try:
@@ -125,7 +130,8 @@ def _evaluate(payload: Dict[str, Any]) -> Dict[str, Any]:
         except AssemblerError as exc:
             return {"invalid": str(exc)}
         outcome = run_differential(program, config,
-                                   engine=payload.get("engine", "object"))
+                                   engine=payload.get("engine", "object"),
+                                   reuse_mode=reuse_mode)
     finally:
         controller_module._INJECTED_BUG = None
     return {
@@ -199,6 +205,7 @@ class FuzzCampaign:
             "buffering_strategy": config.buffering_strategy,
             "inject_bug": config.inject_bug,
             "engine": config.engine,
+            "reuse_mode": config.reuse_mode,
         }
 
     def _fold(self, spec: ProgramSpec, result: Any) -> None:
@@ -292,6 +299,7 @@ class FuzzCampaign:
                 "minimize": config.minimize,
                 "inject_bug": config.inject_bug,
                 "engine": config.engine,
+                "reuse_mode": config.reuse_mode,
             },
             "stopped_by": stopped_by,
             "programs_run": self.executed,

@@ -158,7 +158,8 @@ def cycle_limit_for(oracle_instructions: int) -> int:
 def run_differential(program: Program, config: MachineConfig,
                      max_instructions: int = 1_000_000,
                      collect_coverage: bool = True,
-                     engine: str = "object") -> DifferentialOutcome:
+                     engine: str = "object",
+                     reuse_mode: str = "loop") -> DifferentialOutcome:
     """Run the differential oracle on one program.
 
     All pipeline modes run from the given ``config`` (its
@@ -176,6 +177,10 @@ def run_differential(program: Program, config: MachineConfig,
     (Ordering matters for the self-test: an injected controller bug is
     reported against mode ``reuse`` first, the array leg only ever adds
     findings of its own.)
+
+    ``reuse_mode`` selects the controller variant the reuse legs run
+    (``"loop"`` or ``"trace"``; see ``docs/trace_reuse.md``) -- the
+    baseline leg is unaffected.
     """
     oracle = run_program(program, max_instructions=max_instructions)
     limit = cycle_limit_for(oracle.instructions_executed)
@@ -189,7 +194,9 @@ def run_differential(program: Program, config: MachineConfig,
         raise ValueError(f"unknown engine {engine!r}; "
                          f"choose 'object' or 'array'")
     for mode, core, reuse in legs:
-        pipeline = core(program, config.replace(reuse_enabled=reuse))
+        pipeline = core(program, config.replace(
+            reuse_enabled=reuse,
+            reuse_mode=reuse_mode if reuse else config.reuse_mode))
         probe = None
         if mode == "reuse" and collect_coverage:
             probe = CoverageProbe()

@@ -36,8 +36,10 @@ from repro.arch.stats import PipelineStats
 #: added, removed or changes meaning; persisted records with a different
 #: version (or a different counter key set) are treated as stale.
 #: (v2: the ``reuse_types`` counter group -- per-instruction-type reuse
-#: supply plus the committed-from-reuse count.)
-ACTIVITY_SCHEMA_VERSION = 2
+#: supply plus the committed-from-reuse count.  v3: the ``trace`` counter
+#: group for the trace-reuse controller -- trace detections, trace-head
+#: table lookups/hits and divergence revokes; all zero in loop mode.)
+ACTIVITY_SCHEMA_VERSION = 3
 
 #: Counters harvested from structures outside ``PipelineStats``, in the
 #: order they are captured.  Together with ``PipelineStats.__slots__``

@@ -55,6 +55,8 @@ class SimJob:
         extras = []
         if self.engine != "object":
             extras.append(self.engine)
+        if self.config.reuse_enabled and self.config.reuse_mode != "loop":
+            extras.append(self.config.reuse_mode)
         if self.config.nblt_size != 8:
             extras.append(f"nblt={self.config.nblt_size}")
         if self.config.buffering_strategy != "multi":
@@ -117,6 +119,7 @@ def job_to_dict(job: SimJob) -> Dict[str, Any]:
         "engine": job.engine,
         "iq_size": job.config.iq_size,
         "reuse_enabled": job.config.reuse_enabled,
+        "reuse_mode": job.config.reuse_mode,
         "buffering_strategy": job.config.buffering_strategy,
         "nblt_size": job.config.nblt_size,
         "config_digest": config_digest(job.config),

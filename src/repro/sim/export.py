@@ -46,8 +46,10 @@ __all__ = [
 #: set); 3 carries the activity record only, so one cached timing run
 #: serves every power parameterization; 4 adds the pipeline-core engine
 #: to the job content-hash key (array/object runs never share entries),
-#: invalidating every pre-engine cache entry.
-SCHEMA_VERSION = 4
+#: invalidating every pre-engine cache entry; 5 adds the reuse-mode
+#: selector (loop vs trace controller) and trace-head table size to the
+#: config payload and the activity record's ``trace`` counter group.
+SCHEMA_VERSION = 5
 
 
 def config_to_dict(config) -> Dict[str, Any]:
@@ -59,8 +61,10 @@ def config_to_dict(config) -> Dict[str, Any]:
         "fetch_width": config.fetch_width,
         "issue_width": config.issue_width,
         "reuse_enabled": config.reuse_enabled,
+        "reuse_mode": config.reuse_mode,
         "buffering_strategy": config.buffering_strategy,
         "nblt_size": config.nblt_size,
+        "tht_size": config.tht_size,
         "loop_cache_size": config.loop_cache_size,
     }
 
@@ -91,6 +95,7 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "exit": stats.revokes_exit,
             "iq_full": stats.revokes_iq_full,
             "mispredict": stats.revokes_mispredict,
+            "divergence": stats.revokes_divergence,
         },
         "power": {
             name: {

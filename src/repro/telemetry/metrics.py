@@ -298,6 +298,18 @@ def registry_from_activity(record, registry: Optional[MetricRegistry] = None,
                          help="simulator activity counter "
                               "(see docs/telemetry.md)").inc(
             int(record[name]), **labels)
+    # per-instruction-type reuse-contribution breakdown: one labelled
+    # counter derived from the reuse_supplied_<bucket> counters, so
+    # dashboards can stack buckets without knowing the catalog
+    contribution = registry.counter(
+        "sim_reuse_contribution",
+        help="instructions supplied from the reuse buffer, split by "
+             "instruction-type bucket (see docs/trace_reuse.md)")
+    prefix = "reuse_supplied_"
+    for name in sorted(record):
+        if name.startswith(prefix):
+            contribution.inc(int(record[name]), type=name[len(prefix):],
+                             **labels)
     cycles = int(record["cycles"])
     committed = int(record["committed"])
     gated = int(record["gated_cycles"])

@@ -32,7 +32,7 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "x.s"])
         assert args.iq == 64
-        assert not args.reuse
+        assert args.reuse == "off"
         assert args.strategy == "multi"
         assert args.nblt == 8
 
@@ -41,9 +41,16 @@ class TestParser:
             ["run", "x.s", "--iq", "128", "--reuse",
              "--strategy", "single", "--nblt", "0"])
         assert args.iq == 128
-        assert args.reuse
+        assert args.reuse == "loop"         # bare --reuse keeps meaning loop
         assert args.strategy == "single"
         assert args.nblt == 0
+
+    def test_reuse_mode_selector(self):
+        args = build_parser().parse_args(
+            ["run", "x.s", "--reuse", "trace"])
+        assert args.reuse == "trace"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x.s", "--reuse", "bogus"])
 
     def test_bad_strategy_rejected(self):
         with pytest.raises(SystemExit):
@@ -345,7 +352,7 @@ class TestTraceCommand:
 
     def test_trace_defaults_to_reuse_machine(self):
         args = build_parser().parse_args(["trace", "x.s"])
-        assert args.reuse
+        assert args.reuse == "loop"
         assert args.out == "trace.json"
         assert args.stride == 1
 

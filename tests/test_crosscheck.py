@@ -73,9 +73,11 @@ class TestEventLog:
 
 class TestReasonMap:
     def test_covers_every_nblt_registering_reason(self):
-        # the controller registers exactly these four reasons in the NBLT
+        # the loop controller registers the first four reasons in the
+        # NBLT; the trace controller adds its divergence revoke
         assert set(REASON_TO_HAZARD) == {
-            "exit", "exit at tail", "inner loop", "issue queue full"}
+            "exit", "exit at tail", "inner loop", "issue queue full",
+            "trace divergence"}
 
 
 class TestTinyProgramConcordance:

@@ -61,7 +61,8 @@ class TestExport:
         _, reuse = results
         revokes = result_to_dict(reuse)["revokes"]
         assert set(revokes) == {"total", "buffering", "inner_loop",
-                                "exit", "iq_full", "mispredict"}
+                                "exit", "iq_full", "mispredict",
+                                "divergence"}
         assert revokes["total"] == reuse.stats.revokes
         assert revokes["buffering"] == reuse.stats.buffering_revokes
 

@@ -30,12 +30,14 @@ from repro.workloads.suite import BENCHMARK_NAMES
 
 IQ_SIZES = (32, 64, 96, 128)
 
-#: (kernel, iq) -> (record JSON bytes, stats dict) of the object core.
+#: (kernel, iq, reuse_mode) -> (record JSON, stats dict) of the object
+#: core.
 _OBJECT_RUNS = {}
 
 
-def _grid_config(iq: int) -> MachineConfig:
-    return MachineConfig().with_iq_size(iq).replace(reuse_enabled=True)
+def _grid_config(iq: int, reuse_mode: str = "loop") -> MachineConfig:
+    return MachineConfig().with_iq_size(iq).replace(
+        reuse_enabled=True, reuse_mode=reuse_mode)
 
 
 def _finished(core, program, config):
@@ -49,11 +51,11 @@ def _export(pipeline) -> str:
                       sort_keys=True)
 
 
-def _object_run(suite, kernel: str, iq: int):
-    key = (kernel, iq)
+def _object_run(suite, kernel: str, iq: int, reuse_mode: str = "loop"):
+    key = (kernel, iq, reuse_mode)
     if key not in _OBJECT_RUNS:
         pipeline = _finished(Pipeline, suite.program(kernel),
-                             _grid_config(iq))
+                             _grid_config(iq, reuse_mode))
         _OBJECT_RUNS[key] = (_export(pipeline),
                              pipeline.stats.as_dict())
     return _OBJECT_RUNS[key]
@@ -66,6 +68,19 @@ def test_engines_bit_exact(suite, kernel, iq):
     want_record, want_stats = _object_run(suite, kernel, iq)
     pipeline = _finished(FastPipeline, suite.program(kernel),
                          _grid_config(iq))
+    assert _export(pipeline) == want_record
+    assert pipeline.stats.as_dict() == want_stats
+
+
+@pytest.mark.parametrize("iq", IQ_SIZES)
+@pytest.mark.parametrize("kernel", BENCHMARK_NAMES)
+def test_engines_bit_exact_trace_mode(suite, kernel, iq):
+    """The trace-reuse controller holds the same bit-exactness contract
+    as the loop controller: byte-identical records and identical
+    counters on the full kernel x IQ grid under ``--reuse trace``."""
+    want_record, want_stats = _object_run(suite, kernel, iq, "trace")
+    pipeline = _finished(FastPipeline, suite.program(kernel),
+                         _grid_config(iq, "trace"))
     assert _export(pipeline) == want_record
     assert pipeline.stats.as_dict() == want_stats
 
@@ -123,6 +138,21 @@ def test_probe_attach_after_start_is_rejected(suite):
     pipeline.step()
     with pytest.raises(RuntimeError):
         pipeline.attach_probe(_CycleCounter())
+
+
+def test_probe_attach_error_names_the_array_core(suite):
+    """Regression: the late-attach error must blame the core that
+    actually raised it -- the array core -- name the cycle it was at,
+    and point at the working alternatives."""
+    pipeline = FastPipeline(suite.program("tsf"), _grid_config(32))
+    pipeline.step()
+    pipeline.step()
+    with pytest.raises(RuntimeError) as excinfo:
+        pipeline.attach_probe(_CycleCounter())
+    message = str(excinfo.value)
+    assert "array core" in message
+    assert "cycle 2" in message
+    assert "engine='object'" in message
 
 
 def test_four_way_oracle_on_the_array_engine(tight_loop_program,
