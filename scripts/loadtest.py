@@ -10,9 +10,13 @@ read, so the numbers measure the service front door -- parsing,
 admission, cache probing, response marshalling -- not the simulator.
 
 Reports throughput and p50/p90/p99 latency, plus how often the server
-pushed back (429/503).  ``--out`` writes the report as JSON in the shape
-committed as ``benchmarks/BENCH_service.json``, the perf trajectory CI
-tracks.
+pushed back (429/503).  After the hammer phase the harness scrapes the
+server's own Prometheus exposition (``GET /metrics?format=prom``) and
+reports *server-side* latency percentiles estimated from the
+``service_request_seconds`` histogram next to the client-side numbers --
+the gap between the two is connection + parse overhead.  ``--out``
+writes the report as JSON in the shape committed as
+``benchmarks/BENCH_service.json``, the perf trajectory CI tracks.
 
 Usage (against a running ``repro serve``)::
 
@@ -34,6 +38,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                        / "src"))
 
 from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+from repro.telemetry import parse_prometheus  # noqa: E402
 
 
 def percentile(samples, fraction):
@@ -43,6 +48,51 @@ def percentile(samples, fraction):
     index = min(len(ordered) - 1,
                 max(0, round(fraction * (len(ordered) - 1))))
     return ordered[index]
+
+
+def histogram_quantiles(samples, quantiles):
+    """Estimate quantiles from Prometheus histogram samples.
+
+    ``samples`` are one family's ``(name, labels, value)`` tuples;
+    ``_bucket`` counts are aggregated across label sets (summing
+    cumulative counts per ``le`` bound is valid because every labelled
+    histogram shares the bucket layout).  Each quantile reports the
+    first bucket bound whose cumulative count covers it -- an upper
+    bound, the resolution Prometheus itself offers.
+    """
+    buckets = {}
+    total = 0
+    for name, labels, value in samples:
+        if name.endswith("_bucket"):
+            bound = float(labels["le"].replace("+Inf", "inf"))
+            buckets[bound] = buckets.get(bound, 0) + value
+        elif name.endswith("_count"):
+            total += value
+    if not total:
+        return {}
+    out = {}
+    for quantile in quantiles:
+        target = quantile * total
+        for bound in sorted(buckets):
+            if buckets[bound] >= target:
+                out[quantile] = bound
+                break
+    return out
+
+
+async def scrape_server_latency(host, port):
+    """Server-side request-latency percentiles from the prom scrape."""
+    async with ServiceClient(host, port,
+                             client_id="loadtest-scrape") as client:
+        text = await client.scrape_metrics(format="prom")
+    families = parse_prometheus(text)
+    family = families.get("service_request_seconds")
+    if family is None:
+        return {}
+    quantiles = histogram_quantiles(family["samples"],
+                                    (0.50, 0.90, 0.99))
+    return {f"p{int(q * 100)}": value
+            for q, value in sorted(quantiles.items())}
 
 
 async def hammer(host, port, client_id, payload, deadline, latencies,
@@ -126,6 +176,14 @@ async def main() -> int:
         for index in range(args.clients)])
     elapsed = loop.time() - started
 
+    try:
+        server_latency = await scrape_server_latency(args.host,
+                                                     args.port)
+    except (ServiceError, ValueError, ConnectionError) as exc:
+        print(f"[loadtest] metrics scrape failed: {exc}",
+              file=sys.stderr)
+        server_latency = {}
+
     report = {
         "schema": 1,
         "benchmark": "service_warm_cache_submit",
@@ -144,6 +202,9 @@ async def main() -> int:
             "mean": round(statistics.fmean(latencies), 6)
             if latencies else 0.0,
         },
+        # upper-bound percentiles from the server's own
+        # service_request_seconds histogram (bucket resolution)
+        "server_latency_seconds": server_latency,
         "rate_limited": counters["rate_limited"],
         "backpressure": counters["backpressure"],
         "connection_errors": counters["errors"],

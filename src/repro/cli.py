@@ -584,7 +584,8 @@ def _cmd_trace(args) -> int:
     config = _machine_config(args)
     if args.baseline:
         config = config.replace(reuse_enabled=False)
-    session = TelemetrySession(stride=args.stride, stages=args.stages)
+    session = TelemetrySession(stride=args.stride, stages=args.stages,
+                               energy=args.energy)
     result = simulate(program, config, telemetry=session)
     session.write_trace(args.out)
     mode = "reuse" if config.reuse_enabled else "baseline"
@@ -598,6 +599,8 @@ def _cmd_trace(args) -> int:
           file=sys.stderr)
     if config.reuse_enabled:
         _print_reuse_contribution(result.stats, config.reuse_mode)
+    if session.energy_probe is not None:
+        _print_energy_attribution(session.energy_probe, result.cycles)
     return 0
 
 
@@ -616,15 +619,35 @@ def _print_reuse_contribution(stats, reuse_mode: str) -> None:
               file=sys.stderr)
 
 
+def _print_energy_attribution(probe, cycles: int) -> None:
+    """Per-component energy table (the paper's Fig. 6, live)."""
+    from repro.power import COMPONENT_STAGES
+    from repro.power.components import REPORT_COMPONENTS
+
+    totals = probe.totals()
+    grand = sum(totals.values())
+    print(f"[trace] energy attribution by component "
+          f"(total={grand:.0f}, avg={grand / cycles if cycles else 0.0:.2f}"
+          f"/cycle):", file=sys.stderr)
+    for name in REPORT_COMPONENTS:
+        energy = totals.get(name, 0.0)
+        share = energy / grand if grand else 0.0
+        print(f"[trace]   {name:12s} {COMPONENT_STAGES[name]:8s}"
+              f" {energy:14.0f}  {share:6.1%}", file=sys.stderr)
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
     from repro.service import ServiceConfig, serve
+    from repro.telemetry import configure_logging
 
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
     if args.max_queue_depth < 1:
         raise SystemExit("error: --max-queue-depth must be >= 1")
+    configure_logging(path=args.log_out, level=args.log_level,
+                      default_stream=sys.stderr)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -648,9 +671,10 @@ def _cmd_cache(args) -> int:
     from repro.runner.cache import ResultCache
 
     cache = ResultCache(args.cache_dir)
+    as_json = args.json or args.format == "json"
     if args.action == "stats":
         stats = cache.stats()
-        if args.json:
+        if as_json:
             print(json.dumps(stats, indent=2, sort_keys=True))
         else:
             print(f"cache directory  {stats['directory']}")
@@ -659,7 +683,7 @@ def _cmd_cache(args) -> int:
             print(f"bytes            {stats['bytes']}")
     else:  # purge
         removed = cache.purge_stale()
-        if args.json:
+        if as_json:
             print(json.dumps({"evicted": removed}, indent=2,
                              sort_keys=True))
         else:
@@ -878,6 +902,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--baseline", action="store_true",
                        help="trace the baseline machine instead of the "
                             "reuse machine")
+    trace.add_argument("--no-energy", dest="energy",
+                       action="store_false", default=True,
+                       help="skip the live per-component energy "
+                            "attribution (Fig. 6 table + "
+                            "sim_energy_component metrics)")
     trace.add_argument("--optimize", action="store_true",
                        help="use the loop-distributed kernel variant")
     _add_machine_options(trace)
@@ -920,6 +949,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "fails instead of wedging a worker lane")
     srv.add_argument("--retries", type=int, default=1, metavar="N",
                      help="failed-job retry budget (default 1)")
+    srv.add_argument("--log-out", metavar="PATH", default=None,
+                     help="append structured JSONL logs to PATH "
+                          "(default: $REPRO_LOG, else stderr)")
+    srv.add_argument("--log-level",
+                     choices=("debug", "info", "warning", "error"),
+                     default=None,
+                     help="log threshold (default: $REPRO_LOG_LEVEL "
+                          "or info)")
     srv.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser(
@@ -933,7 +970,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_DIR or ~/.cache/repro-sim)")
     cache.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of "
-                            "text")
+                            "text (alias for --format json)")
+    cache.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="output format (default text)")
     cache.set_defaults(func=_cmd_cache)
 
     dis = sub.add_parser("disasm", help="assemble and list a program")

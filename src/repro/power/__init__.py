@@ -18,17 +18,31 @@ Energies are in arbitrary units; as in the paper, only relative (per-cycle
 power) comparisons between runs are meaningful.
 """
 
-from repro.power.activity import ACTIVITY_SCHEMA_VERSION, ActivityRecord
-from repro.power.components import ComponentEnergy
+from repro.power.activity import (
+    ACTIVITY_SCHEMA_VERSION,
+    ActivityRecord,
+    harvest_counters,
+)
+from repro.power.attribution import (
+    ENERGY_COUNTER,
+    EnergyAttributionProbe,
+    fold_component_energies,
+)
+from repro.power.components import COMPONENT_STAGES, ComponentEnergy
 from repro.power.model import PowerModel, collect_activity
 from repro.power.params import DEFAULT_PARAMS, PowerParams
 
 __all__ = [
     "ACTIVITY_SCHEMA_VERSION",
     "ActivityRecord",
+    "COMPONENT_STAGES",
     "ComponentEnergy",
+    "ENERGY_COUNTER",
+    "EnergyAttributionProbe",
     "PowerModel",
     "collect_activity",
+    "fold_component_energies",
+    "harvest_counters",
     "DEFAULT_PARAMS",
     "PowerParams",
 ]

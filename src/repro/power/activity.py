@@ -57,6 +57,37 @@ def _required_keys() -> frozenset:
     return frozenset(PipelineStats.__slots__) | frozenset(EXTRA_COUNTERS)
 
 
+def harvest_counters(pipeline) -> Dict[str, int]:
+    """Every activity counter of a (possibly still running) pipeline.
+
+    This is the counter half of :meth:`ActivityRecord.capture`, split
+    out so in-flight consumers -- e.g. the energy-attribution probe,
+    which costs counter *deltas* every few cycles -- can sample without
+    touching architectural state.
+    """
+    hierarchy = pipeline.hierarchy
+    predictor = pipeline.predictor
+    counters = pipeline.stats.as_dict()
+    counters.update(
+        icache_accesses=hierarchy.il1.accesses,
+        icache_misses=hierarchy.il1.misses,
+        itlb_accesses=hierarchy.itlb.accesses,
+        bpred_lookups=predictor.lookups,
+        bpred_updates=predictor.updates,
+        dcache_accesses=hierarchy.dl1.accesses,
+        dcache_misses=hierarchy.dl1.misses,
+        dtlb_accesses=hierarchy.dtlb.accesses,
+        l2_accesses=hierarchy.l2.accesses,
+        dram_accesses=hierarchy.dram.accesses,
+        reuse_enabled=1 if pipeline.config.reuse_enabled else 0,
+        loop_cache_enabled=1 if pipeline.config.loop_cache_size else 0,
+        loopcache_supplied_cycles=(
+            pipeline.fetch_unit.loop_cache.supplied_cycles
+            if pipeline.fetch_unit.loop_cache is not None else 0),
+    )
+    return counters
+
+
 class ActivityRecord(Mapping):
     """Schema-versioned snapshot of one timing run's activity.
 
@@ -78,28 +109,8 @@ class ActivityRecord(Mapping):
     @classmethod
     def capture(cls, pipeline) -> "ActivityRecord":
         """Harvest every activity counter from a finished pipeline."""
-        hierarchy = pipeline.hierarchy
-        predictor = pipeline.predictor
-        counters = pipeline.stats.as_dict()
-        counters.update(
-            icache_accesses=hierarchy.il1.accesses,
-            icache_misses=hierarchy.il1.misses,
-            itlb_accesses=hierarchy.itlb.accesses,
-            bpred_lookups=predictor.lookups,
-            bpred_updates=predictor.updates,
-            dcache_accesses=hierarchy.dl1.accesses,
-            dcache_misses=hierarchy.dl1.misses,
-            dtlb_accesses=hierarchy.dtlb.accesses,
-            l2_accesses=hierarchy.l2.accesses,
-            dram_accesses=hierarchy.dram.accesses,
-            reuse_enabled=1 if pipeline.config.reuse_enabled else 0,
-            loop_cache_enabled=1 if pipeline.config.loop_cache_size else 0,
-            loopcache_supplied_cycles=(
-                pipeline.fetch_unit.loop_cache.supplied_cycles
-                if pipeline.fetch_unit.loop_cache is not None else 0),
-        )
         return cls(program_name=pipeline.program.name,
-                   counters=counters,
+                   counters=harvest_counters(pipeline),
                    registers=pipeline.architectural_registers())
 
     # -- mapping interface -------------------------------------------------

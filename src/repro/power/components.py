@@ -44,6 +44,30 @@ REPORT_COMPONENTS = (
     "overhead",
 )
 
+#: Pipeline stage each reported component belongs to -- the coarse
+#: grouping used by the live ``sim_energy_component`` attribution
+#: counters (``{component=..., stage=...}``).  Covers exactly
+#: :data:`REPORT_COMPONENTS`; chip-wide costs (clock tree, reuse-logic
+#: overhead) are "global".
+COMPONENT_STAGES: Dict[str, str] = {
+    "icache": "fetch",
+    "itlb": "fetch",
+    "bpred": "fetch",
+    "decode": "decode",
+    "rename": "rename",
+    "issue_queue": "issue",
+    "regfile": "execute",
+    "fu": "execute",
+    "resultbus": "execute",
+    "lsq": "memory",
+    "dcache": "memory",
+    "dtlb": "memory",
+    "l2": "memory",
+    "rob": "commit",
+    "clock": "global",
+    "overhead": "global",
+}
+
 
 def power_reduction(baseline: ComponentEnergy,
                     variant: ComponentEnergy) -> float:

@@ -31,11 +31,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.power.activity import ActivityRecord
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import evaluate_power, run_timing
+from repro.telemetry.log import get_logger
 from repro.workloads.suite import WorkloadSuite
 
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import SimJob, job_key
 from repro.runner.progress import ProgressReporter
+
+_log = get_logger("runner.executor")
 
 #: Per-worker workload suite so repeated jobs in one process reuse the
 #: compiled programs (with the default fork start method the parent's
@@ -71,6 +74,34 @@ def execute_job(job: SimJob) -> dict:
     program = _worker_suite().program(job.benchmark, optimize=job.optimize)
     record = run_timing(program, job.config, engine=job.engine)
     return record.to_payload()
+
+
+#: Sampling density of traced simulations: the occupancy series is
+#: strided (the trace stays bounded) while state intervals and stage
+#: spans remain exact.
+TRACED_STRIDE = 16
+
+
+def execute_job_traced(job: SimJob) -> dict:
+    """Like :func:`execute_job`, but with a telemetry session attached.
+
+    Used by the service's worker lanes for jobs carrying a trace id:
+    returns ``{"record": <activity payload>, "trace": <Chrome trace
+    events>}`` so the parent can store the record exactly as the
+    untraced path would *and* splice the simulation's stage spans into
+    the request's exported timeline.  Module-level and picklable, like
+    its untraced sibling.
+    """
+    from repro.telemetry import TelemetrySession
+
+    session = TelemetrySession(stride=TRACED_STRIDE, stages=True)
+    program = _worker_suite().program(job.benchmark, optimize=job.optimize)
+    record = run_timing(program, job.config, engine=job.engine,
+                        telemetry=session)
+    return {
+        "record": record.to_payload(),
+        "trace": session.build_timeline()["traceEvents"],
+    }
 
 
 def default_job_count() -> int:
@@ -127,7 +158,12 @@ def run_tasks(fn, payloads: Sequence,
                 results[index] = TimeoutError(
                     f"{label} #{index} did not complete in the worker "
                     f"pool (timeout {timeout}s)")
+                _log.warning("task-timeout", label=label, index=index,
+                             timeout=timeout)
         return results
+    if pooled and pending:
+        _log.warning("serial-fallback", label=label,
+                     tasks=len(pending))
     for index in pending:
         reporter.emit("started", job=f"{label} #{index}")
         start = time.time()
@@ -264,6 +300,8 @@ class JobExecutor:
         for key, group in self._groups.items():
             record = self.cache.load(key) if self.cache else None
             if record is not None:
+                _log.debug("cache-hit", key=key,
+                           job=group[0].describe(), shared=len(group))
                 for job in group:
                     results[job] = evaluate_power(record, job.config,
                                                   job.params)
@@ -272,6 +310,8 @@ class JobExecutor:
             else:
                 # the group leader runs the timing simulation; _finish
                 # fans the record out to the whole group
+                _log.debug("cache-miss", key=key,
+                           job=group[0].describe())
                 self.progress.emit("cache-miss", job=group[0].describe(),
                                    key=key)
                 pending.append((group[0], key))

@@ -17,7 +17,10 @@ API routes on the stdlib HTTP framework:
 ``GET  /api/sweeps/<id>/stream``       chunked NDJSON live progress
 ``GET  /api/sweeps/<id>/results``      full results once complete
 ``GET  /api/jobs/<key>``               one job's state (+ result)
-``GET  /metrics``                      telemetry snapshot
+``GET  /api/traces/<trace_id>``        one trace as a Chrome trace
+``GET  /metrics``                      telemetry snapshot (JSON; add
+                                       ``?format=prom`` for Prometheus
+                                       text exposition)
 ``GET  /healthz``                      liveness + queue depth
 =====================================  ================================
 
@@ -40,6 +43,8 @@ import hashlib
 import json
 from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
 
+from repro.power.activity import ActivityRecord
+from repro.power.attribution import fold_component_energies
 from repro.power.params import DEFAULT_PARAMS
 from repro.runner.cache import ResultCache
 from repro.runner.executor import worker_suite
@@ -56,8 +61,12 @@ from repro.service.ratelimit import RateLimiter
 from repro.service.workers import WorkerPool
 from repro.sim.export import result_to_dict
 from repro.sim.simulator import evaluate_power
+from repro.telemetry.log import get_logger
 from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.tracing import SpanRecorder
 from repro.workloads.suite import BENCHMARK_NAMES
+
+_log = get_logger("service.app")
 
 #: Ceiling on jobs in one submission: a sweep request is a frontier
 #: description, not a bulk loader.
@@ -66,6 +75,13 @@ MAX_SWEEP_JOBS = 1024
 #: Event ring capacity; ``since`` cursors older than the ring answer
 #: with a ``truncated`` marker so clients know to re-poll full status.
 EVENT_RING = 16384
+
+#: Latency histogram buckets (seconds) shared by the endpoint, queue-wait
+#: and worker-run-time histograms: finer than the telemetry default at
+#: the fast end (an HTTP handler runs in microseconds) and wide enough
+#: at the top for a cold multi-benchmark simulation.
+SERVICE_LATENCY_BUCKETS = (0.0005, 0.002, 0.01, 0.05, 0.25, 1.0, 5.0,
+                           30.0, 120.0)
 
 
 @dataclass
@@ -174,11 +190,14 @@ class SimService:
         self.metrics = MetricRegistry()
         self.limiter = RateLimiter(rate=self.config.rate,
                                    burst=self.config.burst)
+        self.tracer = SpanRecorder()
         self.pool = WorkerPool(self.queue, self.cache,
                                workers=self.config.workers,
                                per_job_timeout=self.config.per_job_timeout,
                                max_retries=self.config.max_retries,
-                               events=self._on_job_event)
+                               events=self._on_job_event,
+                               tracer=self.tracer,
+                               completed=self._on_job_complete)
         self.router = Router()
         self._register_routes()
         self.http = HttpServer(self.router, observer=self._observe)
@@ -200,6 +219,9 @@ class SimService:
             self._record_event("recovered", None,
                                detail=f"{self.queue.recovered} running "
                                       "job(s) requeued from journal")
+        _log.info("service-started", host=self.address[0],
+                  port=self.address[1], workers=self.config.workers,
+                  recovered=self.queue.recovered)
         return self.address
 
     async def stop(self) -> None:
@@ -207,17 +229,30 @@ class SimService:
         await self.http.stop()
         await self.pool.stop()
         self.queue.close()
+        _log.info("service-stopped", jobs=self.queue.counts())
 
     # -- telemetry --------------------------------------------------------
 
-    def _observe(self, route: str, status: int, seconds: float) -> None:
+    def _observe(self, route: str, status: int, seconds: float,
+                 request: Optional[Request]) -> None:
         self.metrics.counter(
             "service_requests_total",
             help="HTTP requests handled, by route and status").inc(
             route=route, status=status)
         self.metrics.histogram(
             "service_request_seconds", unit="seconds",
-            help="request handling latency").observe(seconds)
+            help="request handling latency",
+            buckets=SERVICE_LATENCY_BUCKETS).observe(seconds,
+                                                     route=route)
+        trace_id = request.trace_id if request is not None else ""
+        if trace_id:
+            end = SpanRecorder.now()
+            self.tracer.record(
+                trace_id, f"{request.method} {route}", "http",
+                end - seconds, end, track="request",
+                status=status, client=request.client)
+        _log.debug("request", route=route, status=status,
+                   seconds=round(seconds, 6), trace_id=trace_id)
 
     def _job_counter(self, kind: str) -> None:
         self.metrics.counter(
@@ -261,9 +296,33 @@ class SimService:
                         "started": "started"}.get(kind, kind)
         self._job_counter(counter_kind)
         self._record_event(kind, job)
+        if kind == "started":
+            self.metrics.histogram(
+                "service_queue_wait_seconds", unit="seconds",
+                help="admission-to-pickup wait of executed jobs",
+                buckets=SERVICE_LATENCY_BUCKETS).observe(
+                max(SpanRecorder.now() - job.enqueued_at, 0.0))
+        elif kind in ("done", "cache-hit"):
+            self.metrics.histogram(
+                "service_worker_run_seconds", unit="seconds",
+                help="worker lane wall time per completed job",
+                buckets=SERVICE_LATENCY_BUCKETS).observe(
+                job.wall_time, result=job.source or kind)
         self.metrics.gauge(
             "service_queue_depth",
             help="jobs pending or running").set(self.queue.depth())
+
+    def _on_job_complete(self, job: QueuedJob,
+                         record: ActivityRecord) -> None:
+        """Fold a completed job's energy breakdown into the registry.
+
+        Fires once per lane-completed job (simulated or worker-side
+        cache hit), so the ``sim_energy_component`` counters accumulate
+        exactly one attribution per performed unit of work -- warm
+        admission-time cache hits never re-fold.
+        """
+        fold_component_energies(self.metrics, record,
+                                job.spec.to_sim_job().config)
 
     # -- key computation --------------------------------------------------
 
@@ -300,13 +359,19 @@ class SimService:
         add("GET", "/api/sweeps/<sweep_id>/results",
             self._handle_results)
         add("GET", "/api/jobs/<key>", self._handle_job)
+        add("GET", "/api/traces/<trace_id>", self._handle_trace)
         add("GET", "/metrics", self._handle_metrics)
         add("GET", "/healthz", self._handle_health)
 
     async def _handle_submit(self, request: Request) -> Response:
+        trace_id = request.trace_id
+        admission_start = SpanRecorder.now()
         allowed, retry_after = self.limiter.check(request.client)
         if not allowed:
             self._job_counter("rate-limited")
+            _log.warning("rate-limited", client=request.client,
+                         trace_id=trace_id,
+                         retry_after=round(retry_after, 3))
             raise HttpError(429, "rate limit exceeded",
                             retry_after=retry_after)
         if self.pool.draining:
@@ -331,6 +396,9 @@ class SimService:
         depth = self.queue.depth()
         if new_jobs and depth + new_jobs > self.config.max_queue_depth:
             self._job_counter("backpressure")
+            _log.warning("backpressure", sweep_id=sweep_id,
+                         trace_id=trace_id, depth=depth,
+                         new_jobs=new_jobs)
             raise HttpError(
                 503, f"queue full ({depth} deep, {new_jobs} new jobs "
                      f"over the {self.config.max_queue_depth} ceiling)",
@@ -342,7 +410,7 @@ class SimService:
         for spec, key, hit in zip(specs, keys, cached):
             known = key in self.queue.jobs and \
                 self.queue.jobs[key].state != "failed"
-            job = self.queue.admit(key, spec)
+            job = self.queue.admit(key, spec, trace_id=trace_id)
             self._job_counter("submitted")
             if job.state == "done":
                 # resolved before this submission: no new simulation
@@ -359,12 +427,24 @@ class SimService:
             else:
                 enqueued += 1
                 self._record_event("submitted", job)
-        self.queue.register_sweep(sweep_id, keys, request_echo)
+        self.queue.register_sweep(sweep_id, keys, request_echo,
+                                  trace_id=trace_id)
         self.metrics.gauge(
             "service_queue_depth",
             help="jobs pending or running").set(self.queue.depth())
         if enqueued:
             self.pool.kick()
+        if trace_id:
+            self.tracer.record(
+                trace_id, f"admit sweep {sweep_id}", "admission",
+                admission_start, SpanRecorder.now(), track="admission",
+                sweep_id=sweep_id, jobs=len(keys),
+                cache_hits=cache_hits, enqueued=enqueued,
+                attached=attached)
+        _log.info("sweep-admitted", sweep_id=sweep_id,
+                  trace_id=trace_id, client=request.client,
+                  jobs=len(keys), cache_hits=cache_hits,
+                  enqueued=enqueued, attached=attached)
         return Response.json({
             "sweep_id": sweep_id,
             "total": len(keys),
@@ -500,10 +580,26 @@ class SimService:
             raise HttpError(404, f"unknown job {key!r}")
         return Response.json(job.to_dict())
 
+    async def _handle_trace(self, request: Request,
+                            trace_id: str) -> Response:
+        if not self.tracer.has(trace_id):
+            raise HttpError(404, f"unknown trace {trace_id!r}",
+                            known=len(self.tracer.trace_ids()))
+        return Response.json(self.tracer.timeline(trace_id))
+
     async def _handle_metrics(self, request: Request) -> Response:
         self.metrics.gauge(
             "service_queue_depth",
             help="jobs pending or running").set(self.queue.depth())
+        fmt = request.query.get("format", "json")
+        if fmt == "prom":
+            return Response(
+                body=self.metrics.to_prometheus().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; "
+                             "charset=utf-8")
+        if fmt != "json":
+            raise HttpError(400, f"unknown metrics format {fmt!r}; "
+                                 "choose 'json' or 'prom'")
         return Response(body=self.metrics.to_json().encode("utf-8"))
 
     async def _handle_health(self, request: Request) -> Response:

@@ -35,11 +35,15 @@ class ServiceClient:
     """Minimal keep-alive HTTP/1.1 client bound to one server."""
 
     def __init__(self, host: str, port: int,
-                 client_id: str = "", timeout: float = 60.0):
+                 client_id: str = "", timeout: float = 60.0,
+                 trace_id: str = ""):
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        #: Default trace context: stamped as ``X-Trace-Id`` on every
+        #: request (see ``docs/observability.md``).
+        self.trace_id = trace_id
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -70,7 +74,8 @@ class ServiceClient:
     # -- raw HTTP ---------------------------------------------------------
 
     def _request_bytes(self, method: str, path: str,
-                       payload: Any = None) -> bytes:
+                       payload: Any = None,
+                       trace_id: Optional[str] = None) -> bytes:
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
@@ -79,6 +84,9 @@ class ServiceClient:
                    "Accept: application/json"]
         if self.client_id:
             headers.append(f"X-Client-Id: {self.client_id}")
+        trace_id = self.trace_id if trace_id is None else trace_id
+        if trace_id:
+            headers.append(f"X-Trace-Id: {trace_id}")
         if body:
             headers.append("Content-Type: application/json")
         headers.append(f"Content-Length: {len(body)}")
@@ -121,17 +129,20 @@ class ServiceClient:
             yield chunk
 
     async def request(self, method: str, path: str,
-                      payload: Any = None) -> Any:
+                      payload: Any = None,
+                      trace_id: Optional[str] = None) -> Any:
         """One request/response; raises :class:`ServiceError` on non-2xx.
 
         Retries once through a fresh connection when the server closed a
-        kept-alive socket between requests.
+        kept-alive socket between requests.  ``trace_id`` overrides the
+        client's default trace context for this request (empty string
+        sends none).
         """
         for attempt in (0, 1):
             await self._connect()
             try:
-                self._writer.write(self._request_bytes(method, path,
-                                                       payload))
+                self._writer.write(self._request_bytes(
+                    method, path, payload, trace_id=trace_id))
                 await self._writer.drain()
                 status, headers, body = await asyncio.wait_for(
                     self._read_response(), timeout=self.timeout)
@@ -169,6 +180,7 @@ class ServiceClient:
                            benchmarks: Optional[List[str]] = None,
                            iq_sizes: Optional[List[int]] = None,
                            modes: Optional[List[str]] = None,
+                           trace_id: Optional[str] = None,
                            **extra: Any) -> Dict[str, Any]:
         """POST a sweep; returns the submission receipt."""
         payload: Dict[str, Any] = dict(extra)
@@ -177,7 +189,8 @@ class ServiceClient:
         payload["iq_sizes"] = iq_sizes or [64]
         if modes is not None:
             payload["modes"] = modes
-        return await self.request("POST", "/api/sweeps", payload)
+        return await self.request("POST", "/api/sweeps", payload,
+                                  trace_id=trace_id)
 
     async def status(self, sweep_id: str) -> Dict[str, Any]:
         return await self.request("GET", f"/api/sweeps/{sweep_id}")
@@ -197,6 +210,24 @@ class ServiceClient:
 
     async def metrics(self) -> Dict[str, Any]:
         return await self.request("GET", "/metrics")
+
+    async def scrape_metrics(self, format: str = "json") -> Any:
+        """The server's metric registry in either exposition format.
+
+        ``format="json"`` returns the parsed snapshot dict;
+        ``format="prom"`` returns the Prometheus text exposition as a
+        string (ready for :func:`repro.telemetry.parse_prometheus`).
+        """
+        if format not in ("json", "prom"):
+            raise ValueError(
+                f"format must be 'json' or 'prom', got {format!r}")
+        if format == "json":
+            return await self.request("GET", "/metrics")
+        return await self.request("GET", "/metrics?format=prom")
+
+    async def trace_timeline(self, trace_id: str) -> Dict[str, Any]:
+        """One trace's exported Chrome trace-event object."""
+        return await self.request("GET", f"/api/traces/{trace_id}")
 
     async def health(self) -> Dict[str, Any]:
         return await self.request("GET", "/healthz")

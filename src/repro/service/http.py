@@ -23,6 +23,8 @@ import re
 from typing import Any, AsyncIterator, Awaitable, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
 
+from repro.telemetry.tracing import valid_trace_id
+
 #: Protocol limits: nothing the service serves needs more than this, and
 #: bounding them keeps a malicious client from ballooning server memory.
 MAX_REQUEST_LINE = 8 * 1024
@@ -84,6 +86,9 @@ class Request:
     #: Best-effort client identity: ``X-Client-Id`` header when present,
     #: else the peer address -- the rate limiter's bucket key.
     client: str = ""
+    #: Trace context from the ``X-Trace-Id`` header (empty when absent
+    #: or malformed); see :mod:`repro.telemetry.tracing`.
+    trace_id: str = ""
 
     def json(self) -> Any:
         """The body decoded as JSON (400 on malformed input)."""
@@ -261,9 +266,13 @@ async def read_request(reader: asyncio.StreamReader,
 
     split = urlsplit(target)
     query = dict(parse_qsl(split.query, keep_blank_values=True))
+    trace_id = headers.get("x-trace-id", "")
+    if trace_id and not valid_trace_id(trace_id):
+        trace_id = ""  # malformed context is dropped, not fatal
     return Request(method=method.upper(), path=split.path or "/",
                    query=query, headers=headers, body=body,
-                   client=headers.get("x-client-id", client))
+                   client=headers.get("x-client-id", client),
+                   trace_id=trace_id)
 
 
 def _head(response: Response, keep_alive: bool) -> bytes:
@@ -306,13 +315,16 @@ async def write_response(writer: asyncio.StreamWriter, response: Response,
 class HttpServer:
     """Connection loop binding a :class:`Router` to an asyncio server.
 
-    ``observer(route, status, seconds)`` is called once per handled
-    request -- the service plugs its telemetry registry in there.
+    ``observer(route, status, seconds, request)`` is called once per
+    handled request -- the service plugs its telemetry registry (and its
+    span recorder) in there.  ``request`` is ``None`` when parsing
+    failed before a request object existed.
     """
 
     def __init__(self, router: Router,
-                 observer: Optional[Callable[[str, int, float],
-                                             None]] = None):
+                 observer: Optional[
+                     Callable[[str, int, float, Optional[Request]],
+                              None]] = None):
         self.router = router
         self.observer = observer
         self._server: Optional[asyncio.AbstractServer] = None
@@ -339,6 +351,7 @@ class HttpServer:
             keep_alive = True
             while keep_alive:
                 route = "?"
+                request: Optional[Request] = None
                 start = asyncio.get_event_loop().time()
                 try:
                     request = await read_request(reader, client=client)
@@ -361,7 +374,8 @@ class HttpServer:
                 if self.observer is not None:
                     self.observer(
                         route, response.status,
-                        asyncio.get_event_loop().time() - start)
+                        asyncio.get_event_loop().time() - start,
+                        request)
                 keep_alive = await write_response(writer, response,
                                                   keep_alive)
         except (ConnectionError, BrokenPipeError):

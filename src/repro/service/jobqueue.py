@@ -42,6 +42,9 @@ from typing import Any, Dict, List, Optional
 
 from repro.arch.config import MachineConfig
 from repro.runner.jobs import SimJob
+from repro.telemetry.log import get_logger
+
+_log = get_logger("service.journal")
 
 #: Lifecycle states of one queued job.
 JOB_STATES = ("pending", "running", "done", "failed")
@@ -107,6 +110,13 @@ class QueuedJob:
     #: "sim" when a worker ran the timing simulation.
     source: str = ""
     wall_time: float = 0.0
+    #: Trace context of the submission that admitted the job (journaled,
+    #: so a restarted server keeps the request -> job association).
+    trace_id: str = ""
+    #: Monotonic admission timestamp; the queue-wait histogram measures
+    #: from here to the worker's pickup.  Not journaled (a restart
+    #: resets the clock domain anyway).
+    enqueued_at: float = field(default_factory=time.monotonic)
 
     def to_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -121,6 +131,8 @@ class QueuedJob:
             payload["source"] = self.source
         if self.wall_time:
             payload["wall_time"] = round(self.wall_time, 6)
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
         return payload
 
 
@@ -208,12 +220,22 @@ class JobQueue:
                 job.state = "pending"
                 job.source = ""
                 self.recovered += 1
+        if self.jobs or self.skipped_lines:
+            _log.info("journal-replayed",
+                      journal=str(self.journal_path),
+                      jobs=len(self.jobs), sweeps=len(self.sweeps),
+                      recovered=self.recovered,
+                      skipped_lines=self.skipped_lines)
 
     def _apply(self, op: str, record: Dict[str, Any]) -> None:
         if op == "job":
             spec = JobSpec.from_dict(record["spec"])
             key = str(record["key"])
-            self.jobs.setdefault(key, QueuedJob(key=key, spec=spec))
+            job = self.jobs.setdefault(key, QueuedJob(key=key, spec=spec))
+            # a later "job" op for a known key re-stamps trace context
+            # (an untraced job resubmitted with a trace id)
+            if record.get("trace_id"):
+                job.trace_id = str(record["trace_id"])
         elif op == "state":
             job = self.jobs[str(record["key"])]
             state = str(record["state"])
@@ -270,37 +292,57 @@ class JobQueue:
 
     # -- admission --------------------------------------------------------
 
-    def admit(self, key: str, spec: JobSpec) -> QueuedJob:
+    def admit(self, key: str, spec: JobSpec,
+              trace_id: str = "") -> QueuedJob:
         """Admit one job; an already-known key attaches, not duplicates.
 
         A previously ``failed`` key is given a fresh life (state back to
         pending, attempts reset): resubmission is the operator's retry
-        button.
+        button.  ``trace_id`` is journaled with the job; attaching to an
+        existing *untraced* job re-journals the spec so the trace
+        context survives a restart.
         """
         job = self.jobs.get(key)
         if job is None:
-            self._append({"op": "job", "key": key,
-                          "spec": spec.to_dict()})
-            job = QueuedJob(key=key, spec=spec)
+            record: Dict[str, Any] = {"op": "job", "key": key,
+                                      "spec": spec.to_dict()}
+            if trace_id:
+                record["trace_id"] = trace_id
+            self._append(record)
+            job = QueuedJob(key=key, spec=spec, trace_id=trace_id)
             self.jobs[key] = job
+            _log.info("job-admitted", key=key, trace_id=trace_id,
+                      benchmark=spec.benchmark, iq_size=spec.iq_size,
+                      reuse=spec.reuse)
             return job
+        if trace_id and not job.trace_id:
+            self._append({"op": "job", "key": key,
+                          "spec": job.spec.to_dict(),
+                          "trace_id": trace_id})
+            job.trace_id = trace_id
         if job.state == "failed":
             self.transition(key, "pending", attempts=0)
         return job
 
     def register_sweep(self, sweep_id: str, keys: List[str],
-                       request: Optional[Dict[str, Any]] = None) -> None:
+                       request: Optional[Dict[str, Any]] = None,
+                       trace_id: str = "") -> None:
         """Record one sweep -> job-keys mapping (idempotent)."""
         if sweep_id in self.sweeps:
             return
         sweep = _Sweep(sweep_id=sweep_id, keys=list(keys),
                        created_at=time.time(),
                        request=dict(request or {}))
-        self._append({"op": "sweep", "sweep_id": sweep_id,
-                      "keys": sweep.keys,
-                      "created_at": sweep.created_at,
-                      "request": sweep.request})
+        record: Dict[str, Any] = {"op": "sweep", "sweep_id": sweep_id,
+                                  "keys": sweep.keys,
+                                  "created_at": sweep.created_at,
+                                  "request": sweep.request}
+        if trace_id:
+            record["trace_id"] = trace_id
+        self._append(record)
         self.sweeps[sweep_id] = sweep
+        _log.info("sweep-registered", sweep_id=sweep_id,
+                  trace_id=trace_id, jobs=len(sweep.keys))
 
     # -- state transitions ------------------------------------------------
 

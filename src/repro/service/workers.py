@@ -22,28 +22,41 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
+import time
 from typing import Callable, Optional
 
 from repro.power.activity import ActivityRecord
 from repro.runner.cache import ResultCache
-from repro.runner.executor import execute_job, run_tasks
+from repro.runner.executor import execute_job, execute_job_traced, run_tasks
 from repro.runner.jobs import SimJob
-from repro.service.jobqueue import JobQueue, QueuedJob
+from repro.service.jobqueue import JobQueue, QueuedJob, shard_of
+from repro.telemetry.log import get_logger
+from repro.telemetry.tracing import SpanRecorder
+
+_log = get_logger("service.workers")
 
 #: ``events(kind, job)`` callback signature: the service turns these
 #: into client-visible progress events and telemetry counters.
 EventCallback = Callable[[str, QueuedJob], None]
 
+#: ``completed(job, record)`` callback: fired once per job reaching
+#: ``done`` through a lane (simulated or worker-side cache hit) with the
+#: activity record in hand -- the service folds energy attribution here.
+CompletedCallback = Callable[[QueuedJob, ActivityRecord], None]
 
-def _simulate_out_of_process(job: SimJob,
-                             timeout: Optional[float]) -> dict:
+
+def _simulate_out_of_process(job: SimJob, timeout: Optional[float],
+                             traced: bool = False) -> dict:
     """Run one timing simulation in a child process; returns the payload.
 
     Raises whatever the simulation raised, or :class:`TimeoutError` when
     it missed the per-job deadline (`serial_fallback=False` turns pool
     stalls into exception results instead of in-thread re-runs).
+    ``traced`` selects :func:`execute_job_traced`, whose payload bundles
+    the record with the simulation's Chrome trace events.
     """
-    result = run_tasks(execute_job, [job], jobs=1, timeout=timeout,
+    fn = execute_job_traced if traced else execute_job
+    result = run_tasks(fn, [job], jobs=1, timeout=timeout,
                        label=job.describe(), force_pool=True,
                        serial_fallback=False)[0]
     if isinstance(result, Exception):
@@ -58,7 +71,9 @@ class WorkerPool:
                  workers: int = 2,
                  per_job_timeout: Optional[float] = None,
                  max_retries: int = 1,
-                 events: Optional[EventCallback] = None):
+                 events: Optional[EventCallback] = None,
+                 tracer: Optional[SpanRecorder] = None,
+                 completed: Optional[CompletedCallback] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_retries < 0:
@@ -69,6 +84,8 @@ class WorkerPool:
         self.per_job_timeout = per_job_timeout
         self.max_retries = max_retries
         self.events = events or (lambda kind, job: None)
+        self.tracer = tracer
+        self.completed = completed
         self._threads = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-lane")
         self._wakeup = asyncio.Event()
@@ -127,12 +144,29 @@ class WorkerPool:
                     self.queue.next_pending(shard, self.workers) is None:
                 return
 
+    def _span(self, job: QueuedJob, lane: int, start: float,
+              result: str) -> None:
+        """Record one worker-lane span on the job's trace, if traced."""
+        if self.tracer is None or not job.trace_id:
+            return
+        self.tracer.record(
+            job.trace_id, job.spec.to_sim_job().describe(), "worker",
+            start, SpanRecorder.now(), track=f"worker lane {lane}",
+            key=job.key, attempt=job.attempts, result=result)
+
     async def _execute(self, loop, job: QueuedJob) -> None:
         key = job.key
+        lane = shard_of(key, self.workers)
+        queue_wait = time.monotonic() - job.enqueued_at
+        log = _log.bind(key=key, trace_id=job.trace_id, lane=lane)
         self.queue.transition(key, "running", attempts=job.attempts + 1)
         self.events("started", job)
+        log.info("job-started", attempt=job.attempts,
+                 benchmark=job.spec.benchmark,
+                 queue_wait=round(queue_wait, 6))
         sim_job = job.spec.to_sim_job()
         start = loop.time()
+        span_start = SpanRecorder.now()
         # a pending job may have gained a result since admission (server
         # restart with a warm cache): serve it without simulating
         record = await loop.run_in_executor(
@@ -140,27 +174,50 @@ class WorkerPool:
         if record is not None:
             self.queue.transition(key, "done", source="cache",
                                   wall_time=loop.time() - start)
+            self._span(job, lane, span_start, "cache")
+            log.info("job-cache-hit",
+                     wall_time=round(loop.time() - start, 6))
             self.events("cache-hit", self.queue.jobs[key])
+            if self.completed is not None:
+                self.completed(self.queue.jobs[key], record)
             return
+        traced = bool(job.trace_id) and self.tracer is not None
+        sim_anchor = SpanRecorder.now()
         try:
             payload = await loop.run_in_executor(
                 self._threads, _simulate_out_of_process, sim_job,
-                self.per_job_timeout)
+                self.per_job_timeout, traced)
         except Exception as exc:
+            self._span(job, lane, span_start, "error")
             await self._handle_failure(job, f"{exc}")
             return
+        trace_events = payload.get("trace", []) if traced else []
+        if traced:
+            payload = payload["record"]
         record = ActivityRecord.from_payload(payload)
         await loop.run_in_executor(
             self._threads, self.cache.store, key, sim_job, record)
         self.queue.transition(key, "done", source="sim",
                               wall_time=loop.time() - start)
+        if traced and trace_events:
+            self.tracer.add_timeline(
+                job.trace_id, f"{sim_job.describe()} [{key[:8]}]",
+                sim_anchor, trace_events)
+        self._span(job, lane, span_start, "sim")
+        log.info("job-done", wall_time=round(loop.time() - start, 6),
+                 cycles=record.counters.get("cycles", 0))
         self.events("done", self.queue.jobs[key])
+        if self.completed is not None:
+            self.completed(self.queue.jobs[key], record)
 
     async def _handle_failure(self, job: QueuedJob, error: str) -> None:
+        log = _log.bind(key=job.key, trace_id=job.trace_id)
         if job.attempts <= self.max_retries:
+            log.warning("job-retry", attempt=job.attempts, error=error)
             self.queue.transition(job.key, "pending", error=error)
             self.events("retry", self.queue.jobs[job.key])
             self.kick()
         else:
+            log.error("job-failed", attempt=job.attempts, error=error)
             self.queue.transition(job.key, "failed", error=error)
             self.events("failed", self.queue.jobs[job.key])

@@ -26,12 +26,21 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.arch.trace import PipelineTracer
+from repro.telemetry.log import (
+    LogSink,
+    StructLogger,
+    configure_logging,
+    default_sink,
+    get_logger,
+)
 from repro.telemetry.metrics import (
     METRICS_SCHEMA_VERSION,
     Counter,
     Gauge,
     Histogram,
     MetricRegistry,
+    PrometheusParseError,
+    parse_prometheus,
     registry_from_activity,
 )
 from repro.telemetry.sampler import SAMPLER_SCHEMA_VERSION, SamplingProbe
@@ -42,20 +51,37 @@ from repro.telemetry.timeline import (
     validate_trace,
     validate_trace_file,
 )
+from repro.telemetry.tracing import (
+    TRACE_HEADER,
+    SpanRecorder,
+    new_trace_id,
+    valid_trace_id,
+)
 
 __all__ = [
     "METRICS_SCHEMA_VERSION",
     "SAMPLER_SCHEMA_VERSION",
+    "TRACE_HEADER",
     "Counter",
     "Gauge",
     "Histogram",
+    "LogSink",
     "MetricRegistry",
     "PhaseProfiler",
+    "PrometheusParseError",
     "SamplingProbe",
+    "SpanRecorder",
+    "StructLogger",
     "TelemetrySession",
     "TimelineBuilder",
+    "configure_logging",
+    "default_sink",
+    "get_logger",
+    "new_trace_id",
+    "parse_prometheus",
     "registry_from_activity",
     "runner_timeline",
+    "valid_trace_id",
     "validate_trace",
     "validate_trace_file",
 ]
@@ -78,14 +104,25 @@ class TelemetrySession:
     (state intervals and gating windows stay exact at any stride);
     ``stages`` additionally attaches a bounded
     :class:`~repro.arch.trace.PipelineTracer` so per-instruction stage
-    spans appear in the timeline.
+    spans appear in the timeline; ``energy`` attaches an
+    :class:`~repro.power.attribution.EnergyAttributionProbe` that folds
+    the live per-component energy breakdown (the paper's Fig. 6) into
+    the session's metric snapshot.
     """
 
     def __init__(self, stride: int = 1, stages: bool = False,
-                 trace_capacity: int = 2000):
+                 trace_capacity: int = 2000, energy: bool = False,
+                 energy_stride: int = 64):
         self.sampler = SamplingProbe(stride=stride)
         self.tracer: Optional[PipelineTracer] = \
             PipelineTracer(capacity=trace_capacity) if stages else None
+        self.energy_probe: Optional[Any] = None
+        if energy:
+            # local import: repro.power imports repro.telemetry.metrics
+            from repro.power.attribution import EnergyAttributionProbe
+
+            self.energy_probe = EnergyAttributionProbe(
+                stride=energy_stride)
         self.profiler = PhaseProfiler()
         #: Filled in by ``run_timing`` when the session is threaded
         #: through a simulation.
@@ -99,6 +136,8 @@ class TelemetrySession:
         probes: List[Any] = [self.sampler]
         if self.tracer is not None:
             probes.append(self.tracer)
+        if self.energy_probe is not None:
+            probes.append(self.energy_probe)
         return probes
 
     def absorb(self, pipeline, record) -> None:
@@ -112,6 +151,8 @@ class TelemetrySession:
         self.record = record
         events, _ = pipeline.controller.iter_events_since(0)
         self.controller_events = list(events)
+        if self.energy_probe is not None:
+            self.energy_probe.finalize(record)
 
     # -- exporters ---------------------------------------------------------
 
@@ -164,6 +205,11 @@ class TelemetrySession:
             "sampled_cycles_total",
             help="cycles captured by the sampling probe").inc(
             summary["samples"], **labels)
+        if self.energy_probe is not None:
+            source = self.energy_probe._counter
+            sink = registry.counter(source.name, help=source.help)
+            for key, value in sorted(source._samples.items()):
+                sink.inc(value, **dict(dict(key), **labels))
         return registry
 
     def write_metrics(self, path, record=None, **labels: Any) -> None:

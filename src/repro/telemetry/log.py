@@ -1,0 +1,215 @@
+"""Structured JSON-lines logging (stdlib only).
+
+The repo's one logging vocabulary: every log record is a flat JSON
+object with a fixed envelope (``ts``, ``level``, ``logger``, ``event``)
+plus free-form keyword *fields*, serialized as one line with sorted keys
+-- machine-parseable by construction, greppable by accident.
+
+Design points:
+
+* **One sink, many loggers.**  A :class:`LogSink` owns the output
+  policy: a level threshold, a bounded in-memory ring buffer (always
+  on -- the last N records are inspectable even when nothing is written
+  anywhere), and an optional text stream or file.  Loggers are cheap
+  named views onto a sink created via :func:`get_logger`.
+* **Bound fields.**  :meth:`StructLogger.bind` returns a child logger
+  whose extra fields ride on every record -- the service binds
+  ``trace_id`` once per request instead of threading it through every
+  call site.
+* **Wiring.**  ``repro serve --log-out PATH`` (or the ``REPRO_LOG``
+  environment variable) points the default sink at a JSONL file;
+  ``REPRO_LOG_LEVEL`` sets the threshold.  Library code logs
+  unconditionally -- with no stream configured the records land only in
+  the ring, which costs a dict build and an append.
+
+See ``docs/observability.md`` for the record schema and the catalog of
+events each layer emits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+#: Numeric severities, lowest to highest.
+LOG_LEVELS: Dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "error": 40,
+}
+
+#: Default ring-buffer capacity of a sink (records, not bytes).
+DEFAULT_RING_CAPACITY = 2048
+
+
+def _level_number(level: str) -> int:
+    try:
+        return LOG_LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from "
+            f"{', '.join(LOG_LEVELS)}") from None
+
+
+class LogSink:
+    """Output policy for structured records: threshold, ring, stream.
+
+    Thread-safe: the worker pool's executor threads and the event loop
+    may emit concurrently, so emission takes a lock (the critical
+    section is one append and one write).
+    """
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 level: str = "info"):
+        self._lock = threading.Lock()
+        self.ring: deque = deque(maxlen=ring_capacity)
+        self.stream: Optional[TextIO] = None
+        self._owns_stream = False
+        self.threshold = _level_number(level)
+        #: Records dropped below the threshold (observability of the
+        #: observability plane).
+        self.suppressed = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(self, path: Optional[str] = None,
+                  stream: Optional[TextIO] = None,
+                  level: Optional[str] = None) -> "LogSink":
+        """Re-point the sink; returns ``self`` for chaining.
+
+        ``path`` opens (appends to) a JSONL file and takes precedence
+        over ``stream``.  A previously opened file is closed first.
+        """
+        with self._lock:
+            if level is not None:
+                self.threshold = _level_number(level)
+            if path is not None:
+                if self._owns_stream and self.stream is not None:
+                    self.stream.close()
+                self.stream = open(path, "a", encoding="utf-8")
+                self._owns_stream = True
+            elif stream is not None:
+                if self._owns_stream and self.stream is not None:
+                    self.stream.close()
+                self.stream = stream
+                self._owns_stream = False
+        return self
+
+    def close(self) -> None:
+        """Close an owned file stream (stream logging stops)."""
+        with self._lock:
+            if self._owns_stream and self.stream is not None:
+                self.stream.close()
+            self.stream = None
+            self._owns_stream = False
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Fold one record into the ring and the stream (if any)."""
+        if LOG_LEVELS.get(record.get("level", "info"), 20) \
+                < self.threshold:
+            with self._lock:
+                self.suppressed += 1
+            return
+        with self._lock:
+            self.ring.append(record)
+            if self.stream is not None:
+                try:
+                    self.stream.write(
+                        json.dumps(record, sort_keys=True, default=str)
+                        + "\n")
+                    self.stream.flush()
+                except (OSError, ValueError):
+                    # a dead stream must never take the service down
+                    self.stream = None
+                    self._owns_stream = False
+
+    # -- inspection --------------------------------------------------------
+
+    def records(self, **match: Any) -> List[Dict[str, Any]]:
+        """Ring records whose fields equal every ``match`` item."""
+        with self._lock:
+            snapshot = list(self.ring)
+        return [record for record in snapshot
+                if all(record.get(key) == value
+                       for key, value in match.items())]
+
+
+class StructLogger:
+    """A named view onto a sink, with bound fields."""
+
+    __slots__ = ("name", "sink", "fields")
+
+    def __init__(self, name: str, sink: LogSink,
+                 fields: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.sink = sink
+        self.fields = dict(fields or {})
+
+    def bind(self, **fields: Any) -> "StructLogger":
+        """A child logger carrying these extra fields on every record."""
+        merged = dict(self.fields)
+        merged.update(fields)
+        return StructLogger(self.name, self.sink, merged)
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one record (envelope + bound fields + call fields)."""
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(self.fields)
+        record.update(fields)
+        self.sink.emit(record)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+#: The process-wide sink ``get_logger`` hands out views onto.
+_DEFAULT_SINK = LogSink()
+
+
+def default_sink() -> LogSink:
+    """The process-wide default sink (ring always available)."""
+    return _DEFAULT_SINK
+
+
+def get_logger(name: str, **fields: Any) -> StructLogger:
+    """A logger named ``name`` on the default sink."""
+    return StructLogger(name, _DEFAULT_SINK, fields or None)
+
+
+def configure_logging(path: Optional[str] = None,
+                      stream: Optional[TextIO] = None,
+                      level: Optional[str] = None,
+                      default_stream: Optional[TextIO] = None) -> LogSink:
+    """Wire the default sink from arguments and environment.
+
+    Precedence: explicit ``path`` > ``REPRO_LOG`` (a file path) >
+    explicit ``stream`` > ``default_stream``.  ``level`` falls back to
+    ``REPRO_LOG_LEVEL``, then stays unchanged.  Returns the sink.
+    """
+    path = path or os.environ.get("REPRO_LOG") or None
+    level = level or os.environ.get("REPRO_LOG_LEVEL") or None
+    if path is not None:
+        return _DEFAULT_SINK.configure(path=path, level=level)
+    stream = stream or default_stream
+    return _DEFAULT_SINK.configure(stream=stream, level=level)

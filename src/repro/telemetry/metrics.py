@@ -34,6 +34,8 @@ happen.  See ``docs/telemetry.md`` for the full metric catalog.
 from __future__ import annotations
 
 import json
+import math
+import re
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Version stamped on every snapshot payload.  Bump when the snapshot
@@ -46,6 +48,48 @@ _LabelKey = Tuple[Tuple[str, str], ...]
 
 def _label_key(labels: Dict[str, Any]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+# -- Prometheus text exposition ---------------------------------------------
+#
+# The subset of the text format (version 0.0.4) the service serves at
+# ``GET /metrics?format=prom``: ``# HELP`` / ``# TYPE`` headers, labelled
+# samples, and the ``_bucket``/``_sum``/``_count`` expansion for
+# histograms with a cumulative ``+Inf`` bucket.  Rendering is
+# deterministic: metrics sorted by name, samples by label items, label
+# pairs by key -- two identical registries produce byte-identical text.
+
+def _prom_escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n") \
+                .replace('"', '\\"')
+
+
+def _prom_escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_value(value: Any) -> str:
+    """Deterministic sample-value rendering (ints stay integral)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _prom_labels(key: _LabelKey,
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(f'{name}="{_prom_escape_label(value)}"'
+                        for name, value in pairs)
+    return "{" + rendered + "}"
 
 
 class Metric:
@@ -87,6 +131,23 @@ class Metric:
             payload["unit"] = self.unit
         payload["samples"] = self._sample_payloads()
         return payload
+
+    def prom_header(self) -> List[str]:
+        """The ``# HELP`` / ``# TYPE`` lines of this family."""
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} "
+                         f"{_prom_escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+    def prom_lines(self) -> List[str]:
+        """This family as Prometheus text-exposition lines."""
+        lines = self.prom_header()
+        for key, value in sorted(self._samples.items()):
+            lines.append(f"{self.name}{_prom_labels(key)} "
+                         f"{_prom_value(value)}")
+        return lines
 
     def __repr__(self) -> str:
         return (f"<{type(self).__name__} {self.name} "
@@ -203,6 +264,25 @@ class Histogram(Metric):
             })
         return payloads
 
+    def prom_lines(self) -> List[str]:
+        """``_bucket``/``_sum``/``_count`` expansion per labelset."""
+        lines = self.prom_header()
+        for key, sample in sorted(self._samples.items()):
+            for bound, cumulative in zip(self.bounds,
+                                         sample["buckets"]):
+                le = (("le", _prom_value(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_prom_labels(key, le)} "
+                    f"{_prom_value(cumulative)}")
+            inf = (("le", "+Inf"),)
+            lines.append(f"{self.name}_bucket{_prom_labels(key, inf)} "
+                         f"{_prom_value(sample['count'])}")
+            lines.append(f"{self.name}_sum{_prom_labels(key)} "
+                         f"{_prom_value(sample['sum'])}")
+            lines.append(f"{self.name}_count{_prom_labels(key)} "
+                         f"{_prom_value(sample['count'])}")
+        return lines
+
 
 class MetricRegistry:
     """A namespace of metrics with a deterministic JSON snapshot.
@@ -280,6 +360,19 @@ class MetricRegistry:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
 
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text-exposition format.
+
+        Deterministic (metric names, label items and label keys all
+        sorted): two registries holding the same values render to
+        byte-identical text regardless of construction order.  Parses
+        back through :func:`parse_prometheus`.
+        """
+        lines: List[str] = []
+        for metric in self:
+            lines.extend(metric.prom_lines())
+        return "\n".join(lines) + "\n" if lines else ""
+
 
 def registry_from_activity(record, registry: Optional[MetricRegistry] = None,
                            **labels: Any) -> MetricRegistry:
@@ -320,3 +413,232 @@ def registry_from_activity(record, registry: Optional[MetricRegistry] = None,
                         "clock-gated (Figure 5)").set(
         gated / cycles if cycles else 0.0, **labels)
     return registry
+
+
+# -- strict exposition-format parser ----------------------------------------
+
+_PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_LABEL_KEY_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_PROM_HELP_RE = re.compile(
+    r"^# HELP (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<help>.*)$")
+_PROM_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|histogram|summary|untyped)$")
+
+#: Suffixes a histogram family's sample names may carry.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class PrometheusParseError(ValueError):
+    """A line that violates the text exposition format."""
+
+
+def _prom_unescape(value: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\":
+            if index + 1 >= len(value):
+                raise PrometheusParseError(
+                    f"dangling escape in label value {value!r}")
+            nxt = value[index + 1]
+            out.append({"\\": "\\", "n": "\n", '"': '"'}.get(nxt, nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _prom_unescape_help(value: str) -> str:
+    """Invert :func:`_prom_escape_help` (``\\`` and ``\\n`` only)."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value) \
+                and value[index + 1] in "\\n":
+            out.append("\n" if value[index + 1] == "n" else "\\")
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_prom_labels(text: str,
+                       where: str) -> Tuple[Dict[str, str], str]:
+    """Parse a ``{...}`` label block; returns (labels, remainder)."""
+    labels: Dict[str, str] = {}
+    index = 1  # past the opening brace
+    while True:
+        if index >= len(text):
+            raise PrometheusParseError(f"{where}: unterminated labels")
+        if text[index] == "}":
+            return labels, text[index + 1:]
+        key_match = _PROM_LABEL_KEY_RE.match(text, index)
+        if key_match is None:
+            raise PrometheusParseError(
+                f"{where}: malformed label name at {text[index:]!r}")
+        key = key_match.group(0)
+        index = key_match.end()
+        if text[index:index + 2] != '="':
+            raise PrometheusParseError(
+                f"{where}: label {key!r} missing quoted value")
+        index += 2
+        start = index
+        while index < len(text):
+            if text[index] == "\\":
+                index += 2
+                continue
+            if text[index] == '"':
+                break
+            index += 1
+        if index >= len(text):
+            raise PrometheusParseError(
+                f"{where}: unterminated value for label {key!r}")
+        if key in labels:
+            raise PrometheusParseError(
+                f"{where}: duplicate label {key!r}")
+        labels[key] = _prom_unescape(text[start:index])
+        index += 1
+        if index < len(text) and text[index] == ",":
+            index += 1
+
+
+def _parse_prom_value(raw: str, where: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        raise PrometheusParseError(
+            f"{where}: malformed sample value {raw!r}") from None
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Strictly parse Prometheus text exposition into families.
+
+    Returns ``{family_name: {"kind", "help", "samples"}}`` where
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``.
+    Raises :class:`PrometheusParseError` on any violation: unknown line
+    shapes, samples without a preceding ``# TYPE``, duplicate or
+    malformed labels, non-numeric values, non-cumulative histogram
+    buckets, or a histogram labelset missing its ``+Inf`` bucket.  This
+    is the validator the CI obs-smoke job runs against the live
+    ``GET /metrics?format=prom`` output.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        where = f"line {number}"
+        if not line:
+            raise PrometheusParseError(f"{where}: blank line")
+        if line.startswith("#"):
+            help_match = _PROM_HELP_RE.match(line)
+            type_match = _PROM_TYPE_RE.match(line)
+            if help_match:
+                family = families.setdefault(
+                    help_match.group("name"),
+                    {"kind": None, "help": "", "samples": []})
+                family["help"] = _prom_unescape_help(
+                    help_match.group("help"))
+            elif type_match:
+                family = families.setdefault(
+                    type_match.group("name"),
+                    {"kind": None, "help": "", "samples": []})
+                if family["kind"] is not None:
+                    raise PrometheusParseError(
+                        f"{where}: duplicate TYPE for "
+                        f"{type_match.group('name')!r}")
+                if family["samples"]:
+                    raise PrometheusParseError(
+                        f"{where}: TYPE after samples for "
+                        f"{type_match.group('name')!r}")
+                family["kind"] = type_match.group("kind")
+            else:
+                raise PrometheusParseError(
+                    f"{where}: malformed comment {line!r}")
+            continue
+        # a sample line: name[{labels}] value
+        brace = line.find("{")
+        space = line.find(" ")
+        if brace != -1 and (space == -1 or brace < space):
+            name, rest = line[:brace], line[brace:]
+            labels, rest = _parse_prom_labels(rest, where)
+            if not rest.startswith(" "):
+                raise PrometheusParseError(
+                    f"{where}: missing value separator")
+            raw_value = rest[1:]
+        else:
+            if space == -1:
+                raise PrometheusParseError(
+                    f"{where}: sample without value {line!r}")
+            name, raw_value = line[:space], line[space + 1:]
+            labels = {}
+        if not _PROM_NAME_RE.match(name):
+            raise PrometheusParseError(
+                f"{where}: malformed metric name {name!r}")
+        if " " in raw_value or not raw_value:
+            raise PrometheusParseError(
+                f"{where}: malformed sample value {raw_value!r}")
+        value = _parse_prom_value(raw_value, where)
+        family_name = name
+        if family_name not in families:
+            for suffix in _HISTOGRAM_SUFFIXES:
+                base = name[:-len(suffix)] if name.endswith(suffix) \
+                    else None
+                if base and families.get(base, {}).get("kind") in (
+                        "histogram", "summary"):
+                    family_name = base
+                    break
+        family = families.get(family_name)
+        if family is None or family["kind"] is None:
+            raise PrometheusParseError(
+                f"{where}: sample {name!r} without a preceding # TYPE")
+        if family["kind"] == "histogram" and family_name != name \
+                and not any(name == family_name + s
+                            for s in _HISTOGRAM_SUFFIXES):
+            raise PrometheusParseError(
+                f"{where}: unexpected histogram sample {name!r}")
+        if family["kind"] == "histogram" and family_name == name:
+            raise PrometheusParseError(
+                f"{where}: bare histogram sample {name!r}")
+        family["samples"].append((name, labels, value))
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: Dict[str, Dict[str, Any]]) -> None:
+    for family_name, family in families.items():
+        if family["kind"] != "histogram":
+            continue
+        groups: Dict[_LabelKey, Dict[str, Any]] = {}
+        for name, labels, value in family["samples"]:
+            bare = {k: v for k, v in labels.items() if k != "le"}
+            group = groups.setdefault(
+                _label_key(bare), {"buckets": [], "count": None})
+            if name == family_name + "_bucket":
+                if "le" not in labels:
+                    raise PrometheusParseError(
+                        f"{family_name}: bucket sample without le")
+                bound = _parse_prom_value(labels["le"], family_name)
+                group["buckets"].append((bound, value))
+            elif name == family_name + "_count":
+                group["count"] = value
+        for key, group in groups.items():
+            buckets = sorted(group["buckets"])
+            counts = [count for _, count in buckets]
+            if counts != sorted(counts):
+                raise PrometheusParseError(
+                    f"{family_name}{dict(key)}: buckets are not "
+                    f"cumulative")
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise PrometheusParseError(
+                    f"{family_name}{dict(key)}: missing +Inf bucket")
+            if group["count"] is not None \
+                    and buckets[-1][1] != group["count"]:
+                raise PrometheusParseError(
+                    f"{family_name}{dict(key)}: +Inf bucket != _count")

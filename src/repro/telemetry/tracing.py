@@ -1,0 +1,234 @@
+"""Trace-context propagation: trace ids, spans and timeline export.
+
+One *trace* follows one client request through the whole stack: the
+client stamps an ``X-Trace-Id`` header (:data:`TRACE_HEADER`), the
+service records a span per hop (HTTP handling, admission, worker-lane
+execution), the journal persists the id with the job so a restarted
+server keeps the association, and a traced job's simulation runs with a
+:class:`~repro.telemetry.TelemetrySession` whose own timeline (stage
+spans, gating windows, occupancy counters) is folded back into the
+trace.
+
+:class:`SpanRecorder` is the per-process trace book: a bounded mapping
+``trace_id -> spans + embedded simulation timelines`` that renders one
+trace as a Chrome trace-event object (through the same conventions as
+:mod:`repro.telemetry.timeline`), so ``GET /api/traces/<id>`` serves a
+Perfetto-loadable view of an HTTP request fanning out into worker lanes
+and down into per-instruction pipeline stage spans.
+
+Span timestamps are ``time.monotonic()`` seconds; export re-bases them
+to the trace's earliest span.  Embedded simulation timelines keep their
+own clock domains (simulated cycles, host wall clock) but are shifted to
+the wall-clock moment their job started and remapped onto per-job
+process ids, so nothing overlaps in the Perfetto view.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+import os
+import re
+import time
+from typing import Any, Dict, List
+
+#: The HTTP header carrying the trace id (case-insensitive on the wire).
+TRACE_HEADER = "X-Trace-Id"
+
+#: Accepted trace-id shape: short, printable, log-safe.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: Process id of the service clock domain in exported traces
+#: (:data:`~repro.telemetry.timeline.PID_SIM` and ``PID_HOST`` are 1/2).
+PID_SERVICE = 3
+
+#: Embedded per-job simulation timelines are remapped to
+#: ``PID_JOB_BASE + job_index * PID_JOB_STRIDE + original_pid``.
+PID_JOB_BASE = 10
+PID_JOB_STRIDE = 10
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-character trace id."""
+    return os.urandom(8).hex()
+
+
+def valid_trace_id(value: str) -> bool:
+    """Whether ``value`` is usable as a trace id (see module doc)."""
+    return bool(_TRACE_ID_RE.match(value or ""))
+
+
+@dataclass
+class Span:
+    """One recorded hop of a trace."""
+
+    name: str
+    category: str
+    #: ``time.monotonic()`` seconds.
+    start: float
+    end: float
+    #: Display track within the service process ("request",
+    #: "admission", "worker lane 0", ...).
+    track: str = "request"
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+
+class SpanRecorder:
+    """Bounded per-process span collector keyed by trace id.
+
+    Mutations happen on the service event loop only (the worker pool's
+    lanes are coroutines); the recorder is deliberately lock-free.
+    Traces are evicted oldest-first past ``max_traces``; spans beyond
+    ``max_spans`` per trace are counted as dropped rather than stored.
+    """
+
+    def __init__(self, max_traces: int = 64, max_spans: int = 4096):
+        if max_traces < 1 or max_spans < 1:
+            raise ValueError("max_traces and max_spans must be >= 1")
+        self.max_traces = max_traces
+        self.max_spans = max_spans
+        self._traces: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    # -- recording ---------------------------------------------------------
+
+    @staticmethod
+    def now() -> float:
+        """The recorder's clock (monotonic seconds)."""
+        return time.monotonic()
+
+    def _trace(self, trace_id: str) -> Dict[str, Any]:
+        trace = self._traces.get(trace_id)
+        if trace is None:
+            trace = {"spans": [], "timelines": [], "dropped": 0}
+            self._traces[trace_id] = trace
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+        return trace
+
+    def record(self, trace_id: str, name: str, category: str,
+               start: float, end: float, track: str = "request",
+               **args: Any) -> None:
+        """Append one completed span to ``trace_id``."""
+        if not valid_trace_id(trace_id):
+            return
+        trace = self._trace(trace_id)
+        if len(trace["spans"]) >= self.max_spans:
+            trace["dropped"] += 1
+            return
+        trace["spans"].append(Span(name=name, category=category,
+                                   start=start, end=end, track=track,
+                                   args=dict(args)))
+
+    def add_timeline(self, trace_id: str, label: str, anchor: float,
+                     events: List[Dict[str, Any]]) -> None:
+        """Attach one job's simulation trace events to ``trace_id``.
+
+        ``anchor`` is the monotonic moment the job's simulation started;
+        the events keep their own timestamps (simulated microseconds /
+        host wall clock) and are shifted to ``anchor`` at export.
+        """
+        if not valid_trace_id(trace_id):
+            return
+        trace = self._trace(trace_id)
+        trace["timelines"].append((label, anchor, list(events)))
+
+    # -- queries -----------------------------------------------------------
+
+    def has(self, trace_id: str) -> bool:
+        return trace_id in self._traces
+
+    def trace_ids(self) -> List[str]:
+        """Known trace ids, oldest first."""
+        return list(self._traces)
+
+    def spans(self, trace_id: str) -> List[Span]:
+        trace = self._traces.get(trace_id)
+        return list(trace["spans"]) if trace else []
+
+    # -- export ------------------------------------------------------------
+
+    def timeline(self, trace_id: str) -> Dict[str, Any]:
+        """One trace as a Chrome trace-event object (Perfetto-ready).
+
+        Raises :class:`KeyError` for an unknown trace id.
+        """
+        trace = self._traces[trace_id]
+        spans: List[Span] = trace["spans"]
+        starts = [span.start for span in spans]
+        starts.extend(anchor for _, anchor, _ in trace["timelines"])
+        origin = min(starts) if starts else 0.0
+
+        events: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": PID_SERVICE,
+            "tid": 0, "args": {"name": f"service (trace {trace_id})"},
+        }]
+        tids: Dict[str, int] = {}
+        for span in spans:
+            if span.track not in tids:
+                tids[span.track] = len(tids)
+                events.append({
+                    "name": "thread_name", "ph": "M",
+                    "pid": PID_SERVICE, "tid": tids[span.track],
+                    "args": {"name": span.track},
+                })
+        for span in spans:
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": PID_SERVICE,
+                "tid": tids[span.track],
+                "ts": max((span.start - origin) * 1e6, 0.0),
+                "dur": max(span.duration * 1e6, 1.0),
+                "args": dict(span.args, trace_id=trace_id),
+            })
+        for index, (label, anchor, job_events) in \
+                enumerate(trace["timelines"]):
+            base = PID_JOB_BASE + index * PID_JOB_STRIDE
+            shift = max((anchor - origin) * 1e6, 0.0)
+            for event in job_events:
+                remapped = dict(event)
+                remapped["pid"] = base + int(event.get("pid", 0))
+                if event.get("ph") == "M":
+                    if event.get("name") == "process_name":
+                        args = dict(event.get("args", {}))
+                        args["name"] = (f"{args.get('name', 'job')} "
+                                        f"[{label}]")
+                        remapped["args"] = args
+                else:
+                    remapped["ts"] = event.get("ts", 0.0) + shift
+                events.append(remapped)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "trace_id": trace_id,
+                "spans": len(spans),
+                "dropped_spans": trace["dropped"],
+                "jobs": [label for label, _, _ in trace["timelines"]],
+                "generator": "repro.telemetry.tracing",
+            },
+        }
+
+
+def span_args(**args: Any) -> Dict[str, Any]:
+    """Drop ``None``-valued keys (keeps exported span args tidy)."""
+    return {key: value for key, value in args.items()
+            if value is not None}
+
+
+__all__ = [
+    "PID_JOB_BASE",
+    "PID_JOB_STRIDE",
+    "PID_SERVICE",
+    "Span",
+    "SpanRecorder",
+    "TRACE_HEADER",
+    "new_trace_id",
+    "span_args",
+    "valid_trace_id",
+]

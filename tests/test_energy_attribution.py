@@ -1,0 +1,118 @@
+"""Live energy attribution reconciles with the batch power model.
+
+The probe's contract (``power/attribution.py``): folding per-stride
+component-energy deltas during the run, then closing the last partial
+stride from the finished record, must land on exactly what
+``evaluate_power()`` computes post hoc -- on both pipeline engines
+(the array core attaches probes through its object-core delegate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.power.attribution import (
+    ENERGY_COUNTER,
+    EnergyAttributionProbe,
+    fold_component_energies,
+)
+from repro.power.components import COMPONENT_STAGES, REPORT_COMPONENTS
+from repro.power.model import PowerModel
+from repro.sim.simulator import evaluate_power, run_timing
+from repro.telemetry.metrics import MetricRegistry
+
+#: A short but reuse-active configuration (covers the overhead and
+#: loop-cache components, not just the baseline datapath).
+CONFIGS = {
+    "baseline": MachineConfig().with_iq_size(32).replace(
+        reuse_enabled=False),
+    "reuse": MachineConfig().with_iq_size(32),
+}
+
+RECONCILE_TOL = 1e-6
+
+
+def _run_with_probe(program, config, engine, stride=64):
+    probe = EnergyAttributionProbe(stride=stride)
+    record = run_timing(program, config, probes=[probe], engine=engine)
+    folded = probe.finalize(record)
+    return probe, record, folded
+
+
+@pytest.mark.parametrize("engine", ["object", "array"])
+@pytest.mark.parametrize("mode", sorted(CONFIGS))
+def test_probe_reconciles_with_evaluate_power(suite, engine, mode):
+    program = suite.program("tsf")
+    config = CONFIGS[mode]
+    probe, record, folded = _run_with_probe(program, config, engine)
+    expected = PowerModel(config).total_energy(record)
+    assert expected > 0.0
+    assert folded == pytest.approx(expected, rel=RECONCILE_TOL)
+    # per-component, not just in aggregate
+    energies = PowerModel(config).component_energies(record)
+    totals = probe.totals()
+    for name, component in energies.items():
+        assert totals.get(name, 0.0) == pytest.approx(
+            component.total_energy, rel=RECONCILE_TOL, abs=1e-9), name
+
+
+def test_probe_is_passive_on_both_engines(suite):
+    """Attaching the probe must not perturb the simulation itself."""
+    program = suite.program("tsf")
+    config = CONFIGS["reuse"]
+    clean = run_timing(program, config, engine="object")
+    for engine in ("object", "array"):
+        _, record, _ = _run_with_probe(program, config, engine)
+        assert record.to_payload() == clean.to_payload(), engine
+
+
+def test_stride_does_not_change_totals(suite):
+    program = suite.program("tsf")
+    config = CONFIGS["reuse"]
+    _, record, coarse = _run_with_probe(program, config, "object",
+                                        stride=512)
+    _, _, fine = _run_with_probe(program, config, "object", stride=7)
+    assert fine == pytest.approx(coarse, rel=RECONCILE_TOL)
+    assert fine == pytest.approx(PowerModel(config).total_energy(record),
+                                 rel=RECONCILE_TOL)
+
+
+def test_finalize_is_idempotent(suite):
+    program = suite.program("tsf")
+    config = CONFIGS["baseline"]
+    probe = EnergyAttributionProbe()
+    record = run_timing(program, config, probes=[probe], engine="object")
+    first = probe.finalize(record)
+    second = probe.finalize(record)
+    assert second == first
+    assert sum(probe.totals().values()) == pytest.approx(first)
+
+
+def test_fold_component_energies_one_shot(suite):
+    program = suite.program("tsf")
+    config = CONFIGS["reuse"]
+    record = run_timing(program, config, engine="object")
+    registry = MetricRegistry()
+    total = fold_component_energies(registry, record, config,
+                                    benchmark="tsf")
+    result = evaluate_power(record, config)
+    assert total == pytest.approx(result.total_energy, rel=1e-12)
+    counter = registry.get(ENERGY_COUNTER)
+    assert counter is not None
+    for sample in counter.labelsets():
+        assert sample["benchmark"] == "tsf"
+        assert sample["stage"] == COMPONENT_STAGES[sample["component"]]
+    assert sum(counter._samples.values()) == pytest.approx(total)
+
+
+def test_component_stage_map_covers_report_components():
+    assert set(COMPONENT_STAGES) == set(REPORT_COMPONENTS)
+    stages = set(COMPONENT_STAGES.values())
+    assert stages <= {"fetch", "decode", "rename", "issue", "execute",
+                      "memory", "commit", "global"}
+
+
+def test_probe_rejects_bad_stride():
+    with pytest.raises(ValueError, match="stride"):
+        EnergyAttributionProbe(stride=0)

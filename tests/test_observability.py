@@ -1,0 +1,275 @@
+"""Unit tests for the observability plane's building blocks.
+
+Covers the structured JSON-lines logger (`telemetry/log.py`), the
+Prometheus text exposition + strict parser (`telemetry/metrics.py`) and
+the trace-context span recorder (`telemetry/tracing.py`).  The service
+integration of all three is exercised end to end in
+``tests/test_service_e2e.py`` and ``scripts/obs_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import validate_trace
+from repro.telemetry.log import LogSink, StructLogger, get_logger
+from repro.telemetry.metrics import (
+    MetricRegistry,
+    PrometheusParseError,
+    parse_prometheus,
+)
+from repro.telemetry.tracing import (
+    SpanRecorder,
+    new_trace_id,
+    valid_trace_id,
+)
+
+
+class TestStructLogger:
+    def test_envelope_and_sorted_keys(self):
+        stream = io.StringIO()
+        sink = LogSink(level="debug").configure(stream=stream)
+        StructLogger("unit", sink).info("hello", zebra=1, apple=2)
+        line = stream.getvalue().strip()
+        record = json.loads(line)
+        assert record["level"] == "info"
+        assert record["logger"] == "unit"
+        assert record["event"] == "hello"
+        assert record["zebra"] == 1 and record["apple"] == 2
+        # one line, keys sorted: byte layout is deterministic modulo ts
+        assert line == json.dumps(record, sort_keys=True)
+
+    def test_ring_records_and_filtering(self):
+        sink = LogSink(level="debug")
+        log = StructLogger("unit", sink)
+        log.info("a", key="k1")
+        log.info("a", key="k2")
+        log.warning("b", key="k1")
+        assert len(sink.records(event="a")) == 2
+        assert len(sink.records(key="k1")) == 2
+        assert len(sink.records(event="b", key="k1")) == 1
+        assert sink.records(event="missing") == []
+
+    def test_ring_is_bounded(self):
+        sink = LogSink(ring_capacity=4, level="debug")
+        log = StructLogger("unit", sink)
+        for index in range(10):
+            log.info("tick", index=index)
+        kept = [record["index"] for record in sink.records()]
+        assert kept == [6, 7, 8, 9]
+
+    def test_threshold_suppresses_and_counts(self):
+        sink = LogSink(level="warning")
+        log = StructLogger("unit", sink)
+        log.debug("quiet")
+        log.info("quiet")
+        log.error("loud")
+        assert [r["event"] for r in sink.records()] == ["loud"]
+        assert sink.suppressed == 2
+
+    def test_bind_layers_fields(self):
+        sink = LogSink(level="debug")
+        base = StructLogger("unit", sink, {"service": "svc"})
+        child = base.bind(trace_id="t-1")
+        child.info("evt", extra=3)
+        (record,) = sink.records(event="evt")
+        assert record["service"] == "svc"
+        assert record["trace_id"] == "t-1"
+        assert record["extra"] == 3
+        # the parent is unchanged
+        assert "trace_id" not in base.fields
+
+    def test_call_fields_override_bound_fields(self):
+        sink = LogSink(level="debug")
+        log = StructLogger("unit", sink).bind(key="bound")
+        log.info("evt", key="call")
+        (record,) = sink.records(event="evt")
+        assert record["key"] == "call"
+
+    def test_file_sink_writes_jsonl(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = LogSink(level="debug").configure(path=str(path))
+        try:
+            StructLogger("unit", sink).info("one")
+            StructLogger("unit", sink).info("two")
+        finally:
+            sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["event"] for line in lines] \
+            == ["one", "two"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            LogSink(level="loud")
+
+    def test_get_logger_uses_default_sink(self):
+        log = get_logger("unit-default", marker="m")
+        log.info("probe-event-xyz")
+        records = log.sink.records(logger="unit-default",
+                                   event="probe-event-xyz")
+        assert records and records[-1]["marker"] == "m"
+
+
+class TestPrometheusExposition:
+    def test_bucket_boundary_is_inclusive(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)   # exactly on a bound: counted (value <= le)
+        hist.observe(2.0)
+        hist.observe(2.5)   # above the last bound: +Inf only
+        families = parse_prometheus(registry.to_prometheus())
+        samples = {(name, labels.get("le")): value
+                   for name, labels, value in families["h"]["samples"]}
+        assert samples[("h_bucket", "1")] == 1
+        assert samples[("h_bucket", "2")] == 2
+        assert samples[("h_bucket", "+Inf")] == 3
+        assert samples[("h_count", None)] == 3
+        assert samples[("h_sum", None)] == pytest.approx(5.5)
+
+    def test_label_key_order_is_canonical(self):
+        registry = MetricRegistry()
+        counter = registry.counter("c")
+        counter.inc(1, b="2", a="1")
+        counter.inc(2, a="1", b="2")  # same labelset, other kwarg order
+        assert counter.value(a="1", b="2") == 3
+        text = registry.to_prometheus()
+        assert 'c{a="1",b="2"} 3' in text
+        assert text.count("c{") == 1
+
+    def test_to_prometheus_is_byte_deterministic(self):
+        def build(order):
+            registry = MetricRegistry()
+            for name in order:
+                registry.counter(name, help=f"{name} help")
+            registry.get("alpha").inc(1, z="1", a="2")
+            registry.get("beta").inc(5)
+            registry.histogram("gamma", buckets=(0.5, 1.5)) \
+                .observe(1.0, route="/x")
+            return registry.to_prometheus()
+
+        first = build(["alpha", "beta"])
+        second = build(["beta", "alpha"])  # insertion order differs
+        assert first == second
+        assert first.encode("utf-8") == second.encode("utf-8")
+
+    def test_escaping_round_trips(self):
+        registry = MetricRegistry()
+        registry.counter("esc", help='line\nbreak and \\ and "q"') \
+            .inc(1, label='a\nb"c\\d')
+        families = parse_prometheus(registry.to_prometheus())
+        assert families["esc"]["help"] == 'line\nbreak and \\ and "q"'
+        ((_, labels, value),) = families["esc"]["samples"]
+        assert labels == {"label": 'a\nb"c\\d'}
+        assert value == 1
+
+    def test_parser_rejects_non_cumulative_buckets(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="2"} 3\n'
+                'h_bucket{le="+Inf"} 5\n'
+                "h_sum 4.0\n"
+                "h_count 5\n")
+        with pytest.raises(PrometheusParseError,
+                           match="not cumulative"):
+            parse_prometheus(text)
+
+    def test_parser_rejects_inf_count_mismatch(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 2\n'
+                'h_bucket{le="+Inf"} 2\n'
+                "h_sum 1.0\n"
+                "h_count 3\n")
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus(text)
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("this is not an exposition\n")
+
+    def test_json_and_prom_agree(self):
+        registry = MetricRegistry()
+        registry.counter("jobs").inc(3, kind="done")
+        registry.gauge("depth").set(7)
+        families = parse_prometheus(registry.to_prometheus())
+        snapshot = {metric["name"]: metric
+                    for metric in registry.snapshot()["metrics"]}
+        assert set(families) == set(snapshot)
+        assert families["jobs"]["kind"] == snapshot["jobs"]["kind"]
+        ((_, labels, value),) = families["jobs"]["samples"]
+        assert [{"labels": labels, "value": value}] \
+            == snapshot["jobs"]["samples"]
+
+
+class TestSpanRecorder:
+    def test_trace_id_shapes(self):
+        assert valid_trace_id(new_trace_id())
+        assert valid_trace_id("obs-smoke_1.0")
+        assert not valid_trace_id("")
+        assert not valid_trace_id("spaces not ok")
+        assert not valid_trace_id("x" * 65)
+
+    def test_invalid_trace_id_is_dropped(self):
+        recorder = SpanRecorder()
+        recorder.record("bad id", "span", "cat", 0.0, 1.0)
+        assert recorder.trace_ids() == []
+
+    def test_timeline_validates_and_rebases(self):
+        recorder = SpanRecorder()
+        recorder.record("t1", "GET /x", "http", 10.0, 10.5,
+                        track="request", status=200)
+        recorder.record("t1", "job", "worker", 10.1, 10.4,
+                        track="worker lane 0", key="abc")
+        timeline = recorder.timeline("t1")
+        validate_trace(timeline)
+        spans = [event for event in timeline["traceEvents"]
+                 if event.get("ph") == "X"]
+        assert {span["cat"] for span in spans} == {"http", "worker"}
+        # re-based to the earliest span, microseconds
+        assert min(span["ts"] for span in spans) == 0.0
+        assert all(span["args"]["trace_id"] == "t1" for span in spans)
+        assert timeline["otherData"]["spans"] == 2
+
+    def test_embedded_job_timeline_remaps_pids(self):
+        recorder = SpanRecorder()
+        recorder.record("t1", "job", "worker", 0.0, 1.0)
+        events = [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "simulated core"}},
+            {"name": "stage", "cat": "instruction", "ph": "X",
+             "pid": 1, "tid": 0, "ts": 5.0, "dur": 2.0, "args": {}},
+        ]
+        recorder.add_timeline("t1", "tsf [abc]", anchor=0.25,
+                              events=events)
+        timeline = recorder.timeline("t1")
+        validate_trace(timeline)
+        stage = next(event for event in timeline["traceEvents"]
+                     if event.get("cat") == "instruction")
+        meta = next(event for event in timeline["traceEvents"]
+                    if event.get("ph") == "M"
+                    and "[tsf [abc]]" in
+                    event.get("args", {}).get("name", ""))
+        assert stage["pid"] == meta["pid"] == 11  # PID_JOB_BASE + 1
+        # shifted to the job's anchor: 5us + 0.25s
+        assert stage["ts"] == pytest.approx(5.0 + 0.25e6)
+        assert timeline["otherData"]["jobs"] == ["tsf [abc]"]
+
+    def test_eviction_is_oldest_first(self):
+        recorder = SpanRecorder(max_traces=2)
+        for index in range(3):
+            recorder.record(f"t{index}", "s", "c", 0.0, 1.0)
+        assert recorder.trace_ids() == ["t1", "t2"]
+        assert not recorder.has("t0")
+
+    def test_span_cap_counts_drops(self):
+        recorder = SpanRecorder(max_spans=2)
+        for index in range(5):
+            recorder.record("t1", f"s{index}", "c", 0.0, 1.0)
+        assert len(recorder.spans("t1")) == 2
+        assert recorder.timeline("t1")["otherData"]["dropped_spans"] == 3
+
+    def test_unknown_trace_raises(self):
+        with pytest.raises(KeyError):
+            SpanRecorder().timeline("nope")

@@ -259,6 +259,89 @@ def test_restart_resumes_from_journal_without_resimulating(
         assert _canonical(result) == _canonical(job["result"])
 
 
+def test_traced_sweep_spans_every_observability_plane(tmp_path):
+    """One X-Trace-Id is visible in logs, trace, metrics and energy.
+
+    The in-process twin of ``scripts/obs_smoke.py``: a sweep submitted
+    with a known trace id must produce (1) a Perfetto-valid timeline
+    with http + admission + worker + simulation spans, (2) a strictly
+    parseable Prometheus exposition whose latency histograms saw the
+    work, (3) ``sim_energy_component`` counters that reconcile with
+    ``evaluate_power()`` over the results, and (4) structured log
+    records carrying the id at every hop.
+    """
+    from repro.power.model import PowerModel
+    from repro.service.jobqueue import JobSpec
+    from repro.telemetry import (
+        default_sink,
+        parse_prometheus,
+        validate_trace,
+    )
+
+    trace_id = "e2e-trace-0001"
+
+    async def case():
+        async with service(tmp_path) as (svc, host, port):
+            async with ServiceClient(host, port, client_id="e2e",
+                                     trace_id=trace_id) as client:
+                receipt = await client.submit_sweep(**SWEEP)
+                await client.wait_complete(receipt["sweep_id"],
+                                           timeout=DEADLINE)
+
+                timeline = await client.trace_timeline(trace_id)
+                validate_trace(timeline)
+                categories = {event.get("cat", "")
+                              for event in timeline["traceEvents"]
+                              if event.get("ph") != "M"}
+                assert {"http", "admission", "worker",
+                        "instruction"} <= categories
+                assert timeline["otherData"]["trace_id"] == trace_id
+                assert len(timeline["otherData"]["jobs"]) == 2
+
+                prom = await client.scrape_metrics(format="prom")
+                families = parse_prometheus(prom)
+                for name in ("service_request_seconds",
+                             "service_queue_wait_seconds",
+                             "service_worker_run_seconds"):
+                    family = families[name]
+                    assert family["kind"] == "histogram"
+                    count = sum(v for n, _, v in family["samples"]
+                                if n == f"{name}_count")
+                    assert count > 0, name
+
+                # json and prom scrapes describe the same registry
+                snapshot = await client.scrape_metrics(format="json")
+                assert set(families) == {
+                    metric["name"]
+                    for metric in snapshot["metrics"]}
+
+                folded = sum(
+                    value for _, _, value
+                    in families["sim_energy_component"]["samples"])
+                results = await client.results(receipt["sweep_id"])
+                expected = 0.0
+                for row in results["results"]:
+                    config = JobSpec.from_dict(row).to_sim_job().config
+                    record = ActivityRecord.from_payload(row["record"])
+                    expected += PowerModel(config).total_energy(record)
+                assert folded == pytest.approx(expected, rel=1e-6)
+
+                # unknown ids 404; malformed ids are dropped, not traced
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.trace_timeline("no-such-trace")
+                assert excinfo.value.status == 404
+                await client.request("GET", "/healthz",
+                                     trace_id="bad trace id!")
+                assert not svc.tracer.has("bad trace id!")
+
+    asyncio.run(case())
+
+    hops = {record["logger"]
+            for record in default_sink().records(trace_id=trace_id)}
+    assert {"service.app", "service.journal",
+            "service.workers"} <= hops
+
+
 def test_unknown_sweep_and_incomplete_results(tmp_path):
     async def case():
         async with service(tmp_path, workers=1) as (svc, host, port):
